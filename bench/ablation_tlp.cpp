@@ -1,0 +1,101 @@
+// Ablations beyond the paper (DESIGN.md "extra" experiments): the design
+// choices our implementation had to make where Algorithm 1 is silent.
+//
+//   A. Empty-frontier policy: restart (ours) vs strict (paper-literal).
+//   B. Capacity overshoot: allowed (paper's "while |E| <= C") vs hard cap.
+//   C. Balance slack alpha in C = ceil(m/p) * alpha.
+//   D. Seed sensitivity: RF spread across 7 RNG seeds.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common/datasets.hpp"
+#include "bench_common/options.hpp"
+#include "bench_common/runner.hpp"
+#include "bench_common/table.hpp"
+#include "core/tlp.hpp"
+
+int main() {
+  using namespace tlp;
+  using namespace tlp::bench;
+
+  const double scale = bench_scale();
+  const PartitionId p = 10;
+  // Two structurally different graphs: community-heavy G3, hub-heavy G5.
+  const std::vector<std::string> ids = {"G2", "G3"};
+
+  std::cout << "== TLP ablations (p = " << p << ") ==\n\n";
+
+  {
+    std::cout << "-- A/B: frontier policy x overshoot --\n";
+    Table table({"Graph", "policy", "overshoot", "RF", "balance", "time s"});
+    for (const std::string& id : ids) {
+      const Graph g = make_dataset(id, default_scale(id) * scale);
+      PartitionConfig config;
+      config.num_partitions = p;
+      for (const auto policy :
+           {EmptyFrontierPolicy::kRestart, EmptyFrontierPolicy::kStrict}) {
+        for (const bool overshoot : {true, false}) {
+          TlpOptions options;
+          options.empty_frontier = policy;
+          options.allow_overshoot = overshoot;
+          const TlpPartitioner tlp(options);
+          const RunResult r = run_partitioner(tlp, g, config);
+          table.add_row(
+              {id, policy == EmptyFrontierPolicy::kRestart ? "restart" : "strict",
+               overshoot ? "yes" : "no", fmt_double(r.rf, 3),
+               fmt_double(r.balance, 3), fmt_double(r.seconds, 2)});
+        }
+      }
+    }
+    table.print(std::cout);
+  }
+
+  {
+    std::cout << "\n-- C: balance slack alpha --\n";
+    Table table({"Graph", "alpha", "RF", "balance"});
+    for (const std::string& id : ids) {
+      const Graph g = make_dataset(id, default_scale(id) * scale);
+      for (const double alpha : {1.0, 1.05, 1.1, 1.25, 1.5}) {
+        PartitionConfig config;
+        config.num_partitions = p;
+        config.balance_slack = alpha;
+        const RunResult r = run_partitioner(TlpPartitioner{}, g, config);
+        table.add_row({id, fmt_double(alpha, 2), fmt_double(r.rf, 3),
+                       fmt_double(r.balance, 3)});
+      }
+    }
+    table.print(std::cout);
+  }
+
+  {
+    std::cout << "\n-- D: seed sensitivity (7 seeds) --\n";
+    Table table({"Graph", "RF mean", "RF min", "RF max", "RF stddev"});
+    for (const std::string& id : ids) {
+      const Graph g = make_dataset(id, default_scale(id) * scale);
+      std::vector<double> rfs;
+      for (std::uint64_t seed = 1; seed <= 7; ++seed) {
+        PartitionConfig config;
+        config.num_partitions = p;
+        config.seed = seed;
+        rfs.push_back(run_partitioner(TlpPartitioner{}, g, config).rf);
+      }
+      double sum = 0.0;
+      double min = rfs[0];
+      double max = rfs[0];
+      for (const double rf : rfs) {
+        sum += rf;
+        min = std::min(min, rf);
+        max = std::max(max, rf);
+      }
+      const double mean = sum / static_cast<double>(rfs.size());
+      double var = 0.0;
+      for (const double rf : rfs) var += (rf - mean) * (rf - mean);
+      var /= static_cast<double>(rfs.size());
+      table.add_row({id, fmt_double(mean, 3), fmt_double(min, 3),
+                     fmt_double(max, 3), fmt_double(std::sqrt(var), 4)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

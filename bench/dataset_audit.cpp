@@ -1,0 +1,53 @@
+// Dataset-substitution audit: how close are the synthetic stand-ins to the
+// real graphs they replace? Compares size, degree tail, and average
+// clustering coefficient against the values SNAP publishes for the
+// originals (clustering is the property the TLP stage switch is most
+// sensitive to — see DESIGN.md §4 and EXPERIMENTS.md).
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "bench_common/datasets.hpp"
+#include "bench_common/options.hpp"
+#include "bench_common/table.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/stats.hpp"
+
+int main() {
+  using namespace tlp;
+  using namespace tlp::bench;
+
+  // Average clustering coefficients as published on snap.stanford.edu
+  // (huapu is proprietary; no published value).
+  const std::map<std::string, double> published_cc = {
+      {"G1", 0.3994}, {"G2", 0.1409}, {"G3", 0.6115},
+      {"G4", 0.4970}, {"G5", 0.0555}, {"G6", 0.1378},
+      {"G7", 0.0603}, {"G8", 0.0555},
+  };
+
+  std::cout << "== Dataset stand-in audit (clustering vs SNAP-published "
+               "values) ==\n\n";
+  Table table({"Graph", "n", "m", "max deg", "alpha", "avg CC (ours)",
+               "avg CC (real)", "degeneracy"});
+  const double scale = bench_scale();
+  for (const std::string& id : bench_graph_ids()) {
+    const Graph g = make_dataset(id, default_scale(id) * scale);
+    const GraphStats stats = compute_stats(g);
+    const double cc = average_clustering(g);
+    const auto it = published_cc.find(id);
+    table.add_row({id, std::to_string(stats.num_vertices),
+                   std::to_string(stats.num_edges),
+                   std::to_string(stats.max_degree),
+                   fmt_double(stats.power_law_alpha, 2), fmt_double(cc, 4),
+                   it == published_cc.end() ? "n/a"
+                                            : fmt_double(it->second, 4),
+                   std::to_string(degeneracy(g))});
+    std::cout.flush();
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: the stand-ins are tuned for ORDERING fidelity "
+               "(degree tail + enough local density for the modularity "
+               "switch), not to match every statistic; this table makes the "
+               "residual gap explicit.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Fig. 8: replication factor of TLP vs METIS, LDG, DBH, and
+// Random on the nine graphs for p = 10, 15, 20 (one table per p, one series
+// per algorithm — the same data the paper plots as bar groups).
+//
+// Expected shape (paper): TLP ~ METIS << LDG < DBH < Random, with TLP
+// beating METIS on most graphs.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_common/datasets.hpp"
+#include "bench_common/options.hpp"
+#include "bench_common/runner.hpp"
+#include "bench_common/table.hpp"
+#include "partition/registry.hpp"
+
+int main() {
+  using namespace tlp;
+  using namespace tlp::bench;
+  register_builtin_partitioners();
+
+  const std::vector<std::string> algorithms = {"tlp", "metis", "ldg", "dbh",
+                                               "random"};
+  const auto graph_ids = bench_graph_ids();
+  const double scale = bench_scale();
+
+  std::cout << "== Fig. 8: replication factor by algorithm (lower is better) "
+               "==\n";
+
+  for (const PartitionId p : bench_partition_counts()) {
+    std::cout << "\n-- p = " << p << " --\n";
+    std::vector<std::string> header = {"Graph"};
+    for (const auto& a : algorithms) header.push_back("RF " + a);
+    header.push_back("t(tlp) s");
+    header.push_back("t(metis) s");
+    Table table(header);
+
+    for (const std::string& id : graph_ids) {
+      const Graph g = make_dataset(id, default_scale(id) * scale);
+      PartitionConfig config;
+      config.num_partitions = p;
+      std::vector<std::string> row = {id};
+      double tlp_secs = 0.0;
+      double metis_secs = 0.0;
+      for (const std::string& algo : algorithms) {
+        const RunResult r =
+            run_partitioner(*make_partitioner(algo), g, config);
+        row.push_back(r.valid ? fmt_double(r.rf, 3) : "INVALID");
+        if (algo == "tlp") tlp_secs = r.seconds;
+        if (algo == "metis") metis_secs = r.seconds;
+      }
+      row.push_back(fmt_double(tlp_secs, 2));
+      row.push_back(fmt_double(metis_secs, 2));
+      table.add_row(std::move(row));
+      std::cout.flush();
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nPaper shape check: TLP and METIS should dominate; TLP "
+               "should win on most rows (Table IV quantifies the gap).\n";
+  return 0;
+}

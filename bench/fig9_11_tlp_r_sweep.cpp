@@ -1,0 +1,87 @@
+// Reproduces Figs. 9, 10, 11: RF of TLP_R for R in {0, 0.1, ..., 1.0}
+// versus modularity-switched TLP, per graph, for p = 10 (Fig. 9), 15
+// (Fig. 10), 20 (Fig. 11). Each table row is one inset of the figure.
+//
+// Expected shape (paper conclusions IV.C):
+//   (1) the best TLP_R always has R strictly inside (0, 1);
+//   (2) the worst results sit at the pure one-stage extremes R = 0 / R = 1;
+//   (3) the optimal R varies per graph;
+//   (4) parameterless TLP tracks the swept optimum closely.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common/datasets.hpp"
+#include "bench_common/options.hpp"
+#include "bench_common/runner.hpp"
+#include "bench_common/table.hpp"
+#include "core/tlp.hpp"
+
+int main() {
+  using namespace tlp;
+  using namespace tlp::bench;
+
+  const auto graph_ids = bench_graph_ids();
+  const double scale = bench_scale();
+  const TlpPartitioner tlp;
+
+  std::cout << "== Figs. 9-11: TLP vs TLP_R across the stage-split ratio R "
+               "==\n";
+
+  for (const PartitionId p : bench_partition_counts()) {
+    std::cout << "\n-- p = " << p << " (Fig. " << (p == 10 ? 9 : p == 15 ? 10 : 11)
+              << ") --\n";
+    std::vector<std::string> header = {"Graph"};
+    for (int r = 0; r <= 10; ++r) {
+      header.push_back("R=" + fmt_double(r / 10.0, 1));
+    }
+    header.push_back("TLP");
+    header.push_back("best R");
+    Table table(header);
+
+    std::size_t interior_optima = 0;
+    std::size_t tlp_near_optimal = 0;
+    std::size_t tlp_within_10pct = 0;
+    std::size_t tlp_beats_worst = 0;
+    for (const std::string& id : graph_ids) {
+      const Graph g = make_dataset(id, default_scale(id) * scale);
+      PartitionConfig config;
+      config.num_partitions = p;
+
+      std::vector<std::string> row = {id};
+      double best_rf = 1e300;
+      double worst_rf = 0.0;
+      int best_r = -1;
+      std::vector<double> rfs;
+      for (int r = 0; r <= 10; ++r) {
+        const TlpPartitioner variant = make_tlp_r(r / 10.0);
+        const RunResult result = run_partitioner(variant, g, config);
+        rfs.push_back(result.rf);
+        row.push_back(fmt_double(result.rf, 3));
+        if (result.rf < best_rf) {
+          best_rf = result.rf;
+          best_r = r;
+        }
+        worst_rf = std::max(worst_rf, result.rf);
+        std::cout.flush();
+      }
+      const RunResult tlp_result = run_partitioner(tlp, g, config);
+      row.push_back(fmt_double(tlp_result.rf, 3));
+      row.push_back(fmt_double(best_r / 10.0, 1));
+      table.add_row(std::move(row));
+
+      if (best_r != 0 && best_r != 10) ++interior_optima;
+      if (tlp_result.rf <= best_rf * 1.05) ++tlp_near_optimal;
+      if (tlp_result.rf <= best_rf * 1.10) ++tlp_within_10pct;
+      if (tlp_result.rf < worst_rf) ++tlp_beats_worst;
+    }
+    table.print(std::cout);
+    std::cout << "interior optima (paper conclusion 1): " << interior_optima
+              << "/" << graph_ids.size()
+              << "; TLP within 5% / 10% of swept optimum (conclusion 4): "
+              << tlp_near_optimal << " / " << tlp_within_10pct << " of "
+              << graph_ids.size() << "; TLP inside the sweep envelope: "
+              << tlp_beats_worst << "/" << graph_ids.size() << "\n";
+  }
+  return 0;
+}

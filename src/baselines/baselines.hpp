@@ -1,0 +1,153 @@
+// Baseline edge partitioners the paper compares against (Section IV.B),
+// plus the canonical streaming edge partitioners from the related work
+// (Greedy/PowerGraph, HDRF, NE) as extensions.
+#pragma once
+
+#include <string>
+
+#include "partition/partitioner.hpp"
+
+namespace tlp::baselines {
+
+/// How streaming partitioners traverse the edge set.
+enum class StreamMode {
+  kSeededShuffle,  ///< default: seeded random arrival order
+  kNaturalOrder,   ///< stream edges in EdgeId order (caller controls order
+                   ///< by constructing the graph with that edge order)
+};
+
+/// Random: every edge hashed uniformly onto [0, p). The paper's quality
+/// floor (Gonzalez et al., PowerGraph).
+class RandomPartitioner : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "random"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& g, const PartitionConfig& config) const override;
+};
+
+/// DBH — Degree-Based Hashing (Xie et al., NIPS 2014): each edge is hashed
+/// by its lower-degree endpoint, so high-degree vertices absorb the
+/// replication (optimal for power-law graphs among hashing schemes).
+class DbhPartitioner : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "dbh"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& g, const PartitionConfig& config) const override;
+};
+
+/// Grid (2D) constrained hashing: partitions arranged in a sqrt(p) x
+/// sqrt(p) grid; edge (u,v) lands in the intersection of u's row and v's
+/// column, bounding each vertex's replicas by 2*sqrt(p)-1.
+class GridPartitioner : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "grid"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& g, const PartitionConfig& config) const override;
+};
+
+/// Greedy (PowerGraph, Gonzalez et al. OSDI 2012): streaming; place each
+/// edge in the partition already holding both endpoints, else one endpoint
+/// (breaking ties toward the lighter partition), else the lightest.
+class GreedyPartitioner : public Partitioner {
+ public:
+  explicit GreedyPartitioner(StreamMode mode = StreamMode::kSeededShuffle)
+      : mode_(mode) {}
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& g, const PartitionConfig& config) const override;
+
+ private:
+  StreamMode mode_;
+};
+
+/// HDRF (Petroni et al., CIKM 2015): greedy streaming that prefers
+/// replicating the higher-degree endpoint, with an explicit balance term.
+class HdrfPartitioner : public Partitioner {
+ public:
+  /// lambda > 0 weighs the balance term (paper default 1.0).
+  explicit HdrfPartitioner(double lambda = 1.0,
+                           StreamMode mode = StreamMode::kSeededShuffle)
+      : lambda_(lambda), mode_(mode) {}
+  [[nodiscard]] std::string name() const override { return "hdrf"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& g, const PartitionConfig& config) const override;
+
+ private:
+  double lambda_;
+  StreamMode mode_;
+};
+
+/// LDG (Stanton & Kliot, KDD 2012): streaming *vertex* partitioner — each
+/// vertex goes to the partition with the most already-placed neighbors,
+/// scaled by a linear capacity penalty. Edges are then derived from the
+/// vertex parts (see vertex_to_edge.hpp), matching how vertex partitioners
+/// are evaluated under the edge-partitioning RF metric.
+class LdgPartitioner : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "ldg"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& g, const PartitionConfig& config) const override;
+
+  /// The underlying vertex assignment (exposed for tests/benches).
+  [[nodiscard]] std::vector<PartitionId> vertex_partition(
+      const Graph& g, const PartitionConfig& config) const;
+};
+
+/// FENNEL (Tsourakakis et al., WSDM 2014): streaming vertex partitioner
+/// with an interpolated objective — place v in argmax
+/// |N(v) ∩ P_k| - alpha * gamma * |P_k|^(gamma-1). Edges derived like LDG.
+class FennelPartitioner : public Partitioner {
+ public:
+  /// gamma = 1.5 and load-derived alpha are the paper's defaults.
+  explicit FennelPartitioner(double gamma = 1.5) : gamma_(gamma) {}
+  [[nodiscard]] std::string name() const override { return "fennel"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& g, const PartitionConfig& config) const override;
+
+  [[nodiscard]] std::vector<PartitionId> vertex_partition(
+      const Graph& g, const PartitionConfig& config) const;
+
+ private:
+  double gamma_;
+};
+
+/// KL-style flat partitioner (Kernighan & Lin 1970): recursive bisection of
+/// the *original* graph — random balanced split followed by
+/// Fiduccia–Mattheyses pass-with-rollback refinement (the standard modern
+/// KL formulation), no multilevel coarsening. The paper's "offline,
+/// needs-global-information" classic. Edges derived like LDG/METIS.
+class KlPartitioner : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "kl"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& g, const PartitionConfig& config) const override;
+
+  [[nodiscard]] std::vector<PartitionId> vertex_partition(
+      const Graph& g, const PartitionConfig& config) const;
+};
+
+/// 2PS — Two-Phase Streaming (Mayer et al. 2022, simplified): phase 1
+/// streams the edges once through a volume-capped streaming clustering
+/// (merge endpoints' clusters when capacity allows); phase 2 packs clusters
+/// onto partitions by volume and streams edges again, keeping intra-cluster
+/// edges on their cluster's partition and splitting cross-cluster edges
+/// HDRF-style. The modern streaming counterpart of TLP's locality idea.
+class TwoPhaseStreamingPartitioner : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "2ps"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& g, const PartitionConfig& config) const override;
+};
+
+/// NE — Neighborhood Expansion (Zhang et al., KDD 2017), the paper's
+/// closest offline rival: grows each partition by repeatedly moving the
+/// boundary vertex with the fewest external neighbors into the core and
+/// claiming its incident edges.
+class NePartitioner : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "ne"; }
+  [[nodiscard]] EdgePartition partition(
+      const Graph& g, const PartitionConfig& config) const override;
+};
+
+}  // namespace tlp::baselines

@@ -1,0 +1,27 @@
+#include <stdexcept>
+
+#include "baselines/baselines.hpp"
+#include "baselines/hashing.hpp"
+
+namespace tlp::baselines {
+
+EdgePartition DbhPartitioner::partition(const Graph& g,
+                                        const PartitionConfig& config) const {
+  if (config.num_partitions == 0) {
+    throw std::invalid_argument("DbhPartitioner: num_partitions must be >= 1");
+  }
+  EdgePartition result(config.num_partitions, g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    const std::size_t du = g.degree(edge.u);
+    const std::size_t dv = g.degree(edge.v);
+    // Hash the lower-degree endpoint; ties go to the smaller id so the
+    // result is independent of edge orientation.
+    const VertexId anchor =
+        (du < dv || (du == dv && edge.u < edge.v)) ? edge.u : edge.v;
+    result.assign(e, hash_vertex(anchor, config.seed, config.num_partitions));
+  }
+  return result;
+}
+
+}  // namespace tlp::baselines

@@ -1,0 +1,78 @@
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+#include "partition/replica_set.hpp"
+
+namespace tlp::baselines {
+
+EdgePartition GreedyPartitioner::partition(const Graph& g,
+                                           const PartitionConfig& config) const {
+  const PartitionId p = config.num_partitions;
+  if (p == 0) {
+    throw std::invalid_argument("GreedyPartitioner: num_partitions must be >= 1");
+  }
+  EdgePartition result(p, g.num_edges());
+  std::vector<ReplicaSet> replicas(g.num_vertices(), ReplicaSet(p));
+  std::vector<EdgeId> load(p, 0);
+  std::vector<std::size_t> remaining(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) remaining[v] = g.degree(v);
+
+  // Stream edges in a seeded random order (PowerGraph streams in arrival
+  // order; a seeded shuffle removes dependence on file ordering).
+  std::vector<EdgeId> order(static_cast<std::size_t>(g.num_edges()));
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  if (mode_ == StreamMode::kSeededShuffle) {
+    std::mt19937_64 rng(config.seed);
+    std::shuffle(order.begin(), order.end(), rng);
+  }
+
+  // Least-loaded partition within a candidate mask test.
+  const auto least_loaded = [&](auto&& allowed) {
+    PartitionId best = kNoPartition;
+    for (PartitionId k = 0; k < p; ++k) {
+      if (allowed(k) && (best == kNoPartition || load[k] < load[best])) {
+        best = k;
+      }
+    }
+    return best;
+  };
+
+  for (const EdgeId e : order) {
+    const Edge& edge = g.edge(e);
+    const ReplicaSet& au = replicas[edge.u];
+    const ReplicaSet& av = replicas[edge.v];
+    PartitionId target;
+    if (au.intersects(av)) {
+      // Case 1: shared partition exists; pick the least loaded of them.
+      target = least_loaded(
+          [&](PartitionId k) { return au.contains(k) && av.contains(k); });
+    } else if (!au.empty() && !av.empty()) {
+      // Case 2: both placed, disjoint; replicate the endpoint with fewer
+      // remaining edges into a partition of the other (more-remaining)
+      // endpoint (PowerGraph rule).
+      const ReplicaSet& anchor =
+          remaining[edge.u] >= remaining[edge.v] ? au : av;
+      target = least_loaded([&](PartitionId k) { return anchor.contains(k); });
+    } else if (!au.empty() || !av.empty()) {
+      // Case 3: only one endpoint placed; join it.
+      const ReplicaSet& anchor = au.empty() ? av : au;
+      target = least_loaded([&](PartitionId k) { return anchor.contains(k); });
+    } else {
+      // Case 4: fresh edge; least-loaded partition overall.
+      target = least_loaded([](PartitionId) { return true; });
+    }
+    result.assign(e, target);
+    replicas[edge.u].insert(target);
+    replicas[edge.v].insert(target);
+    ++load[target];
+    --remaining[edge.u];
+    --remaining[edge.v];
+  }
+  return result;
+}
+
+}  // namespace tlp::baselines

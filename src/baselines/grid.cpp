@@ -1,0 +1,33 @@
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+#include "baselines/hashing.hpp"
+
+namespace tlp::baselines {
+
+EdgePartition GridPartitioner::partition(const Graph& g,
+                                         const PartitionConfig& config) const {
+  const PartitionId p = config.num_partitions;
+  if (p == 0) {
+    throw std::invalid_argument("GridPartitioner: num_partitions must be >= 1");
+  }
+  // Arrange partitions in an r x c grid with r*c >= p as square as possible;
+  // cells beyond p-1 are folded back with modulo.
+  const auto rows = static_cast<PartitionId>(
+      std::max(1.0, std::floor(std::sqrt(static_cast<double>(p)))));
+  const PartitionId cols = (p + rows - 1) / rows;
+
+  EdgePartition result(p, g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    const PartitionId ru = hash_vertex(edge.u, config.seed, rows);
+    const PartitionId cv =
+        hash_vertex(edge.v, config.seed ^ 0x9e3779b9ULL, cols);
+    result.assign(e, (ru * cols + cv) % p);
+  }
+  return result;
+}
+
+}  // namespace tlp::baselines

@@ -1,0 +1,31 @@
+// Shared 64-bit mixing for the hash-based baselines. A strong finalizer
+// (splitmix64) keeps assignments uniform even for sequential vertex ids.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace tlp::baselines {
+
+/// splitmix64 finalizer; bijective on 64-bit values.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Seeded hash of a vertex id onto [0, p).
+[[nodiscard]] constexpr PartitionId hash_vertex(VertexId v, std::uint64_t seed,
+                                                PartitionId p) {
+  return static_cast<PartitionId>(mix64(seed ^ v) % p);
+}
+
+/// Seeded hash of an edge id onto [0, p).
+[[nodiscard]] constexpr PartitionId hash_edge(EdgeId e, std::uint64_t seed,
+                                              PartitionId p) {
+  return static_cast<PartitionId>(mix64(seed ^ (e * 0x100000001b3ULL)) % p);
+}
+
+}  // namespace tlp::baselines

@@ -1,0 +1,152 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+#include "baselines/vertex_to_edge.hpp"
+
+namespace tlp::baselines {
+namespace {
+
+/// One FM-style refinement pass (the modern single-vertex formulation of
+/// Kernighan-Lin) on an unweighted bisection restricted to `vertices`.
+/// Moves every vertex at most once, tracks the best prefix, rolls back the
+/// rest. Returns true if the cut improved.
+bool kl_pass(const Graph& g, const std::vector<VertexId>& vertices,
+             std::vector<std::uint8_t>& side, std::size_t target0,
+             std::size_t& side0_count) {
+  // Gain of flipping v = (neighbors on other side) - (neighbors on same).
+  std::vector<std::int64_t> gain(g.num_vertices(), 0);
+  std::set<std::pair<std::int64_t, VertexId>, std::greater<>> queue;
+  std::vector<std::uint8_t> in_scope(g.num_vertices(), 0);
+  for (const VertexId v : vertices) in_scope[v] = 1;
+  for (const VertexId v : vertices) {
+    std::int64_t balance = 0;
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (!in_scope[nb.vertex]) continue;
+      balance += side[nb.vertex] != side[v] ? 1 : -1;
+    }
+    gain[v] = balance;
+    queue.insert({balance, v});
+  }
+
+  const std::size_t total = vertices.size();
+  const auto max0 = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(target0) * 1.03));
+  const std::size_t target1 = total - target0;
+  const auto max1 =
+      static_cast<std::size_t>(std::ceil(static_cast<double>(target1) * 1.03));
+
+  std::vector<VertexId> moved;
+  std::vector<std::uint8_t> locked(g.num_vertices(), 0);
+  std::int64_t running = 0;
+  std::int64_t best = 0;
+  std::size_t best_prefix = 0;
+  std::size_t running0 = side0_count;
+  std::size_t best0 = side0_count;
+
+  while (!queue.empty()) {
+    auto it = queue.begin();
+    VertexId v = kInvalidVertex;
+    for (; it != queue.end(); ++it) {
+      const VertexId cand = it->second;
+      const bool to1 = side[cand] == 0;
+      const std::size_t new0 = to1 ? running0 - 1 : running0 + 1;
+      if (to1 ? (total - new0) <= max1 : new0 <= max0) {
+        v = cand;
+        break;
+      }
+    }
+    if (v == kInvalidVertex) break;
+    queue.erase(it);
+    locked[v] = 1;
+    running += gain[v];
+    running0 += side[v] == 0 ? std::size_t(-1) : std::size_t(1);
+    side[v] ^= 1;
+    moved.push_back(v);
+    for (const Neighbor& nb : g.neighbors(v)) {
+      const VertexId u = nb.vertex;
+      if (!in_scope[u] || locked[u]) continue;
+      queue.erase({gain[u], u});
+      gain[u] += side[u] == side[v] ? -2 : 2;
+      queue.insert({gain[u], u});
+    }
+    if (running > best ||
+        (running == best && best_prefix != 0 &&
+         std::llabs(static_cast<long long>(running0) -
+                    static_cast<long long>(target0)) <
+             std::llabs(static_cast<long long>(best0) -
+                        static_cast<long long>(target0)))) {
+      best = running;
+      best_prefix = moved.size();
+      best0 = running0;
+    }
+  }
+  for (std::size_t i = moved.size(); i > best_prefix; --i) {
+    side[moved[i - 1]] ^= 1;
+  }
+  side0_count = best0;
+  return best > 0;
+}
+
+/// Recursive KL bisection over a vertex subset; writes labels in
+/// [label_base, label_base + k).
+void kl_recurse(const Graph& g, const std::vector<VertexId>& vertices,
+                PartitionId k, PartitionId label_base,
+                std::vector<PartitionId>& out, std::mt19937_64& rng) {
+  if (k <= 1 || vertices.empty()) {
+    for (const VertexId v : vertices) out[v] = label_base;
+    return;
+  }
+  const PartitionId k0 = k / 2;
+  const PartitionId k1 = k - k0;
+  const std::size_t target0 = vertices.size() * k0 / k;
+
+  // KL needs an initial balanced bisection; random is the classic choice.
+  std::vector<VertexId> shuffled = vertices;
+  std::shuffle(shuffled.begin(), shuffled.end(), rng);
+  std::vector<std::uint8_t> side(g.num_vertices(), 1);
+  for (std::size_t i = 0; i < target0; ++i) side[shuffled[i]] = 0;
+  std::size_t side0_count = target0;
+
+  for (int pass = 0; pass < 6; ++pass) {
+    if (!kl_pass(g, vertices, side, target0, side0_count)) break;
+  }
+
+  std::vector<VertexId> left;
+  std::vector<VertexId> right;
+  for (const VertexId v : vertices) {
+    (side[v] == 0 ? left : right).push_back(v);
+  }
+  kl_recurse(g, left, k0, label_base, out, rng);
+  kl_recurse(g, right, k1, label_base + k0, out, rng);
+}
+
+}  // namespace
+
+std::vector<PartitionId> KlPartitioner::vertex_partition(
+    const Graph& g, const PartitionConfig& config) const {
+  const PartitionId p = config.num_partitions;
+  if (p == 0) {
+    throw std::invalid_argument("KlPartitioner: num_partitions must be >= 1");
+  }
+  std::vector<PartitionId> parts(g.num_vertices(), 0);
+  std::vector<VertexId> all(g.num_vertices());
+  std::iota(all.begin(), all.end(), VertexId{0});
+  std::mt19937_64 rng(config.seed);
+  kl_recurse(g, all, p, 0, parts, rng);
+  return parts;
+}
+
+EdgePartition KlPartitioner::partition(const Graph& g,
+                                       const PartitionConfig& config) const {
+  return derive_edge_partition(g, vertex_partition(g, config),
+                               config.num_partitions);
+}
+
+}  // namespace tlp::baselines

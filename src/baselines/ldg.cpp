@@ -1,0 +1,67 @@
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+#include "baselines/vertex_to_edge.hpp"
+
+namespace tlp::baselines {
+
+std::vector<PartitionId> LdgPartitioner::vertex_partition(
+    const Graph& g, const PartitionConfig& config) const {
+  const PartitionId p = config.num_partitions;
+  if (p == 0) {
+    throw std::invalid_argument("LdgPartitioner: num_partitions must be >= 1");
+  }
+  // Vertex capacity with the same slack notion as edges: C_v = ceil(n/p)*slack.
+  const double capacity = std::max(
+      1.0, std::ceil(static_cast<double>(g.num_vertices()) /
+                     static_cast<double>(p)) *
+               std::max(1.0, config.balance_slack));
+
+  std::vector<PartitionId> parts(g.num_vertices(), kNoPartition);
+  std::vector<std::size_t> sizes(p, 0);
+  std::vector<std::size_t> neighbor_count(p, 0);
+
+  // Stream vertices in a seeded random order (the classic LDG setting).
+  std::vector<VertexId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::mt19937_64 rng(config.seed);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  for (const VertexId v : order) {
+    std::fill(neighbor_count.begin(), neighbor_count.end(), 0);
+    for (const Neighbor& nb : g.neighbors(v)) {
+      const PartitionId q = parts[nb.vertex];
+      if (q != kNoPartition) ++neighbor_count[q];
+    }
+    // LDG score: |N(v) ∩ P_k| * (1 - |P_k|/C). Ties break to the smaller
+    // partition (by vertex count), then the smaller id — both deterministic.
+    PartitionId best = 0;
+    double best_score = -1.0;
+    for (PartitionId k = 0; k < p; ++k) {
+      const double penalty =
+          1.0 - static_cast<double>(sizes[k]) / capacity;
+      const double score =
+          static_cast<double>(neighbor_count[k]) * std::max(penalty, 0.0);
+      if (score > best_score ||
+          (score == best_score && sizes[k] < sizes[best])) {
+        best_score = score;
+        best = k;
+      }
+    }
+    parts[v] = best;
+    ++sizes[best];
+  }
+  return parts;
+}
+
+EdgePartition LdgPartitioner::partition(const Graph& g,
+                                        const PartitionConfig& config) const {
+  return derive_edge_partition(g, vertex_partition(g, config),
+                               config.num_partitions);
+}
+
+}  // namespace tlp::baselines

@@ -1,0 +1,150 @@
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+
+namespace tlp::baselines {
+namespace {
+
+/// Local-expansion state for one NE run. NE grows partitions one at a time
+/// like TLP, but always selects the boundary vertex that adds the fewest
+/// external edges (min |N(v) \ partition| on the residual graph) — a
+/// single-stage criterion, which is exactly what the paper's two-stage
+/// method improves on.
+class NeRun {
+ public:
+  NeRun(const Graph& g, const PartitionConfig& config)
+      : g_(g),
+        config_(config),
+        assigned_(static_cast<std::size_t>(g.num_edges()), false),
+        residual_degree_(g.num_vertices()),
+        member_round_(g.num_vertices(), kNoRound),
+        partition_(config.num_partitions, g.num_edges()),
+        seed_order_(g.num_vertices()) {
+    unassigned_ = g.num_edges();
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      residual_degree_[v] = static_cast<std::uint32_t>(g.degree(v));
+    }
+    std::iota(seed_order_.begin(), seed_order_.end(), VertexId{0});
+    std::mt19937_64 rng(config.seed);
+    std::shuffle(seed_order_.begin(), seed_order_.end(), rng);
+  }
+
+  EdgePartition run() {
+    const PartitionId p = config_.num_partitions;
+    const EdgeId capacity = config_.capacity(g_.num_edges());
+    for (PartitionId k = 0; k < p && unassigned_ > 0; ++k) {
+      const EdgeId round_capacity =
+          (k + 1 == p) ? std::numeric_limits<EdgeId>::max() : capacity;
+      grow(k, round_capacity);
+    }
+    assert(unassigned_ == 0);
+    return std::move(partition_);
+  }
+
+ private:
+  static constexpr std::uint32_t kNoRound =
+      std::numeric_limits<std::uint32_t>::max();
+
+  struct Candidate {
+    std::uint32_t c = 0;     ///< residual connections to the partition
+    std::uint32_t rdeg = 0;  ///< residual degree, frozen for the round
+  };
+
+  [[nodiscard]] bool is_member(VertexId v) const {
+    return member_round_[v] == round_;
+  }
+
+  VertexId next_seed() {
+    while (seed_cursor_ < seed_order_.size()) {
+      const VertexId v = seed_order_[seed_cursor_];
+      if (residual_degree_[v] > 0) return v;
+      ++seed_cursor_;
+    }
+    return kInvalidVertex;
+  }
+
+  void join(VertexId v, PartitionId k, EdgeId& e_in) {
+    const auto it = candidates_.find(v);
+    if (it != candidates_.end()) {
+      order_.erase({it->second.rdeg - it->second.c, v});
+      candidates_.erase(it);
+    }
+    member_round_[v] = round_;
+    for (const Neighbor& nb : g_.neighbors(v)) {
+      if (assigned_[static_cast<std::size_t>(nb.edge)]) continue;
+      if (is_member(nb.vertex)) {
+        assigned_[static_cast<std::size_t>(nb.edge)] = true;
+        partition_.assign(nb.edge, k);
+        --residual_degree_[v];
+        --residual_degree_[nb.vertex];
+        --unassigned_;
+        ++e_in;
+      } else {
+        auto [cit, inserted] = candidates_.try_emplace(nb.vertex);
+        Candidate& cand = cit->second;
+        if (inserted) {
+          cand.c = 1;
+          cand.rdeg = residual_degree_[nb.vertex];
+        } else {
+          order_.erase({cand.rdeg - cand.c, nb.vertex});
+          ++cand.c;
+        }
+        order_.insert({cand.rdeg - cand.c, nb.vertex});
+      }
+    }
+  }
+
+  void grow(PartitionId k, EdgeId round_capacity) {
+    round_ = k;
+    candidates_.clear();
+    order_.clear();
+    EdgeId e_in = 0;
+    while (e_in < round_capacity && unassigned_ > 0) {
+      VertexId v;
+      if (order_.empty()) {
+        v = next_seed();
+        if (v == kInvalidVertex) break;
+      } else {
+        v = order_.begin()->second;  // min external expansion, then min id
+      }
+      join(v, k, e_in);
+    }
+  }
+
+  const Graph& g_;
+  const PartitionConfig& config_;
+  std::vector<bool> assigned_;
+  std::vector<std::uint32_t> residual_degree_;
+  std::vector<std::uint32_t> member_round_;
+  EdgePartition partition_;
+  EdgeId unassigned_ = 0;
+  std::uint32_t round_ = kNoRound;
+
+  std::unordered_map<VertexId, Candidate> candidates_;
+  /// (external-expansion, vertex) ordered ascending.
+  std::set<std::pair<std::uint32_t, VertexId>> order_;
+
+  std::vector<VertexId> seed_order_;
+  std::size_t seed_cursor_ = 0;
+};
+
+}  // namespace
+
+EdgePartition NePartitioner::partition(const Graph& g,
+                                       const PartitionConfig& config) const {
+  if (config.num_partitions == 0) {
+    throw std::invalid_argument("NePartitioner: num_partitions must be >= 1");
+  }
+  NeRun run(g, config);
+  return run.run();
+}
+
+}  // namespace tlp::baselines

@@ -1,0 +1,121 @@
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+#include "partition/replica_set.hpp"
+
+namespace tlp::baselines {
+namespace {
+
+/// Phase-1 streaming clustering state (union-by-relabel with volume caps).
+struct Clustering {
+  std::vector<VertexId> cluster;       // per vertex
+  std::vector<EdgeId> volume;          // per cluster: sum of member degrees
+  explicit Clustering(const Graph& g)
+      : cluster(g.num_vertices()), volume(g.num_vertices(), 0) {
+    std::iota(cluster.begin(), cluster.end(), VertexId{0});
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      volume[v] = static_cast<EdgeId>(g.degree(v));
+    }
+  }
+};
+
+}  // namespace
+
+EdgePartition TwoPhaseStreamingPartitioner::partition(
+    const Graph& g, const PartitionConfig& config) const {
+  const PartitionId p = config.num_partitions;
+  if (p == 0) {
+    throw std::invalid_argument(
+        "TwoPhaseStreamingPartitioner: num_partitions must be >= 1");
+  }
+  EdgePartition result(p, g.num_edges());
+  if (g.num_edges() == 0) return result;
+
+  std::vector<EdgeId> order(static_cast<std::size_t>(g.num_edges()));
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::mt19937_64 rng(config.seed);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  // ---- Phase 1: streaming clustering ------------------------------------
+  // Volume cap ~ 2m/p keeps every cluster assignable to one partition.
+  const EdgeId volume_cap =
+      std::max<EdgeId>(2, 2 * g.num_edges() / std::max<PartitionId>(p, 1));
+  Clustering clusters(g);
+  for (const EdgeId e : order) {
+    const Edge& edge = g.edge(e);
+    const VertexId cu = clusters.cluster[edge.u];
+    const VertexId cv = clusters.cluster[edge.v];
+    if (cu == cv) continue;
+    // Move the endpoint in the lower-volume cluster into the other cluster
+    // when the target has room (the 2PS merge rule, vertex-granular).
+    const bool move_u = clusters.volume[cu] <= clusters.volume[cv];
+    const VertexId vertex = move_u ? edge.u : edge.v;
+    const VertexId from = move_u ? cu : cv;
+    const VertexId to = move_u ? cv : cu;
+    const auto degree = static_cast<EdgeId>(g.degree(vertex));
+    if (clusters.volume[to] + degree > volume_cap) continue;
+    clusters.cluster[vertex] = to;
+    clusters.volume[from] -= degree;
+    clusters.volume[to] += degree;
+  }
+
+  // ---- Pack clusters onto partitions (largest-first bin packing) --------
+  std::vector<VertexId> cluster_ids;
+  for (VertexId c = 0; c < clusters.volume.size(); ++c) {
+    if (clusters.volume[c] > 0) cluster_ids.push_back(c);
+  }
+  std::sort(cluster_ids.begin(), cluster_ids.end(),
+            [&](VertexId a, VertexId b) {
+              if (clusters.volume[a] != clusters.volume[b]) {
+                return clusters.volume[a] > clusters.volume[b];
+              }
+              return a < b;
+            });
+  std::vector<PartitionId> cluster_partition(clusters.volume.size(), 0);
+  std::vector<EdgeId> packed(p, 0);
+  for (const VertexId c : cluster_ids) {
+    const auto lightest = static_cast<PartitionId>(std::distance(
+        packed.begin(), std::min_element(packed.begin(), packed.end())));
+    cluster_partition[c] = lightest;
+    packed[lightest] += clusters.volume[c];
+  }
+
+  // ---- Phase 2: cluster-aware edge assignment ----------------------------
+  std::vector<ReplicaSet> replicas(g.num_vertices(), ReplicaSet(p));
+  std::vector<EdgeId> load(p, 0);
+  const EdgeId cap = config.capacity(g.num_edges()) +
+                     config.capacity(g.num_edges()) / 10 + 1;
+  for (const EdgeId e : order) {
+    const Edge& edge = g.edge(e);
+    const PartitionId pu = cluster_partition[clusters.cluster[edge.u]];
+    const PartitionId pv = cluster_partition[clusters.cluster[edge.v]];
+    PartitionId target;
+    if (pu == pv && load[pu] < cap) {
+      target = pu;  // intra-cluster (or co-located clusters): keep together
+    } else {
+      // Cross-cluster: prefer the endpoint partition with room and lighter
+      // load; fall back to globally lightest.
+      const bool u_ok = load[pu] < cap;
+      const bool v_ok = load[pv] < cap;
+      if (u_ok && (!v_ok || load[pu] <= load[pv])) {
+        target = pu;
+      } else if (v_ok) {
+        target = pv;
+      } else {
+        target = static_cast<PartitionId>(std::distance(
+            load.begin(), std::min_element(load.begin(), load.end())));
+      }
+    }
+    result.assign(e, target);
+    replicas[edge.u].insert(target);
+    replicas[edge.v].insert(target);
+    ++load[target];
+  }
+  return result;
+}
+
+}  // namespace tlp::baselines

@@ -1,0 +1,36 @@
+#include "baselines/vertex_to_edge.hpp"
+
+#include <stdexcept>
+
+namespace tlp::baselines {
+
+EdgePartition derive_edge_partition(const Graph& g,
+                                    const std::vector<PartitionId>& vertex_parts,
+                                    PartitionId num_partitions) {
+  if (vertex_parts.size() != g.num_vertices()) {
+    throw std::invalid_argument(
+        "derive_edge_partition: vertex_parts size mismatch");
+  }
+  EdgePartition result(num_partitions, g.num_edges());
+  std::vector<EdgeId> load(num_partitions, 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    const PartitionId pu = vertex_parts[edge.u];
+    const PartitionId pv = vertex_parts[edge.v];
+    if (pu >= num_partitions || pv >= num_partitions) {
+      throw std::invalid_argument(
+          "derive_edge_partition: vertex part out of range");
+    }
+    PartitionId target = pu;
+    if (pu != pv) {
+      // Cut edge: pick the lighter side (ties toward the smaller part id).
+      target = (load[pv] < load[pu] || (load[pv] == load[pu] && pv < pu)) ? pv
+                                                                          : pu;
+    }
+    result.assign(e, target);
+    ++load[target];
+  }
+  return result;
+}
+
+}  // namespace tlp::baselines

@@ -1,0 +1,20 @@
+// Deriving an edge partition from a vertex partition.
+//
+// Vertex partitioners (LDG, METIS) are evaluated in the paper under the
+// edge-partitioning RF metric. The standard derivation assigns each edge to
+// the part of one endpoint: intra-part edges have only one choice; for cut
+// edges we pick the endpoint's part with the lighter current edge load
+// (deterministic, load-balancing tie-break toward the smaller part id).
+#pragma once
+
+#include <vector>
+
+#include "partition/edge_partition.hpp"
+
+namespace tlp::baselines {
+
+[[nodiscard]] EdgePartition derive_edge_partition(
+    const Graph& g, const std::vector<PartitionId>& vertex_parts,
+    PartitionId num_partitions);
+
+}  // namespace tlp::baselines

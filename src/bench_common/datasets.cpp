@@ -1,0 +1,158 @@
+#include "bench_common/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <random>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "gen/generators.hpp"
+#include "graph/builder.hpp"
+
+namespace tlp::bench {
+namespace {
+
+VertexId scaled_n(VertexId n, double scale) {
+  return std::max<VertexId>(16, static_cast<VertexId>(n * scale));
+}
+
+/// Scaled edge target, capped at half the complete graph so the rejection
+/// samplers in the generators stay efficient at tiny test scales.
+EdgeId scaled_m(VertexId n, EdgeId m, double scale) {
+  const EdgeId target = std::max<EdgeId>(
+      32, static_cast<EdgeId>(static_cast<double>(m) * scale));
+  const EdgeId cap = static_cast<EdgeId>(n) * (n - 1) / 4;
+  return std::min(target, std::max<EdgeId>(1, cap));
+}
+
+/// Community count for a target block size (keeps block size constant as a
+/// dataset is scaled down, which preserves local clustering).
+VertexId blocks_for(VertexId n, VertexId block_size) {
+  return std::max<VertexId>(2, n / block_size);
+}
+
+/// G9 stand-in: a genealogy-like graph — a shallow forest (parent links,
+/// n-1-ish edges) plus a power-law overlay up to the target edge count.
+/// Matches huapu's character: tree-dominated, very low average degree (~3.3),
+/// a few heavily-connected clan hubs.
+Graph make_genealogy(VertexId n, EdgeId m, std::uint64_t seed) {
+  GraphBuilder builder(/*relabel=*/false);
+  std::mt19937_64 rng(seed);
+  // Forest: vertex i attaches to a recent ancestor (locality window keeps
+  // generations shallow); every ~50k-th vertex starts a new family tree.
+  for (VertexId i = 1; i < n; ++i) {
+    if (i % 50000 == 0) continue;  // new root
+    const VertexId window = std::min<VertexId>(i, 1000);
+    std::uniform_int_distribution<VertexId> pick(i - window, i - 1);
+    builder.add_edge(pick(rng), i);
+  }
+  // Power-law overlay (marriage/cross-clan links) up to m total.
+  const EdgeId forest_edges = builder.size();
+  if (m > forest_edges) {
+    std::vector<double> weights(n);
+    for (VertexId i = 0; i < n; ++i) {
+      weights[i] = std::pow(static_cast<double>(i % 997) + 1.0, -0.8);
+    }
+    std::discrete_distribution<VertexId> pick(weights.begin(), weights.end());
+    std::uniform_int_distribution<VertexId> uniform(0, n - 1);
+    for (EdgeId e = forest_edges; e < m; ++e) {
+      builder.add_edge(pick(rng), uniform(rng));
+    }
+  }
+  return builder.build();
+}
+
+std::vector<DatasetSpec> build_specs() {
+  std::vector<DatasetSpec> specs;
+  specs.push_back(
+      {"G1", "email-Eu-core", "SBM, 42 dense departments", 1005, 25571,
+       [](double s) {
+         const VertexId n = scaled_n(1005, s);
+         return gen::sbm(n, scaled_m(n, 25571, s), blocks_for(n, 24), 0.72,
+                         101);
+       }});
+  specs.push_back(
+      {"G2", "Wiki-Vote", "DCSBM power law (gamma 2.1, ~150-vertex blocks)",
+       7115, 103689, [](double s) {
+         const VertexId n = scaled_n(7115, s);
+         return gen::dcsbm(n, scaled_m(n, 103689, s), 2.1, blocks_for(n, 150),
+                           0.65, 102);
+       }});
+  specs.push_back(
+      {"G3", "CA-HepPh", "SBM, 400 collaboration groups", 12008, 118521,
+       [](double s) {
+         const VertexId n = scaled_n(12008, s);
+         return gen::sbm(n, scaled_m(n, 118521, s), blocks_for(n, 30),
+                         0.85, 103);
+       }});
+  specs.push_back(
+      {"G4", "Email-Enron", "DCSBM power law (gamma 2.2, high clustering)",
+       36692, 183831, [](double s) {
+         const VertexId n = scaled_n(36692, s);
+         return gen::dcsbm(n, scaled_m(n, 183831, s), 2.2, blocks_for(n, 120),
+                           0.7, 104);
+       }});
+  specs.push_back(
+      {"G5", "Slashdot081106", "DCSBM power law (gamma 2.3, loose blocks)",
+       77357, 516575, [](double s) {
+         const VertexId n = scaled_n(77357, s);
+         return gen::dcsbm(n, scaled_m(n, 516575, s), 2.3, blocks_for(n, 250),
+                           0.6, 105);
+       }});
+  specs.push_back(
+      {"G6", "soc-Epinions1", "DCSBM power law (gamma 2.0)", 75879, 508837,
+       [](double s) {
+         const VertexId n = scaled_n(75879, s);
+         return gen::dcsbm(n, scaled_m(n, 508837, s), 2.0, blocks_for(n, 200),
+                           0.65, 106);
+       }});
+  specs.push_back(
+      {"G7", "Slashdot090221", "DCSBM power law (gamma 2.3, loose blocks)",
+       82144, 549202, [](double s) {
+         const VertexId n = scaled_n(82144, s);
+         return gen::dcsbm(n, scaled_m(n, 549202, s), 2.3, blocks_for(n, 250),
+                           0.6, 107);
+       }});
+  specs.push_back(
+      {"G8", "Slashdot0811", "DCSBM power law (gamma 2.3, denser)", 77360,
+       905468, [](double s) {
+         const VertexId n = scaled_n(77360, s);
+         return gen::dcsbm(n, scaled_m(n, 905468, s), 2.3, blocks_for(n, 250),
+                           0.6, 108);
+       }});
+  specs.push_back({"G9", "huapu", "genealogy forest + power-law overlay",
+                   4309321, 7030787, [](double s) {
+                     const VertexId n = scaled_n(4309321, s);
+                     return make_genealogy(n, scaled_m(n, 7030787, s), 109);
+                   }});
+  return specs;
+}
+
+const DatasetSpec& find_spec(const std::string& id) {
+  for (const DatasetSpec& spec : paper_datasets()) {
+    if (spec.id == id) return spec;
+  }
+  throw std::out_of_range("unknown dataset id '" + id + "' (expected G1..G9)");
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& paper_datasets() {
+  static const std::vector<DatasetSpec> specs = build_specs();
+  return specs;
+}
+
+double default_scale(const std::string& id) {
+  find_spec(id);  // validate
+  if (id == "G9" && std::getenv("TLP_FULL_SCALE") == nullptr) return 0.1;
+  return 1.0;
+}
+
+Graph make_dataset(const std::string& id, double scale) {
+  const DatasetSpec& spec = find_spec(id);
+  const double s = scale > 0.0 ? scale : default_scale(id);
+  return spec.make(s);
+}
+
+}  // namespace tlp::bench

@@ -1,0 +1,36 @@
+// The paper's nine evaluation graphs (Table III), realized as deterministic
+// synthetic stand-ins (offline environment — see DESIGN.md §4 for the
+// substitution rationale per graph).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tlp::bench {
+
+struct DatasetSpec {
+  std::string id;           ///< "G1".."G9"
+  std::string paper_name;   ///< e.g. "email-Eu-core"
+  std::string generator;    ///< human-readable stand-in description
+  VertexId paper_vertices;  ///< |V| from the paper's Table III
+  EdgeId paper_edges;       ///< |E| from the paper's Table III
+  /// Builds the stand-in at `scale` in (0, 1]: n and m scale linearly.
+  std::function<Graph(double scale)> make;
+};
+
+/// All nine specs in paper order.
+[[nodiscard]] const std::vector<DatasetSpec>& paper_datasets();
+
+/// Builds dataset `id` ("G1".."G9"). G9's default scale is 0.1 (the paper's
+/// 7M-edge proprietary huapu graph, shrunk for laptop runs) unless the
+/// TLP_FULL_SCALE environment variable is set; all others default to 1.0.
+/// An explicit `scale` > 0 overrides. Throws std::out_of_range for bad ids.
+[[nodiscard]] Graph make_dataset(const std::string& id, double scale = 0.0);
+
+/// The default scale used by make_dataset for this id.
+[[nodiscard]] double default_scale(const std::string& id);
+
+}  // namespace tlp::bench

@@ -1,0 +1,77 @@
+#include "bench_common/runner.hpp"
+
+#include <chrono>
+
+#include "baselines/baselines.hpp"
+#include "core/multi_tlp.hpp"
+#include "core/tlp.hpp"
+#include "metis/multilevel.hpp"
+#include "partition/registry.hpp"
+#include "stream/window_tlp.hpp"
+
+namespace tlp::bench {
+
+RunResult run_partitioner(const Partitioner& partitioner, const Graph& g,
+                          const PartitionConfig& config) {
+  RunResult result;
+  result.algorithm = partitioner.name();
+  const auto start = std::chrono::steady_clock::now();
+  const EdgePartition partition = partitioner.partition(g, config);
+  const auto stop = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(stop - start).count();
+  result.rf = replication_factor(g, partition);
+  result.balance = balance_factor(partition);
+  result.valid = validate(g, partition, config).ok();
+  return result;
+}
+
+void register_builtin_partitioners() {
+  static const bool once = [] {
+    register_partitioner("tlp", [] {
+      return std::make_unique<TlpPartitioner>();
+    });
+    register_partitioner("metis", [] {
+      return std::make_unique<metis::MetisPartitioner>();
+    });
+    register_partitioner("ldg", [] {
+      return std::make_unique<baselines::LdgPartitioner>();
+    });
+    register_partitioner("dbh", [] {
+      return std::make_unique<baselines::DbhPartitioner>();
+    });
+    register_partitioner("random", [] {
+      return std::make_unique<baselines::RandomPartitioner>();
+    });
+    register_partitioner("grid", [] {
+      return std::make_unique<baselines::GridPartitioner>();
+    });
+    register_partitioner("greedy", [] {
+      return std::make_unique<baselines::GreedyPartitioner>();
+    });
+    register_partitioner("hdrf", [] {
+      return std::make_unique<baselines::HdrfPartitioner>();
+    });
+    register_partitioner("ne", [] {
+      return std::make_unique<baselines::NePartitioner>();
+    });
+    register_partitioner("fennel", [] {
+      return std::make_unique<baselines::FennelPartitioner>();
+    });
+    register_partitioner("kl", [] {
+      return std::make_unique<baselines::KlPartitioner>();
+    });
+    register_partitioner("window_tlp", [] {
+      return std::make_unique<stream::WindowTlpPartitioner>();
+    });
+    register_partitioner("multi_tlp", [] {
+      return std::make_unique<MultiTlpPartitioner>();
+    });
+    register_partitioner("2ps", [] {
+      return std::make_unique<baselines::TwoPhaseStreamingPartitioner>();
+    });
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace tlp::bench

@@ -1,0 +1,32 @@
+// Shared experiment driver: run one (algorithm, graph, p) cell and collect
+// the metrics the paper reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "partition/metrics.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/validator.hpp"
+
+namespace tlp::bench {
+
+struct RunResult {
+  std::string algorithm;
+  double rf = 0.0;        ///< replication factor (paper's quality metric)
+  double balance = 0.0;   ///< max load / average load
+  double seconds = 0.0;   ///< wall-clock partitioning time
+  bool valid = false;     ///< complete + in-range per the validator
+};
+
+/// Partitions g with `partitioner` under `config`, validates the result and
+/// measures RF/balance/time.
+[[nodiscard]] RunResult run_partitioner(const Partitioner& partitioner,
+                                        const Graph& g,
+                                        const PartitionConfig& config);
+
+/// Registers every built-in algorithm in the global registry. Idempotent.
+/// Names: tlp, metis, ldg, dbh, random, grid, greedy, hdrf, ne, fennel, kl.
+void register_builtin_partitioners();
+
+}  // namespace tlp::bench

@@ -1,0 +1,85 @@
+#include "bench_common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace tlp::bench {
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ';
+      const std::size_t pad = width[c] - row[c].size();
+      // Right-align numeric-looking cells, left-align text.
+      const bool numeric =
+          !row[c].empty() &&
+          (std::isdigit(static_cast<unsigned char>(row[c][0])) != 0 ||
+           row[c][0] == '-' || row[c][0] == '+');
+      if (numeric) out << std::string(pad, ' ');
+      out << row[c];
+      if (!numeric) out << std::string(pad, ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  out << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(width[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) print_row(row);
+
+  if (std::getenv("TLP_BENCH_CSV") != nullptr) {
+    out << "\n[csv]\n";
+    print_csv(out);
+  }
+}
+
+void Table::print_csv(std::ostream& out) const {
+  const auto print_cell = [&](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      out << cell;
+      return;
+    }
+    out << '"';
+    for (const char ch : cell) {
+      if (ch == '"') out << '"';
+      out << ch;
+    }
+    out << '"';
+  };
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      print_cell(row[c]);
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace tlp::bench

@@ -1,0 +1,34 @@
+// Minimal aligned-table printer for bench output (matches the paper's
+// table/figure rows in plain text).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tlp::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row);
+
+  /// Prints with aligned columns; numbers right-aligned heuristically.
+  /// If the TLP_BENCH_CSV environment variable is set, additionally emits a
+  /// machine-readable CSV copy of the table after the aligned rendering.
+  void print(std::ostream& out) const;
+
+  /// CSV rendering (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("3.142" for fmt_double(3.14159, 3)).
+[[nodiscard]] std::string fmt_double(double value, int precision = 3);
+
+}  // namespace tlp::bench

@@ -1,0 +1,94 @@
+#include "core/frontier.hpp"
+
+namespace tlp {
+namespace {
+
+/// Exact comparison of M' fractions a1/b1 vs a2/b2 (b >= 0; b == 0 means
+/// +infinity). Returns true iff the first is strictly better. Products stay
+/// within __int128 for any graph this library can represent.
+bool better_fraction(std::uint64_t a1, std::uint64_t b1, std::uint64_t a2,
+                     std::uint64_t b2) {
+  if (b1 == 0 && b2 == 0) return a1 > a2;
+  if (b1 == 0) return true;
+  if (b2 == 0) return false;
+  return static_cast<unsigned __int128>(a1) * b2 >
+         static_cast<unsigned __int128>(a2) * b1;
+}
+
+}  // namespace
+
+void Frontier::clear() {
+  candidates_.clear();
+  stage1_heap_ = {};
+  stage2_buckets_.clear();
+}
+
+std::uint32_t Frontier::connections(VertexId v) const {
+  const auto it = candidates_.find(v);
+  assert(it != candidates_.end());
+  return it->second.c;
+}
+
+void Frontier::remove(VertexId v) {
+  const auto it = candidates_.find(v);
+  assert(it != candidates_.end());
+  candidates_.erase(it);
+  // Heap and bucket entries become stale and are skipped lazily.
+}
+
+VertexId Frontier::select_stage1() {
+  while (!stage1_heap_.empty()) {
+    const HeapEntry top = stage1_heap_.top();
+    const auto it = candidates_.find(top.vertex);
+    if (it != candidates_.end() && it->second.mu1 == top.mu1) {
+      return top.vertex;
+    }
+    stage1_heap_.pop();  // stale: vertex joined or its μs1 grew since push
+  }
+  return kInvalidVertex;
+}
+
+VertexId Frontier::select_stage2(EdgeId e_in, EdgeId e_out) {
+  VertexId best = kInvalidVertex;
+  std::uint64_t best_num = 0;
+  std::uint64_t best_den = 1;
+  std::uint32_t best_c = 0;
+  std::uint32_t best_r = 0;
+  for (auto it = stage2_buckets_.begin(); it != stage2_buckets_.end();) {
+    const std::uint32_t c = it->first;
+    Bucket& bucket = it->second;
+    // Drop entries superseded by a later c or removed candidates.
+    while (!bucket.empty() && !bucket_entry_live(c, bucket.top().second)) {
+      bucket.pop();
+    }
+    if (bucket.empty()) {
+      it = stage2_buckets_.erase(it);
+      continue;
+    }
+    // Within one c, M' is strictly decreasing in rdeg, so only the bucket's
+    // (min rdeg, min id) entry can win.
+    const auto [rdeg, v] = bucket.top();
+    assert(rdeg >= c);
+    const std::uint64_t num = e_in + c;
+    // e_out counts every member->outside residual edge, c of which lead to
+    // this candidate, so the subtraction cannot underflow.
+    assert(e_out + rdeg >= 2ULL * c);
+    const std::uint64_t den = e_out + rdeg - 2ULL * c;
+    const bool wins =
+        best == kInvalidVertex || better_fraction(num, den, best_num, best_den) ||
+        (!better_fraction(best_num, best_den, num, den) &&
+         (c > best_c || (c == best_c && (rdeg < best_r ||
+                                         (rdeg == best_r && v < best)))));
+    if (wins) {
+      best = v;
+      best_num = num;
+      best_den = den;
+      best_c = c;
+      best_r = rdeg;
+    }
+    ++it;
+  }
+  return best;
+}
+
+}  // namespace tlp

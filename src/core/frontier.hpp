@@ -1,0 +1,139 @@
+// Frontier: the candidate set N(P_k) with incremental scores for both of the
+// paper's selection criteria.
+//
+// Key performance facts exploited here (see DESIGN.md):
+//  * While a vertex sits in the frontier of a round, none of its incident
+//    edges get assigned (edges are only claimed when their endpoint joins),
+//    so its residual degree r is FROZEN for the round. Its connection count
+//    c to P_k only grows.
+//  * Stage I score μs1 (Eq. 7) is a max over per-member terms that never
+//    change once computed, so a running max updated on each neighboring join
+//    is exact. Selection uses a lazy max-heap.
+//  * Stage II score μs2 (Eq. 9) is monotone in M' = (E_in + c)/(E_out + r - 2c).
+//    For fixed (E_in, E_out), M' is increasing in c and decreasing in r, so
+//    within a fixed c the best candidate is the one with minimal r, and the
+//    global argmax is found by scanning one best candidate per distinct c
+//    value — O(#distinct c) instead of O(|frontier|) per step. Buckets are
+//    lazily-invalidated min-heaps: entries from superseded c values are
+//    dropped when they surface.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace tlp {
+
+class Frontier {
+ public:
+  /// Removes all candidates (start of a new round).
+  void clear();
+
+  [[nodiscard]] bool empty() const { return candidates_.empty(); }
+  [[nodiscard]] std::size_t size() const { return candidates_.size(); }
+  [[nodiscard]] bool contains(VertexId v) const {
+    return candidates_.contains(v);
+  }
+
+  /// Residual connections of candidate v to the current partition (c_v).
+  /// Precondition: contains(v).
+  [[nodiscard]] std::uint32_t connections(VertexId v) const;
+
+  /// Records that candidate u gained a residual connection to the partition
+  /// via a joining member. The Stage-I contribution (Eq. 7 term
+  /// |N(u) ∩ N(member)| / |N(member)|) can be expensive, so callers pass a
+  /// cheap upper bound plus a thunk computing the exact term; the thunk is
+  /// only invoked when the bound can beat u's current running max. Inserts u
+  /// (with frozen residual degree `residual_degree`) if new.
+  template <typename ScoreFn>
+  void add_connection(VertexId u, std::uint32_t residual_degree,
+                      double score_bound, ScoreFn&& score_fn) {
+    auto [it, inserted] = candidates_.try_emplace(u);
+    Candidate& cand = it->second;
+    if (inserted) {
+      cand.c = 1;
+      cand.rdeg = residual_degree;
+      cand.mu1 = score_fn();
+      bucket_push(cand.c, cand.rdeg, u);
+      stage1_heap_.push({cand.mu1, u});
+      return;
+    }
+    assert(cand.rdeg == residual_degree);  // frozen within a round
+    ++cand.c;
+    bucket_push(cand.c, cand.rdeg, u);  // old-c entry is dropped lazily
+    if (score_bound > cand.mu1) {
+      const double term = score_fn();
+      if (term > cand.mu1) {
+        cand.mu1 = term;
+        stage1_heap_.push({cand.mu1, u});
+      }
+    }
+  }
+
+  /// Non-lazy convenience overload (tests, simple callers).
+  void add_connection(VertexId u, double score_term,
+                      std::uint32_t residual_degree) {
+    add_connection(u, residual_degree, score_term,
+                   [score_term] { return score_term; });
+  }
+
+  /// Removes v (it joined the partition). Precondition: contains(v).
+  void remove(VertexId v);
+
+  /// Stage-I selection: argmax μs1, ties by smaller vertex id. Returns
+  /// kInvalidVertex when empty.
+  [[nodiscard]] VertexId select_stage1();
+
+  /// Stage-II selection: argmax M' = (e_in + c)/(e_out + r - 2c); an empty
+  /// post-join external set (denominator 0) ranks above everything. Ties by
+  /// larger c, then smaller r, then smaller id. Returns kInvalidVertex when
+  /// empty.
+  [[nodiscard]] VertexId select_stage2(EdgeId e_in, EdgeId e_out);
+
+ private:
+  struct Candidate {
+    std::uint32_t c = 0;     ///< residual connections to the partition
+    std::uint32_t rdeg = 0;  ///< residual degree, frozen for the round
+    double mu1 = 0.0;        ///< running max of Stage-I terms (exact)
+  };
+
+  struct HeapEntry {
+    double mu1;
+    VertexId vertex;
+    /// std::priority_queue is a max-heap; order so the top is the highest
+    /// μs1 with the smallest id.
+    friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
+      if (a.mu1 != b.mu1) return a.mu1 < b.mu1;
+      return a.vertex > b.vertex;
+    }
+  };
+
+  /// Min-heap of (rdeg, vertex) used per stage-2 bucket.
+  using Bucket =
+      std::priority_queue<std::pair<std::uint32_t, VertexId>,
+                          std::vector<std::pair<std::uint32_t, VertexId>>,
+                          std::greater<>>;
+
+  std::unordered_map<VertexId, Candidate> candidates_;
+  /// Lazy max-heap for Stage I; entries are validated against candidates_.
+  std::priority_queue<HeapEntry> stage1_heap_;
+  /// c -> lazily-invalidated bucket for Stage-II selection.
+  std::map<std::uint32_t, Bucket> stage2_buckets_;
+
+  void bucket_push(std::uint32_t c, std::uint32_t rdeg, VertexId v) {
+    stage2_buckets_[c].push({rdeg, v});
+  }
+
+  /// True iff (c, v) is the candidate's live bucket entry.
+  [[nodiscard]] bool bucket_entry_live(std::uint32_t c, VertexId v) const {
+    const auto it = candidates_.find(v);
+    return it != candidates_.end() && it->second.c == c;
+  }
+};
+
+}  // namespace tlp

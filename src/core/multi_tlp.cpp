@@ -1,0 +1,458 @@
+#include "core/multi_tlp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "core/residual.hpp"
+#include "partition/replica_set.hpp"
+
+namespace tlp {
+namespace {
+
+/// Exact M' comparison, as in core/frontier.cpp.
+bool better_fraction(std::uint64_t a1, std::uint64_t b1, std::uint64_t a2,
+                     std::uint64_t b2) {
+  if (b1 == 0 && b2 == 0) return a1 > a2;
+  if (b1 == 0) return true;
+  if (b2 == 0) return false;
+  return static_cast<unsigned __int128>(a1) * b2 >
+         static_cast<unsigned __int128>(a2) * b1;
+}
+
+/// Eagerly-maintained frontier for one concurrently-growing partition.
+/// Supports connection-count decrements and residual-degree updates, which
+/// the sequential frontier's frozen-degree invariants rule out.
+class EagerFrontier {
+ public:
+  struct Candidate {
+    std::uint32_t c = 0;
+    std::uint32_t rdeg = 0;
+    double mu1 = 0.0;
+  };
+
+  [[nodiscard]] bool empty() const { return candidates_.empty(); }
+  [[nodiscard]] bool contains(VertexId v) const {
+    return candidates_.contains(v);
+  }
+  [[nodiscard]] const Candidate& at(VertexId v) const {
+    return candidates_.at(v);
+  }
+
+  /// Inserts or updates candidate v with a new connection; mu1 is a
+  /// caller-maintained exact value (recomputed on structural changes).
+  void upsert(VertexId v, std::uint32_t c, std::uint32_t rdeg, double mu1) {
+    auto [it, inserted] = candidates_.try_emplace(v);
+    if (!inserted) erase_keys(v, it->second);
+    it->second = Candidate{c, rdeg, mu1};
+    buckets_[c].insert({rdeg, v});
+    stage1_.insert({mu1, v});
+  }
+
+  void remove(VertexId v) {
+    const auto it = candidates_.find(v);
+    if (it == candidates_.end()) return;
+    erase_keys(v, it->second);
+    candidates_.erase(it);
+  }
+
+  [[nodiscard]] VertexId select_stage1() const {
+    if (stage1_.empty()) return kInvalidVertex;
+    // Ordered descending by mu1, ascending id on ties.
+    return stage1_.begin()->second;
+  }
+
+  [[nodiscard]] VertexId select_stage2(EdgeId e_in, EdgeId e_out) const {
+    VertexId best = kInvalidVertex;
+    std::uint64_t bn = 0;
+    std::uint64_t bd = 1;
+    std::uint32_t bc = 0;
+    std::uint32_t br = 0;
+    for (const auto& [c, bucket] : buckets_) {
+      const auto [rdeg, v] = *bucket.begin();
+      assert(rdeg >= c && e_out + rdeg >= 2ULL * c);
+      const std::uint64_t num = e_in + c;
+      const std::uint64_t den = e_out + rdeg - 2ULL * c;
+      const bool wins =
+          best == kInvalidVertex || better_fraction(num, den, bn, bd) ||
+          (!better_fraction(bn, bd, num, den) &&
+           (c > bc ||
+            (c == bc && (rdeg < br || (rdeg == br && v < best)))));
+      if (wins) {
+        best = v;
+        bn = num;
+        bd = den;
+        bc = c;
+        br = rdeg;
+      }
+    }
+    return best;
+  }
+
+ private:
+  struct Stage1Less {
+    bool operator()(const std::pair<double, VertexId>& a,
+                    const std::pair<double, VertexId>& b) const {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    }
+  };
+
+  void erase_keys(VertexId v, const Candidate& cand) {
+    const auto bucket = buckets_.find(cand.c);
+    bucket->second.erase({cand.rdeg, v});
+    if (bucket->second.empty()) buckets_.erase(bucket);
+    stage1_.erase({cand.mu1, v});
+  }
+
+  std::unordered_map<VertexId, Candidate> candidates_;
+  std::map<std::uint32_t, std::set<std::pair<std::uint32_t, VertexId>>>
+      buckets_;
+  std::set<std::pair<double, VertexId>, Stage1Less> stage1_;
+};
+
+class MultiRun {
+ public:
+  MultiRun(const Graph& g, const PartitionConfig& config,
+           const MultiTlpOptions& options, TlpStats& stats)
+      : g_(g),
+        config_(config),
+        options_(options),
+        stats_(stats),
+        residual_(g),
+        partition_(config.num_partitions, g.num_edges()),
+        member_(g.num_vertices(), ReplicaSet(config.num_partitions)),
+        candidate_(g.num_vertices(), ReplicaSet(config.num_partitions)),
+        touched_(g.num_vertices(), false),
+        count_(g.num_vertices(), 0),
+        parts_(config.num_partitions),
+        seed_order_(g.num_vertices()) {
+    std::iota(seed_order_.begin(), seed_order_.end(), VertexId{0});
+    std::mt19937_64 rng(config.seed);
+    std::shuffle(seed_order_.begin(), seed_order_.end(), rng);
+    for (auto& part : parts_) part.seed_cursor = 0;
+  }
+
+  EdgePartition run() {
+    const PartitionId p = config_.num_partitions;
+    const EdgeId capacity = config_.capacity(g_.num_edges());
+    bool progressed = true;
+    while (residual_.unassigned_count() > 0 && progressed) {
+      progressed = false;
+      for (PartitionId k = 0; k < p && residual_.unassigned_count() > 0; ++k) {
+        if (parts_[k].e_in >= capacity) continue;
+        if (take_turn(k, capacity)) progressed = true;
+      }
+    }
+    spill_remaining();
+    finalize_stats();
+    return std::move(partition_);
+  }
+
+ private:
+  struct Part {
+    EagerFrontier frontier;
+    EdgeId e_in = 0;
+    EdgeId e_out = 0;
+    std::size_t joins = 0;
+    std::size_t stage1_joins = 0;
+    std::size_t stage2_joins = 0;
+    std::size_t seed_cursor = 0;
+    std::size_t fresh_cursor = 0;
+    VertexId first_seed = kInvalidVertex;
+  };
+
+  /// Exact μs1 of candidate v for partition k: max over members of k that v
+  /// can still reach via an unassigned edge (Eq. 7 on the static graph).
+  [[nodiscard]] double mu_s1(VertexId v, PartitionId k) const {
+    double best = 0.0;
+    for (const Neighbor& nb : g_.neighbors(v)) {
+      if (residual_.is_assigned(nb.edge) || !member_[nb.vertex].contains(k)) {
+        continue;
+      }
+      const std::size_t dm = g_.degree(nb.vertex);
+      if (dm == 0) continue;
+      best = std::max(best, static_cast<double>(g_.common_neighbor_count(
+                                v, nb.vertex)) /
+                                static_cast<double>(dm));
+    }
+    return best;
+  }
+
+  /// Residual connection count of v into members of k.
+  [[nodiscard]] std::uint32_t connections(VertexId v, PartitionId k) const {
+    std::uint32_t c = 0;
+    for (const Neighbor& nb : g_.neighbors(v)) {
+      if (!residual_.is_assigned(nb.edge) && member_[nb.vertex].contains(k)) {
+        ++c;
+      }
+    }
+    return c;
+  }
+
+  /// Refreshes (or removes) candidate v in partition k from scratch.
+  void refresh_candidate(VertexId v, PartitionId k) {
+    if (member_[v].contains(k)) return;
+    const std::uint32_t c = connections(v, k);
+    if (c == 0) {
+      parts_[k].frontier.remove(v);
+      candidate_[v] = without(candidate_[v], k);
+      return;
+    }
+    parts_[k].frontier.upsert(v, c, residual_.residual_degree(v),
+                              mu_s1(v, k));
+    candidate_[v].insert(k);
+    touched_[v] = true;
+  }
+
+  [[nodiscard]] ReplicaSet without(ReplicaSet set, PartitionId k) const {
+    // ReplicaSet has no erase; rebuild (p is tiny).
+    ReplicaSet out(config_.num_partitions);
+    for (PartitionId q = 0; q < config_.num_partitions; ++q) {
+      if (q != k && set.contains(q)) out.insert(q);
+    }
+    return out;
+  }
+
+  /// Assigns edge e to partition j and repairs every other partition's
+  /// bookkeeping that the edge participated in.
+  void assign_edge(EdgeId e, PartitionId j) {
+    const Edge& edge = g_.edge(e);
+    residual_.mark_assigned(e);
+    partition_.assign(e, j);
+    ++parts_[j].e_in;
+
+    // For every other partition q: if exactly one endpoint is a member of
+    // q, this residual edge was external to q and connected the other
+    // endpoint as a candidate.
+    for (PartitionId q = 0; q < config_.num_partitions; ++q) {
+      if (q == j) continue;
+      const bool mu = member_[edge.u].contains(q);
+      const bool mv = member_[edge.v].contains(q);
+      assert(!(mu && mv));  // co-members' edges can never still be residual
+      if (mu || mv) {
+        assert(parts_[q].e_out > 0);
+        --parts_[q].e_out;
+        refresh_candidate(mu ? edge.v : edge.u, q);
+      }
+    }
+    // Residual degrees of both endpoints changed: rekey their candidate
+    // entries everywhere (rdeg is a selection key; c and μs1 are intact on
+    // this path, so no recomputation is needed).
+    for (const VertexId v : {edge.u, edge.v}) {
+      for (PartitionId q = 0; q < config_.num_partitions; ++q) {
+        if (!candidate_[v].contains(q)) continue;
+        if (!parts_[q].frontier.contains(v)) continue;  // just removed above
+        const auto& cand = parts_[q].frontier.at(v);
+        parts_[q].frontier.upsert(v, cand.c, residual_.residual_degree(v),
+                                  cand.mu1);
+      }
+    }
+  }
+
+  void join(VertexId v, PartitionId k) {
+    parts_[k].frontier.remove(v);
+    candidate_[v] = without(candidate_[v], k);
+    member_[v].insert(k);
+    touched_[v] = true;
+
+    // Claim residual edges to members of k first (collect, then assign —
+    // assign_edge mutates the structures we iterate).
+    claim_buffer_.clear();
+    for (const Neighbor& nb : g_.neighbors(v)) {
+      if (residual_.is_assigned(nb.edge)) continue;
+      if (member_[nb.vertex].contains(k)) {
+        claim_buffer_.push_back(nb.edge);
+      }
+    }
+    for (const EdgeId e : claim_buffer_) {
+      assert(parts_[k].e_out > 0);
+      --parts_[k].e_out;  // was external to k; assign_edge adds to e_in
+      assign_edge(e, k);
+    }
+    // Remaining residual edges become external to k; their far endpoints
+    // become candidates of k (or gain one connection). Incremental update:
+    // c grows by one and μs1 is a running max over static terms, so only
+    // the new member's Eq. 7 term needs computing. Like sequential TLP,
+    // a single two-hop counting pass computes |N(u) ∩ N(v)| for every
+    // neighbor at once when that is cheaper than per-pair intersections.
+    const double dv = static_cast<double>(std::max<std::size_t>(
+        1, g_.degree(v)));
+    residual_neighbors_.clear();
+    std::size_t two_hop_cost = 0;
+    std::size_t merge_cost = 0;
+    for (const Neighbor& nb : g_.neighbors(v)) {
+      two_hop_cost += g_.degree(nb.vertex);
+      if (residual_.is_assigned(nb.edge)) continue;
+      if (member_[nb.vertex].contains(k)) continue;
+      residual_neighbors_.push_back(nb.vertex);
+      const std::size_t du = g_.degree(nb.vertex);
+      merge_cost +=
+          std::min(du + g_.degree(v), 16 * std::min<std::size_t>(
+                                               du, g_.degree(v)) + 16);
+    }
+    const bool use_counting = two_hop_cost < merge_cost;
+    if (use_counting) {
+      for (const Neighbor& w : g_.neighbors(v)) {
+        for (const Neighbor& u : g_.neighbors(w.vertex)) {
+          if (count_[u.vertex]++ == 0) count_touched_.push_back(u.vertex);
+        }
+      }
+    }
+    for (const VertexId u : residual_neighbors_) {
+      ++parts_[k].e_out;
+      const double term =
+          (use_counting ? static_cast<double>(count_[u])
+                        : static_cast<double>(g_.common_neighbor_count(u, v))) /
+          dv;
+      auto& frontier = parts_[k].frontier;
+      if (frontier.contains(u)) {
+        const auto& cand = frontier.at(u);
+        frontier.upsert(u, cand.c + 1, residual_.residual_degree(u),
+                        std::max(cand.mu1, term));
+      } else {
+        frontier.upsert(u, 1, residual_.residual_degree(u), term);
+        candidate_[u].insert(k);
+        touched_[u] = true;
+      }
+    }
+    if (use_counting) {
+      for (const VertexId x : count_touched_) count_[x] = 0;
+      count_touched_.clear();
+    }
+  }
+
+  [[nodiscard]] VertexId next_seed(PartitionId k) {
+    Part& part = parts_[k];
+    // Prefer virgin territory: a vertex no partition has touched yet.
+    // Without this, every partition's cursor converges on the same early
+    // vertices and the seeds pile onto one region. `touched_` is monotone,
+    // so the cursor never has to back up.
+    while (part.fresh_cursor < seed_order_.size()) {
+      const VertexId v = seed_order_[part.fresh_cursor];
+      if (residual_.residual_degree(v) > 0 && !touched_[v]) return v;
+      ++part.fresh_cursor;
+    }
+    // Fallback: anything with residual edges that is not already a member.
+    while (part.seed_cursor < seed_order_.size()) {
+      const VertexId v = seed_order_[part.seed_cursor];
+      // Skipping is permanent only for conditions that never un-happen:
+      // exhausted residual degree or prior membership of k.
+      if (residual_.residual_degree(v) == 0 || member_[v].contains(k)) {
+        ++part.seed_cursor;
+        continue;
+      }
+      return v;
+    }
+    return kInvalidVertex;
+  }
+
+  /// One join for partition k; returns false if k could not act.
+  bool take_turn(PartitionId k, EdgeId capacity) {
+    Part& part = parts_[k];
+    VertexId v;
+    bool stage1 = false;
+    if (part.frontier.empty()) {
+      v = next_seed(k);
+      if (v == kInvalidVertex) return false;
+      if (part.first_seed == kInvalidVertex) part.first_seed = v;
+      join(v, k);
+      ++part.joins;
+      return true;
+    }
+    stage1 = part.e_in <= part.e_out;
+    v = stage1 ? part.frontier.select_stage1()
+               : part.frontier.select_stage2(part.e_in, part.e_out);
+    assert(v != kInvalidVertex);
+    if (!options_.allow_overshoot && part.e_in > 0 &&
+        part.e_in + part.frontier.at(v).c > capacity) {
+      // Closing the partition: mark full by saturating e_in.
+      part.e_in = capacity;
+      return false;
+    }
+    join(v, k);
+    ++part.joins;
+    if (stage1) {
+      ++part.stage1_joins;
+      ++stats_.stage1_joins;
+      stats_.stage1_degree_sum += static_cast<double>(g_.degree(v));
+    } else {
+      ++part.stage2_joins;
+      ++stats_.stage2_joins;
+      stats_.stage2_degree_sum += static_cast<double>(g_.degree(v));
+    }
+    return true;
+  }
+
+  void spill_remaining() {
+    if (residual_.unassigned_count() == 0) return;
+    auto counts = partition_.edge_counts();
+    for (EdgeId e = 0; e < g_.num_edges(); ++e) {
+      if (partition_.is_assigned(e)) continue;
+      const auto lightest = static_cast<PartitionId>(std::distance(
+          counts.begin(), std::min_element(counts.begin(), counts.end())));
+      partition_.assign(e, lightest);
+      ++counts[lightest];
+      ++stats_.spilled_edges;
+    }
+  }
+
+  void finalize_stats() {
+    for (const Part& part : parts_) {
+      RoundStats round;
+      round.seed = part.first_seed;
+      round.joins = part.joins;
+      round.stage1_joins = part.stage1_joins;
+      round.stage2_joins = part.stage2_joins;
+      round.edges = part.e_in;
+      stats_.rounds.push_back(round);
+      stats_.peak_members = std::max(stats_.peak_members, part.joins);
+    }
+  }
+
+  const Graph& g_;
+  const PartitionConfig& config_;
+  const MultiTlpOptions& options_;
+  TlpStats& stats_;
+
+  ResidualState residual_;
+  EdgePartition partition_;
+  std::vector<ReplicaSet> member_;
+  std::vector<ReplicaSet> candidate_;
+  std::vector<bool> touched_;
+  std::vector<std::uint32_t> count_;
+  std::vector<VertexId> count_touched_;
+  std::vector<VertexId> residual_neighbors_;
+  std::vector<Part> parts_;
+  std::vector<EdgeId> claim_buffer_;
+
+  std::vector<VertexId> seed_order_;
+};
+
+}  // namespace
+
+EdgePartition MultiTlpPartitioner::partition(
+    const Graph& g, const PartitionConfig& config) const {
+  TlpStats stats;
+  return partition_with_stats(g, config, stats);
+}
+
+EdgePartition MultiTlpPartitioner::partition_with_stats(
+    const Graph& g, const PartitionConfig& config, TlpStats& stats) const {
+  if (config.num_partitions == 0) {
+    throw std::invalid_argument(
+        "MultiTlpPartitioner: num_partitions must be >= 1");
+  }
+  stats = TlpStats{};
+  MultiRun run(g, config, options_, stats);
+  return run.run();
+}
+
+}  // namespace tlp

@@ -1,0 +1,50 @@
+// MultiTlpPartitioner: concurrent multi-seed TLP.
+//
+// The paper grows partitions strictly one at a time, which systematically
+// starves the last rounds (they inherit whatever the earlier rounds left
+// behind). This extension — in the spirit of the paper's "partition the
+// graph data in parallel" future work — grows all p partitions at once:
+// each partition takes one two-stage join per round-robin turn, competing
+// for edges. Every partition keeps its own modularity state and stage, so
+// the Table-II switching logic is unchanged; only the growth schedule
+// differs.
+//
+// Unlike the sequential algorithm, a candidate's residual degree and
+// connection counts can now DECREASE (another partition may claim its
+// edges), so this implementation maintains its frontiers eagerly instead of
+// with the frozen-degree optimizations of core/frontier.hpp.
+#pragma once
+
+#include <string>
+
+#include "core/tlp.hpp"  // TlpStats
+#include "partition/partitioner.hpp"
+
+namespace tlp {
+
+struct MultiTlpOptions {
+  /// Capacity overshoot on join, as in TLP (paper-literal loop condition).
+  bool allow_overshoot = true;
+};
+
+class MultiTlpPartitioner : public Partitioner {
+ public:
+  explicit MultiTlpPartitioner(MultiTlpOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "multi_tlp"; }
+
+  [[nodiscard]] EdgePartition partition(
+      const Graph& g, const PartitionConfig& config) const override;
+
+  /// Telemetry-aware variant (stage counts/degrees aggregate across all
+  /// concurrently growing partitions; `rounds` holds one entry per
+  /// partition).
+  [[nodiscard]] EdgePartition partition_with_stats(
+      const Graph& g, const PartitionConfig& config, TlpStats& stats) const;
+
+ private:
+  MultiTlpOptions options_;
+};
+
+}  // namespace tlp

@@ -1,0 +1,60 @@
+// Replication-factor refinement: a post-pass that improves ANY edge
+// partition by greedily migrating edges between partitions when doing so
+// removes more vertex replicas than it creates, under a balance constraint.
+//
+// The paper's TLP has no refinement stage (partitions are frozen once
+// grown); this extension quantifies how much a cheap local-search pass can
+// still recover — an ablation DESIGN.md calls out, run by
+// bench/refinement.
+#pragma once
+
+#include <cstddef>
+
+#include "partition/edge_partition.hpp"
+#include "partition/partitioner.hpp"
+
+namespace tlp {
+
+struct RefineOptions {
+  /// Maximum sweeps over the edge set (each sweep is O(m * p)).
+  int max_passes = 4;
+  /// Load ceiling as a multiple of m/p; moves never push a partition above
+  /// it (and never move INTO a partition already above it).
+  double balance_slack = 1.05;
+};
+
+struct RefineResult {
+  std::size_t moves = 0;          ///< edges migrated
+  std::size_t replicas_removed = 0;  ///< net replica reduction (>= 0)
+  int passes = 0;
+};
+
+/// Refines `partition` in place; returns what changed. The result is always
+/// complete/in-range if the input was (only assignments move).
+RefineResult refine_replication(const Graph& g, EdgePartition& partition,
+                                const RefineOptions& options = {});
+
+/// Wrapper combining any partitioner with the refinement pass, usable
+/// anywhere a Partitioner is (e.g. "tlp+refine" rows in benches).
+class RefinedPartitioner : public Partitioner {
+ public:
+  RefinedPartitioner(PartitionerPtr base, RefineOptions options = {})
+      : base_(std::move(base)), options_(options) {}
+
+  [[nodiscard]] std::string name() const override {
+    return base_->name() + "+refine";
+  }
+
+  [[nodiscard]] EdgePartition partition(
+      const Graph& g, const PartitionConfig& config) const override {
+    EdgePartition result = base_->partition(g, config);
+    (void)refine_replication(g, result, options_);
+    return result;
+  }
+
+ private:
+  PartitionerPtr base_;
+  RefineOptions options_;
+};
+
+}  // namespace tlp

@@ -1,0 +1,25 @@
+#include "core/residual.hpp"
+
+namespace tlp {
+
+ResidualState::ResidualState(const Graph& g)
+    : graph_(&g),
+      assigned_(static_cast<std::size_t>(g.num_edges()), false),
+      residual_degree_(g.num_vertices()),
+      unassigned_(g.num_edges()) {
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    residual_degree_[v] = static_cast<std::uint32_t>(g.degree(v));
+  }
+}
+
+void ResidualState::mark_assigned(EdgeId e) {
+  assert(!is_assigned(e));
+  assigned_[static_cast<std::size_t>(e)] = true;
+  const Edge& edge = graph_->edge(e);
+  assert(residual_degree_[edge.u] > 0 && residual_degree_[edge.v] > 0);
+  --residual_degree_[edge.u];
+  --residual_degree_[edge.v];
+  --unassigned_;
+}
+
+}  // namespace tlp

@@ -1,0 +1,39 @@
+// ResidualState: which edges are still unassigned, and per-vertex residual
+// degrees. This is the "unpartitioned graph data" the paper's local method
+// operates on — partitions only ever claim residual edges.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tlp {
+
+class ResidualState {
+ public:
+  explicit ResidualState(const Graph& g);
+
+  [[nodiscard]] bool is_assigned(EdgeId e) const {
+    return assigned_[static_cast<std::size_t>(e)];
+  }
+
+  /// Number of unassigned edges incident to v.
+  [[nodiscard]] std::uint32_t residual_degree(VertexId v) const {
+    return residual_degree_[v];
+  }
+
+  [[nodiscard]] EdgeId unassigned_count() const { return unassigned_; }
+
+  /// Marks e assigned and decrements both endpoints' residual degrees.
+  /// Precondition: e is unassigned.
+  void mark_assigned(EdgeId e);
+
+ private:
+  const Graph* graph_;
+  std::vector<bool> assigned_;
+  std::vector<std::uint32_t> residual_degree_;
+  EdgeId unassigned_ = 0;
+};
+
+}  // namespace tlp

@@ -1,0 +1,302 @@
+#include "core/tlp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "core/frontier.hpp"
+#include "core/residual.hpp"
+
+namespace tlp {
+namespace {
+
+/// One full TLP run over a graph. Owns all per-run mutable state so the
+/// public partitioner object stays stateless/reusable.
+class GrowthRun {
+ public:
+  GrowthRun(const Graph& g, const PartitionConfig& config,
+            const TlpOptions& options, TlpStats& stats)
+      : g_(g),
+        config_(config),
+        options_(options),
+        stats_(stats),
+        residual_(g),
+        partition_(config.num_partitions, g.num_edges()),
+        member_round_(g.num_vertices(), kNoRound),
+        count_(g.num_vertices(), 0),
+        seed_order_(g.num_vertices()) {
+    // A fixed random permutation provides the paper's "select vertex x from
+    // G randomly" deterministically: each (re)seed takes the next vertex in
+    // the permutation that still has residual edges.
+    std::iota(seed_order_.begin(), seed_order_.end(), VertexId{0});
+    std::mt19937_64 rng(config.seed);
+    std::shuffle(seed_order_.begin(), seed_order_.end(), rng);
+  }
+
+  EdgePartition run() {
+    const PartitionId p = config_.num_partitions;
+    const EdgeId capacity = config_.capacity(g_.num_edges());
+    for (PartitionId k = 0; k < p && residual_.unassigned_count() > 0; ++k) {
+      // In the default (restart) mode the final round must absorb whatever
+      // remains so that exactly p partitions cover E.
+      const bool last = (k + 1 == p);
+      const EdgeId round_capacity =
+          (last && options_.empty_frontier == EmptyFrontierPolicy::kRestart)
+              ? std::numeric_limits<EdgeId>::max()
+              : capacity;
+      grow_partition(k, round_capacity);
+    }
+    if (residual_.unassigned_count() > 0) {
+      spill_remaining();
+    }
+    return std::move(partition_);
+  }
+
+ private:
+  static constexpr std::uint32_t kNoRound =
+      std::numeric_limits<std::uint32_t>::max();
+
+  [[nodiscard]] bool is_member(VertexId v) const {
+    return member_round_[v] == current_round_;
+  }
+
+  /// Next seed vertex with residual edges, or kInvalidVertex if exhausted.
+  /// Only called when the frontier is empty, which implies no current member
+  /// has residual edges — so any vertex with residual degree > 0 is a valid
+  /// fresh seed. Residual degrees never grow, so the cursor only advances.
+  VertexId next_seed() {
+    while (seed_cursor_ < seed_order_.size()) {
+      const VertexId v = seed_order_[seed_cursor_];
+      if (residual_.residual_degree(v) > 0) {
+        assert(!is_member(v));
+        return v;
+      }
+      ++seed_cursor_;
+    }
+    return kInvalidVertex;
+  }
+
+  /// Stage-I score contribution of candidate u via joining member v (Eq. 7):
+  /// |N(u) ∩ N(v)| / |N(v)| on the static graph.
+  [[nodiscard]] double stage1_term(VertexId u, VertexId v) const {
+    const std::size_t dv = g_.degree(v);
+    if (dv == 0) return 0.0;
+    return static_cast<double>(g_.common_neighbor_count(u, v)) /
+           static_cast<double>(dv);
+  }
+
+  /// Adds v to the current partition: claims all residual edges between v
+  /// and members, extends the frontier with v's remaining residual edges.
+  ///
+  /// Stage-I scoring strategy is chosen per join: either per-candidate
+  /// sorted-list intersections, or one shared counting pass over v's
+  /// two-hop neighborhood (cn(u, v) for ALL u at once) — the latter removes
+  /// the rdeg(v) * deg(v) blowup when hubs join, which dominates runtime on
+  /// power-law graphs.
+  void join(VertexId v, PartitionId k) {
+    if (frontier_.contains(v)) frontier_.remove(v);
+    member_round_[v] = current_round_;
+
+    residual_neighbors_.clear();
+    const std::size_t dv = g_.degree(v);
+    std::size_t two_hop_cost = 0;
+    std::size_t merge_cost = 0;
+    for (const Neighbor& nb : g_.neighbors(v)) {
+      two_hop_cost += g_.degree(nb.vertex);
+      if (residual_.is_assigned(nb.edge)) continue;
+      if (is_member(nb.vertex)) {
+        residual_.mark_assigned(nb.edge);
+        partition_.assign(nb.edge, k);
+        ++e_in_;
+        assert(e_out_ > 0);
+        --e_out_;
+      } else {
+        ++e_out_;
+        residual_neighbors_.push_back(nb.vertex);
+        const std::size_t du = g_.degree(nb.vertex);
+        merge_cost += std::min(du + dv, 16 * std::min(du, dv) + 16);
+      }
+    }
+    if (residual_neighbors_.empty() || dv == 0) return;
+
+    if (two_hop_cost < merge_cost) {
+      // Shared counting pass: count_[u] = |N(u) ∩ N(v)| for every two-hop u.
+      for (const Neighbor& w : g_.neighbors(v)) {
+        for (const Neighbor& u : g_.neighbors(w.vertex)) {
+          if (count_[u.vertex]++ == 0) touched_.push_back(u.vertex);
+        }
+      }
+      for (const VertexId u : residual_neighbors_) {
+        const double term =
+            static_cast<double>(count_[u]) / static_cast<double>(dv);
+        frontier_.add_connection(u, term, residual_.residual_degree(u));
+      }
+      for (const VertexId u : touched_) count_[u] = 0;
+      touched_.clear();
+    } else {
+      for (const VertexId u : residual_neighbors_) {
+        // Upper bound on the Eq. 7 term: |N(u) ∩ N(v)| <= min(deg u, deg v).
+        const double bound =
+            static_cast<double>(std::min(g_.degree(u), dv)) /
+            static_cast<double>(dv);
+        frontier_.add_connection(u, residual_.residual_degree(u), bound,
+                                 [this, u, v] { return stage1_term(u, v); });
+      }
+    }
+  }
+
+  /// True while the current partition is in Stage I under the configured
+  /// rule. TLP: M(P_k) <= 1, i.e. e_in <= e_out (Algorithm 1 line 5; covers
+  /// the empty-partition M=0 case and routes e_out=0 to Stage II).
+  [[nodiscard]] bool in_stage1(EdgeId capacity) const {
+    if (options_.stage_rule == StageRule::kModularity) {
+      return e_in_ <= e_out_;
+    }
+    // Strict comparison implements Table V: R = 0 means Stage II only (the
+    // empty partition is not "in Stage I"), R = 1 means Stage I throughout.
+    const double threshold =
+        options_.stage_ratio * static_cast<double>(capacity);
+    return static_cast<double>(e_in_) < threshold;
+  }
+
+  void grow_partition(PartitionId k, EdgeId round_capacity) {
+    current_round_ = k;
+    frontier_.clear();
+    e_in_ = 0;
+    e_out_ = 0;
+    RoundStats round;
+
+    // The TLP_R stage threshold is defined against the nominal capacity C,
+    // not the uncapped last round.
+    const EdgeId stage_capacity = config_.capacity(g_.num_edges());
+
+    while (e_in_ < round_capacity && residual_.unassigned_count() > 0) {
+      if (frontier_.empty()) {
+        if (round.joins > 0 &&
+            options_.empty_frontier == EmptyFrontierPolicy::kStrict) {
+          break;  // Algorithm 1 line 11-12
+        }
+        const VertexId seed = next_seed();
+        if (seed == kInvalidVertex) break;
+        if (round.joins > 0) ++round.restarts;
+        if (round.seed == kInvalidVertex) round.seed = seed;
+        join(seed, k);
+        ++round.joins;
+        continue;
+      }
+
+      const bool stage1 = in_stage1(stage_capacity);
+      const VertexId v = stage1 ? frontier_.select_stage1()
+                                : frontier_.select_stage2(e_in_, e_out_);
+      assert(v != kInvalidVertex);
+      if (!options_.allow_overshoot && e_in_ > 0 &&
+          e_in_ + frontier_.connections(v) > round_capacity) {
+        break;  // joining v would blow the capacity; close the round
+      }
+      join(v, k);
+      ++round.joins;
+      if (stage1) {
+        ++round.stage1_joins;
+        ++stats_.stage1_joins;
+        stats_.stage1_degree_sum += static_cast<double>(g_.degree(v));
+      } else {
+        ++round.stage2_joins;
+        ++stats_.stage2_joins;
+        stats_.stage2_degree_sum += static_cast<double>(g_.degree(v));
+      }
+      stats_.peak_frontier = std::max(stats_.peak_frontier, frontier_.size());
+      if (stats_.modularity_sample_stride != 0 &&
+          round.joins % stats_.modularity_sample_stride == 0) {
+        round.modularity_samples.push_back(
+            e_out_ == 0 ? std::numeric_limits<double>::infinity()
+                        : static_cast<double>(e_in_) /
+                              static_cast<double>(e_out_));
+      }
+    }
+
+    round.edges = e_in_;
+    stats_.peak_members = std::max(stats_.peak_members, round.joins);
+    stats_.restarts += round.restarts;
+    stats_.rounds.push_back(round);
+  }
+
+  /// Strict-mode fallback: distribute edges left after p rounds to the
+  /// lightest partitions (keeps the result a complete p-partition).
+  void spill_remaining() {
+    auto counts = partition_.edge_counts();
+    for (EdgeId e = 0; e < g_.num_edges(); ++e) {
+      if (partition_.is_assigned(e)) continue;
+      const auto lightest = static_cast<PartitionId>(std::distance(
+          counts.begin(), std::min_element(counts.begin(), counts.end())));
+      partition_.assign(e, lightest);
+      ++counts[lightest];
+      ++stats_.spilled_edges;
+    }
+  }
+
+  const Graph& g_;
+  const PartitionConfig& config_;
+  const TlpOptions& options_;
+  TlpStats& stats_;
+
+  ResidualState residual_;
+  EdgePartition partition_;
+  Frontier frontier_;
+  std::vector<std::uint32_t> member_round_;
+  std::uint32_t current_round_ = kNoRound;
+  EdgeId e_in_ = 0;   ///< |E(P_k)| of the partition being grown
+  EdgeId e_out_ = 0;  ///< residual external edges of the current partition
+
+  // Scratch reused across joins (two-hop counting and neighbor staging).
+  std::vector<std::uint32_t> count_;
+  std::vector<VertexId> touched_;
+  std::vector<VertexId> residual_neighbors_;
+
+  std::vector<VertexId> seed_order_;
+  std::size_t seed_cursor_ = 0;
+};
+
+}  // namespace
+
+std::string TlpPartitioner::name() const {
+  if (options_.stage_rule == StageRule::kModularity) return "tlp";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "tlp_r%.1f", options_.stage_ratio);
+  return buf;
+}
+
+EdgePartition TlpPartitioner::partition(const Graph& g,
+                                        const PartitionConfig& config) const {
+  TlpStats stats;
+  return partition_with_stats(g, config, stats);
+}
+
+EdgePartition TlpPartitioner::partition_with_stats(const Graph& g,
+                                                   const PartitionConfig& config,
+                                                   TlpStats& stats) const {
+  if (config.num_partitions == 0) {
+    throw std::invalid_argument("TlpPartitioner: num_partitions must be >= 1");
+  }
+  if (options_.stage_rule == StageRule::kEdgeRatio &&
+      (options_.stage_ratio < 0.0 || options_.stage_ratio > 1.0)) {
+    throw std::invalid_argument("TlpPartitioner: stage_ratio must be in [0,1]");
+  }
+  const std::size_t stride = stats.modularity_sample_stride;
+  stats = TlpStats{};
+  stats.modularity_sample_stride = stride;
+  GrowthRun run(g, config, options_, stats);
+  return run.run();
+}
+
+TlpPartitioner make_tlp_r(double ratio) {
+  TlpOptions options;
+  options.stage_rule = StageRule::kEdgeRatio;
+  options.stage_ratio = ratio;
+  return TlpPartitioner(options);
+}
+
+}  // namespace tlp

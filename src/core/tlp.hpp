@@ -1,0 +1,113 @@
+// TLP: the paper's Two-stage Local Partitioning algorithm (Section III),
+// plus the TLP_R ablation variant (Section IV.C).
+//
+// Partitions are grown one at a time from a random seed. Each step selects
+// one frontier vertex and allocates its unassigned edges into the current
+// partition. The selection criterion switches between:
+//   Stage I  (loose partition): μs1, closeness x degree (Eq. 7)
+//   Stage II (tight partition): μs2, modularity gain (Eqs. 9-10)
+// TLP switches on modularity M(P_k) <= 1 (Table II / Algorithm 1); TLP_R
+// switches on the edge-count ratio |E(P_k)| <= R*C (Table V).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "partition/partitioner.hpp"
+
+namespace tlp {
+
+/// How the stage boundary is decided.
+enum class StageRule {
+  kModularity,  ///< TLP: Stage I while M(P_k) <= 1
+  kEdgeRatio,   ///< TLP_R: Stage I while |E(P_k)| <= R*C
+};
+
+/// What to do when the frontier empties before the partition is full.
+enum class EmptyFrontierPolicy {
+  /// Reseed a new random vertex into the same partition and keep growing
+  /// (default; guarantees every edge lands in one of the p partitions).
+  kRestart,
+  /// Paper-literal Algorithm 1: end the round. Edges left over after p
+  /// rounds are spilled round-robin to the lightest partitions.
+  kStrict,
+};
+
+struct TlpOptions {
+  StageRule stage_rule = StageRule::kModularity;
+  /// Stage ratio R for StageRule::kEdgeRatio; ignored for kModularity.
+  double stage_ratio = 0.5;
+  EmptyFrontierPolicy empty_frontier = EmptyFrontierPolicy::kRestart;
+  /// If true (paper-literal "while |E(P_k)| <= C"), joining a vertex may
+  /// overshoot C by (its connection count - 1) edges. If false, the round
+  /// closes as soon as adding the selected vertex would exceed C.
+  bool allow_overshoot = true;
+};
+
+/// Per-round telemetry.
+struct RoundStats {
+  VertexId seed = kInvalidVertex;
+  std::size_t joins = 0;
+  std::size_t stage1_joins = 0;
+  std::size_t stage2_joins = 0;
+  std::size_t restarts = 0;
+  EdgeId edges = 0;
+  /// Modularity M = E_in/E_out sampled every `modularity_sample_stride`
+  /// joins (see TlpStats); lets benches plot the Table-II stage dynamics.
+  std::vector<double> modularity_samples;
+};
+
+/// Whole-run telemetry; feeds Table VI (per-stage average degrees).
+struct TlpStats {
+  std::size_t stage1_joins = 0;
+  std::size_t stage2_joins = 0;
+  /// Sums of the *static* graph degree of vertices at the moment they were
+  /// selected in each stage (Section IV.D counts degrees in G).
+  double stage1_degree_sum = 0.0;
+  double stage2_degree_sum = 0.0;
+  std::size_t restarts = 0;
+  EdgeId spilled_edges = 0;  ///< only under kStrict
+  /// Largest frontier |N(P_k)| observed — the working-set bound behind the
+  /// paper's O(Ld) space claim (Section III.E).
+  std::size_t peak_frontier = 0;
+  /// Largest member count of any single partition (the L in O(Ld)).
+  std::size_t peak_members = 0;
+  /// Stride for RoundStats::modularity_samples (0 = don't sample). Set this
+  /// BEFORE calling partition_with_stats.
+  std::size_t modularity_sample_stride = 0;
+  std::vector<RoundStats> rounds;
+
+  [[nodiscard]] double stage1_avg_degree() const {
+    return stage1_joins == 0 ? 0.0
+                             : stage1_degree_sum / static_cast<double>(stage1_joins);
+  }
+  [[nodiscard]] double stage2_avg_degree() const {
+    return stage2_joins == 0 ? 0.0
+                             : stage2_degree_sum / static_cast<double>(stage2_joins);
+  }
+};
+
+class TlpPartitioner : public Partitioner {
+ public:
+  explicit TlpPartitioner(TlpOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] EdgePartition partition(
+      const Graph& g, const PartitionConfig& config) const override;
+
+  /// Like partition() but also returns telemetry.
+  [[nodiscard]] EdgePartition partition_with_stats(
+      const Graph& g, const PartitionConfig& config, TlpStats& stats) const;
+
+  [[nodiscard]] const TlpOptions& options() const { return options_; }
+
+ private:
+  TlpOptions options_;
+};
+
+/// Convenience factory for the TLP_R ablation with a given R in [0,1].
+[[nodiscard]] TlpPartitioner make_tlp_r(double ratio);
+
+}  // namespace tlp

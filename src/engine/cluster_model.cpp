@@ -1,0 +1,55 @@
+#include "engine/cluster_model.hpp"
+
+#include <algorithm>
+
+namespace tlp::engine {
+
+std::vector<MachineLoad> machine_loads(const Graph& g,
+                                       const EdgePartition& partition) {
+  std::vector<MachineLoad> loads(partition.num_partitions());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const PartitionId k = partition.partition_of(e);
+    if (k != kNoPartition) ++loads[k].edges;
+  }
+  const Placement placement(g, partition);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto& replicas = placement.replicas(v);
+    if (replicas.size() < 2) continue;
+    const PartitionId master = placement.master(v);
+    for (const PartitionId k : replicas) {
+      if (k == master) continue;
+      // Gather: mirror -> master; scatter: master -> mirror.
+      loads[k].sent += 1;
+      loads[master].received += 1;
+      loads[master].sent += 1;
+      loads[k].received += 1;
+    }
+  }
+  return loads;
+}
+
+SuperstepEstimate estimate_superstep(const Graph& g,
+                                     const EdgePartition& partition,
+                                     const ClusterCostConfig& config) {
+  SuperstepEstimate estimate;
+  estimate.barrier_seconds = config.barrier_seconds;
+  const auto loads = machine_loads(g, partition);
+  for (PartitionId k = 0; k < loads.size(); ++k) {
+    const double compute =
+        static_cast<double>(loads[k].edges) * config.seconds_per_edge;
+    const double traffic =
+        static_cast<double>(std::max(loads[k].sent, loads[k].received)) *
+        config.bytes_per_message / config.bandwidth_bytes_per_s;
+    if (compute > estimate.compute_seconds) {
+      estimate.compute_seconds = compute;
+      estimate.compute_bottleneck = k;
+    }
+    if (traffic > estimate.comm_seconds) {
+      estimate.comm_seconds = traffic;
+      estimate.comm_bottleneck = k;
+    }
+  }
+  return estimate;
+}
+
+}  // namespace tlp::engine

@@ -1,0 +1,43 @@
+#include "engine/connected_components.hpp"
+
+#include <algorithm>
+
+namespace tlp::engine {
+namespace {
+
+struct MinLabelProgram {
+  using Value = VertexId;
+
+  [[nodiscard]] Value init(VertexId v) const { return v; }
+  [[nodiscard]] Value identity() const { return kInvalidVertex; }
+  [[nodiscard]] Value gather(VertexId, VertexId, const Value& value_u) const {
+    return value_u;
+  }
+  [[nodiscard]] Value combine(const Value& a, const Value& b) const {
+    return std::min(a, b);
+  }
+  [[nodiscard]] Value apply(VertexId, const Value& current,
+                            const Value& sum) const {
+    // Labels only ever decrease toward the component minimum; identity()
+    // (no gathered neighbors) leaves the current label untouched.
+    return std::min(current, sum);
+  }
+  [[nodiscard]] bool done(const Value& previous, const Value& next) const {
+    return previous == next;
+  }
+};
+
+}  // namespace
+
+ComponentsResult distributed_components(const Graph& g,
+                                        const EdgePartition& partition,
+                                        std::size_t max_iterations) {
+  ComponentsResult result;
+  if (g.num_vertices() == 0) return result;
+  const MinLabelProgram program;
+  const GasEngine<MinLabelProgram> engine(g, partition);
+  result.labels = engine.run(program, max_iterations, result.comm);
+  return result;
+}
+
+}  // namespace tlp::engine

@@ -1,0 +1,22 @@
+// Distributed connected components (min-label propagation) on the GAS
+// engine simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "engine/gas_engine.hpp"
+
+namespace tlp::engine {
+
+struct ComponentsResult {
+  /// Per-vertex component label: the minimum vertex id in its component.
+  std::vector<VertexId> labels;
+  CommStats comm;
+};
+
+[[nodiscard]] ComponentsResult distributed_components(
+    const Graph& g, const EdgePartition& partition,
+    std::size_t max_iterations = 200);
+
+}  // namespace tlp::engine

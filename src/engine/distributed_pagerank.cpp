@@ -1,0 +1,120 @@
+#include "engine/distributed_pagerank.hpp"
+
+namespace tlp::engine {
+namespace {
+
+/// One machine's runtime state: local rank and accumulator arrays indexed
+/// by LocalVertexId, plus the global degree of each local vertex (shipped
+/// once at load time, like real engines do).
+struct Machine {
+  const LocalGraph* graph = nullptr;
+  std::vector<double> rank;
+  std::vector<double> acc;
+  std::vector<double> degree;
+};
+
+/// A mirror->master (gather) or master->mirror (scatter) message.
+struct Message {
+  PartitionId to;
+  LocalVertexId local_at_destination;
+  double value;
+};
+
+}  // namespace
+
+DistributedPageRankResult distributed_pagerank(const Graph& g,
+                                               const EdgePartition& partition,
+                                               std::size_t supersteps,
+                                               double damping) {
+  DistributedPageRankResult result;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return result;
+  const double teleport = (1.0 - damping) / static_cast<double>(n);
+
+  const std::vector<LocalGraph> graphs = build_local_graphs(g, partition);
+  std::vector<Machine> machines(graphs.size());
+  // Mirror routing tables, precomputed once (real engines build these at
+  // load time): for every mirror replica, where its master lives.
+  struct MirrorRoute {
+    PartitionId machine;          ///< machine holding the mirror
+    LocalVertexId local;          ///< mirror's local id there
+    PartitionId master_machine;
+    LocalVertexId master_local;
+  };
+  std::vector<MirrorRoute> mirrors;
+
+  for (PartitionId k = 0; k < graphs.size(); ++k) {
+    Machine& m = machines[k];
+    m.graph = &graphs[k];
+    const LocalVertexId size = graphs[k].num_vertices();
+    m.rank.assign(size, 1.0 / static_cast<double>(n));
+    m.acc.assign(size, 0.0);
+    m.degree.resize(size);
+    for (LocalVertexId v = 0; v < size; ++v) {
+      const LocalVertex& lv = graphs[k].vertex(v);
+      m.degree[v] = static_cast<double>(g.degree(lv.global));
+      if (!lv.is_master) {
+        const PartitionId home = lv.master;
+        mirrors.push_back(MirrorRoute{
+            k, v, home, graphs[home].local_id(lv.global)});
+      }
+    }
+  }
+  result.comm.mirror_count = mirrors.size();
+
+  std::vector<Message> inbox;
+  for (std::size_t step = 0; step < supersteps; ++step) {
+    ++result.comm.supersteps;
+    // Local gather on every machine.
+    for (Machine& m : machines) {
+      std::fill(m.acc.begin(), m.acc.end(), 0.0);
+      for (LocalVertexId v = 0; v < m.graph->num_vertices(); ++v) {
+        for (const auto& nb : m.graph->neighbors(v)) {
+          m.acc[v] += m.rank[nb.vertex] / m.degree[nb.vertex];
+        }
+      }
+    }
+    // Gather exchange: mirrors ship partial sums to masters.
+    inbox.clear();
+    for (const MirrorRoute& route : mirrors) {
+      inbox.push_back(Message{route.master_machine, route.master_local,
+                              machines[route.machine].acc[route.local]});
+      ++result.comm.gather_messages;
+    }
+    for (const Message& msg : inbox) {
+      machines[msg.to].acc[msg.local_at_destination] += msg.value;
+    }
+    // Apply at masters.
+    for (Machine& m : machines) {
+      for (LocalVertexId v = 0; v < m.graph->num_vertices(); ++v) {
+        if (m.graph->vertex(v).is_master) {
+          m.rank[v] = teleport + damping * m.acc[v];
+        }
+      }
+    }
+    // Scatter exchange: masters broadcast new values to mirrors.
+    inbox.clear();
+    for (const MirrorRoute& route : mirrors) {
+      inbox.push_back(
+          Message{route.machine, route.local,
+                  machines[route.master_machine].rank[route.master_local]});
+      ++result.comm.scatter_messages;
+    }
+    for (const Message& msg : inbox) {
+      machines[msg.to].rank[msg.local_at_destination] = msg.value;
+    }
+  }
+
+  // Collect final ranks from masters; vertices with no edges never appear
+  // on any machine and keep the teleport-only stationary mass.
+  result.ranks.assign(n, teleport);
+  for (PartitionId k = 0; k < graphs.size(); ++k) {
+    for (LocalVertexId v = 0; v < graphs[k].num_vertices(); ++v) {
+      const LocalVertex& lv = graphs[k].vertex(v);
+      if (lv.is_master) result.ranks[lv.global] = machines[k].rank[v];
+    }
+  }
+  return result;
+}
+
+}  // namespace tlp::engine

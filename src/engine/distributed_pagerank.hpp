@@ -1,0 +1,30 @@
+// PageRank executed the way a real cluster would run it: each machine owns
+// only its LocalGraph (local ids, local value arrays); mirrors ship partial
+// sums to masters and receive updated values back through an explicit
+// message exchange. No machine ever touches global state.
+//
+// This is the deployment-shaped counterpart of engine/pagerank.hpp (which
+// simulates on global ids); tests verify both produce identical ranks and
+// identical message counts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "engine/gas_engine.hpp"
+#include "engine/local_graph.hpp"
+
+namespace tlp::engine {
+
+struct DistributedPageRankResult {
+  /// Final ranks indexed by global vertex id (collected from masters;
+  /// isolated vertices hold the teleport mass).
+  std::vector<double> ranks;
+  CommStats comm;
+};
+
+[[nodiscard]] DistributedPageRankResult distributed_pagerank(
+    const Graph& g, const EdgePartition& partition,
+    std::size_t supersteps = 20, double damping = 0.85);
+
+}  // namespace tlp::engine

@@ -1,0 +1,15 @@
+#include "engine/gas_engine.hpp"
+
+#include <ostream>
+
+namespace tlp::engine {
+
+std::ostream& operator<<(std::ostream& out, const CommStats& s) {
+  out << "supersteps=" << s.supersteps << " mirrors=" << s.mirror_count
+      << " gather_msgs=" << s.gather_messages
+      << " scatter_msgs=" << s.scatter_messages
+      << " msgs/step=" << s.messages_per_superstep();
+  return out;
+}
+
+}  // namespace tlp::engine

@@ -1,0 +1,91 @@
+#include "engine/label_propagation.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tlp::engine {
+namespace {
+
+/// Sparse label histogram, sorted by label. A vertex's resting value is a
+/// single {label, 0} entry; gather contributions are {label, 1} entries and
+/// combine merges histograms — this folds label propagation into the
+/// engine's single-Value GAS contract.
+using Histogram = std::vector<std::pair<VertexId, std::uint32_t>>;
+
+struct LabelPropagationProgram {
+  using Value = Histogram;
+
+  [[nodiscard]] Value init(VertexId v) const { return {{v, 0}}; }
+  [[nodiscard]] Value identity() const { return {}; }
+  [[nodiscard]] Value gather(VertexId, VertexId, const Value& value_u) const {
+    return {{value_u.front().first, 1}};
+  }
+  [[nodiscard]] Value combine(const Value& a, const Value& b) const {
+    Value merged;
+    merged.reserve(a.size() + b.size());
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i].first < b[j].first) {
+        merged.push_back(a[i++]);
+      } else if (a[i].first > b[j].first) {
+        merged.push_back(b[j++]);
+      } else {
+        merged.emplace_back(a[i].first, a[i].second + b[j].second);
+        ++i;
+        ++j;
+      }
+    }
+    for (; i < a.size(); ++i) merged.push_back(a[i]);
+    for (; j < b.size(); ++j) merged.push_back(b[j]);
+    return merged;
+  }
+  [[nodiscard]] Value apply(VertexId, const Value& current,
+                            const Value& gathered) const {
+    if (gathered.empty()) return current;  // isolated vertex keeps its label
+    VertexId best = current.front().first;
+    std::uint32_t best_count = 0;
+    for (const auto& [label, count] : gathered) {
+      if (count > best_count || (count == best_count && label < best)) {
+        best = label;
+        best_count = count;
+      }
+    }
+    // Sticky tie-break: only move if strictly more frequent than the
+    // current label's own support (prevents two-label oscillation).
+    std::uint32_t current_count = 0;
+    for (const auto& [label, count] : gathered) {
+      if (label == current.front().first) current_count = count;
+    }
+    if (best_count > current_count ||
+        (best_count == current_count && best < current.front().first)) {
+      return {{best, 0}};
+    }
+    return {{current.front().first, 0}};
+  }
+  [[nodiscard]] bool done(const Value& previous, const Value& next) const {
+    return previous.front().first == next.front().first;
+  }
+};
+
+}  // namespace
+
+LabelPropagationResult label_propagation(const Graph& g,
+                                         const EdgePartition& partition,
+                                         std::size_t max_iterations) {
+  LabelPropagationResult result;
+  if (g.num_vertices() == 0) return result;
+  const LabelPropagationProgram program;
+  const GasEngine<LabelPropagationProgram> engine(g, partition);
+  const auto values = engine.run(program, max_iterations, result.comm);
+  result.labels.reserve(values.size());
+  std::unordered_set<VertexId> distinct;
+  for (const Histogram& h : values) {
+    result.labels.push_back(h.front().first);
+    distinct.insert(h.front().first);
+  }
+  result.num_communities = distinct.size();
+  return result;
+}
+
+}  // namespace tlp::engine

@@ -1,0 +1,26 @@
+// Synchronous label propagation community detection on the GAS engine:
+// every vertex adopts the smallest label that is at least as frequent as
+// any other among its neighbors (deterministic tie-break). A lightweight
+// community-detection workload that, unlike PageRank, has data-dependent
+// convergence — useful for exercising the engine's early-exit path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "engine/gas_engine.hpp"
+
+namespace tlp::engine {
+
+struct LabelPropagationResult {
+  std::vector<VertexId> labels;
+  CommStats comm;
+  /// Number of distinct labels at convergence.
+  std::size_t num_communities = 0;
+};
+
+[[nodiscard]] LabelPropagationResult label_propagation(
+    const Graph& g, const EdgePartition& partition,
+    std::size_t max_iterations = 50);
+
+}  // namespace tlp::engine

@@ -1,0 +1,61 @@
+#include "engine/local_graph.hpp"
+
+#include <algorithm>
+
+namespace tlp::engine {
+
+LocalGraph::LocalGraph(const Graph& g, const EdgePartition& partition,
+                       const Placement& placement, PartitionId k)
+    : partition_id_(k) {
+  // Pass 1: collect this machine's edges and intern their endpoints in
+  // first-seen order (edge id order keeps the layout deterministic).
+  std::vector<EdgeId> local_edges;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (partition.partition_of(e) != k) continue;
+    local_edges.push_back(e);
+    for (const VertexId endpoint : {g.edge(e).u, g.edge(e).v}) {
+      const auto [it, inserted] = global_to_local_.try_emplace(
+          endpoint, static_cast<LocalVertexId>(vertices_.size()));
+      if (inserted) {
+        LocalVertex lv;
+        lv.global = endpoint;
+        lv.master = placement.master(endpoint);
+        lv.is_master = (lv.master == k);
+        if (!lv.is_master) ++num_mirrors_;
+        vertices_.push_back(lv);
+      }
+    }
+  }
+  num_edges_ = static_cast<EdgeId>(local_edges.size());
+
+  // Pass 2: local CSR (counting sort, both directions per edge).
+  offsets_.assign(vertices_.size() + 1, 0);
+  for (const EdgeId e : local_edges) {
+    ++offsets_[global_to_local_.at(g.edge(e).u) + 1];
+    ++offsets_[global_to_local_.at(g.edge(e).v) + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+  adjacency_.resize(2 * local_edges.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const EdgeId e : local_edges) {
+    const LocalVertexId lu = global_to_local_.at(g.edge(e).u);
+    const LocalVertexId lv = global_to_local_.at(g.edge(e).v);
+    adjacency_[cursor[lu]++] = LocalNeighbor{lv, e};
+    adjacency_[cursor[lv]++] = LocalNeighbor{lu, e};
+  }
+}
+
+std::vector<LocalGraph> build_local_graphs(const Graph& g,
+                                           const EdgePartition& partition) {
+  const Placement placement(g, partition);
+  std::vector<LocalGraph> machines;
+  machines.reserve(partition.num_partitions());
+  for (PartitionId k = 0; k < partition.num_partitions(); ++k) {
+    machines.emplace_back(g, partition, placement, k);
+  }
+  return machines;
+}
+
+}  // namespace tlp::engine

@@ -1,0 +1,82 @@
+// LocalGraph: the per-machine data structure a vertex-cut engine ships to
+// each worker — the partition's edges re-indexed over compact local vertex
+// ids, plus the replica table (which local vertices are masters and where
+// the master lives otherwise). This is the deployment-shaped view of an
+// EdgePartition; the GAS simulator works on global ids for clarity, but
+// tests verify the two views agree exactly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/placement.hpp"
+
+namespace tlp::engine {
+
+/// Local id within one machine's LocalGraph.
+using LocalVertexId = std::uint32_t;
+
+struct LocalVertex {
+  VertexId global = kInvalidVertex;
+  bool is_master = false;
+  /// Partition hosting the master replica (== this partition iff is_master).
+  PartitionId master = kNoPartition;
+};
+
+class LocalGraph {
+ public:
+  /// Builds machine `k`'s view of the partitioned graph.
+  LocalGraph(const Graph& g, const EdgePartition& partition,
+             const Placement& placement, PartitionId k);
+
+  [[nodiscard]] PartitionId partition_id() const { return partition_id_; }
+  [[nodiscard]] LocalVertexId num_vertices() const {
+    return static_cast<LocalVertexId>(vertices_.size());
+  }
+  [[nodiscard]] EdgeId num_edges() const { return num_edges_; }
+  [[nodiscard]] std::size_t num_mirrors() const { return num_mirrors_; }
+
+  [[nodiscard]] const LocalVertex& vertex(LocalVertexId v) const {
+    return vertices_[v];
+  }
+
+  /// Local id for a global vertex, or kInvalidVertex if not present here.
+  [[nodiscard]] LocalVertexId local_id(VertexId global) const {
+    const auto it = global_to_local_.find(global);
+    return it == global_to_local_.end()
+               ? static_cast<LocalVertexId>(kInvalidVertex)
+               : it->second;
+  }
+
+  struct LocalNeighbor {
+    LocalVertexId vertex;
+    EdgeId global_edge;
+  };
+
+  /// Local adjacency of v (only edges owned by this partition).
+  [[nodiscard]] std::span<const LocalNeighbor> neighbors(LocalVertexId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  [[nodiscard]] std::size_t degree(LocalVertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+ private:
+  PartitionId partition_id_;
+  std::vector<LocalVertex> vertices_;
+  std::unordered_map<VertexId, LocalVertexId> global_to_local_;
+  std::vector<std::size_t> offsets_;
+  std::vector<LocalNeighbor> adjacency_;
+  EdgeId num_edges_ = 0;
+  std::size_t num_mirrors_ = 0;
+};
+
+/// Builds every machine's LocalGraph (shares one Placement pass).
+[[nodiscard]] std::vector<LocalGraph> build_local_graphs(
+    const Graph& g, const EdgePartition& partition);
+
+}  // namespace tlp::engine

@@ -1,0 +1,47 @@
+#include "engine/pagerank.hpp"
+
+#include <cmath>
+
+namespace tlp::engine {
+namespace {
+
+struct PageRankProgram {
+  using Value = double;
+  const Graph& g;
+  double damping;
+  double tolerance;
+
+  [[nodiscard]] Value init(VertexId) const {
+    return 1.0 / static_cast<double>(g.num_vertices());
+  }
+  [[nodiscard]] Value identity() const { return 0.0; }
+  [[nodiscard]] Value gather(VertexId, VertexId u, const Value& value_u) const {
+    return value_u / static_cast<double>(g.degree(u));
+  }
+  [[nodiscard]] Value combine(const Value& a, const Value& b) const {
+    return a + b;
+  }
+  [[nodiscard]] Value apply(VertexId, const Value& /*current*/,
+                            const Value& sum) const {
+    return (1.0 - damping) / static_cast<double>(g.num_vertices()) +
+           damping * sum;
+  }
+  [[nodiscard]] bool done(const Value& previous, const Value& next) const {
+    return std::abs(previous - next) < tolerance;
+  }
+};
+
+}  // namespace
+
+PageRankResult pagerank(const Graph& g, const EdgePartition& partition,
+                        std::size_t max_iterations, double damping,
+                        double tolerance) {
+  PageRankResult result;
+  if (g.num_vertices() == 0) return result;
+  const PageRankProgram program{g, damping, tolerance};
+  const GasEngine<PageRankProgram> engine(g, partition);
+  result.ranks = engine.run(program, max_iterations, result.comm);
+  return result;
+}
+
+}  // namespace tlp::engine

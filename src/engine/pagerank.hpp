@@ -1,0 +1,25 @@
+// Distributed PageRank on the GAS engine simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "engine/gas_engine.hpp"
+
+namespace tlp::engine {
+
+struct PageRankResult {
+  std::vector<double> ranks;
+  CommStats comm;
+};
+
+/// Runs PageRank (undirected: each edge contributes both ways) over the
+/// given edge partition for up to `max_iterations` supersteps or until the
+/// per-vertex change falls below `tolerance`.
+[[nodiscard]] PageRankResult pagerank(const Graph& g,
+                                      const EdgePartition& partition,
+                                      std::size_t max_iterations = 20,
+                                      double damping = 0.85,
+                                      double tolerance = 1e-9);
+
+}  // namespace tlp::engine

@@ -1,0 +1,38 @@
+#include "engine/placement.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace tlp::engine {
+
+Placement::Placement(const Graph& g, const EdgePartition& partition)
+    : num_partitions_(partition.num_partitions()),
+      replicas_(g.num_vertices()),
+      master_(g.num_vertices(), kNoPartition) {
+  std::unordered_map<PartitionId, std::size_t> incident;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    incident.clear();
+    for (const Neighbor& nb : g.neighbors(v)) {
+      const PartitionId p = partition.partition_of(nb.edge);
+      if (p != kNoPartition) ++incident[p];
+    }
+    if (incident.empty()) continue;
+
+    auto& reps = replicas_[v];
+    reps.reserve(incident.size());
+    PartitionId best = kNoPartition;
+    std::size_t best_count = 0;
+    for (const auto& [p, count] : incident) {
+      reps.push_back(p);
+      if (count > best_count || (count == best_count && p < best)) {
+        best = p;
+        best_count = count;
+      }
+    }
+    std::sort(reps.begin(), reps.end());
+    master_[v] = best;
+    mirror_count_ += reps.size() - 1;
+  }
+}
+
+}  // namespace tlp::engine

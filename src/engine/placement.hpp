@@ -1,0 +1,39 @@
+// Master/mirror placement derived from an edge partition, exactly as a
+// vertex-cut system (PowerGraph) would set up its replicas.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "partition/edge_partition.hpp"
+
+namespace tlp::engine {
+
+/// Placement of every vertex replica across partitions.
+class Placement {
+ public:
+  Placement(const Graph& g, const EdgePartition& partition);
+
+  /// Partitions holding a replica of v (sorted ascending).
+  [[nodiscard]] const std::vector<PartitionId>& replicas(VertexId v) const {
+    return replicas_[v];
+  }
+
+  /// The replica elected master: the partition holding the most incident
+  /// edges of v (ties to the smallest id). kNoPartition for isolated
+  /// vertices.
+  [[nodiscard]] PartitionId master(VertexId v) const { return master_[v]; }
+
+  /// Total number of mirror (non-master) replicas: sum_v (|replicas(v)|-1).
+  [[nodiscard]] std::size_t mirror_count() const { return mirror_count_; }
+
+  [[nodiscard]] PartitionId num_partitions() const { return num_partitions_; }
+
+ private:
+  PartitionId num_partitions_ = 0;
+  std::vector<std::vector<PartitionId>> replicas_;
+  std::vector<PartitionId> master_;
+  std::size_t mirror_count_ = 0;
+};
+
+}  // namespace tlp::engine

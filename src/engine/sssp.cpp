@@ -1,0 +1,47 @@
+#include "engine/sssp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tlp::engine {
+namespace {
+
+struct SsspProgram {
+  using Value = std::uint32_t;
+  VertexId source;
+
+  [[nodiscard]] Value init(VertexId v) const {
+    return v == source ? 0 : kUnreachedDistance;
+  }
+  [[nodiscard]] Value identity() const { return kUnreachedDistance; }
+  [[nodiscard]] Value gather(VertexId, VertexId, const Value& value_u) const {
+    // Relax over the edge: one more hop than the neighbor's distance.
+    return value_u == kUnreachedDistance ? kUnreachedDistance : value_u + 1;
+  }
+  [[nodiscard]] Value combine(const Value& a, const Value& b) const {
+    return std::min(a, b);
+  }
+  [[nodiscard]] Value apply(VertexId, const Value& current,
+                            const Value& sum) const {
+    return std::min(current, sum);
+  }
+  [[nodiscard]] bool done(const Value& previous, const Value& next) const {
+    return previous == next;
+  }
+};
+
+}  // namespace
+
+SsspResult distributed_sssp(const Graph& g, const EdgePartition& partition,
+                            VertexId source, std::size_t max_iterations) {
+  if (source >= g.num_vertices()) {
+    throw std::out_of_range("distributed_sssp: source out of range");
+  }
+  SsspResult result;
+  const SsspProgram program{source};
+  const GasEngine<SsspProgram> engine(g, partition);
+  result.distances = engine.run(program, max_iterations, result.comm);
+  return result;
+}
+
+}  // namespace tlp::engine

@@ -1,0 +1,25 @@
+// Distributed single-source shortest paths (hop counts — the graph is
+// unweighted) on the GAS engine simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "engine/gas_engine.hpp"
+
+namespace tlp::engine {
+
+struct SsspResult {
+  /// Hop distance from the source; kUnreachedDistance if unreachable.
+  std::vector<std::uint32_t> distances;
+  CommStats comm;
+};
+
+inline constexpr std::uint32_t kUnreachedDistance = 0xffffffffu;
+
+[[nodiscard]] SsspResult distributed_sssp(const Graph& g,
+                                          const EdgePartition& partition,
+                                          VertexId source,
+                                          std::size_t max_iterations = 200);
+
+}  // namespace tlp::engine

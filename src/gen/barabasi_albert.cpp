@@ -1,0 +1,48 @@
+#include <random>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "gen/generators.hpp"
+
+namespace tlp::gen {
+
+Graph barabasi_albert(VertexId n, std::size_t edges_per_vertex,
+                      std::uint64_t seed) {
+  if (edges_per_vertex == 0) {
+    throw std::invalid_argument("barabasi_albert: edges_per_vertex must be > 0");
+  }
+  const VertexId seed_size =
+      static_cast<VertexId>(std::min<std::size_t>(edges_per_vertex + 1, n));
+  std::mt19937_64 rng(seed);
+
+  EdgeList edges;
+  // `targets` holds one entry per edge endpoint, so sampling uniformly from
+  // it is exactly degree-proportional (preferential attachment).
+  std::vector<VertexId> targets;
+
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      edges.push_back(Edge{u, v});
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+
+  std::unordered_set<VertexId> chosen;
+  for (VertexId v = seed_size; v < n; ++v) {
+    chosen.clear();
+    const std::size_t want = std::min<std::size_t>(edges_per_vertex, v);
+    std::uniform_int_distribution<std::size_t> pick(0, targets.size() - 1);
+    while (chosen.size() < want) {
+      chosen.insert(targets[pick(rng)]);
+    }
+    for (const VertexId t : chosen) {
+      edges.push_back(Edge{t, v});
+      targets.push_back(t);
+      targets.push_back(v);
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace tlp::gen

@@ -1,0 +1,63 @@
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "gen/generators.hpp"
+
+namespace tlp::gen {
+namespace {
+
+inline std::uint64_t edge_key(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph chung_lu_power_law(VertexId n, EdgeId m, double gamma,
+                         std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("chung_lu: need n >= 2");
+  if (gamma <= 1.0) throw std::invalid_argument("chung_lu: gamma must be > 1");
+  const auto max_edges = static_cast<EdgeId>(n) * (n - 1) / 2;
+  if (m > max_edges) {
+    throw std::invalid_argument("chung_lu: m exceeds n*(n-1)/2");
+  }
+
+  // Power-law weights w_i = (i+1)^(-1/(gamma-1)), the standard Chung-Lu
+  // construction whose expected degree sequence follows exponent gamma.
+  std::vector<double> weights(n);
+  for (VertexId i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i) + 1.0, -1.0 / (gamma - 1.0));
+  }
+
+  // Sample both endpoints weight-proportionally; this realizes
+  // P(u,v) ~ w_u * w_v and we draw until m distinct edges exist.
+  std::discrete_distribution<VertexId> pick(weights.begin(), weights.end());
+  std::mt19937_64 rng(seed);
+
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(m));
+
+  std::uint64_t attempts = 0;
+  const std::uint64_t attempt_cap = 200 * (m + 16);
+  while (edges.size() < m) {
+    if (++attempts > attempt_cap) {
+      throw std::runtime_error(
+          "chung_lu: exceeded attempt budget; weight distribution too "
+          "concentrated for the requested edge count");
+    }
+    const VertexId u = pick(rng);
+    const VertexId v = pick(rng);
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) {
+      edges.push_back(Edge{u, v}.canonical());
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace tlp::gen

@@ -1,0 +1,87 @@
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "gen/generators.hpp"
+
+namespace tlp::gen {
+namespace {
+
+inline std::uint64_t edge_key(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph dcsbm(VertexId n, EdgeId m, double gamma, VertexId blocks,
+            double p_in_fraction, std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("dcsbm: need n >= 2");
+  if (gamma <= 1.0) throw std::invalid_argument("dcsbm: gamma must be > 1");
+  if (blocks == 0 || blocks > n) {
+    throw std::invalid_argument("dcsbm: need 1 <= blocks <= n");
+  }
+  if (p_in_fraction < 0.0 || p_in_fraction > 1.0) {
+    throw std::invalid_argument("dcsbm: p_in_fraction must be in [0,1]");
+  }
+  const auto max_edges = static_cast<EdgeId>(n) * (n - 1) / 2;
+  if (m > max_edges) {
+    throw std::invalid_argument("dcsbm: m exceeds n*(n-1)/2");
+  }
+
+  // Power-law weights; vertex v lives in block v % blocks, so every block
+  // holds a hub-to-leaf mix (round-robin over the sorted weight sequence).
+  std::vector<double> weights(n);
+  for (VertexId i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i) + 1.0, -1.0 / (gamma - 1.0));
+  }
+  std::discrete_distribution<VertexId> pick_global(weights.begin(),
+                                                   weights.end());
+
+  // Per-block weighted samplers over the block's members.
+  std::vector<std::vector<VertexId>> members(blocks);
+  for (VertexId v = 0; v < n; ++v) members[v % blocks].push_back(v);
+  std::vector<std::discrete_distribution<VertexId>> pick_in_block;
+  pick_in_block.reserve(blocks);
+  for (VertexId b = 0; b < blocks; ++b) {
+    std::vector<double> block_weights;
+    block_weights.reserve(members[b].size());
+    for (const VertexId v : members[b]) block_weights.push_back(weights[v]);
+    pick_in_block.emplace_back(block_weights.begin(), block_weights.end());
+  }
+
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(m));
+
+  std::uint64_t attempts = 0;
+  const std::uint64_t attempt_cap = 300 * (m + 16);
+  while (edges.size() < m) {
+    if (++attempts > attempt_cap) {
+      throw std::runtime_error(
+          "dcsbm: exceeded attempt budget; parameters too concentrated for "
+          "the requested edge count");
+    }
+    const VertexId u = pick_global(rng);
+    VertexId v;
+    if (unit(rng) < p_in_fraction) {
+      const VertexId b = u % blocks;
+      v = members[b][pick_in_block[b](rng)];
+    } else {
+      v = pick_global(rng);
+    }
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) {
+      edges.push_back(Edge{u, v}.canonical());
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace tlp::gen

@@ -1,0 +1,42 @@
+#include <random>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "gen/generators.hpp"
+
+namespace tlp::gen {
+namespace {
+
+/// Packs a canonical edge into a single 64-bit key for dedup sets.
+inline std::uint64_t edge_key(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph erdos_renyi(VertexId n, EdgeId m, std::uint64_t seed) {
+  const auto max_edges =
+      static_cast<EdgeId>(n) * (n > 0 ? n - 1 : 0) / 2;
+  if (m > max_edges) {
+    throw std::invalid_argument("erdos_renyi: m exceeds n*(n-1)/2");
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<VertexId> pick(0, n > 0 ? n - 1 : 0);
+
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  while (edges.size() < m) {
+    const VertexId u = pick(rng);
+    const VertexId v = pick(rng);
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) {
+      edges.push_back(Edge{u, v}.canonical());
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace tlp::gen

@@ -1,0 +1,68 @@
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+
+namespace tlp::gen {
+
+Graph path_graph(VertexId n) {
+  EdgeList edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.push_back(Edge{v, static_cast<VertexId>(v + 1)});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph cycle_graph(VertexId n) {
+  if (n < 3) throw std::invalid_argument("cycle_graph: need n >= 3");
+  EdgeList edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.push_back(Edge{v, static_cast<VertexId>(v + 1)});
+  edges.push_back(Edge{0, static_cast<VertexId>(n - 1)});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph star_graph(VertexId leaves) {
+  EdgeList edges;
+  for (VertexId v = 1; v <= leaves; ++v) edges.push_back(Edge{0, v});
+  return Graph::from_edges(leaves + 1, std::move(edges));
+}
+
+Graph complete_graph(VertexId n) {
+  EdgeList edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.push_back(Edge{u, v});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph grid_graph(VertexId rows, VertexId cols) {
+  EdgeList edges;
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back(Edge{id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back(Edge{id(r, c), id(r + 1, c)});
+    }
+  }
+  return Graph::from_edges(rows * cols, std::move(edges));
+}
+
+Graph caveman_graph(VertexId cliques, VertexId clique_size) {
+  if (clique_size == 0) {
+    throw std::invalid_argument("caveman_graph: clique_size must be > 0");
+  }
+  EdgeList edges;
+  const VertexId n = cliques * clique_size;
+  for (VertexId c = 0; c < cliques; ++c) {
+    const VertexId base = c * clique_size;
+    for (VertexId i = 0; i < clique_size; ++i) {
+      for (VertexId j = i + 1; j < clique_size; ++j) {
+        edges.push_back(Edge{base + i, base + j});
+      }
+    }
+    if (c + 1 < cliques) {
+      // Bridge from this clique's last vertex to the next clique's first.
+      edges.push_back(Edge{base + clique_size - 1, base + clique_size});
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace tlp::gen

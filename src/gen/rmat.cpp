@@ -1,0 +1,78 @@
+#include <bit>
+#include <random>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "gen/generators.hpp"
+
+namespace tlp::gen {
+namespace {
+
+inline std::uint64_t edge_key(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph rmat(VertexId n, EdgeId m, const RmatParams& params, std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("rmat: n must be > 0");
+  const double d = 1.0 - params.a - params.b - params.c;
+  if (params.a < 0 || params.b < 0 || params.c < 0 || d < 0) {
+    throw std::invalid_argument("rmat: probabilities must be a distribution");
+  }
+  // Number of bisection levels: smallest power of two covering n.
+  const unsigned levels = std::bit_width(static_cast<std::uint64_t>(n - 1));
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(m));
+
+  // Guard against unreachable m on tiny vertex sets.
+  const auto max_edges = static_cast<EdgeId>(n) * (n - 1) / 2;
+  if (m > max_edges) {
+    throw std::invalid_argument("rmat: m exceeds n*(n-1)/2");
+  }
+
+  std::uint64_t attempts = 0;
+  const std::uint64_t attempt_cap = 100 * (m + 16);
+  while (edges.size() < m) {
+    if (++attempts > attempt_cap) {
+      throw std::runtime_error(
+          "rmat: exceeded attempt budget; parameters too concentrated for "
+          "the requested edge count");
+    }
+    VertexId u = 0;
+    VertexId v = 0;
+    for (unsigned level = 0; level < levels; ++level) {
+      // Add ±10% noise per level so the generated matrix is not perfectly
+      // self-similar (standard "smoothing" from the R-MAT paper).
+      const double noise = 0.9 + 0.2 * unit(rng);
+      const double a = params.a * noise;
+      const double norm = a + params.b + params.c + d;
+      const double r = unit(rng) * norm;
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + params.b) {
+        v |= 1;
+      } else if (r < a + params.b + params.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u >= n || v >= n || u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) {
+      edges.push_back(Edge{u, v}.canonical());
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace tlp::gen

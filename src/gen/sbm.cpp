@@ -1,0 +1,79 @@
+#include <random>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "gen/generators.hpp"
+
+namespace tlp::gen {
+namespace {
+
+inline std::uint64_t edge_key(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph sbm(VertexId n, EdgeId m, VertexId blocks, double p_in_fraction,
+          std::uint64_t seed) {
+  if (blocks == 0 || blocks > n) {
+    throw std::invalid_argument("sbm: need 1 <= blocks <= n");
+  }
+  if (p_in_fraction < 0.0 || p_in_fraction > 1.0) {
+    throw std::invalid_argument("sbm: p_in_fraction must be in [0,1]");
+  }
+  const auto max_edges = static_cast<EdgeId>(n) * (n > 0 ? n - 1 : 0) / 2;
+  if (m > max_edges) {
+    throw std::invalid_argument("sbm: m exceeds n*(n-1)/2");
+  }
+
+  // Vertex v belongs to block v % blocks (round-robin keeps sizes equal
+  // within 1). Intra-block pairs are sampled inside a uniformly chosen
+  // block; inter-block pairs uniformly across distinct blocks.
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<VertexId> pick_block(0, blocks - 1);
+  std::uniform_int_distribution<VertexId> pick_vertex(0, n - 1);
+
+  auto block_size = [&](VertexId b) {
+    return n / blocks + (b < n % blocks ? 1 : 0);
+  };
+  auto nth_of_block = [&](VertexId b, VertexId i) {
+    return b + i * blocks;  // inverse of "v % blocks" labeling
+  };
+
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(m));
+
+  std::uint64_t attempts = 0;
+  const std::uint64_t attempt_cap = 300 * (m + 16);
+  while (edges.size() < m) {
+    if (++attempts > attempt_cap) {
+      throw std::runtime_error("sbm: exceeded attempt budget (graph too dense "
+                               "for the requested block structure)");
+    }
+    VertexId u;
+    VertexId v;
+    if (unit(rng) < p_in_fraction) {
+      const VertexId b = pick_block(rng);
+      const VertexId size = block_size(b);
+      if (size < 2) continue;
+      std::uniform_int_distribution<VertexId> pick_member(0, size - 1);
+      u = nth_of_block(b, pick_member(rng));
+      v = nth_of_block(b, pick_member(rng));
+    } else {
+      u = pick_vertex(rng);
+      v = pick_vertex(rng);
+      if (blocks > 1 && u % blocks == v % blocks) continue;
+    }
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) {
+      edges.push_back(Edge{u, v}.canonical());
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace tlp::gen

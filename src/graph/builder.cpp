@@ -1,0 +1,55 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+namespace tlp {
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  if (relabel_) {
+    auto intern = [this](VertexId x) {
+      auto [it, inserted] = relabel_map_.try_emplace(x, next_id_);
+      if (inserted) ++next_id_;
+      return it->second;
+    };
+    u = intern(u);
+    v = intern(v);
+  } else {
+    max_id_plus_one_ = std::max({max_id_plus_one_, u + 1, v + 1});
+  }
+  edges_.push_back(Edge{u, v});
+}
+
+Graph GraphBuilder::build(BuildReport* report) {
+  BuildReport local;
+  local.input_edges = edges_.size();
+  local.relabeled = relabel_;
+
+  EdgeList clean;
+  clean.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    if (e.is_self_loop()) {
+      ++local.self_loops;
+    } else {
+      clean.push_back(e.canonical());
+    }
+  }
+  std::sort(clean.begin(), clean.end());
+  const auto last = std::unique(clean.begin(), clean.end());
+  local.duplicate_edges =
+      static_cast<std::size_t>(std::distance(last, clean.end()));
+  clean.erase(last, clean.end());
+  local.kept_edges = clean.size();
+
+  const VertexId n = relabel_ ? next_id_ : max_id_plus_one_;
+  Graph g = Graph::from_edges(n, std::move(clean));
+
+  edges_.clear();
+  relabel_map_.clear();
+  next_id_ = 0;
+  max_id_plus_one_ = 0;
+
+  if (report != nullptr) *report = local;
+  return g;
+}
+
+}  // namespace tlp

@@ -1,0 +1,54 @@
+// GraphBuilder: tolerant construction of a clean Graph from messy input.
+//
+// Real-world edge lists (the SNAP datasets the paper uses) contain duplicate
+// edges, both orientations of the same edge, self-loops, and sparse vertex
+// id spaces. The builder normalizes all of that and reports what it dropped.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/edge.hpp"
+#include "graph/graph.hpp"
+
+namespace tlp {
+
+/// What the builder discarded or rewrote while cleaning the input.
+struct BuildReport {
+  std::size_t input_edges = 0;       ///< edges offered via add_edge
+  std::size_t self_loops = 0;        ///< dropped
+  std::size_t duplicate_edges = 0;   ///< dropped (either orientation)
+  std::size_t kept_edges = 0;        ///< edges in the final graph
+  bool relabeled = false;            ///< true if vertex ids were compacted
+};
+
+/// Accumulates edges and produces an immutable Graph.
+class GraphBuilder {
+ public:
+  /// `relabel`: if true (default), arbitrary vertex ids are compacted to a
+  /// dense [0, n) range in first-seen order; if false, ids are used as-is and
+  /// num_vertices = max id + 1.
+  explicit GraphBuilder(bool relabel = true) : relabel_(relabel) {}
+
+  /// Adds one undirected edge; self-loops and duplicates are dropped at
+  /// build() time, not here (so add_edge stays O(1)).
+  void add_edge(VertexId u, VertexId v);
+
+  /// Number of edges offered so far (before dedup).
+  [[nodiscard]] std::size_t size() const { return edges_.size(); }
+
+  /// Produces the cleaned graph; the builder is left empty afterwards.
+  /// If `report` is non-null it receives the cleaning statistics.
+  [[nodiscard]] Graph build(BuildReport* report = nullptr);
+
+ private:
+  bool relabel_;
+  EdgeList edges_;
+  std::unordered_map<VertexId, VertexId> relabel_map_;
+  VertexId next_id_ = 0;
+  VertexId max_id_plus_one_ = 0;
+};
+
+}  // namespace tlp

@@ -1,0 +1,37 @@
+// Undirected edge value type and edge-list helpers.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace tlp {
+
+/// An undirected edge. Stored in canonical orientation (u <= v) inside a
+/// Graph; free-standing instances may be in either orientation.
+struct Edge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+
+  /// Returns the edge with endpoints ordered so that u <= v.
+  [[nodiscard]] constexpr Edge canonical() const {
+    return u <= v ? Edge{u, v} : Edge{v, u};
+  }
+
+  /// Returns the endpoint opposite to `w`. Precondition: w is an endpoint.
+  [[nodiscard]] constexpr VertexId other(VertexId w) const {
+    return w == u ? v : u;
+  }
+
+  [[nodiscard]] constexpr bool is_self_loop() const { return u == v; }
+
+  friend constexpr bool operator==(const Edge&, const Edge&) = default;
+  friend constexpr auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// A plain list of edges, the interchange format between readers, generators,
+/// and the GraphBuilder.
+using EdgeList = std::vector<Edge>;
+
+}  // namespace tlp

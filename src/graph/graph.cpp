@@ -1,0 +1,109 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace tlp {
+
+Graph Graph::from_edges(VertexId num_vertices, EdgeList edges) {
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.edges_ = std::move(edges);
+
+  for (Edge& e : g.edges_) {
+    if (e.u >= num_vertices || e.v >= num_vertices) {
+      throw std::invalid_argument("Graph::from_edges: endpoint out of range");
+    }
+    if (e.is_self_loop()) {
+      throw std::invalid_argument("Graph::from_edges: self-loop present");
+    }
+    e = e.canonical();
+  }
+
+  // Counting sort into CSR: first degrees, then prefix sums, then fill.
+  g.offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+
+  g.adjacency_.resize(2 * g.edges_.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId id = 0; id < g.edges_.size(); ++id) {
+    const Edge& e = g.edges_[static_cast<std::size_t>(id)];
+    g.adjacency_[cursor[e.u]++] = Neighbor{e.v, id};
+    g.adjacency_[cursor[e.v]++] = Neighbor{e.u, id};
+  }
+
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    auto begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
+    auto end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+    std::sort(begin, end, [](const Neighbor& a, const Neighbor& b) {
+      return a.vertex < b.vertex;
+    });
+    // Duplicate detection is cheap once sorted; duplicates would corrupt
+    // every partitioner's bookkeeping, so fail loudly here.
+    for (auto it = begin; it != end && std::next(it) != end; ++it) {
+      if (it->vertex == std::next(it)->vertex) {
+        throw std::invalid_argument("Graph::from_edges: duplicate edge");
+      }
+    }
+  }
+  return g;
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(
+      nbrs.begin(), nbrs.end(), Neighbor{v, 0},
+      [](const Neighbor& a, const Neighbor& b) { return a.vertex < b.vertex; });
+}
+
+std::size_t Graph::common_neighbor_count(VertexId u, VertexId v) const {
+  auto a = neighbors(u);
+  auto b = neighbors(v);
+  if (a.size() > b.size()) std::swap(a, b);
+  // When one list is much longer, binary-searching it per element of the
+  // shorter list beats the linear merge (hub vertices in power-law graphs).
+  // Cost model: gallop ~ |a| * log2(|b|), merge ~ |a| + |b|.
+  const std::size_t log_b = static_cast<std::size_t>(
+      std::bit_width(b.size() + 1));
+  if (a.size() * log_b < (a.size() + b.size()) / 2) {
+    std::size_t count = 0;
+    for (const Neighbor& nb : a) {
+      if (std::binary_search(b.begin(), b.end(), Neighbor{nb.vertex, 0},
+                             [](const Neighbor& x, const Neighbor& y) {
+                               return x.vertex < y.vertex;
+                             })) {
+        ++count;
+      }
+    }
+    return count;
+  }
+  std::size_t count = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].vertex < b[j].vertex) {
+      ++i;
+    } else if (a[i].vertex > b[j].vertex) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::string Graph::summary() const {
+  return "Graph(n=" + std::to_string(num_vertices_) +
+         ", m=" + std::to_string(edges_.size()) + ")";
+}
+
+}  // namespace tlp

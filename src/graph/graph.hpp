@@ -1,0 +1,84 @@
+// Immutable undirected graph in CSR (compressed sparse row) form.
+//
+// Every undirected edge has a single EdgeId (its index in edges()) and
+// appears twice in the adjacency structure, once per endpoint. Adjacency
+// lists are sorted by neighbor id, which makes common-neighbor counting
+// (needed by the TLP Stage-I score, Eq. 7 of the paper) a linear merge.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/edge.hpp"
+#include "graph/types.hpp"
+
+namespace tlp {
+
+/// One adjacency entry: the neighbor and the id of the connecting edge.
+struct Neighbor {
+  VertexId vertex;
+  EdgeId edge;
+};
+
+/// Immutable undirected graph. Construct via GraphBuilder (which deduplicates
+/// and canonicalizes) or Graph::from_edges for already-clean input.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a graph over vertices [0, num_vertices) from a clean edge list:
+  /// no duplicates (in either orientation) and no self-loops. Endpoints must
+  /// be < num_vertices. Use GraphBuilder for untrusted input.
+  static Graph from_edges(VertexId num_vertices, EdgeList edges);
+
+  [[nodiscard]] VertexId num_vertices() const { return num_vertices_; }
+  [[nodiscard]] EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+  [[nodiscard]] bool empty() const { return edges_.empty(); }
+
+  /// All edges in canonical (u <= v) orientation; EdgeId e refers to edges()[e].
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    assert(e < edges_.size());
+    return edges_[static_cast<std::size_t>(e)];
+  }
+
+  /// Neighbors of v, sorted by neighbor vertex id.
+  [[nodiscard]] std::span<const Neighbor> neighbors(VertexId v) const {
+    assert(v < num_vertices_);
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  [[nodiscard]] std::size_t degree(VertexId v) const {
+    assert(v < num_vertices_);
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Average degree 2m/n (0 for the empty graph).
+  [[nodiscard]] double average_degree() const {
+    return num_vertices_ == 0
+               ? 0.0
+               : 2.0 * static_cast<double>(edges_.size()) / num_vertices_;
+  }
+
+  /// True iff u and v are adjacent. O(log deg) via binary search.
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  /// Number of common neighbors |N(u) ∩ N(v)|. O(deg(u) + deg(v)) merge.
+  [[nodiscard]] std::size_t common_neighbor_count(VertexId u, VertexId v) const;
+
+  /// Human-readable one-line summary, e.g. "Graph(n=1005, m=25571)".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  EdgeList edges_;                      // canonical orientation, id = index
+  std::vector<std::size_t> offsets_;    // size n+1
+  std::vector<Neighbor> adjacency_;     // size 2m, sorted per vertex
+};
+
+}  // namespace tlp

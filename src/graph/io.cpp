@@ -1,0 +1,233 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+
+namespace tlp::io {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("tlp::io: " + what);
+}
+
+std::ifstream open_input(const std::filesystem::path& path, bool binary) {
+  std::ifstream in(path, binary ? std::ios::binary : std::ios::in);
+  if (!in) fail("cannot open '" + path.string() + "' for reading");
+  return in;
+}
+
+std::ofstream open_output(const std::filesystem::path& path, bool binary) {
+  std::ofstream out(path, binary ? std::ios::binary : std::ios::out);
+  if (!out) fail("cannot open '" + path.string() + "' for writing");
+  return out;
+}
+
+/// Parses a base-10 VertexId from [pos, end); advances pos past the digits.
+VertexId parse_id(const char*& pos, const char* end, std::size_t line_no) {
+  VertexId value = 0;
+  const auto [ptr, ec] = std::from_chars(pos, end, value);
+  if (ec != std::errc{} || ptr == pos) {
+    fail("malformed vertex id on line " + std::to_string(line_no));
+  }
+  pos = ptr;
+  return value;
+}
+
+constexpr std::array<char, 4> kMagic = {'T', 'L', 'P', 'G'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) fail("truncated binary graph");
+  return value;
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in, BuildReport* report, bool relabel) {
+  GraphBuilder builder(relabel);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const char* pos = line.data();
+    const char* end = line.data() + line.size();
+    while (pos != end && (*pos == ' ' || *pos == '\t' || *pos == '\r')) ++pos;
+    if (pos == end || *pos == '#' || *pos == '%') continue;
+    const VertexId u = parse_id(pos, end, line_no);
+    while (pos != end && (*pos == ' ' || *pos == '\t' || *pos == ',')) ++pos;
+    const VertexId v = parse_id(pos, end, line_no);
+    builder.add_edge(u, v);
+  }
+  if (in.bad()) fail("I/O error while reading edge list");
+  return builder.build(report);
+}
+
+Graph read_edge_list_file(const std::filesystem::path& path,
+                          BuildReport* report, bool relabel) {
+  auto in = open_input(path, /*binary=*/false);
+  return read_edge_list(in, report, relabel);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << "# undirected graph: " << g.num_vertices() << " vertices, "
+      << g.num_edges() << " edges\n";
+  for (const Edge& e : g.edges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+  if (!out) fail("I/O error while writing edge list");
+}
+
+void write_edge_list_file(const Graph& g, const std::filesystem::path& path) {
+  auto out = open_output(path, /*binary=*/false);
+  write_edge_list(g, out);
+}
+
+Graph read_matrix_market(std::istream& in, BuildReport* report) {
+  std::string line;
+  if (!std::getline(in, line) || !line.starts_with("%%MatrixMarket")) {
+    fail("missing %%MatrixMarket header");
+  }
+  // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+  {
+    std::istringstream header(line);
+    std::string tag;
+    std::string object;
+    std::string format;
+    std::string field;
+    std::string symmetry;
+    header >> tag >> object >> format >> field >> symmetry;
+    if (object != "matrix" || format != "coordinate") {
+      fail("only 'matrix coordinate' MatrixMarket files are supported");
+    }
+    if (field != "pattern" && field != "integer" && field != "real") {
+      fail("unsupported MatrixMarket field '" + field + "'");
+    }
+    if (symmetry != "general" && symmetry != "symmetric") {
+      fail("unsupported MatrixMarket symmetry '" + symmetry + "'");
+    }
+  }
+  // Skip comments, read the size line.
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::uint64_t entries = 0;
+  for (;;) {
+    if (!std::getline(in, line)) fail("missing MatrixMarket size line");
+    if (!line.empty() && line[0] == '%') continue;
+    std::istringstream sizes(line);
+    if (!(sizes >> rows >> cols >> entries)) {
+      fail("malformed MatrixMarket size line");
+    }
+    break;
+  }
+  if (rows != cols) fail("adjacency matrix must be square");
+
+  GraphBuilder builder(/*relabel=*/false);
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    if (!std::getline(in, line)) fail("truncated MatrixMarket entries");
+    std::istringstream entry(line);
+    std::uint64_t r = 0;
+    std::uint64_t c = 0;
+    if (!(entry >> r >> c)) {
+      fail("malformed MatrixMarket entry at line " + std::to_string(i));
+    }
+    if (r == 0 || c == 0 || r > rows || c > cols) {
+      fail("MatrixMarket index out of range at entry " + std::to_string(i));
+    }
+    builder.add_edge(static_cast<VertexId>(r - 1),
+                     static_cast<VertexId>(c - 1));
+  }
+  // Vertex count must cover the declared dimension even if trailing
+  // vertices are isolated.
+  if (rows > 0) {
+    builder.add_edge(static_cast<VertexId>(rows - 1),
+                     static_cast<VertexId>(rows - 1));  // dropped self-loop
+  }
+  return builder.build(report);
+}
+
+Graph read_matrix_market_file(const std::filesystem::path& path,
+                              BuildReport* report) {
+  auto in = open_input(path, /*binary=*/false);
+  return read_matrix_market(in, report);
+}
+
+void write_matrix_market(const Graph& g, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      << "% written by tlp\n"
+      << g.num_vertices() << ' ' << g.num_vertices() << ' ' << g.num_edges()
+      << '\n';
+  for (const Edge& e : g.edges()) {
+    // Symmetric storage keeps the lower triangle: row >= column.
+    out << (e.v + 1) << ' ' << (e.u + 1) << '\n';
+  }
+  if (!out) fail("I/O error while writing MatrixMarket file");
+}
+
+void write_matrix_market_file(const Graph& g,
+                              const std::filesystem::path& path) {
+  auto out = open_output(path, /*binary=*/false);
+  write_matrix_market(g, out);
+}
+
+void write_binary(const Graph& g, std::ostream& out) {
+  out.write(kMagic.data(), kMagic.size());
+  write_pod(out, kVersion);
+  write_pod(out, g.num_vertices());
+  write_pod(out, g.num_edges());
+  for (const Edge& e : g.edges()) {
+    write_pod(out, e.u);
+    write_pod(out, e.v);
+  }
+  if (!out) fail("I/O error while writing binary graph");
+}
+
+void write_binary_file(const Graph& g, const std::filesystem::path& path) {
+  auto out = open_output(path, /*binary=*/true);
+  write_binary(g, out);
+}
+
+Graph read_binary(std::istream& in) {
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) fail("bad magic: not a TLPG binary graph");
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    fail("unsupported binary graph version " + std::to_string(version));
+  }
+  const auto n = read_pod<VertexId>(in);
+  const auto m = read_pod<EdgeId>(in);
+  EdgeList edges;
+  // Never trust the header for allocation: a corrupted count would request
+  // unbounded memory before the (truncated) payload reads fail.
+  edges.reserve(static_cast<std::size_t>(
+      std::min<EdgeId>(m, EdgeId{1} << 20)));
+  for (EdgeId i = 0; i < m; ++i) {
+    const auto u = read_pod<VertexId>(in);
+    const auto v = read_pod<VertexId>(in);
+    edges.push_back(Edge{u, v});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph read_binary_file(const std::filesystem::path& path) {
+  auto in = open_input(path, /*binary=*/true);
+  return read_binary(in);
+}
+
+}  // namespace tlp::io

@@ -1,0 +1,49 @@
+// Graph I/O: SNAP-style text edge lists and a compact binary format.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+
+#include "graph/builder.hpp"
+#include "graph/graph.hpp"
+
+namespace tlp::io {
+
+/// Reads a SNAP-style edge list: one "u<whitespace>v" pair per line, lines
+/// starting with '#' or '%' are comments, blank lines ignored. Directed
+/// inputs collapse to undirected (duplicates/self-loops dropped by the
+/// builder). With `relabel` (default) sparse ids are compacted to [0, n) in
+/// first-seen order; pass false to keep ids verbatim (num_vertices becomes
+/// max id + 1). Throws std::runtime_error on unparsable lines/I/O failure.
+Graph read_edge_list(std::istream& in, BuildReport* report = nullptr,
+                     bool relabel = true);
+Graph read_edge_list_file(const std::filesystem::path& path,
+                          BuildReport* report = nullptr, bool relabel = true);
+
+/// Writes "u v" per line with a '#' header comment.
+void write_edge_list(const Graph& g, std::ostream& out);
+void write_edge_list_file(const Graph& g, const std::filesystem::path& path);
+
+/// Matrix Market (coordinate) reader: accepts pattern/integer/real values
+/// and general/symmetric symmetry; entries are 1-indexed; the adjacency
+/// structure becomes an undirected graph (self-loops/duplicates dropped by
+/// the builder). Throws std::runtime_error on malformed headers or entries.
+Graph read_matrix_market(std::istream& in, BuildReport* report = nullptr);
+Graph read_matrix_market_file(const std::filesystem::path& path,
+                              BuildReport* report = nullptr);
+
+/// Matrix Market writer: "%%MatrixMarket matrix coordinate pattern
+/// symmetric", n n m, then 1-indexed canonical edges.
+void write_matrix_market(const Graph& g, std::ostream& out);
+void write_matrix_market_file(const Graph& g,
+                              const std::filesystem::path& path);
+
+/// Binary format: magic "TLPG", u32 version, u32 n, u64 m, then m (u32,u32)
+/// canonical edge pairs, little-endian. Round-trips exactly.
+void write_binary(const Graph& g, std::ostream& out);
+void write_binary_file(const Graph& g, const std::filesystem::path& path);
+Graph read_binary(std::istream& in);
+Graph read_binary_file(const std::filesystem::path& path);
+
+}  // namespace tlp::io

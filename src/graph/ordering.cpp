@@ -1,0 +1,119 @@
+#include "graph/ordering.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace tlp {
+namespace {
+
+std::vector<VertexId> bfs_component(const Graph& g, VertexId start,
+                                    std::vector<bool>& visited) {
+  std::vector<VertexId> order;
+  std::deque<VertexId> queue{start};
+  visited[start] = true;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    order.push_back(v);
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (!visited[nb.vertex]) {
+        visited[nb.vertex] = true;
+        queue.push_back(nb.vertex);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<VertexId> dfs_component(const Graph& g, VertexId start,
+                                    std::vector<bool>& visited) {
+  std::vector<VertexId> order;
+  std::vector<VertexId> stack{start};
+  visited[start] = true;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = nbrs.size(); i-- > 0;) {
+      if (!visited[nbrs[i].vertex]) {
+        visited[nbrs[i].vertex] = true;
+        stack.push_back(nbrs[i].vertex);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<VertexId> dfs_order(const Graph& g, VertexId source) {
+  if (source >= g.num_vertices()) {
+    throw std::out_of_range("dfs_order: source out of range");
+  }
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::vector<VertexId> order;
+  std::vector<VertexId> stack{source};
+  seen[source] = true;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    // Push in reverse so the smallest neighbor is visited first.
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = nbrs.size(); i-- > 0;) {
+      if (!seen[nbrs[i].vertex]) {
+        seen[nbrs[i].vertex] = true;
+        stack.push_back(nbrs[i].vertex);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<EdgeId> edge_stream_order(const Graph& g, StreamOrder order,
+                                      std::uint64_t seed) {
+  std::vector<EdgeId> ids(static_cast<std::size_t>(g.num_edges()));
+  std::iota(ids.begin(), ids.end(), EdgeId{0});
+  switch (order) {
+    case StreamOrder::kNatural:
+      return ids;
+    case StreamOrder::kRandom: {
+      std::mt19937_64 rng(seed);
+      std::shuffle(ids.begin(), ids.end(), rng);
+      return ids;
+    }
+    case StreamOrder::kBfs:
+    case StreamOrder::kDfs: {
+      // Traversal rank per vertex, covering every component.
+      std::vector<std::size_t> rank(g.num_vertices(), 0);
+      std::vector<bool> visited(g.num_vertices(), false);
+      std::size_t next_rank = 0;
+      for (VertexId start = 0; start < g.num_vertices(); ++start) {
+        if (visited[start]) continue;
+        const auto component = order == StreamOrder::kBfs
+                                   ? bfs_component(g, start, visited)
+                                   : dfs_component(g, start, visited);
+        for (const VertexId v : component) rank[v] = next_rank++;
+      }
+      // Edge position = discovery rank of its earlier endpoint (stable by
+      // the later endpoint's rank, then id).
+      std::stable_sort(ids.begin(), ids.end(), [&](EdgeId a, EdgeId b) {
+        const Edge& ea = g.edge(a);
+        const Edge& eb = g.edge(b);
+        const auto key = [&](const Edge& e) {
+          return std::pair(std::min(rank[e.u], rank[e.v]),
+                           std::max(rank[e.u], rank[e.v]));
+        };
+        return key(ea) < key(eb);
+      });
+      return ids;
+    }
+  }
+  return ids;
+}
+
+}  // namespace tlp

@@ -1,0 +1,32 @@
+// Vertex and edge orderings. Streaming partitioners are sensitive to the
+// order the stream presents data (Stanton & Kliot study exactly this);
+// these utilities produce the canonical orders used by
+// bench/stream_order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tlp {
+
+enum class StreamOrder {
+  kNatural,  ///< edge id order (CSR construction order: sorted by endpoints)
+  kRandom,   ///< seeded shuffle
+  kBfs,      ///< edges keyed by BFS discovery of their earlier endpoint
+  kDfs,      ///< edges keyed by DFS discovery of their earlier endpoint
+};
+
+/// DFS discovery order over all components (iterative, neighbor order as
+/// stored, restarts at the smallest unvisited vertex).
+[[nodiscard]] std::vector<VertexId> dfs_order(const Graph& g, VertexId source);
+
+/// Edge ids arranged in the requested stream order. BFS/DFS orders place an
+/// edge at the position its earlier-discovered endpoint was discovered,
+/// which is how BFS/DFS edge streams are usually modelled.
+[[nodiscard]] std::vector<EdgeId> edge_stream_order(const Graph& g,
+                                                    StreamOrder order,
+                                                    std::uint64_t seed = 0);
+
+}  // namespace tlp

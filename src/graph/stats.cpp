@@ -1,0 +1,88 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "graph/algorithms.hpp"
+
+namespace tlp {
+
+GraphStats compute_stats(const Graph& g) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  if (g.num_vertices() == 0) return s;
+
+  std::size_t min_d = g.degree(0);
+  std::size_t max_d = 0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::size_t d = g.degree(v);
+    min_d = std::min(min_d, d);
+    max_d = std::max(max_d, d);
+    sum += static_cast<double>(d);
+    sum_sq += static_cast<double>(d) * static_cast<double>(d);
+    if (d == 0) ++s.isolated_vertices;
+  }
+  const double n = static_cast<double>(g.num_vertices());
+  s.min_degree = min_d;
+  s.max_degree = max_d;
+  s.avg_degree = sum / n;
+  const double variance = std::max(0.0, sum_sq / n - s.avg_degree * s.avg_degree);
+  s.degree_stddev = std::sqrt(variance);
+
+  const ComponentLabels cc = connected_components(g);
+  s.num_components = cc.count;
+  std::vector<std::size_t> sizes(cc.count, 0);
+  for (const VertexId label : cc.label) ++sizes[label];
+  s.largest_component =
+      sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+
+  s.power_law_alpha = power_law_alpha_mle(g);
+  return s;
+}
+
+std::vector<std::size_t> degree_histogram(const Graph& g) {
+  std::size_t max_d = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_d = std::max(max_d, g.degree(v));
+  }
+  std::vector<std::size_t> hist(max_d + 1, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ++hist[g.degree(v)];
+  }
+  return hist;
+}
+
+double power_law_alpha_mle(const Graph& g, std::size_t d_min) {
+  // Discrete MLE approximation: alpha = 1 + n_tail / sum(ln(d_i/(d_min-0.5))).
+  double log_sum = 0.0;
+  std::size_t n_tail = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::size_t d = g.degree(v);
+    if (d >= d_min) {
+      log_sum += std::log(static_cast<double>(d) /
+                          (static_cast<double>(d_min) - 0.5));
+      ++n_tail;
+    }
+  }
+  if (n_tail < 10 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(n_tail) / log_sum;
+}
+
+std::ostream& operator<<(std::ostream& out, const GraphStats& s) {
+  out << "vertices:          " << s.num_vertices << '\n'
+      << "edges:             " << s.num_edges << '\n'
+      << "degree min/avg/max:" << ' ' << s.min_degree << " / " << s.avg_degree
+      << " / " << s.max_degree << '\n'
+      << "degree stddev:     " << s.degree_stddev << '\n'
+      << "isolated vertices: " << s.isolated_vertices << '\n'
+      << "components:        " << s.num_components
+      << " (largest " << s.largest_component << ")\n"
+      << "power-law alpha:   " << s.power_law_alpha << '\n';
+  return out;
+}
+
+}  // namespace tlp

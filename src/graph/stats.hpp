@@ -1,0 +1,41 @@
+// Degree statistics and structural summaries (Table III of the paper).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tlp {
+
+/// Aggregate structural statistics of a graph.
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double avg_degree = 0.0;
+  double degree_stddev = 0.0;
+  std::size_t isolated_vertices = 0;
+  VertexId num_components = 0;
+  std::size_t largest_component = 0;
+  /// Estimated power-law exponent of the degree tail via the discrete MLE
+  /// (Clauset et al.) with fixed d_min; meaningful for heavy-tailed graphs.
+  double power_law_alpha = 0.0;
+};
+
+/// Computes all statistics (runs connected components; O(n + m)).
+[[nodiscard]] GraphStats compute_stats(const Graph& g);
+
+/// Degree histogram: result[d] = number of vertices of degree d.
+[[nodiscard]] std::vector<std::size_t> degree_histogram(const Graph& g);
+
+/// Discrete power-law MLE alpha for degrees >= d_min (0 if too few samples).
+[[nodiscard]] double power_law_alpha_mle(const Graph& g, std::size_t d_min = 2);
+
+/// Renders stats as an aligned human-readable block.
+std::ostream& operator<<(std::ostream& out, const GraphStats& s);
+
+}  // namespace tlp

@@ -1,0 +1,29 @@
+// Fundamental identifier types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tlp {
+
+/// Vertex identifier. Graphs are limited to ~4.2 billion vertices, which
+/// comfortably covers every dataset in the paper (largest: 4.3M vertices).
+using VertexId = std::uint32_t;
+
+/// Edge identifier: index into the canonical edge array of a Graph.
+using EdgeId = std::uint64_t;
+
+/// Partition identifier (0-based). The paper evaluates p in {10, 15, 20};
+/// 32 bits leaves ample headroom.
+using PartitionId = std::uint32_t;
+
+/// Sentinel meaning "no vertex".
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// Sentinel meaning "no edge".
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// Sentinel meaning "unassigned partition".
+inline constexpr PartitionId kNoPartition = std::numeric_limits<PartitionId>::max();
+
+}  // namespace tlp

@@ -1,0 +1,129 @@
+#include "metis/coarsen.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <unordered_map>
+
+namespace tlp::metis {
+
+CoarseLevel coarsen_hem(const WGraph& g, std::uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> match(n, kInvalidVertex);
+
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::mt19937_64 rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  for (const VertexId v : order) {
+    if (match[v] != kInvalidVertex) continue;
+    VertexId best = kInvalidVertex;
+    Weight best_weight = -1;
+    for (const WNeighbor& nb : g.neighbors(v)) {
+      if (nb.vertex == v || match[nb.vertex] != kInvalidVertex) continue;
+      const bool wins =
+          nb.weight > best_weight ||
+          (nb.weight == best_weight &&
+           (g.vertex_weight(nb.vertex) < g.vertex_weight(best) ||
+            (g.vertex_weight(nb.vertex) == g.vertex_weight(best) &&
+             nb.vertex < best)));
+      if (wins) {
+        best = nb.vertex;
+        best_weight = nb.weight;
+      }
+    }
+    if (best != kInvalidVertex) {
+      match[v] = best;
+      match[best] = v;
+    }
+  }
+
+  // Two-hop matching (kmetis's power-law rescue): plain HEM stalls on
+  // star-like structures because a hub's leaves have no unmatched neighbors
+  // of their own. Pair still-unmatched vertices that share a neighbor.
+  {
+    std::unordered_map<VertexId, VertexId> pending;  // hub -> waiting leaf
+    pending.reserve(n / 8);
+    for (const VertexId v : order) {
+      if (match[v] != kInvalidVertex) continue;
+      for (const WNeighbor& nb : g.neighbors(v)) {
+        const auto [it, inserted] = pending.try_emplace(nb.vertex, v);
+        if (!inserted && it->second != v) {
+          const VertexId partner = it->second;
+          if (match[partner] == kInvalidVertex) {
+            match[v] = partner;
+            match[partner] = v;
+            it->second = v;  // slot reusable only by a fresh vertex
+            break;
+          }
+          it->second = v;  // stale entry; take the slot
+        }
+      }
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (match[v] == kInvalidVertex) match[v] = v;  // stays a singleton
+  }
+
+  // Assign coarse ids: the smaller endpoint of each matched pair owns the id.
+  CoarseLevel level;
+  level.fine_to_coarse.assign(n, kInvalidVertex);
+  VertexId coarse_n = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (match[v] >= v) {  // v is singleton (match==v) or smaller endpoint
+      level.fine_to_coarse[v] = coarse_n;
+      if (match[v] != v) level.fine_to_coarse[match[v]] = coarse_n;
+      ++coarse_n;
+    }
+  }
+
+  // Contract: accumulate vertex weights and merge parallel edges.
+  std::vector<Weight> cweights(coarse_n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    cweights[level.fine_to_coarse[v]] += g.vertex_weight(v);
+  }
+
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(coarse_n) + 1, 0);
+  std::vector<WNeighbor> adjacency;
+  adjacency.reserve(g.num_adjacency_entries());
+  // Scratch map from coarse neighbor -> slot in the current row; the epoch
+  // trick avoids clearing it between rows.
+  std::vector<VertexId> last_seen(coarse_n, kInvalidVertex);
+  std::vector<std::size_t> slot(coarse_n, 0);
+
+  for (VertexId cv = 0, fine = 0; fine < n; ++fine) {
+    const VertexId owner = level.fine_to_coarse[fine];
+    if (owner != cv) continue;  // handle each coarse vertex once, via owner
+    // Merge rows of both constituents.
+    const VertexId partner = match[fine];
+    const std::size_t row_start = adjacency.size();
+    auto absorb = [&](VertexId u) {
+      for (const WNeighbor& nb : g.neighbors(u)) {
+        const VertexId cn = level.fine_to_coarse[nb.vertex];
+        if (cn == cv) continue;  // internal edge disappears
+        if (last_seen[cn] == cv) {
+          adjacency[slot[cn]].weight += nb.weight;
+        } else {
+          last_seen[cn] = cv;
+          slot[cn] = adjacency.size();
+          adjacency.push_back(WNeighbor{cn, nb.weight});
+        }
+      }
+    };
+    absorb(fine);
+    if (partner != fine) absorb(partner);
+    (void)row_start;
+    offsets[cv + 1] = adjacency.size();
+    ++cv;
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] == 0) offsets[i] = offsets[i - 1];  // isolated coarse rows
+  }
+
+  level.graph = WGraph::from_csr(std::move(cweights), std::move(offsets),
+                                 std::move(adjacency));
+  return level;
+}
+
+}  // namespace tlp::metis

@@ -1,0 +1,24 @@
+// Coarsening phase: heavy-edge matching (HEM), the scheme METIS uses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metis/wgraph.hpp"
+
+namespace tlp::metis {
+
+/// One coarsening step: the coarse graph plus the fine->coarse vertex map.
+struct CoarseLevel {
+  WGraph graph;
+  std::vector<VertexId> fine_to_coarse;
+};
+
+/// Heavy-edge matching: visits vertices in a seeded random order; each
+/// unmatched vertex matches its unmatched neighbor with the heaviest
+/// connecting edge (ties toward lower vertex weight, then smaller id, which
+/// keeps coarse vertices balanced). Unmatched vertices map to themselves.
+/// Returns the contracted graph with summed vertex/edge weights.
+[[nodiscard]] CoarseLevel coarsen_hem(const WGraph& g, std::uint64_t seed);
+
+}  // namespace tlp::metis

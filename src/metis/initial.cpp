@@ -1,0 +1,158 @@
+#include "metis/initial.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <set>
+
+#include "metis/refine.hpp"
+
+namespace tlp::metis {
+namespace {
+
+/// Grows side 0 from `start` by repeatedly absorbing the frontier vertex
+/// with the largest gain (connection into the region minus connection
+/// outside) until side-0 weight reaches target0. Disconnected remainders are
+/// reseeded. Returns labels in {0,1}.
+std::vector<PartitionId> greedy_grow(const WGraph& g, Weight target0,
+                                     VertexId start, std::mt19937_64& rng) {
+  const VertexId n = g.num_vertices();
+  std::vector<PartitionId> parts(n, 1);
+  std::vector<bool> in_region(n, false);
+  std::vector<Weight> gain(n, 0);
+  // Frontier ordered by (gain desc, id asc).
+  std::set<std::pair<Weight, VertexId>, std::greater<>> frontier;
+  std::vector<bool> in_frontier(n, false);
+
+  Weight weight0 = 0;
+  VertexId next = start;
+  std::uniform_int_distribution<VertexId> pick(0, n - 1);
+
+  auto absorb = [&](VertexId v) {
+    if (in_frontier[v]) {
+      frontier.erase({gain[v], v});
+      in_frontier[v] = false;
+    }
+    in_region[v] = true;
+    parts[v] = 0;
+    weight0 += g.vertex_weight(v);
+    for (const WNeighbor& nb : g.neighbors(v)) {
+      const VertexId u = nb.vertex;
+      if (in_region[u]) continue;
+      if (in_frontier[u]) {
+        frontier.erase({gain[u], u});
+        gain[u] += 2 * nb.weight;  // one edge moved from "outside" to "inside"
+      } else {
+        Weight total_w = 0;
+        for (const WNeighbor& x : g.neighbors(u)) total_w += x.weight;
+        gain[u] = 2 * nb.weight - total_w;
+        in_frontier[u] = true;
+      }
+      frontier.insert({gain[u], u});
+    }
+  };
+
+  while (weight0 < target0) {
+    if (in_region[next]) {
+      if (frontier.empty()) {
+        // Disconnected: reseed from any vertex not yet absorbed.
+        VertexId reseed = kInvalidVertex;
+        for (int tries = 0; tries < 16 && reseed == kInvalidVertex; ++tries) {
+          const VertexId c = pick(rng);
+          if (!in_region[c]) reseed = c;
+        }
+        if (reseed == kInvalidVertex) {
+          for (VertexId v = 0; v < n; ++v) {
+            if (!in_region[v]) {
+              reseed = v;
+              break;
+            }
+          }
+        }
+        if (reseed == kInvalidVertex) break;  // everything absorbed
+        next = reseed;
+      } else {
+        next = frontier.begin()->second;
+      }
+    }
+    absorb(next);
+  }
+  return parts;
+}
+
+/// Extracts the sub-WGraph induced by vertices with parts[v] == side.
+/// Fills `to_sub` (kInvalidVertex for excluded) and `from_sub`.
+WGraph extract_side(const WGraph& g, const std::vector<PartitionId>& parts,
+                    PartitionId side, std::vector<VertexId>& from_sub) {
+  std::vector<VertexId> to_sub(g.num_vertices(), kInvalidVertex);
+  from_sub.clear();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (parts[v] == side) {
+      to_sub[v] = static_cast<VertexId>(from_sub.size());
+      from_sub.push_back(v);
+    }
+  }
+  std::vector<Weight> weights(from_sub.size());
+  std::vector<std::size_t> offsets(from_sub.size() + 1, 0);
+  std::vector<WNeighbor> adjacency;
+  for (std::size_t i = 0; i < from_sub.size(); ++i) {
+    const VertexId v = from_sub[i];
+    weights[i] = g.vertex_weight(v);
+    for (const WNeighbor& nb : g.neighbors(v)) {
+      const VertexId u = to_sub[nb.vertex];
+      if (u != kInvalidVertex) adjacency.push_back(WNeighbor{u, nb.weight});
+    }
+    offsets[i + 1] = adjacency.size();
+  }
+  return WGraph::from_csr(std::move(weights), std::move(offsets),
+                          std::move(adjacency));
+}
+
+}  // namespace
+
+std::vector<PartitionId> bisect(const WGraph& g, Weight target0,
+                                std::uint64_t seed, int trials) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return {};
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<VertexId> pick(0, n - 1);
+
+  std::vector<PartitionId> best;
+  Weight best_cut = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<PartitionId> parts = greedy_grow(g, target0, pick(rng), rng);
+    const Weight cut = fm_refine_bisection(g, parts, target0);
+    if (best.empty() || cut < best_cut) {
+      best = std::move(parts);
+      best_cut = cut;
+    }
+  }
+  return best;
+}
+
+std::vector<PartitionId> recursive_bisection(const WGraph& g, PartitionId k,
+                                             std::uint64_t seed) {
+  std::vector<PartitionId> parts(g.num_vertices(), 0);
+  if (k <= 1 || g.num_vertices() == 0) return parts;
+
+  const PartitionId k0 = k / 2;
+  const PartitionId k1 = k - k0;
+  const Weight target0 = g.total_vertex_weight() * k0 / k;
+  const std::vector<PartitionId> split = bisect(g, target0, seed);
+
+  std::vector<VertexId> from0;
+  std::vector<VertexId> from1;
+  const WGraph g0 = extract_side(g, split, 0, from0);
+  const WGraph g1 = extract_side(g, split, 1, from1);
+
+  const std::vector<PartitionId> sub0 =
+      recursive_bisection(g0, k0, seed * 0x9e3779b97f4a7c15ULL + 1);
+  const std::vector<PartitionId> sub1 =
+      recursive_bisection(g1, k1, seed * 0xbf58476d1ce4e5b9ULL + 2);
+
+  for (std::size_t i = 0; i < from0.size(); ++i) parts[from0[i]] = sub0[i];
+  for (std::size_t i = 0; i < from1.size(); ++i) parts[from1[i]] = k0 + sub1[i];
+  return parts;
+}
+
+}  // namespace tlp::metis

@@ -1,0 +1,25 @@
+// Initial partitioning on the coarsest graph: greedy graph growing (GGGP)
+// bisection, recursively applied for k-way.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metis/wgraph.hpp"
+
+namespace tlp::metis {
+
+/// Bisects g into parts {0, 1} with target weight `target0` for side 0.
+/// Runs `trials` greedy-growing attempts from different seeds and keeps the
+/// best cut after FM refinement. Returns per-vertex side labels.
+[[nodiscard]] std::vector<PartitionId> bisect(const WGraph& g, Weight target0,
+                                              std::uint64_t seed,
+                                              int trials = 4);
+
+/// Recursive bisection into k parts with near-equal weight targets.
+/// Labels are in [0, k).
+[[nodiscard]] std::vector<PartitionId> recursive_bisection(const WGraph& g,
+                                                           PartitionId k,
+                                                           std::uint64_t seed);
+
+}  // namespace tlp::metis

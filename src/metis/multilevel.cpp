@@ -1,0 +1,72 @@
+#include "metis/multilevel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "baselines/vertex_to_edge.hpp"
+#include "metis/coarsen.hpp"
+#include "metis/initial.hpp"
+#include "metis/refine.hpp"
+
+namespace tlp::metis {
+
+std::vector<PartitionId> MetisPartitioner::vertex_partition(
+    const Graph& g, const PartitionConfig& config) const {
+  const PartitionId k = config.num_partitions;
+  if (k == 0) {
+    throw std::invalid_argument("MetisPartitioner: num_partitions must be >= 1");
+  }
+  if (g.num_vertices() == 0) return {};
+  if (k == 1) return std::vector<PartitionId>(g.num_vertices(), 0);
+
+  // --- Coarsening ---------------------------------------------------------
+  std::vector<CoarseLevel> levels;
+  WGraph current = WGraph::from_graph(g);
+  const VertexId stop_at =
+      std::max<VertexId>(options_.coarsen_until, 4 * k);
+  std::uint64_t level_seed = config.seed;
+  while (current.num_vertices() > stop_at) {
+    CoarseLevel level = coarsen_hem(current, level_seed++);
+    const double shrink = static_cast<double>(level.graph.num_vertices()) /
+                          static_cast<double>(current.num_vertices());
+    if (shrink > options_.min_shrink) break;  // matching stalled (star-like)
+    current = level.graph;  // keep a copy at this level for projection
+    levels.push_back(std::move(level));
+  }
+
+  // --- Initial partitioning on the coarsest graph --------------------------
+  std::vector<PartitionId> parts =
+      recursive_bisection(current, k, config.seed ^ 0xabcdef12345678ULL);
+  kway_refine(current, parts, k, options_.imbalance, options_.refine_passes,
+              config.seed + 17);
+
+  // --- Uncoarsening + refinement ------------------------------------------
+  WGraph fine = WGraph::from_graph(g);
+  for (std::size_t i = levels.size(); i-- > 0;) {
+    // Project coarse labels to the finer level.
+    const std::vector<VertexId>& map = levels[i].fine_to_coarse;
+    std::vector<PartitionId> fine_parts(map.size());
+    for (VertexId v = 0; v < map.size(); ++v) fine_parts[v] = parts[map[v]];
+    parts = std::move(fine_parts);
+
+    // Refine on the finer graph: level i's *input* graph, which is the
+    // previous level's output (or the original graph for i == 0).
+    const WGraph& graph_here = (i == 0) ? fine : levels[i - 1].graph;
+    kway_refine(graph_here, parts, k, options_.imbalance,
+                options_.refine_passes, config.seed + 31 + i);
+  }
+  if (levels.empty()) {
+    // Graph was already tiny; parts is over `current` == original order.
+    kway_refine(fine, parts, k, options_.imbalance, options_.refine_passes,
+                config.seed + 31);
+  }
+  return parts;
+}
+
+EdgePartition MetisPartitioner::partition(const Graph& g,
+                                          const PartitionConfig& config) const {
+  return baselines::derive_edge_partition(g, vertex_partition(g, config),
+                                          config.num_partitions);
+}
+
+}  // namespace tlp::metis

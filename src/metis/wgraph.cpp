@@ -1,0 +1,44 @@
+#include "metis/wgraph.hpp"
+
+#include <numeric>
+
+namespace tlp::metis {
+
+WGraph WGraph::from_graph(const Graph& g) {
+  WGraph w;
+  w.vertex_weights_.assign(g.num_vertices(), 1);
+  w.total_vweight_ = static_cast<Weight>(g.num_vertices());
+  w.offsets_.assign(static_cast<std::size_t>(g.num_vertices()) + 1, 0);
+  w.adjacency_.reserve(2 * static_cast<std::size_t>(g.num_edges()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const Neighbor& nb : g.neighbors(v)) {
+      w.adjacency_.push_back(WNeighbor{nb.vertex, 1});
+    }
+    w.offsets_[v + 1] = w.adjacency_.size();
+  }
+  return w;
+}
+
+WGraph WGraph::from_csr(std::vector<Weight> vertex_weights,
+                        std::vector<std::size_t> offsets,
+                        std::vector<WNeighbor> adjacency) {
+  WGraph w;
+  w.vertex_weights_ = std::move(vertex_weights);
+  w.offsets_ = std::move(offsets);
+  w.adjacency_ = std::move(adjacency);
+  w.total_vweight_ = std::accumulate(w.vertex_weights_.begin(),
+                                     w.vertex_weights_.end(), Weight{0});
+  return w;
+}
+
+Weight weighted_cut(const WGraph& g, const std::vector<PartitionId>& parts) {
+  Weight cut = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const WNeighbor& nb : g.neighbors(v)) {
+      if (parts[v] != parts[nb.vertex]) cut += nb.weight;
+    }
+  }
+  return cut / 2;  // each cut edge seen from both endpoints
+}
+
+}  // namespace tlp::metis

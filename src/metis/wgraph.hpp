@@ -1,0 +1,61 @@
+// Weighted graph used inside the multilevel partitioner. Unlike tlp::Graph
+// this carries vertex and edge weights (accumulated during coarsening) and
+// is mutable-by-construction only.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tlp::metis {
+
+using Weight = std::int64_t;
+
+struct WNeighbor {
+  VertexId vertex;
+  Weight weight;
+};
+
+/// CSR weighted graph. Adjacency is NOT required to be sorted (coarsening
+/// produces arbitrary order); algorithms here only iterate.
+class WGraph {
+ public:
+  WGraph() = default;
+
+  /// Lifts an unweighted Graph: unit vertex and edge weights.
+  static WGraph from_graph(const Graph& g);
+
+  /// Builds from raw CSR arrays (used by the coarsener).
+  static WGraph from_csr(std::vector<Weight> vertex_weights,
+                         std::vector<std::size_t> offsets,
+                         std::vector<WNeighbor> adjacency);
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>(vertex_weights_.size());
+  }
+  [[nodiscard]] std::span<const WNeighbor> neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+  [[nodiscard]] Weight vertex_weight(VertexId v) const {
+    return vertex_weights_[v];
+  }
+  [[nodiscard]] Weight total_vertex_weight() const { return total_vweight_; }
+  [[nodiscard]] std::size_t num_adjacency_entries() const {
+    return adjacency_.size();
+  }
+
+ private:
+  std::vector<Weight> vertex_weights_;
+  std::vector<std::size_t> offsets_;
+  std::vector<WNeighbor> adjacency_;
+  Weight total_vweight_ = 0;
+};
+
+/// Weighted edge-cut of a vertex partition (each cut edge counted once).
+[[nodiscard]] Weight weighted_cut(const WGraph& g,
+                                  const std::vector<PartitionId>& parts);
+
+}  // namespace tlp::metis

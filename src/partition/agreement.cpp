@@ -1,0 +1,110 @@
+#include "partition/agreement.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace tlp {
+namespace {
+
+/// C(x, 2) as a double (inputs can be ~1e7).
+double choose2(double x) { return x * (x - 1.0) / 2.0; }
+
+/// Contingency table between two labelings (kNoPartition rows excluded).
+struct Contingency {
+  std::vector<std::vector<double>> cell;  // [a][b]
+  std::vector<double> row;
+  std::vector<double> col;
+  double total = 0.0;
+};
+
+Contingency build_contingency(const EdgePartition& a, const EdgePartition& b) {
+  if (a.num_edges() != b.num_edges()) {
+    throw std::invalid_argument("agreement: partitions cover different m");
+  }
+  Contingency t;
+  t.cell.assign(a.num_partitions(),
+                std::vector<double>(b.num_partitions(), 0.0));
+  t.row.assign(a.num_partitions(), 0.0);
+  t.col.assign(b.num_partitions(), 0.0);
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    const PartitionId pa = a.partition_of(e);
+    const PartitionId pb = b.partition_of(e);
+    if (pa == kNoPartition || pb == kNoPartition) continue;
+    t.cell[pa][pb] += 1.0;
+    t.row[pa] += 1.0;
+    t.col[pb] += 1.0;
+    t.total += 1.0;
+  }
+  return t;
+}
+
+}  // namespace
+
+double edge_rand_index(const EdgePartition& a, const EdgePartition& b) {
+  const Contingency t = build_contingency(a, b);
+  if (t.total < 2.0) return 1.0;
+  double same_both = 0.0;
+  for (const auto& row : t.cell) {
+    for (const double c : row) same_both += choose2(c);
+  }
+  double same_a = 0.0;
+  for (const double r : t.row) same_a += choose2(r);
+  double same_b = 0.0;
+  for (const double c : t.col) same_b += choose2(c);
+  const double pairs = choose2(t.total);
+  // agreements = pairs together in both + pairs separated in both.
+  const double agreements = same_both + (pairs - same_a - same_b + same_both);
+  return agreements / pairs;
+}
+
+double edge_adjusted_rand_index(const EdgePartition& a,
+                                const EdgePartition& b) {
+  const Contingency t = build_contingency(a, b);
+  if (t.total < 2.0) return 1.0;
+  double index = 0.0;
+  for (const auto& row : t.cell) {
+    for (const double c : row) index += choose2(c);
+  }
+  double sum_a = 0.0;
+  for (const double r : t.row) sum_a += choose2(r);
+  double sum_b = 0.0;
+  for (const double c : t.col) sum_b += choose2(c);
+  const double pairs = choose2(t.total);
+  const double expected = sum_a * sum_b / pairs;
+  const double max_index = 0.5 * (sum_a + sum_b);
+  if (max_index == expected) return 1.0;  // degenerate: single cluster
+  return (index - expected) / (max_index - expected);
+}
+
+double replica_set_jaccard(const Graph& g, const EdgePartition& a,
+                           const EdgePartition& b) {
+  if (a.num_edges() != g.num_edges() || b.num_edges() != g.num_edges()) {
+    throw std::invalid_argument("agreement: partitions do not match graph");
+  }
+  double sum = 0.0;
+  std::size_t counted = 0;
+  std::unordered_set<PartitionId> set_a;
+  std::unordered_set<PartitionId> set_b;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    set_a.clear();
+    set_b.clear();
+    for (const Neighbor& nb : g.neighbors(v)) {
+      const PartitionId pa = a.partition_of(nb.edge);
+      const PartitionId pb = b.partition_of(nb.edge);
+      if (pa != kNoPartition) set_a.insert(pa);
+      if (pb != kNoPartition) set_b.insert(pb);
+    }
+    if (set_a.empty() && set_b.empty()) continue;
+    std::size_t intersection = 0;
+    for (const PartitionId k : set_a) {
+      if (set_b.contains(k)) ++intersection;
+    }
+    const std::size_t unions = set_a.size() + set_b.size() - intersection;
+    sum += static_cast<double>(intersection) / static_cast<double>(unions);
+    ++counted;
+  }
+  return counted == 0 ? 1.0 : sum / static_cast<double>(counted);
+}
+
+}  // namespace tlp

@@ -1,0 +1,30 @@
+// Similarity measures between two edge partitions of the same graph —
+// used to quantify how stable an algorithm is across RNG seeds (an
+// evaluation angle the paper leaves implicit in "select vertex x randomly").
+#pragma once
+
+#include "partition/edge_partition.hpp"
+
+namespace tlp {
+
+/// Rand index over edges: the probability that a random PAIR of edges is
+/// treated consistently by both partitions (together in both, or separated
+/// in both). 1.0 = identical up to label renaming. Computed exactly from
+/// the label contingency table in O(m + |A|*|B|).
+[[nodiscard]] double edge_rand_index(const EdgePartition& a,
+                                     const EdgePartition& b);
+
+/// Adjusted Rand index (chance-corrected): 0 ~ random agreement, 1 =
+/// identical up to relabeling. Can be slightly negative.
+[[nodiscard]] double edge_adjusted_rand_index(const EdgePartition& a,
+                                              const EdgePartition& b);
+
+/// Average Jaccard similarity of each vertex's replica sets under the two
+/// partitions (vertices with no replicas in either are skipped). Unlike the
+/// Rand index this is label-sensitive: it asks whether each vertex lives on
+/// the same partition ids.
+[[nodiscard]] double replica_set_jaccard(const Graph& g,
+                                         const EdgePartition& a,
+                                         const EdgePartition& b);
+
+}  // namespace tlp

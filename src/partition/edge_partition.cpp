@@ -1,0 +1,21 @@
+#include "partition/edge_partition.hpp"
+
+namespace tlp {
+
+std::vector<EdgeId> EdgePartition::edge_counts() const {
+  std::vector<EdgeId> counts(num_partitions_, 0);
+  for (const PartitionId p : assignment_) {
+    if (p != kNoPartition) ++counts[p];
+  }
+  return counts;
+}
+
+EdgeId EdgePartition::unassigned_count() const {
+  EdgeId count = 0;
+  for (const PartitionId p : assignment_) {
+    if (p == kNoPartition) ++count;
+  }
+  return count;
+}
+
+}  // namespace tlp

@@ -1,0 +1,61 @@
+// EdgePartition: the result of a balanced p-edge partitioning (Def. 3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tlp {
+
+/// Assignment of every edge of a graph to one of p partitions.
+///
+/// The canonical representation is a dense per-edge array indexed by EdgeId.
+/// Derived views (edge counts, spanned vertex sets) are computed on demand by
+/// the metrics module; this type stays a plain value.
+class EdgePartition {
+ public:
+  EdgePartition() = default;
+
+  /// Creates an all-unassigned partition over `num_edges` edges.
+  EdgePartition(PartitionId num_partitions, EdgeId num_edges)
+      : num_partitions_(num_partitions),
+        assignment_(static_cast<std::size_t>(num_edges), kNoPartition) {}
+
+  /// Wraps an existing assignment vector (entries must be < num_partitions
+  /// or kNoPartition).
+  EdgePartition(PartitionId num_partitions, std::vector<PartitionId> assignment)
+      : num_partitions_(num_partitions), assignment_(std::move(assignment)) {}
+
+  [[nodiscard]] PartitionId num_partitions() const { return num_partitions_; }
+  [[nodiscard]] EdgeId num_edges() const {
+    return static_cast<EdgeId>(assignment_.size());
+  }
+
+  [[nodiscard]] PartitionId partition_of(EdgeId e) const {
+    return assignment_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] bool is_assigned(EdgeId e) const {
+    return partition_of(e) != kNoPartition;
+  }
+
+  void assign(EdgeId e, PartitionId part) {
+    assignment_[static_cast<std::size_t>(e)] = part;
+  }
+
+  [[nodiscard]] const std::vector<PartitionId>& raw() const {
+    return assignment_;
+  }
+
+  /// Number of edges per partition (index = PartitionId).
+  [[nodiscard]] std::vector<EdgeId> edge_counts() const;
+
+  /// Number of edges still unassigned.
+  [[nodiscard]] EdgeId unassigned_count() const;
+
+ private:
+  PartitionId num_partitions_ = 0;
+  std::vector<PartitionId> assignment_;
+};
+
+}  // namespace tlp

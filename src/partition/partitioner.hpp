@@ -1,0 +1,52 @@
+// Abstract edge-partitioner interface shared by TLP and all baselines.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "partition/edge_partition.hpp"
+
+namespace tlp {
+
+/// Common knobs for every partitioner. A partitioner may ignore fields that
+/// do not apply to it (e.g. `balance_slack` for pure hashing schemes).
+struct PartitionConfig {
+  /// Number of partitions p. Must be >= 1.
+  PartitionId num_partitions = 2;
+
+  /// Capacity multiplier: C = ceil(m / p) * balance_slack (Def. 3's C).
+  /// 1.0 reproduces the paper's exactly-balanced setting.
+  double balance_slack = 1.0;
+
+  /// RNG seed; every partitioner is deterministic given (graph, config).
+  std::uint64_t seed = 42;
+
+  /// Capacity C for a given edge count (at least 1 so progress is possible).
+  [[nodiscard]] EdgeId capacity(EdgeId num_edges) const {
+    if (num_partitions == 0) return num_edges;
+    const auto base = (num_edges + num_partitions - 1) / num_partitions;
+    const auto scaled = static_cast<EdgeId>(
+        static_cast<double>(base) * (balance_slack < 1.0 ? 1.0 : balance_slack));
+    return scaled > 0 ? scaled : 1;
+  }
+};
+
+/// An edge-partitioning algorithm. Implementations must be stateless across
+/// calls (everything derived from arguments), so one instance may be reused.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Short stable identifier, e.g. "tlp", "metis", "dbh".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Partitions all edges of g into config.num_partitions parts.
+  /// Postcondition: every edge assigned (validated in tests).
+  [[nodiscard]] virtual EdgePartition partition(
+      const Graph& g, const PartitionConfig& config) const = 0;
+};
+
+using PartitionerPtr = std::unique_ptr<Partitioner>;
+
+}  // namespace tlp

@@ -1,0 +1,50 @@
+#include "partition/registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace tlp {
+namespace {
+
+std::map<std::string, PartitionerFactory>& registry() {
+  static std::map<std::string, PartitionerFactory> instance;
+  return instance;
+}
+
+}  // namespace
+
+void register_partitioner(const std::string& name,
+                          PartitionerFactory factory) {
+  const auto [it, inserted] = registry().emplace(name, std::move(factory));
+  if (!inserted) {
+    throw std::logic_error("partitioner '" + name + "' already registered");
+  }
+}
+
+PartitionerPtr make_partitioner(const std::string& name) {
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    std::string known;
+    for (const auto& [key, _] : registry()) {
+      known += key;
+      known += ' ';
+    }
+    throw std::out_of_range("unknown partitioner '" + name +
+                            "'; registered: " + known);
+  }
+  return it->second();
+}
+
+std::vector<std::string> registered_partitioners() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [key, _] : registry()) names.push_back(key);
+  return names;
+}
+
+bool is_registered(const std::string& name) {
+  return registry().contains(name);
+}
+
+}  // namespace tlp

@@ -1,0 +1,31 @@
+// Name -> factory registry so benches and CLI tools can select algorithms
+// by string ("tlp", "metis", "ldg", ...).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "partition/partitioner.hpp"
+
+namespace tlp {
+
+using PartitionerFactory = std::function<PartitionerPtr()>;
+
+/// Registers a factory under `name`. Throws std::logic_error on duplicates.
+void register_partitioner(const std::string& name, PartitionerFactory factory);
+
+/// Instantiates a registered partitioner. Throws std::out_of_range with the
+/// list of known names if `name` is unknown.
+[[nodiscard]] PartitionerPtr make_partitioner(const std::string& name);
+
+/// All registered names, sorted.
+[[nodiscard]] std::vector<std::string> registered_partitioners();
+
+/// True iff `name` is registered.
+[[nodiscard]] bool is_registered(const std::string& name);
+
+// Note: registration of the built-in algorithms lives in
+// bench_common/builtins.hpp (it must link against every algorithm library).
+
+}  // namespace tlp

@@ -1,0 +1,42 @@
+// Small dynamic bitset tracking which partitions a vertex already has a
+// replica on. Sized for p <= a few hundred (the paper uses p <= 20).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace tlp {
+
+class ReplicaSet {
+ public:
+  explicit ReplicaSet(PartitionId num_partitions)
+      : words_((num_partitions + 63) / 64, 0) {}
+
+  [[nodiscard]] bool contains(PartitionId p) const {
+    return (words_[p / 64] >> (p % 64)) & 1ULL;
+  }
+
+  void insert(PartitionId p) { words_[p / 64] |= 1ULL << (p % 64); }
+
+  [[nodiscard]] bool empty() const {
+    for (const auto w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// True iff this and other share at least one partition.
+  [[nodiscard]] bool intersects(const ReplicaSet& other) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace tlp

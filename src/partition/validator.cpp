@@ -1,0 +1,62 @@
+#include "partition/validator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tlp {
+
+ValidationResult validate(const Graph& g, const EdgePartition& partition,
+                          const PartitionConfig& config) {
+  ValidationResult r;
+  r.capacity = config.capacity(g.num_edges());
+
+  if (partition.num_edges() != g.num_edges()) {
+    r.errors.push_back("partition covers " +
+                       std::to_string(partition.num_edges()) +
+                       " edges but graph has " +
+                       std::to_string(g.num_edges()));
+    return r;
+  }
+
+  r.in_range = true;
+  for (EdgeId e = 0; e < partition.num_edges(); ++e) {
+    const PartitionId p = partition.partition_of(e);
+    if (p == kNoPartition) {
+      ++r.unassigned;
+    } else if (p >= partition.num_partitions()) {
+      r.in_range = false;
+      r.errors.push_back("edge " + std::to_string(e) +
+                         " assigned to out-of-range partition " +
+                         std::to_string(p));
+    }
+  }
+  r.complete = (r.unassigned == 0);
+  if (!r.complete) {
+    r.errors.push_back(std::to_string(r.unassigned) + " edges unassigned");
+  }
+
+  const auto counts = partition.edge_counts();
+  r.max_load = counts.empty() ? 0 : *std::max_element(counts.begin(), counts.end());
+  r.within_capacity = (r.max_load <= r.capacity);
+  if (!r.within_capacity) {
+    r.errors.push_back("max load " + std::to_string(r.max_load) +
+                       " exceeds capacity " + std::to_string(r.capacity));
+  }
+  return r;
+}
+
+void validate_or_throw(const Graph& g, const EdgePartition& partition,
+                       const PartitionConfig& config) {
+  const ValidationResult r = validate(g, partition, config);
+  if (!r.ok()) {
+    std::string message = "invalid edge partition:";
+    for (const std::string& err : r.errors) {
+      message += ' ';
+      message += err;
+      message += ';';
+    }
+    throw std::logic_error(message);
+  }
+}
+
+}  // namespace tlp

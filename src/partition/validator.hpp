@@ -1,0 +1,36 @@
+// Structural validation of edge partitions (Def. 3 invariants).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "partition/edge_partition.hpp"
+#include "partition/partitioner.hpp"
+
+namespace tlp {
+
+/// Result of validating an EdgePartition against Def. 3.
+struct ValidationResult {
+  bool complete = false;        ///< every edge assigned
+  bool in_range = false;        ///< every assignment < p
+  bool within_capacity = false; ///< every |E(P_k)| <= C
+  EdgeId unassigned = 0;
+  EdgeId max_load = 0;
+  EdgeId capacity = 0;
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const { return complete && in_range; }
+  [[nodiscard]] bool strictly_ok() const { return ok() && within_capacity; }
+};
+
+/// Checks completeness, range, and capacity. Disjointness is structural
+/// (one owner per EdgeId), so it cannot be violated by construction.
+[[nodiscard]] ValidationResult validate(const Graph& g,
+                                        const EdgePartition& partition,
+                                        const PartitionConfig& config);
+
+/// Throws std::logic_error with a diagnostic message unless ok().
+void validate_or_throw(const Graph& g, const EdgePartition& partition,
+                       const PartitionConfig& config);
+
+}  // namespace tlp

@@ -1,0 +1,67 @@
+#include "partition/vertex_metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace tlp {
+
+VertexPartitionMetrics vertex_partition_metrics(
+    const Graph& g, const std::vector<PartitionId>& parts, PartitionId p) {
+  if (parts.size() != g.num_vertices()) {
+    throw std::invalid_argument("vertex_partition_metrics: size mismatch");
+  }
+  if (p == 0) {
+    throw std::invalid_argument("vertex_partition_metrics: p must be >= 1");
+  }
+  VertexPartitionMetrics m;
+
+  std::vector<std::size_t> vertex_load(p, 0);
+  std::vector<EdgeId> edge_load(p, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (parts[v] >= p) {
+      throw std::invalid_argument("vertex_partition_metrics: part out of range");
+    }
+    ++vertex_load[parts[v]];
+  }
+
+  EdgeId intra_total = 0;
+  for (const Edge& e : g.edges()) {
+    if (parts[e.u] != parts[e.v]) {
+      ++m.cut_edges;
+    } else {
+      ++edge_load[parts[e.u]];
+      ++intra_total;
+    }
+  }
+
+  // Ghosts: every vertex gets one replica on each foreign partition where
+  // it has a neighbor (the Pregel/GraphLab ghost model).
+  std::unordered_set<PartitionId> foreign;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    foreign.clear();
+    for (const Neighbor& nb : g.neighbors(v)) {
+      const PartitionId q = parts[nb.vertex];
+      if (q != parts[v]) foreign.insert(q);
+    }
+    m.ghost_count += foreign.size();
+  }
+
+  const double n = static_cast<double>(std::max<VertexId>(g.num_vertices(), 1));
+  const double me = static_cast<double>(std::max<EdgeId>(g.num_edges(), 1));
+  m.cut_fraction = static_cast<double>(m.cut_edges) / me;
+  m.ghost_factor = 1.0 + static_cast<double>(m.ghost_count) / n;
+  m.max_part_vertices =
+      *std::max_element(vertex_load.begin(), vertex_load.end());
+  m.vertex_balance =
+      static_cast<double>(m.max_part_vertices) / (n / static_cast<double>(p));
+  m.max_part_edges = *std::max_element(edge_load.begin(), edge_load.end());
+  m.edge_balance =
+      intra_total == 0
+          ? 1.0
+          : static_cast<double>(m.max_part_edges) /
+                (static_cast<double>(intra_total) / static_cast<double>(p));
+  return m;
+}
+
+}  // namespace tlp

@@ -1,0 +1,31 @@
+// Metrics for *vertex* partitionings — the paper's Section II.A contrast:
+// vertex partitioning (edge-cut model, Pregel/GraphLab) creates one ghost
+// per (cut edge, side), while edge partitioning (vertex-cut model,
+// PowerGraph) creates mirrors. bench/fig1_cut_models reproduces the
+// conceptual Fig. 1 comparison quantitatively.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tlp {
+
+struct VertexPartitionMetrics {
+  EdgeId cut_edges = 0;            ///< edges with endpoints in different parts
+  double cut_fraction = 0.0;       ///< cut_edges / m
+  std::size_t ghost_count = 0;     ///< remote replicas: distinct (vertex, foreign part with a neighbor) pairs
+  double ghost_factor = 0.0;       ///< 1 + ghosts / n, comparable to RF
+  std::size_t max_part_vertices = 0;
+  double vertex_balance = 0.0;     ///< max part size / (n / p)
+  EdgeId max_part_edges = 0;       ///< intra-part edges of the heaviest part
+  double edge_balance = 0.0;       ///< max intra-part load / (intra total / p)
+};
+
+/// Computes edge-cut-model metrics for a complete vertex partition
+/// (`parts[v] < p` for all v).
+[[nodiscard]] VertexPartitionMetrics vertex_partition_metrics(
+    const Graph& g, const std::vector<PartitionId>& parts, PartitionId p);
+
+}  // namespace tlp

@@ -1,0 +1,80 @@
+#include "stream/edge_stream.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace tlp::stream {
+
+GraphEdgeStream::GraphEdgeStream(const Graph& g, std::uint64_t seed)
+    : g_(&g), order_(static_cast<std::size_t>(g.num_edges())) {
+  std::iota(order_.begin(), order_.end(), EdgeId{0});
+  std::mt19937_64 rng(seed);
+  std::shuffle(order_.begin(), order_.end(), rng);
+}
+
+std::optional<StreamEdge> GraphEdgeStream::next() {
+  if (cursor_ >= order_.size()) return std::nullopt;
+  const EdgeId id = order_[cursor_++];
+  return StreamEdge{g_->edge(id), id};
+}
+
+namespace {
+
+/// Parses "u<ws>v" from a line; returns false for comments/blank lines,
+/// throws on malformed content.
+bool parse_edge_line(const std::string& line, Edge& out) {
+  const char* pos = line.data();
+  const char* end = line.data() + line.size();
+  while (pos != end && (*pos == ' ' || *pos == '\t' || *pos == '\r')) ++pos;
+  if (pos == end || *pos == '#' || *pos == '%') return false;
+  const auto parse = [&](VertexId& value) {
+    const auto [ptr, ec] = std::from_chars(pos, end, value);
+    if (ec != std::errc{} || ptr == pos) {
+      throw std::runtime_error("FileEdgeStream: malformed line: " + line);
+    }
+    pos = ptr;
+    while (pos != end && (*pos == ' ' || *pos == '\t' || *pos == ',')) ++pos;
+  };
+  parse(out.u);
+  parse(out.v);
+  return true;
+}
+
+}  // namespace
+
+FileEdgeStream::FileEdgeStream(const std::filesystem::path& path) {
+  // Pre-pass: count edges and the vertex-id bound.
+  {
+    std::ifstream scan(path);
+    if (!scan) {
+      throw std::runtime_error("FileEdgeStream: cannot open '" +
+                               path.string() + "'");
+    }
+    std::string line;
+    Edge e;
+    while (std::getline(scan, line)) {
+      if (!parse_edge_line(line, e)) continue;
+      ++total_edges_;
+      num_vertices_ = std::max({num_vertices_, e.u + 1, e.v + 1});
+    }
+  }
+  in_.open(path);
+  if (!in_) {
+    throw std::runtime_error("FileEdgeStream: cannot reopen '" +
+                             path.string() + "'");
+  }
+}
+
+std::optional<StreamEdge> FileEdgeStream::next() {
+  Edge e;
+  while (std::getline(in_, line_)) {
+    if (!parse_edge_line(line_, e)) continue;
+    return StreamEdge{e, cursor_++};
+  }
+  return std::nullopt;
+}
+
+}  // namespace tlp::stream

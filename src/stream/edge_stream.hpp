@@ -1,0 +1,106 @@
+// Edge stream abstractions for the sliding-window partitioner (the paper's
+// Section V future-work direction): graph data arrives as a sequence of
+// edges and only a bounded window is ever materialized.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <vector>
+
+#include "graph/edge.hpp"
+#include "graph/graph.hpp"
+
+namespace tlp::stream {
+
+/// One edge from a stream, tagged with its position in the stream (used as
+/// the EdgeId of the resulting partition).
+struct StreamEdge {
+  Edge edge;
+  EdgeId id = kInvalidEdge;
+};
+
+/// Pull-based edge source. Implementations must be single-pass.
+class EdgeStream {
+ public:
+  virtual ~EdgeStream() = default;
+
+  /// Next edge, or nullopt at end of stream.
+  virtual std::optional<StreamEdge> next() = 0;
+
+  /// Total number of edges the stream will produce (known up front for all
+  /// sources here; a capacity C = ceil(m/p) needs it, exactly like the
+  /// paper's streaming baselines assume).
+  [[nodiscard]] virtual EdgeId total_edges() const = 0;
+
+  /// Upper bound on vertex ids (exclusive).
+  [[nodiscard]] virtual VertexId num_vertices() const = 0;
+};
+
+/// Streams a pre-built edge list. Ids are positions in the vector.
+class VectorEdgeStream final : public EdgeStream {
+ public:
+  VectorEdgeStream(EdgeList edges, VertexId num_vertices)
+      : edges_(std::move(edges)), num_vertices_(num_vertices) {}
+
+  std::optional<StreamEdge> next() override {
+    if (cursor_ >= edges_.size()) return std::nullopt;
+    const EdgeId id = cursor_;
+    return StreamEdge{edges_[cursor_++], id};
+  }
+  [[nodiscard]] EdgeId total_edges() const override { return edges_.size(); }
+  [[nodiscard]] VertexId num_vertices() const override { return num_vertices_; }
+
+ private:
+  EdgeList edges_;
+  VertexId num_vertices_;
+  std::size_t cursor_ = 0;
+};
+
+/// Streams a Graph's canonical edges in a deterministic seeded random order
+/// (stream order must not leak the CSR's sorted structure). Ids are the
+/// graph's EdgeIds, so the resulting EdgePartition aligns with the Graph.
+class GraphEdgeStream final : public EdgeStream {
+ public:
+  GraphEdgeStream(const Graph& g, std::uint64_t seed);
+
+  std::optional<StreamEdge> next() override;
+  [[nodiscard]] EdgeId total_edges() const override { return g_->num_edges(); }
+  [[nodiscard]] VertexId num_vertices() const override {
+    return g_->num_vertices();
+  }
+
+ private:
+  const Graph* g_;
+  std::vector<EdgeId> order_;
+  std::size_t cursor_ = 0;
+};
+
+/// Streams a SNAP-format edge list straight from disk — the whole-graph
+/// footprint never enters memory, which is the point of the sliding-window
+/// partitioner. Construction makes one fast pre-pass to count edges and the
+/// vertex-id bound; next() then re-reads lazily. Self-loops are passed
+/// through (WindowTlp handles them); duplicate lines are distinct stream
+/// edges. Vertex ids are used verbatim (no relabeling), so sparse id
+/// spaces should be compacted beforehand (tlp_cli convert).
+class FileEdgeStream final : public EdgeStream {
+ public:
+  /// Throws std::runtime_error if the file is unreadable or malformed.
+  explicit FileEdgeStream(const std::filesystem::path& path);
+
+  std::optional<StreamEdge> next() override;
+  [[nodiscard]] EdgeId total_edges() const override { return total_edges_; }
+  [[nodiscard]] VertexId num_vertices() const override {
+    return num_vertices_;
+  }
+
+ private:
+  std::ifstream in_;
+  std::string line_;
+  EdgeId total_edges_ = 0;
+  VertexId num_vertices_ = 0;
+  EdgeId cursor_ = 0;
+};
+
+}  // namespace tlp::stream

@@ -1,0 +1,119 @@
+#include "stream/incremental.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tlp::stream {
+
+IncrementalAssigner::IncrementalAssigner(const Graph& g,
+                                         const EdgePartition& initial,
+                                         double balance_slack)
+    : balance_slack_(std::max(1.0, balance_slack)),
+      load_(initial.num_partitions(), 0) {
+  if (initial.num_partitions() == 0) {
+    throw std::invalid_argument("IncrementalAssigner: need >= 1 partition");
+  }
+  if (initial.num_edges() != g.num_edges()) {
+    throw std::invalid_argument(
+        "IncrementalAssigner: partition does not cover the graph");
+  }
+  replicas_.assign(g.num_vertices(), ReplicaSet(initial.num_partitions()));
+  seen_.assign(g.num_vertices(), 0);
+  replica_count_.assign(g.num_vertices(), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const PartitionId k = initial.partition_of(e);
+    if (k == kNoPartition) {
+      throw std::invalid_argument(
+          "IncrementalAssigner: initial partition has unassigned edges");
+    }
+    const Edge& edge = g.edge(e);
+    place(edge.u, k);
+    place(edge.v, k);
+    ++load_[k];
+    ++total_edges_;
+  }
+}
+
+EdgeId IncrementalAssigner::capacity() const {
+  const auto p = static_cast<EdgeId>(load_.size());
+  const EdgeId base = (total_edges_ + p) / p;  // ceil((m+1)/p): room for one
+  return static_cast<EdgeId>(static_cast<double>(base) * balance_slack_) + 1;
+}
+
+void IncrementalAssigner::grow_tables(VertexId v) {
+  if (v < replicas_.size()) return;
+  const auto p = static_cast<PartitionId>(load_.size());
+  replicas_.resize(v + 1, ReplicaSet(p));
+  seen_.resize(v + 1, 0);
+  replica_count_.resize(v + 1, 0);
+}
+
+void IncrementalAssigner::place(VertexId v, PartitionId k) {
+  grow_tables(v);
+  if (!seen_[v]) {
+    seen_[v] = 1;
+    ++covered_vertices_;
+  }
+  if (!replicas_[v].contains(k)) {
+    replicas_[v].insert(k);
+    ++replica_count_[v];
+    ++total_replicas_;
+  }
+}
+
+PartitionId IncrementalAssigner::assign(const Edge& e) {
+  grow_tables(std::max(e.u, e.v));
+  const auto p = static_cast<PartitionId>(load_.size());
+  const EdgeId cap = capacity();
+
+  // Locality-first candidate tiers (TLP Stage-II spirit: minimize new
+  // replicas), restricted to partitions under the rolling capacity; if a
+  // whole tier is over capacity, fall through to the next.
+  const auto pick = [&](auto&& allowed) {
+    PartitionId best = kNoPartition;
+    for (PartitionId k = 0; k < p; ++k) {
+      if (load_[k] >= cap || !allowed(k)) continue;
+      if (best == kNoPartition || load_[k] < load_[best]) best = k;
+    }
+    return best;
+  };
+
+  PartitionId target = kNoPartition;
+  if (!e.is_self_loop()) {
+    const ReplicaSet& au = replicas_[e.u];
+    const ReplicaSet& av = replicas_[e.v];
+    if (au.intersects(av)) {
+      target = pick([&](PartitionId k) {
+        return au.contains(k) && av.contains(k);
+      });
+    }
+    if (target == kNoPartition && (!au.empty() || !av.empty())) {
+      target = pick(
+          [&](PartitionId k) { return au.contains(k) || av.contains(k); });
+    }
+  }
+  if (target == kNoPartition) {
+    target = pick([](PartitionId) { return true; });
+  }
+  if (target == kNoPartition) {
+    // Everything is at capacity (can happen under tight slack): take the
+    // globally lightest partition anyway — completeness over balance.
+    target = static_cast<PartitionId>(std::distance(
+        load_.begin(), std::min_element(load_.begin(), load_.end())));
+  }
+
+  place(e.u, target);
+  if (!e.is_self_loop()) place(e.v, target);
+  ++load_[target];
+  ++total_edges_;
+  return target;
+}
+
+double IncrementalAssigner::current_rf() const {
+  return covered_vertices_ == 0
+             ? 1.0
+             : static_cast<double>(total_replicas_) /
+                   static_cast<double>(covered_vertices_);
+}
+
+}  // namespace tlp::stream

@@ -1,0 +1,54 @@
+// Incremental edge assignment: the paper's introduction motivates local
+// partitioning with graphs that "increase incrementally". This component
+// maintains a live partitioning as new edges (and new vertices) arrive
+// after an initial TLP/offline partitioning, assigning each edge with a
+// locality-first greedy rule and a growing capacity bound.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "partition/edge_partition.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/replica_set.hpp"
+
+namespace tlp::stream {
+
+class IncrementalAssigner {
+ public:
+  /// Seeds the assigner with an existing complete partitioning of `g`.
+  /// `balance_slack` scales the rolling capacity ceil(total/p)*slack that
+  /// new assignments must respect (1.0 = tight).
+  IncrementalAssigner(const Graph& g, const EdgePartition& initial,
+                      double balance_slack = 1.1);
+
+  /// Assigns one new edge and returns its partition. Endpoints may be brand
+  /// new vertex ids (the vertex table grows automatically). Self-loops go
+  /// to the lightest partition.
+  PartitionId assign(const Edge& e);
+
+  [[nodiscard]] PartitionId num_partitions() const {
+    return static_cast<PartitionId>(load_.size());
+  }
+  [[nodiscard]] const std::vector<EdgeId>& loads() const { return load_; }
+  [[nodiscard]] EdgeId total_edges() const { return total_edges_; }
+
+  /// Replication factor over every vertex seen so far (initial + arrived).
+  [[nodiscard]] double current_rf() const;
+
+ private:
+  [[nodiscard]] EdgeId capacity() const;
+  void grow_tables(VertexId v);
+  void place(VertexId v, PartitionId k);
+
+  double balance_slack_;
+  std::vector<ReplicaSet> replicas_;
+  std::vector<std::uint8_t> seen_;       ///< vertex has >= 1 incident edge
+  std::vector<PartitionId> replica_count_;
+  std::vector<EdgeId> load_;
+  EdgeId total_edges_ = 0;
+  std::size_t total_replicas_ = 0;
+  std::size_t covered_vertices_ = 0;
+};
+
+}  // namespace tlp::stream

@@ -1,0 +1,61 @@
+// Sliding-window TLP: the paper's Section-V future-work direction, built
+// out. Graph data arrives as an edge stream; only a bounded window of W
+// unassigned edges is ever held in memory. Partitions are grown one at a
+// time with the same two-stage heuristic as TLP, but all neighborhoods and
+// modularity bookkeeping are computed on the window. When the frontier
+// empties the window is topped up from the stream and growth continues.
+//
+// W >= C (the per-partition capacity) recovers TLP-like quality; small W
+// degrades gracefully toward streaming-heuristic quality. The
+// bench/window_sweep binary quantifies this trade-off.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "partition/partitioner.hpp"
+#include "stream/edge_stream.hpp"
+
+namespace tlp::stream {
+
+struct WindowTlpOptions {
+  /// Maximum number of unassigned edges buffered at any time. 0 means
+  /// "2x the per-partition capacity", the smallest window that lets every
+  /// partition grow without starving.
+  EdgeId window_capacity = 0;
+};
+
+/// Telemetry of one windowed run.
+struct WindowStats {
+  EdgeId window_capacity = 0;   ///< resolved window size
+  std::size_t refills = 0;      ///< stream top-ups
+  std::size_t reseeds = 0;      ///< frontier-empty reseeds
+  EdgeId drained_edges = 0;     ///< edges taken by the final catch-all drain
+  EdgeId self_loops = 0;        ///< degenerate edges assigned round-robin
+  std::size_t stage1_joins = 0;
+  std::size_t stage2_joins = 0;
+};
+
+class WindowTlpPartitioner : public Partitioner {
+ public:
+  explicit WindowTlpPartitioner(WindowTlpOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "window_tlp"; }
+
+  /// Partitioner interface: streams g's edges in a seeded random order
+  /// through the window. The result aligns with g's EdgeIds.
+  [[nodiscard]] EdgePartition partition(
+      const Graph& g, const PartitionConfig& config) const override;
+
+  /// Streaming API: consumes the stream once; returns one PartitionId per
+  /// stream edge id. `stats` is optional telemetry.
+  [[nodiscard]] std::vector<PartitionId> partition_stream(
+      EdgeStream& source, const PartitionConfig& config,
+      WindowStats* stats = nullptr) const;
+
+ private:
+  WindowTlpOptions options_;
+};
+
+}  // namespace tlp::stream

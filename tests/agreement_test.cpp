@@ -1,0 +1,100 @@
+// Tests for partition agreement metrics (Rand index, replica Jaccard).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/tlp.hpp"
+#include "baselines/baselines.hpp"
+#include "gen/generators.hpp"
+#include "partition/agreement.hpp"
+
+namespace tlp {
+namespace {
+
+EdgePartition from_labels(PartitionId p, std::vector<PartitionId> labels) {
+  return EdgePartition(p, std::move(labels));
+}
+
+TEST(RandIndex, IdenticalPartitionsScoreOne) {
+  const auto a = from_labels(3, {0, 1, 2, 0, 1});
+  EXPECT_DOUBLE_EQ(edge_rand_index(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(edge_adjusted_rand_index(a, a), 1.0);
+}
+
+TEST(RandIndex, LabelRenamingIsInvisible) {
+  const auto a = from_labels(2, {0, 0, 1, 1});
+  const auto b = from_labels(2, {1, 1, 0, 0});
+  EXPECT_DOUBLE_EQ(edge_rand_index(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(edge_adjusted_rand_index(a, b), 1.0);
+}
+
+TEST(RandIndex, HandComputedDisagreement) {
+  // a: {0,1} | {2,3};  b: {0,2} | {1,3}. Of the 6 pairs, only (0,1) vs ...
+  // pairs together in a: (0,1),(2,3); in b: (0,2),(1,3). No pair is
+  // together in both; pairs apart in both: (0,3),(1,2). Agreements = 2.
+  const auto a = from_labels(2, {0, 0, 1, 1});
+  const auto b = from_labels(2, {0, 1, 0, 1});
+  EXPECT_DOUBLE_EQ(edge_rand_index(a, b), 2.0 / 6.0);
+}
+
+TEST(RandIndex, SizeMismatchThrows) {
+  const auto a = from_labels(2, {0, 1});
+  const auto b = from_labels(2, {0, 1, 0});
+  EXPECT_THROW((void)edge_rand_index(a, b), std::invalid_argument);
+}
+
+TEST(RandIndex, AdjustedNearZeroForIndependentRandom) {
+  const Graph g = gen::erdos_renyi(400, 3000, 121);
+  PartitionConfig c1;
+  c1.num_partitions = 8;
+  c1.seed = 1;
+  PartitionConfig c2 = c1;
+  c2.seed = 2;
+  const baselines::RandomPartitioner random;
+  const double ari = edge_adjusted_rand_index(random.partition(g, c1),
+                                              random.partition(g, c2));
+  EXPECT_NEAR(ari, 0.0, 0.02);
+}
+
+TEST(RandIndex, TlpMoreStableThanRandomAcrossSeeds) {
+  const Graph g = gen::sbm(500, 4000, 10, 0.9, 123);
+  PartitionConfig c1;
+  c1.num_partitions = 5;
+  c1.seed = 1;
+  PartitionConfig c2 = c1;
+  c2.seed = 2;
+  const TlpPartitioner tlp;
+  const baselines::RandomPartitioner random;
+  const double ari_tlp = edge_adjusted_rand_index(tlp.partition(g, c1),
+                                                  tlp.partition(g, c2));
+  const double ari_rnd = edge_adjusted_rand_index(random.partition(g, c1),
+                                                  random.partition(g, c2));
+  // TLP follows community structure: far more seed-stable than hashing.
+  EXPECT_GT(ari_tlp, ari_rnd + 0.1);
+}
+
+TEST(ReplicaJaccard, IdenticalIsOne) {
+  const Graph g = gen::path_graph(5);
+  const auto part = from_labels(2, {0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(replica_set_jaccard(g, part, part), 1.0);
+}
+
+TEST(ReplicaJaccard, HandComputed) {
+  // Path 0-1-2: a = [0,1], b = [0,0].
+  // Replicas under a: v0:{0}, v1:{0,1}, v2:{1}; under b: v0:{0}, v1:{0},
+  // v2:{0}. Jaccards: 1, 1/2, 0 -> mean 0.5.
+  const Graph g = gen::path_graph(3);
+  const auto a = from_labels(2, {0, 1});
+  const auto b = from_labels(2, {0, 0});
+  EXPECT_DOUBLE_EQ(replica_set_jaccard(g, a, b), 0.5);
+}
+
+TEST(ReplicaJaccard, MismatchThrows) {
+  const Graph g = gen::path_graph(3);
+  const auto short_part = from_labels(2, {0});
+  EXPECT_THROW((void)replica_set_jaccard(g, short_part, short_part),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,201 @@
+// Tests for the baseline partitioners (Random, DBH, Grid, Greedy, HDRF,
+// LDG, NE) and the vertex->edge derivation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "baselines/baselines.hpp"
+#include "baselines/vertex_to_edge.hpp"
+#include "gen/generators.hpp"
+#include "partition/metrics.hpp"
+#include "partition/validator.hpp"
+
+namespace tlp::baselines {
+namespace {
+
+PartitionConfig config_for(PartitionId p, std::uint64_t seed = 42) {
+  PartitionConfig config;
+  config.num_partitions = p;
+  config.seed = seed;
+  return config;
+}
+
+template <typename P>
+void expect_valid_on_standard_graphs() {
+  const P partitioner;
+  for (const Graph& g :
+       {gen::path_graph(20), gen::star_graph(30), gen::complete_graph(10),
+        gen::erdos_renyi(120, 500, 3), gen::barabasi_albert(150, 3, 4)}) {
+    const auto config = config_for(4);
+    const EdgePartition part = partitioner.partition(g, config);
+    EXPECT_TRUE(validate(g, part, config).ok()) << partitioner.name() << " on "
+                                                << g.summary();
+  }
+}
+
+TEST(Random, ValidOnStandardGraphs) {
+  expect_valid_on_standard_graphs<RandomPartitioner>();
+}
+TEST(Dbh, ValidOnStandardGraphs) {
+  expect_valid_on_standard_graphs<DbhPartitioner>();
+}
+TEST(Grid, ValidOnStandardGraphs) {
+  expect_valid_on_standard_graphs<GridPartitioner>();
+}
+TEST(Greedy, ValidOnStandardGraphs) {
+  expect_valid_on_standard_graphs<GreedyPartitioner>();
+}
+TEST(Hdrf, ValidOnStandardGraphs) {
+  expect_valid_on_standard_graphs<HdrfPartitioner>();
+}
+TEST(Ldg, ValidOnStandardGraphs) {
+  expect_valid_on_standard_graphs<LdgPartitioner>();
+}
+TEST(Ne, ValidOnStandardGraphs) {
+  expect_valid_on_standard_graphs<NePartitioner>();
+}
+
+TEST(AllBaselines, RejectZeroPartitions) {
+  const Graph g = gen::path_graph(4);
+  EXPECT_THROW((void)RandomPartitioner{}.partition(g, config_for(0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)DbhPartitioner{}.partition(g, config_for(0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)GridPartitioner{}.partition(g, config_for(0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)GreedyPartitioner{}.partition(g, config_for(0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)HdrfPartitioner{}.partition(g, config_for(0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)LdgPartitioner{}.partition(g, config_for(0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)NePartitioner{}.partition(g, config_for(0)),
+               std::invalid_argument);
+}
+
+TEST(Random, RoughlyBalanced) {
+  const Graph g = gen::erdos_renyi(500, 5000, 7);
+  const EdgePartition part =
+      RandomPartitioner{}.partition(g, config_for(10));
+  EXPECT_LT(balance_factor(part), 1.2);  // iid multinomial concentration
+}
+
+TEST(Dbh, BeatsRandomOnPowerLaw) {
+  // DBH's whole point (Xie et al.): lower RF than random hashing on skewed
+  // degree distributions.
+  const Graph g = gen::chung_lu_power_law(5000, 30000, 2.1, /*seed=*/5);
+  const auto config = config_for(10);
+  const double rf_random =
+      replication_factor(g, RandomPartitioner{}.partition(g, config));
+  const double rf_dbh =
+      replication_factor(g, DbhPartitioner{}.partition(g, config));
+  EXPECT_LT(rf_dbh, rf_random);
+}
+
+TEST(Dbh, HashesByLowDegreeEndpoint) {
+  // Star: every edge's low-degree endpoint is the leaf, so the center is
+  // replicated wherever leaves hash — and each leaf appears exactly once.
+  const Graph g = gen::star_graph(64);
+  const EdgePartition part = DbhPartitioner{}.partition(g, config_for(4));
+  const auto replicas = replica_counts(g, part);
+  for (VertexId leaf = 1; leaf <= 64; ++leaf) {
+    EXPECT_EQ(replicas[leaf], 1u);
+  }
+}
+
+TEST(Grid, ReplicasBoundedByGridDimensions) {
+  // p = 9 -> 3x3 grid; every vertex's replicas <= row + col - 1 = 5.
+  const Graph g = gen::erdos_renyi(300, 4000, 9);
+  const EdgePartition part = GridPartitioner{}.partition(g, config_for(9));
+  const auto replicas = replica_counts(g, part);
+  for (const PartitionId r : replicas) {
+    EXPECT_LE(r, 5u);
+  }
+}
+
+TEST(Greedy, KeepsLocalityOnPath) {
+  // On a path, greedy should almost never replicate: consecutive edges share
+  // an endpoint that is already placed.
+  const Graph g = gen::path_graph(200);
+  const EdgePartition part = GreedyPartitioner{}.partition(g, config_for(4));
+  EXPECT_LT(replication_factor(g, part), 1.35);
+}
+
+TEST(Hdrf, BeatsRandomOnPowerLaw) {
+  const Graph g = gen::chung_lu_power_law(5000, 30000, 2.1, /*seed=*/6);
+  const auto config = config_for(10);
+  const double rf_random =
+      replication_factor(g, RandomPartitioner{}.partition(g, config));
+  const double rf_hdrf =
+      replication_factor(g, HdrfPartitioner{}.partition(g, config));
+  EXPECT_LT(rf_hdrf, rf_random);
+}
+
+TEST(Hdrf, BalanceTermKeepsLoadsSane) {
+  const Graph g = gen::chung_lu_power_law(3000, 20000, 2.1, /*seed=*/7);
+  const EdgePartition part = HdrfPartitioner{}.partition(g, config_for(8));
+  EXPECT_LT(balance_factor(part), 1.3);
+}
+
+TEST(Ldg, VertexPartitionCoversAllVertices) {
+  const Graph g = gen::erdos_renyi(200, 800, 8);
+  const auto parts = LdgPartitioner{}.vertex_partition(g, config_for(5));
+  ASSERT_EQ(parts.size(), g.num_vertices());
+  for (const PartitionId p : parts) {
+    EXPECT_LT(p, 5u);
+  }
+}
+
+TEST(Ldg, LowCutOnPlantedCommunities) {
+  const Graph g = gen::sbm(500, 4000, 5, 0.9, /*seed=*/8);
+  const auto config = config_for(5);
+  const auto parts = LdgPartitioner{}.vertex_partition(g, config);
+  // LDG recovers most of the planted structure: cut well below random (~80%).
+  const double cut_fraction =
+      static_cast<double>(edge_cut(g, parts)) /
+      static_cast<double>(g.num_edges());
+  EXPECT_LT(cut_fraction, 0.6);
+}
+
+TEST(Ne, LowRfOnCommunities) {
+  const Graph g = gen::caveman_graph(6, 8);
+  const EdgePartition part = NePartitioner{}.partition(g, config_for(6));
+  EXPECT_LT(replication_factor(g, part), 1.4);
+}
+
+TEST(Ne, Deterministic) {
+  const Graph g = gen::barabasi_albert(200, 3, 10);
+  const EdgePartition a = NePartitioner{}.partition(g, config_for(4, 5));
+  const EdgePartition b = NePartitioner{}.partition(g, config_for(4, 5));
+  EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(VertexToEdge, IntraEdgesFollowTheirPart) {
+  const Graph g = gen::path_graph(4);
+  const EdgePartition part = derive_edge_partition(g, {0, 0, 1, 1}, 2);
+  EXPECT_EQ(part.partition_of(0), 0u);  // (0,1) inside part 0
+  EXPECT_EQ(part.partition_of(2), 1u);  // (2,3) inside part 1
+  // Cut edge (1,2) goes to the lighter side deterministically.
+  const PartitionId cut_part = part.partition_of(1);
+  EXPECT_TRUE(cut_part == 0 || cut_part == 1);
+}
+
+TEST(VertexToEdge, BalancesCutEdges) {
+  // Bipartite star-of-stars: all edges cut; derivation must spread them.
+  const Graph g = gen::star_graph(100);
+  std::vector<PartitionId> parts(101, 1);
+  parts[0] = 0;  // center alone in part 0, all leaves in part 1
+  const EdgePartition part = derive_edge_partition(g, parts, 2);
+  const auto counts = part.edge_counts();
+  EXPECT_EQ(counts[0], 50u);
+  EXPECT_EQ(counts[1], 50u);
+}
+
+TEST(VertexToEdge, RejectsBadInput) {
+  const Graph g = gen::path_graph(3);
+  EXPECT_THROW(derive_edge_partition(g, {0, 0}, 2), std::invalid_argument);
+  EXPECT_THROW(derive_edge_partition(g, {0, 5, 0}, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tlp::baselines

@@ -1,0 +1,106 @@
+// Tests for machine loads and the cluster cost model.
+#include <gtest/gtest.h>
+
+#include "core/tlp.hpp"
+#include "engine/cluster_model.hpp"
+#include "gen/generators.hpp"
+#include "partition/metrics.hpp"
+
+namespace tlp::engine {
+namespace {
+
+TEST(MachineLoads, PathSplitByHand) {
+  // Path 0-1-2-3; edges (0,1),(1,2) on machine 0, (2,3) on machine 1.
+  const Graph g = gen::path_graph(4);
+  EdgePartition part(2, 3);
+  part.assign(0, 0);
+  part.assign(1, 0);
+  part.assign(2, 1);
+  const auto loads = machine_loads(g, part);
+  ASSERT_EQ(loads.size(), 2u);
+  EXPECT_EQ(loads[0].edges, 2u);
+  EXPECT_EQ(loads[1].edges, 1u);
+  // Only vertex 2 is replicated: master on 0 (tie -> smaller id), mirror on
+  // 1. Gather: 1 sends 1 to 0. Scatter: 0 sends 1 to 1.
+  EXPECT_EQ(loads[1].sent, 1u);
+  EXPECT_EQ(loads[0].received, 1u);
+  EXPECT_EQ(loads[0].sent, 1u);
+  EXPECT_EQ(loads[1].received, 1u);
+}
+
+TEST(MachineLoads, NoReplicationNoTraffic) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EdgePartition part(2, 2);
+  part.assign(0, 0);
+  part.assign(1, 1);
+  for (const MachineLoad& load : machine_loads(g, part)) {
+    EXPECT_EQ(load.sent, 0u);
+    EXPECT_EQ(load.received, 0u);
+  }
+}
+
+TEST(MachineLoads, TotalsMatchMirrorCount) {
+  const Graph g = gen::erdos_renyi(200, 800, 61);
+  const TlpPartitioner tlp;
+  PartitionConfig config;
+  config.num_partitions = 5;
+  const EdgePartition part = tlp.partition(g, config);
+  const Placement placement(g, part);
+  const auto loads = machine_loads(g, part);
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  EdgeId edges = 0;
+  for (const MachineLoad& load : loads) {
+    sent += load.sent;
+    received += load.received;
+    edges += load.edges;
+  }
+  // One gather + one scatter message per mirror.
+  EXPECT_EQ(sent, 2 * placement.mirror_count());
+  EXPECT_EQ(received, 2 * placement.mirror_count());
+  EXPECT_EQ(edges, g.num_edges());
+}
+
+TEST(CostModel, ComputeScalesWithEdges) {
+  const Graph g = gen::complete_graph(12);  // 66 edges
+  EdgePartition skew(2, g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) skew.assign(e, 0);
+  ClusterCostConfig config;
+  config.seconds_per_edge = 1.0;  // make compute dominant and readable
+  config.barrier_seconds = 0.0;
+  const SuperstepEstimate estimate = estimate_superstep(g, skew, config);
+  EXPECT_DOUBLE_EQ(estimate.compute_seconds, 66.0);
+  EXPECT_EQ(estimate.compute_bottleneck, 0u);
+  EXPECT_DOUBLE_EQ(estimate.comm_seconds, 0.0);  // one machine, no mirrors
+}
+
+TEST(CostModel, BarrierAlwaysCharged) {
+  const Graph g = gen::path_graph(3);
+  EdgePartition part(2, 2);
+  part.assign(0, 0);
+  part.assign(1, 1);
+  ClusterCostConfig config;
+  config.barrier_seconds = 0.5;
+  const SuperstepEstimate estimate = estimate_superstep(g, part, config);
+  EXPECT_DOUBLE_EQ(estimate.barrier_seconds, 0.5);
+  EXPECT_GE(estimate.total_seconds(), 0.5);
+}
+
+TEST(CostModel, LowerRfGivesCheaperSupersteps) {
+  const Graph g = gen::sbm(600, 5000, 12, 0.9, 63);
+  PartitionConfig config;
+  config.num_partitions = 6;
+  const TlpPartitioner tlp;
+  const EdgePartition good = tlp.partition(g, config);
+  EdgePartition bad(6, g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    bad.assign(e, static_cast<PartitionId>((e * 2654435761u) % 6));
+  }
+  ASSERT_LT(replication_factor(g, good), replication_factor(g, bad));
+  // Communication term must be cheaper for the better partition.
+  EXPECT_LT(estimate_superstep(g, good).comm_seconds,
+            estimate_superstep(g, bad).comm_seconds);
+}
+
+}  // namespace
+}  // namespace tlp::engine

@@ -1,0 +1,75 @@
+// Tests for the paper-dataset registry (synthetic stand-ins, Table III).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "bench_common/datasets.hpp"
+#include "graph/stats.hpp"
+
+namespace tlp::bench {
+namespace {
+
+TEST(Datasets, NineSpecsInPaperOrder) {
+  const auto& specs = paper_datasets();
+  ASSERT_EQ(specs.size(), 9u);
+  EXPECT_EQ(specs[0].id, "G1");
+  EXPECT_EQ(specs[0].paper_name, "email-Eu-core");
+  EXPECT_EQ(specs[8].id, "G9");
+  EXPECT_EQ(specs[8].paper_name, "huapu");
+}
+
+TEST(Datasets, UnknownIdThrows) {
+  EXPECT_THROW((void)make_dataset("G10"), std::out_of_range);
+  EXPECT_THROW((void)default_scale("nope"), std::out_of_range);
+}
+
+TEST(Datasets, DefaultScales) {
+  EXPECT_DOUBLE_EQ(default_scale("G1"), 1.0);
+  EXPECT_DOUBLE_EQ(default_scale("G9"), 0.1);  // shrunk by default
+}
+
+TEST(Datasets, SmallScaleBuildsMatchTargetsApproximately) {
+  // Build every dataset at 2% scale: fast, and checks every generator
+  // config is wired correctly.
+  for (const DatasetSpec& spec : paper_datasets()) {
+    const double scale = 0.02;
+    const Graph g = make_dataset(spec.id, scale);
+    EXPECT_GT(g.num_vertices(), 0u) << spec.id;
+    EXPECT_GT(g.num_edges(), 0u) << spec.id;
+    // Vertices within 2x of the scaled target (generators may trim).
+    const double target_n = static_cast<double>(spec.paper_vertices) * scale;
+    EXPECT_LT(static_cast<double>(g.num_vertices()), 2.5 * target_n + 64)
+        << spec.id;
+  }
+}
+
+TEST(Datasets, G1AtFullScaleMatchesPaperSize) {
+  const Graph g = make_dataset("G1");
+  EXPECT_EQ(g.num_vertices(), 1005u);
+  EXPECT_EQ(g.num_edges(), 25571u);
+}
+
+TEST(Datasets, Deterministic) {
+  const Graph a = make_dataset("G2", 0.05);
+  const Graph b = make_dataset("G2", 0.05);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e), b.edge(e));
+  }
+}
+
+TEST(Datasets, PowerLawStandInsHaveHeavyTails) {
+  const Graph g = make_dataset("G2", 0.5);
+  const GraphStats s = compute_stats(g);
+  EXPECT_GT(s.max_degree, 10 * static_cast<std::size_t>(s.avg_degree));
+}
+
+TEST(Datasets, GenealogyStandInHasLowAverageDegree) {
+  const Graph g = make_dataset("G9", 0.02);
+  const GraphStats s = compute_stats(g);
+  EXPECT_LT(s.avg_degree, 6.0);  // huapu: ~3.3
+  EXPECT_GT(s.avg_degree, 1.5);
+}
+
+}  // namespace
+}  // namespace tlp::bench

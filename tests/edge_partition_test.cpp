@@ -1,0 +1,75 @@
+// Tests for the EdgePartition value type.
+#include <gtest/gtest.h>
+
+#include "partition/edge_partition.hpp"
+#include "partition/partitioner.hpp"
+
+namespace tlp {
+namespace {
+
+TEST(EdgePartition, StartsUnassigned) {
+  const EdgePartition p(3, 10);
+  EXPECT_EQ(p.num_partitions(), 3u);
+  EXPECT_EQ(p.num_edges(), 10u);
+  EXPECT_EQ(p.unassigned_count(), 10u);
+  for (EdgeId e = 0; e < 10; ++e) {
+    EXPECT_FALSE(p.is_assigned(e));
+    EXPECT_EQ(p.partition_of(e), kNoPartition);
+  }
+}
+
+TEST(EdgePartition, AssignAndCount) {
+  EdgePartition p(3, 5);
+  p.assign(0, 1);
+  p.assign(1, 1);
+  p.assign(2, 0);
+  const auto counts = p.edge_counts();
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(p.unassigned_count(), 2u);
+}
+
+TEST(EdgePartition, Reassignment) {
+  EdgePartition p(2, 1);
+  p.assign(0, 0);
+  p.assign(0, 1);
+  EXPECT_EQ(p.partition_of(0), 1u);
+  EXPECT_EQ(p.edge_counts()[0], 0u);
+  EXPECT_EQ(p.edge_counts()[1], 1u);
+}
+
+TEST(EdgePartition, WrapsExistingVector) {
+  const EdgePartition p(2, std::vector<PartitionId>{0, 1, 0});
+  EXPECT_EQ(p.num_edges(), 3u);
+  EXPECT_EQ(p.edge_counts()[0], 2u);
+  EXPECT_EQ(p.raw().size(), 3u);
+}
+
+TEST(EdgePartition, ZeroEdges) {
+  const EdgePartition p(4, EdgeId{0});
+  EXPECT_EQ(p.num_edges(), 0u);
+  EXPECT_EQ(p.unassigned_count(), 0u);
+  EXPECT_EQ(p.edge_counts().size(), 4u);
+}
+
+TEST(PartitionConfig, CapacityCeilDivision) {
+  PartitionConfig config;
+  config.num_partitions = 3;
+  EXPECT_EQ(config.capacity(9), 3u);
+  EXPECT_EQ(config.capacity(10), 4u);  // ceil(10/3)
+  EXPECT_EQ(config.capacity(1), 1u);
+  EXPECT_EQ(config.capacity(0), 1u);  // floor of 1 keeps progress possible
+}
+
+TEST(PartitionConfig, CapacitySlack) {
+  PartitionConfig config;
+  config.num_partitions = 2;
+  config.balance_slack = 1.5;
+  EXPECT_EQ(config.capacity(10), 7u);  // ceil(10/2)*1.5 = 7.5 -> truncated
+  config.balance_slack = 0.5;          // sub-1 slack clamps to 1.0
+  EXPECT_EQ(config.capacity(10), 5u);
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,115 @@
+// Tests for the SSSP and label-propagation GAS programs.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "engine/label_propagation.hpp"
+#include "engine/sssp.hpp"
+#include "gen/generators.hpp"
+#include "graph/algorithms.hpp"
+
+namespace tlp::engine {
+namespace {
+
+EdgePartition round_robin(const Graph& g, PartitionId p) {
+  EdgePartition part(p, g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    part.assign(e, static_cast<PartitionId>(e % p));
+  }
+  return part;
+}
+
+TEST(Sssp, MatchesBfsDistances) {
+  const Graph g = gen::erdos_renyi(200, 600, 31);
+  const SsspResult result = distributed_sssp(g, round_robin(g, 4), 0);
+  const auto reference = bfs_distances(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (reference[v] == std::numeric_limits<std::size_t>::max()) {
+      EXPECT_EQ(result.distances[v], kUnreachedDistance);
+    } else {
+      EXPECT_EQ(result.distances[v], reference[v]) << "vertex " << v;
+    }
+  }
+}
+
+TEST(Sssp, PathDistancesExact) {
+  const Graph g = gen::path_graph(10);
+  const SsspResult result = distributed_sssp(g, round_robin(g, 3), 3);
+  for (VertexId v = 0; v < 10; ++v) {
+    EXPECT_EQ(result.distances[v],
+              static_cast<std::uint32_t>(v > 3 ? v - 3 : 3 - v));
+  }
+}
+
+TEST(Sssp, UnreachableStaysMax) {
+  const Graph g = Graph::from_edges(4, {{0, 1}});
+  const SsspResult result = distributed_sssp(g, round_robin(g, 2), 0);
+  EXPECT_EQ(result.distances[0], 0u);
+  EXPECT_EQ(result.distances[1], 1u);
+  EXPECT_EQ(result.distances[2], kUnreachedDistance);
+  EXPECT_EQ(result.distances[3], kUnreachedDistance);
+}
+
+TEST(Sssp, RejectsBadSource) {
+  const Graph g = gen::path_graph(4);
+  EXPECT_THROW((void)distributed_sssp(g, round_robin(g, 2), 4),
+               std::out_of_range);
+}
+
+TEST(Sssp, ConvergesInDiameterSupersteps) {
+  const Graph g = gen::path_graph(32);
+  const SsspResult result = distributed_sssp(g, round_robin(g, 2), 0, 200);
+  // Needs ~diameter supersteps plus one to detect quiescence.
+  EXPECT_GE(result.comm.supersteps, 31u);
+  EXPECT_LE(result.comm.supersteps, 34u);
+}
+
+TEST(LabelPropagation, RecoversDisjointCliques) {
+  // Two disjoint cliques must converge to exactly two labels.
+  EdgeList edges;
+  for (VertexId u = 0; u < 8; ++u) {
+    for (VertexId v = u + 1; v < 8; ++v) {
+      edges.push_back(Edge{u, v});
+      edges.push_back(
+          Edge{static_cast<VertexId>(u + 8), static_cast<VertexId>(v + 8)});
+    }
+  }
+  const Graph g = Graph::from_edges(16, std::move(edges));
+  const LabelPropagationResult result =
+      label_propagation(g, round_robin(g, 3));
+  EXPECT_EQ(result.num_communities, 2u);
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_EQ(result.labels[v], result.labels[0]);
+    EXPECT_EQ(result.labels[v + 8], result.labels[8]);
+  }
+  EXPECT_NE(result.labels[0], result.labels[8]);
+}
+
+TEST(LabelPropagation, CavemanCommunitiesMostlyRecovered) {
+  const Graph g = gen::caveman_graph(6, 10);
+  const LabelPropagationResult result =
+      label_propagation(g, round_robin(g, 4));
+  // Bridged cliques may occasionally merge, never explode.
+  EXPECT_GE(result.num_communities, 3u);
+  EXPECT_LE(result.num_communities, 7u);
+}
+
+TEST(LabelPropagation, IsolatedVerticesKeepOwnLabel) {
+  const Graph g = Graph::from_edges(5, {{0, 1}});
+  const LabelPropagationResult result =
+      label_propagation(g, round_robin(g, 2));
+  EXPECT_EQ(result.labels[2], 2u);
+  EXPECT_EQ(result.labels[3], 3u);
+  EXPECT_EQ(result.labels[4], 4u);
+}
+
+TEST(LabelPropagation, DeterministicAndConvergent) {
+  const Graph g = gen::sbm(300, 2400, 6, 0.9, 41);
+  const auto a = label_propagation(g, round_robin(g, 4));
+  const auto b = label_propagation(g, round_robin(g, 4));
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_LT(a.comm.supersteps, 50u);  // converged before the cap
+}
+
+}  // namespace
+}  // namespace tlp::engine

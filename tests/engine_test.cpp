@@ -1,0 +1,164 @@
+// Tests for the vertex-cut GAS engine simulator: placement, PageRank,
+// connected components, and communication accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "baselines/baselines.hpp"
+#include "core/tlp.hpp"
+#include "engine/connected_components.hpp"
+#include "engine/pagerank.hpp"
+#include "engine/placement.hpp"
+#include "gen/generators.hpp"
+#include "graph/algorithms.hpp"
+#include "partition/metrics.hpp"
+
+namespace tlp::engine {
+namespace {
+
+PartitionConfig config_for(PartitionId p, std::uint64_t seed = 42) {
+  PartitionConfig config;
+  config.num_partitions = p;
+  config.seed = seed;
+  return config;
+}
+
+EdgePartition round_robin(const Graph& g, PartitionId p) {
+  EdgePartition part(p, g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    part.assign(e, static_cast<PartitionId>(e % p));
+  }
+  return part;
+}
+
+TEST(PlacementTest, ReplicasMatchMetrics) {
+  const Graph g = gen::erdos_renyi(100, 400, 3);
+  const EdgePartition part = round_robin(g, 4);
+  const Placement placement(g, part);
+  const auto expected = replica_counts(g, part);
+  std::size_t mirrors = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(placement.replicas(v).size(), expected[v]);
+    if (expected[v] > 0) mirrors += expected[v] - 1;
+  }
+  EXPECT_EQ(placement.mirror_count(), mirrors);
+}
+
+TEST(PlacementTest, MasterHoldsMostEdges) {
+  // Path 0-1-2-3; edges (0,1),(1,2) in part 0, (2,3) in part 1.
+  const Graph g = gen::path_graph(4);
+  EdgePartition part(2, 3);
+  part.assign(0, 0);
+  part.assign(1, 0);
+  part.assign(2, 1);
+  const Placement placement(g, part);
+  EXPECT_EQ(placement.master(1), 0u);  // both its edges in part 0
+  EXPECT_EQ(placement.master(2), 0u);  // 1 edge in each; tie -> smaller id
+  EXPECT_EQ(placement.master(3), 1u);
+  EXPECT_EQ(placement.mirror_count(), 1u);  // only vertex 2 is replicated
+}
+
+TEST(PlacementTest, IsolatedVertexHasNoReplicas) {
+  const Graph g = Graph::from_edges(3, {{0, 1}});
+  EdgePartition part(2, 1);
+  part.assign(0, 0);
+  const Placement placement(g, part);
+  EXPECT_TRUE(placement.replicas(2).empty());
+  EXPECT_EQ(placement.master(2), kNoPartition);
+}
+
+TEST(PageRank, SumsToOneAndMatchesSequential) {
+  const Graph g = gen::barabasi_albert(200, 3, 5);
+  const PageRankResult result = pagerank(g, round_robin(g, 4), 30);
+  const double sum =
+      std::accumulate(result.ranks.begin(), result.ranks.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+
+  // Reference: plain sequential power iteration.
+  const VertexId n = g.num_vertices();
+  std::vector<double> ref(n, 1.0 / n);
+  for (int it = 0; it < 30; ++it) {
+    std::vector<double> next(n, 0.15 / n);
+    for (VertexId v = 0; v < n; ++v) {
+      for (const Neighbor& nb : g.neighbors(v)) {
+        next[v] += 0.85 * ref[nb.vertex] / g.degree(nb.vertex);
+      }
+    }
+    ref = std::move(next);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    EXPECT_NEAR(result.ranks[v], ref[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST(PageRank, PartitionChoiceDoesNotChangeValues) {
+  const Graph g = gen::erdos_renyi(150, 600, 7);
+  const auto a = pagerank(g, round_robin(g, 2), 20);
+  const TlpPartitioner tlp;
+  const auto b = pagerank(g, tlp.partition(g, config_for(6)), 20);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(a.ranks[v], b.ranks[v], 1e-12);
+  }
+}
+
+TEST(PageRank, HubGetsHighestRank) {
+  const Graph g = gen::star_graph(50);
+  const auto result = pagerank(g, round_robin(g, 4), 25);
+  for (VertexId leaf = 1; leaf <= 50; ++leaf) {
+    EXPECT_GT(result.ranks[0], result.ranks[leaf]);
+  }
+}
+
+TEST(PageRank, CommunicationScalesWithReplication) {
+  // The paper's motivation: lower RF => fewer mirror-sync messages.
+  const Graph g = gen::sbm(600, 5000, 12, 0.9, 11);
+  const auto config = config_for(6);
+  const TlpPartitioner tlp;
+  const EdgePartition good = tlp.partition(g, config);
+  const EdgePartition bad =
+      baselines::RandomPartitioner{}.partition(g, config);
+  ASSERT_LT(replication_factor(g, good), replication_factor(g, bad));
+
+  const auto pr_good = pagerank(g, good, 5, 0.85, /*tolerance=*/0.0);
+  const auto pr_bad = pagerank(g, bad, 5, 0.85, /*tolerance=*/0.0);
+  ASSERT_EQ(pr_good.comm.supersteps, pr_bad.comm.supersteps);
+  EXPECT_LT(pr_good.comm.total_messages(), pr_bad.comm.total_messages());
+}
+
+TEST(Components, MatchSequentialLabels) {
+  const Graph g = Graph::from_edges(
+      8, {{0, 1}, {1, 2}, {3, 4}, {5, 6}, {6, 7}, {5, 7}});
+  const ComponentsResult result = distributed_components(g, round_robin(g, 3));
+  const ComponentLabels ref = connected_components(g);
+  // Same partition of the vertex set (labels differ in naming scheme).
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(result.labels[u] == result.labels[v],
+                ref.label[u] == ref.label[v]);
+    }
+  }
+  // Min-label convention: component label is its minimum vertex id.
+  EXPECT_EQ(result.labels[2], 0u);
+  EXPECT_EQ(result.labels[4], 3u);
+  EXPECT_EQ(result.labels[7], 5u);
+}
+
+TEST(Components, ConvergesEarlyOnSmallDiameter) {
+  const Graph g = gen::complete_graph(20);
+  const ComponentsResult result =
+      distributed_components(g, round_robin(g, 4), 100);
+  EXPECT_LT(result.comm.supersteps, 5u);
+  for (const VertexId label : result.labels) EXPECT_EQ(label, 0u);
+}
+
+TEST(Components, LongPathNeedsManySteps) {
+  const Graph g = gen::path_graph(64);
+  const ComponentsResult result =
+      distributed_components(g, round_robin(g, 2), 200);
+  EXPECT_GT(result.comm.supersteps, 10u);
+  for (const VertexId label : result.labels) EXPECT_EQ(label, 0u);
+}
+
+}  // namespace
+}  // namespace tlp::engine

@@ -1,0 +1,170 @@
+// Unit tests for the CSR Graph and GraphBuilder.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/graph.hpp"
+
+namespace tlp {
+namespace {
+
+TEST(Edge, CanonicalOrdersEndpoints) {
+  EXPECT_EQ((Edge{5, 2}.canonical()), (Edge{2, 5}));
+  EXPECT_EQ((Edge{2, 5}.canonical()), (Edge{2, 5}));
+}
+
+TEST(Edge, OtherReturnsOppositeEndpoint) {
+  constexpr Edge e{3, 7};
+  EXPECT_EQ(e.other(3), 7u);
+  EXPECT_EQ(e.other(7), 3u);
+}
+
+TEST(Edge, SelfLoopDetection) {
+  EXPECT_TRUE((Edge{4, 4}.is_self_loop()));
+  EXPECT_FALSE((Edge{4, 5}.is_self_loop()));
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.empty());
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+}
+
+TEST(Graph, TriangleBasics) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(Graph, NeighborsAreSortedWithEdgeIds) {
+  // Insert edges in scrambled order; adjacency must come out sorted.
+  const Graph g = Graph::from_edges(5, {{4, 0}, {0, 2}, {0, 1}, {3, 0}});
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_EQ(nbrs[0].vertex, 1u);
+  EXPECT_EQ(nbrs[1].vertex, 2u);
+  EXPECT_EQ(nbrs[2].vertex, 3u);
+  EXPECT_EQ(nbrs[3].vertex, 4u);
+  for (const Neighbor& nb : nbrs) {
+    const Edge& e = g.edge(nb.edge);
+    EXPECT_TRUE(e.u == 0 || e.v == 0);
+    EXPECT_EQ(e.other(0), nb.vertex);
+  }
+}
+
+TEST(Graph, EdgesAreCanonicalized) {
+  const Graph g = Graph::from_edges(4, {{3, 1}, {2, 0}});
+  for (const Edge& e : g.edges()) {
+    EXPECT_LE(e.u, e.v);
+  }
+}
+
+TEST(Graph, HasEdgeNegative) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 3));
+}
+
+TEST(Graph, CommonNeighborCount) {
+  //   0 - 1
+  //   | X |     (0-1, 0-2, 0-3, 1-2, 1-3)
+  //   2   3
+  const Graph g = Graph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}});
+  EXPECT_EQ(g.common_neighbor_count(0, 1), 2u);  // {2, 3}
+  EXPECT_EQ(g.common_neighbor_count(2, 3), 2u);  // {0, 1}
+  EXPECT_EQ(g.common_neighbor_count(0, 2), 1u);  // {1}
+}
+
+TEST(Graph, CommonNeighborCountGallopPath) {
+  // Star with a big hub exercises the binary-search branch (size ratio > 32).
+  EdgeList edges;
+  const VertexId n = 200;
+  for (VertexId v = 2; v < n; ++v) edges.push_back(Edge{0, v});
+  edges.push_back(Edge{1, 2});
+  edges.push_back(Edge{1, 3});
+  edges.push_back(Edge{0, 1});
+  const Graph g = Graph::from_edges(n, std::move(edges));
+  EXPECT_EQ(g.common_neighbor_count(0, 1), 2u);  // {2, 3}
+  EXPECT_EQ(g.common_neighbor_count(1, 0), 2u);  // symmetric
+}
+
+TEST(Graph, FromEdgesRejectsOutOfRange) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 2}}), std::invalid_argument);
+}
+
+TEST(Graph, FromEdgesRejectsSelfLoop) {
+  EXPECT_THROW(Graph::from_edges(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(Graph, FromEdgesRejectsDuplicates) {
+  EXPECT_THROW(Graph::from_edges(3, {{0, 1}, {1, 0}}), std::invalid_argument);
+  EXPECT_THROW(Graph::from_edges(3, {{0, 1}, {0, 1}}), std::invalid_argument);
+}
+
+TEST(Graph, SummaryMentionsCounts) {
+  const Graph g = Graph::from_edges(3, {{0, 1}});
+  EXPECT_NE(g.summary().find("n=3"), std::string::npos);
+  EXPECT_NE(g.summary().find("m=1"), std::string::npos);
+}
+
+TEST(GraphBuilder, DropsSelfLoopsAndDuplicates) {
+  GraphBuilder builder(/*relabel=*/false);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 0);  // duplicate (reverse orientation)
+  builder.add_edge(2, 2);  // self-loop
+  builder.add_edge(1, 2);
+  BuildReport report;
+  const Graph g = builder.build(&report);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(report.input_edges, 4u);
+  EXPECT_EQ(report.self_loops, 1u);
+  EXPECT_EQ(report.duplicate_edges, 1u);
+  EXPECT_EQ(report.kept_edges, 2u);
+}
+
+TEST(GraphBuilder, RelabelsSparseIds) {
+  GraphBuilder builder(/*relabel=*/true);
+  builder.add_edge(1000, 2000);
+  builder.add_edge(2000, 3000);
+  const Graph g = builder.build();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphBuilder, NoRelabelUsesMaxId) {
+  GraphBuilder builder(/*relabel=*/false);
+  builder.add_edge(0, 9);
+  const Graph g = builder.build();
+  EXPECT_EQ(g.num_vertices(), 10u);
+}
+
+TEST(GraphBuilder, ReusableAfterBuild) {
+  GraphBuilder builder;
+  builder.add_edge(0, 1);
+  (void)builder.build();
+  EXPECT_EQ(builder.size(), 0u);
+  builder.add_edge(5, 6);
+  const Graph g = builder.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.num_vertices(), 2u);  // relabeled afresh
+}
+
+TEST(GraphBuilder, EmptyBuild) {
+  GraphBuilder builder;
+  const Graph g = builder.build();
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,112 @@
+// Tests for the incremental edge assigner.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+#include "core/tlp.hpp"
+#include "gen/generators.hpp"
+#include "partition/metrics.hpp"
+#include "stream/incremental.hpp"
+
+namespace tlp::stream {
+namespace {
+
+/// Initial graph + TLP partitioning shared by tests.
+struct Seeded {
+  Graph g;
+  EdgePartition part;
+  Seeded(VertexId n, EdgeId m, PartitionId p) {
+    g = gen::erdos_renyi(n, m, 71);
+    PartitionConfig config;
+    config.num_partitions = p;
+    part = TlpPartitioner{}.partition(g, config);
+  }
+};
+
+TEST(Incremental, SeedStateMatchesInitialPartition) {
+  const Seeded s(100, 400, 4);
+  const IncrementalAssigner assigner(s.g, s.part);
+  EXPECT_EQ(assigner.total_edges(), s.g.num_edges());
+  EXPECT_NEAR(assigner.current_rf(), replication_factor(s.g, s.part), 1e-12);
+  EdgeId total = 0;
+  for (const EdgeId load : assigner.loads()) total += load;
+  EXPECT_EQ(total, s.g.num_edges());
+}
+
+TEST(Incremental, RejectsIncompleteInitialPartition) {
+  const Graph g = gen::path_graph(4);
+  const EdgePartition hole(2, g.num_edges());  // all unassigned
+  EXPECT_THROW(IncrementalAssigner(g, hole), std::invalid_argument);
+  EXPECT_THROW(IncrementalAssigner(g, EdgePartition(2, EdgeId{1})),
+               std::invalid_argument);
+}
+
+TEST(Incremental, LocalityRuleReusesSharedPartition) {
+  // Both endpoints of the new edge live only on partition of edge 0.
+  const Graph g = gen::path_graph(3);  // edges (0,1),(1,2)
+  EdgePartition part(3, 2);
+  part.assign(0, 1);
+  part.assign(1, 1);
+  IncrementalAssigner assigner(g, part, /*slack=*/2.0);
+  EXPECT_EQ(assigner.assign(Edge{0, 2}), 1u);  // both live on 1
+  EXPECT_NEAR(assigner.current_rf(), 1.0, 1e-12);  // no new replicas
+}
+
+TEST(Incremental, NewVerticesGrowTables) {
+  const Seeded s(50, 150, 3);
+  IncrementalAssigner assigner(s.g, s.part);
+  // Attach a chain of brand-new vertices.
+  const PartitionId first = assigner.assign(Edge{10, 1000});
+  const PartitionId second = assigner.assign(Edge{1000, 1001});
+  EXPECT_LT(first, 3u);
+  // Locality: 1000 already lives on `first`, so its next edge should stay
+  // there (capacity permitting).
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(assigner.total_edges(), s.g.num_edges() + 2);
+}
+
+TEST(Incremental, SelfLoopsGoSomewhereValid) {
+  const Seeded s(50, 150, 3);
+  IncrementalAssigner assigner(s.g, s.part);
+  EXPECT_LT(assigner.assign(Edge{7, 7}), 3u);
+}
+
+TEST(Incremental, CapacityKeepsBalanceBounded) {
+  const Seeded s(200, 800, 4);
+  IncrementalAssigner assigner(s.g, s.part, /*slack=*/1.1);
+  // Stream many edges all touching vertex 0 (worst locality pull).
+  for (VertexId v = 200; v < 800; ++v) {
+    (void)assigner.assign(Edge{0, v});
+  }
+  const auto& loads = assigner.loads();
+  const EdgeId max_load = *std::max_element(loads.begin(), loads.end());
+  const double avg = static_cast<double>(assigner.total_edges()) /
+                     static_cast<double>(loads.size());
+  EXPECT_LT(static_cast<double>(max_load), 1.25 * avg);
+}
+
+TEST(Incremental, RfStaysFarBelowWorstCase) {
+  // Grow a community graph by 30% and check the live RF stays in the same
+  // ballpark as re-partitioning from scratch would give.
+  const Graph base = gen::sbm(500, 4000, 10, 0.9, 73);
+  PartitionConfig config;
+  config.num_partitions = 5;
+  const EdgePartition part = TlpPartitioner{}.partition(base, config);
+  IncrementalAssigner assigner(base, part);
+
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<VertexId> pick(0, 499);
+  for (int i = 0; i < 1200; ++i) {
+    // Mostly intra-community arrivals (same block mod 10).
+    const VertexId u = pick(rng);
+    const VertexId v =
+        static_cast<VertexId>((u + 10 * (1 + rng() % 48)) % 500);
+    (void)assigner.assign(Edge{u, v});
+  }
+  EXPECT_LT(assigner.current_rf(), 3.0);
+  EXPECT_GE(assigner.current_rf(), 1.0);
+}
+
+}  // namespace
+}  // namespace tlp::stream

@@ -1,0 +1,128 @@
+// Tests for SNAP text and binary graph I/O, including failure injection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+#include "graph/io.hpp"
+
+namespace tlp {
+namespace {
+
+TEST(EdgeListReader, ParsesSnapFormat) {
+  std::istringstream in(
+      "# Directed graph: example\n"
+      "# Nodes: 4 Edges: 4\n"
+      "0\t1\n"
+      "1\t2\n"
+      "2 3\n"
+      "\n"
+      "% percent comments too\n"
+      "3\t0\n");
+  const Graph g = io::read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+}
+
+TEST(EdgeListReader, CollapsesDirectedDuplicates) {
+  std::istringstream in("0 1\n1 0\n1 1\n");
+  BuildReport report;
+  const Graph g = io::read_edge_list(in, &report);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(report.duplicate_edges, 1u);
+  EXPECT_EQ(report.self_loops, 1u);
+}
+
+TEST(EdgeListReader, RelabelsSparseIds) {
+  std::istringstream in("30000000 40000000\n");
+  const Graph g = io::read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 2u);
+}
+
+TEST(EdgeListReader, RejectsMalformedLine) {
+  std::istringstream in("0 1\nnot numbers\n");
+  EXPECT_THROW(io::read_edge_list(in), std::runtime_error);
+}
+
+TEST(EdgeListReader, RejectsMissingSecondId) {
+  std::istringstream in("42\n");
+  EXPECT_THROW(io::read_edge_list(in), std::runtime_error);
+}
+
+TEST(EdgeListReader, EmptyInputGivesEmptyGraph) {
+  std::istringstream in("# only a comment\n");
+  const Graph g = io::read_edge_list(in);
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(EdgeListRoundTrip, PreservesGraph) {
+  const Graph original = gen::erdos_renyi(50, 120, /*seed=*/7);
+  std::stringstream buffer;
+  io::write_edge_list(original, buffer);
+  const Graph reloaded =
+      io::read_edge_list(buffer, nullptr, /*relabel=*/false);
+  ASSERT_EQ(reloaded.num_vertices(), original.num_vertices());
+  ASSERT_EQ(reloaded.num_edges(), original.num_edges());
+  for (EdgeId e = 0; e < original.num_edges(); ++e) {
+    EXPECT_TRUE(reloaded.has_edge(original.edge(e).u, original.edge(e).v));
+  }
+}
+
+TEST(BinaryRoundTrip, PreservesGraphExactly) {
+  const Graph original = gen::barabasi_albert(100, 3, /*seed=*/11);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary(original, buffer);
+  const Graph reloaded = io::read_binary(buffer);
+  ASSERT_EQ(reloaded.num_vertices(), original.num_vertices());
+  ASSERT_EQ(reloaded.num_edges(), original.num_edges());
+  for (EdgeId e = 0; e < original.num_edges(); ++e) {
+    EXPECT_EQ(reloaded.edge(e), original.edge(e));
+  }
+}
+
+TEST(BinaryReader, RejectsBadMagic) {
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  buffer << "NOPE and some trailing bytes";
+  EXPECT_THROW(io::read_binary(buffer), std::runtime_error);
+}
+
+TEST(BinaryReader, RejectsTruncatedPayload) {
+  const Graph original = gen::erdos_renyi(20, 30, /*seed=*/3);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary(original, buffer);
+  const std::string full = buffer.str();
+  std::stringstream cut(std::ios::in | std::ios::out | std::ios::binary);
+  cut << full.substr(0, full.size() / 2);
+  EXPECT_THROW(io::read_binary(cut), std::runtime_error);
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW(io::read_edge_list_file("/nonexistent/path/graph.txt"),
+               std::runtime_error);
+  EXPECT_THROW(io::read_binary_file("/nonexistent/path/graph.bin"),
+               std::runtime_error);
+}
+
+TEST(FileIo, WriteReadTempFiles) {
+  const Graph g = gen::cycle_graph(12);
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto text_path = dir / "tlp_io_test_graph.txt";
+  const auto bin_path = dir / "tlp_io_test_graph.bin";
+
+  io::write_edge_list_file(g, text_path);
+  io::write_binary_file(g, bin_path);
+  const Graph from_text = io::read_edge_list_file(text_path);
+  const Graph from_bin = io::read_binary_file(bin_path);
+  EXPECT_EQ(from_text.num_edges(), g.num_edges());
+  EXPECT_EQ(from_bin.num_edges(), g.num_edges());
+
+  std::filesystem::remove(text_path);
+  std::filesystem::remove(bin_path);
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,126 @@
+// Tests for the per-machine LocalGraph views.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/tlp.hpp"
+#include "engine/local_graph.hpp"
+#include "gen/generators.hpp"
+#include "partition/metrics.hpp"
+
+namespace tlp::engine {
+namespace {
+
+EdgePartition tlp_partition(const Graph& g, PartitionId p) {
+  PartitionConfig config;
+  config.num_partitions = p;
+  return TlpPartitioner{}.partition(g, config);
+}
+
+TEST(LocalGraphTest, EdgesPartitionExactlyAcrossMachines) {
+  const Graph g = gen::erdos_renyi(150, 600, 91);
+  const EdgePartition part = tlp_partition(g, 4);
+  const auto machines = build_local_graphs(g, part);
+  ASSERT_EQ(machines.size(), 4u);
+
+  std::set<EdgeId> seen;
+  EdgeId total = 0;
+  for (const LocalGraph& m : machines) {
+    total += m.num_edges();
+    for (LocalVertexId v = 0; v < m.num_vertices(); ++v) {
+      for (const auto& nb : m.neighbors(v)) {
+        seen.insert(nb.global_edge);
+        // Every local edge must belong to this machine's partition.
+        EXPECT_EQ(part.partition_of(nb.global_edge), m.partition_id());
+      }
+    }
+  }
+  EXPECT_EQ(total, g.num_edges());
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(g.num_edges()));
+}
+
+TEST(LocalGraphTest, LocalIdsAreBijective) {
+  const Graph g = gen::barabasi_albert(120, 3, 93);
+  const EdgePartition part = tlp_partition(g, 3);
+  for (const LocalGraph& m : build_local_graphs(g, part)) {
+    for (LocalVertexId v = 0; v < m.num_vertices(); ++v) {
+      const VertexId global = m.vertex(v).global;
+      EXPECT_EQ(m.local_id(global), v);
+    }
+  }
+}
+
+TEST(LocalGraphTest, ReplicaCountsMatchMetrics) {
+  const Graph g = gen::sbm(300, 2000, 10, 0.85, 95);
+  const EdgePartition part = tlp_partition(g, 5);
+  const auto machines = build_local_graphs(g, part);
+  const auto replicas = replica_counts(g, part);
+
+  // Each vertex must appear on exactly `replica_counts` machines.
+  std::vector<PartitionId> appearances(g.num_vertices(), 0);
+  for (const LocalGraph& m : machines) {
+    for (LocalVertexId v = 0; v < m.num_vertices(); ++v) {
+      ++appearances[m.vertex(v).global];
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(appearances[v], replicas[v]) << "vertex " << v;
+  }
+}
+
+TEST(LocalGraphTest, ExactlyOneMasterPerVertex) {
+  const Graph g = gen::erdos_renyi(100, 500, 97);
+  const EdgePartition part = tlp_partition(g, 4);
+  const auto machines = build_local_graphs(g, part);
+
+  std::vector<int> masters(g.num_vertices(), 0);
+  std::size_t mirrors = 0;
+  for (const LocalGraph& m : machines) {
+    for (LocalVertexId v = 0; v < m.num_vertices(); ++v) {
+      const LocalVertex& lv = m.vertex(v);
+      if (lv.is_master) {
+        EXPECT_EQ(lv.master, m.partition_id());
+        ++masters[lv.global];
+      } else {
+        EXPECT_NE(lv.master, m.partition_id());
+        ++mirrors;
+      }
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) > 0) {
+      EXPECT_EQ(masters[v], 1) << "vertex " << v;
+    }
+  }
+  const Placement placement(g, part);
+  EXPECT_EQ(mirrors, placement.mirror_count());
+}
+
+TEST(LocalGraphTest, LocalDegreesSumToGlobal) {
+  const Graph g = gen::caveman_graph(5, 6);
+  const EdgePartition part = tlp_partition(g, 5);
+  const auto machines = build_local_graphs(g, part);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::size_t local_sum = 0;
+    for (const LocalGraph& m : machines) {
+      const LocalVertexId lv = m.local_id(v);
+      if (lv != static_cast<LocalVertexId>(kInvalidVertex)) {
+        local_sum += m.degree(lv);
+      }
+    }
+    EXPECT_EQ(local_sum, g.degree(v));
+  }
+}
+
+TEST(LocalGraphTest, MissingVertexGivesInvalidLocalId) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EdgePartition part(2, 2);
+  part.assign(0, 0);
+  part.assign(1, 1);
+  const auto machines = build_local_graphs(g, part);
+  EXPECT_EQ(machines[0].local_id(2), static_cast<LocalVertexId>(kInvalidVertex));
+  EXPECT_EQ(machines[1].local_id(0), static_cast<LocalVertexId>(kInvalidVertex));
+}
+
+}  // namespace
+}  // namespace tlp::engine

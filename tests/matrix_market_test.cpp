@@ -1,0 +1,96 @@
+// Tests for the Matrix Market reader/writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+#include "graph/io.hpp"
+
+namespace tlp::io {
+namespace {
+
+TEST(MatrixMarket, ParsesPatternSymmetric) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "% a comment\n"
+      "4 4 3\n"
+      "2 1\n"
+      "3 2\n"
+      "4 3\n");
+  const Graph g = read_matrix_market(in);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+TEST(MatrixMarket, GeneralWithValuesCollapses) {
+  // General real matrix stores both triangles; values are ignored.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 4\n"
+      "1 2 0.5\n"
+      "2 1 0.5\n"
+      "1 1 9.0\n"
+      "3 1 2.5\n");
+  BuildReport report;
+  const Graph g = read_matrix_market(in, &report);
+  EXPECT_EQ(g.num_edges(), 2u);  // (0,1) deduped, self-loop dropped
+  EXPECT_GE(report.self_loops, 1u);
+}
+
+TEST(MatrixMarket, IsolatedTrailingVerticesPreserved) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "10 10 1\n"
+      "2 1\n");
+  const Graph g = read_matrix_market(in);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(MatrixMarket, RejectsBadHeaderAndShape) {
+  std::istringstream no_header("1 1 0\n");
+  EXPECT_THROW((void)read_matrix_market(no_header), std::runtime_error);
+
+  std::istringstream not_square(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 4 0\n");
+  EXPECT_THROW((void)read_matrix_market(not_square), std::runtime_error);
+
+  std::istringstream bad_format(
+      "%%MatrixMarket matrix array real general\n"
+      "3 3 0\n");
+  EXPECT_THROW((void)read_matrix_market(bad_format), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeAndTruncation) {
+  std::istringstream out_of_range(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 1\n"
+      "4 1\n");
+  EXPECT_THROW((void)read_matrix_market(out_of_range), std::runtime_error);
+
+  std::istringstream truncated(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n"
+      "2 1\n");
+  EXPECT_THROW((void)read_matrix_market(truncated), std::runtime_error);
+}
+
+TEST(MatrixMarket, RoundTrip) {
+  const Graph original = gen::erdos_renyi(40, 100, 99);
+  std::stringstream buffer;
+  write_matrix_market(original, buffer);
+  const Graph reloaded = read_matrix_market(buffer);
+  ASSERT_EQ(reloaded.num_vertices(), original.num_vertices());
+  ASSERT_EQ(reloaded.num_edges(), original.num_edges());
+  for (const Edge& e : original.edges()) {
+    EXPECT_TRUE(reloaded.has_edge(e.u, e.v));
+  }
+}
+
+}  // namespace
+}  // namespace tlp::io

@@ -1,0 +1,224 @@
+// Tests for the multilevel (METIS-style) partitioner and its phases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "gen/generators.hpp"
+#include "metis/coarsen.hpp"
+#include "metis/initial.hpp"
+#include "metis/multilevel.hpp"
+#include "metis/refine.hpp"
+#include "partition/metrics.hpp"
+#include "partition/validator.hpp"
+
+namespace tlp::metis {
+namespace {
+
+PartitionConfig config_for(PartitionId p, std::uint64_t seed = 42) {
+  PartitionConfig config;
+  config.num_partitions = p;
+  config.seed = seed;
+  return config;
+}
+
+TEST(WGraphTest, LiftsUnweightedGraph) {
+  const Graph g = gen::cycle_graph(6);
+  const WGraph w = WGraph::from_graph(g);
+  EXPECT_EQ(w.num_vertices(), 6u);
+  EXPECT_EQ(w.total_vertex_weight(), 6);
+  EXPECT_EQ(w.num_adjacency_entries(), 12u);
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_EQ(w.vertex_weight(v), 1);
+    EXPECT_EQ(w.neighbors(v).size(), 2u);
+  }
+}
+
+TEST(WGraphTest, WeightedCut) {
+  const Graph g = gen::path_graph(4);
+  const WGraph w = WGraph::from_graph(g);
+  EXPECT_EQ(weighted_cut(w, {0, 0, 1, 1}), 1);
+  EXPECT_EQ(weighted_cut(w, {0, 1, 0, 1}), 3);
+  EXPECT_EQ(weighted_cut(w, {0, 0, 0, 0}), 0);
+}
+
+TEST(Coarsen, PreservesTotalVertexWeight) {
+  const Graph g = gen::erdos_renyi(200, 800, 5);
+  const WGraph w = WGraph::from_graph(g);
+  const CoarseLevel level = coarsen_hem(w, 1);
+  EXPECT_EQ(level.graph.total_vertex_weight(), w.total_vertex_weight());
+  EXPECT_LT(level.graph.num_vertices(), w.num_vertices());
+  // Matching halves at best.
+  EXPECT_GE(level.graph.num_vertices(), w.num_vertices() / 2);
+}
+
+TEST(Coarsen, MapCoversAllFineVertices) {
+  const Graph g = gen::barabasi_albert(150, 3, 2);
+  const WGraph w = WGraph::from_graph(g);
+  const CoarseLevel level = coarsen_hem(w, 3);
+  ASSERT_EQ(level.fine_to_coarse.size(), w.num_vertices());
+  for (const VertexId c : level.fine_to_coarse) {
+    EXPECT_LT(c, level.graph.num_vertices());
+  }
+  // Every coarse vertex is the image of 1 or 2 fine vertices.
+  std::vector<int> hits(level.graph.num_vertices(), 0);
+  for (const VertexId c : level.fine_to_coarse) ++hits[c];
+  for (const int h : hits) {
+    EXPECT_GE(h, 1);
+    EXPECT_LE(h, 2);
+  }
+}
+
+TEST(Coarsen, CutIsPreservedUnderProjection) {
+  // Any partition of the coarse graph, projected to the fine graph, must
+  // have the same weighted cut (contraction preserves crossing weights).
+  const Graph g = gen::erdos_renyi(100, 400, 9);
+  const WGraph w = WGraph::from_graph(g);
+  const CoarseLevel level = coarsen_hem(w, 4);
+  std::vector<PartitionId> coarse_parts(level.graph.num_vertices());
+  for (VertexId v = 0; v < level.graph.num_vertices(); ++v) {
+    coarse_parts[v] = v % 2;
+  }
+  std::vector<PartitionId> fine_parts(w.num_vertices());
+  for (VertexId v = 0; v < w.num_vertices(); ++v) {
+    fine_parts[v] = coarse_parts[level.fine_to_coarse[v]];
+  }
+  EXPECT_EQ(weighted_cut(level.graph, coarse_parts),
+            weighted_cut(w, fine_parts));
+}
+
+TEST(Bisect, SplitsNearTarget) {
+  const Graph g = gen::erdos_renyi(200, 1000, 11);
+  const WGraph w = WGraph::from_graph(g);
+  const auto parts = bisect(w, w.total_vertex_weight() / 2, 1);
+  Weight side0 = 0;
+  for (VertexId v = 0; v < w.num_vertices(); ++v) {
+    if (parts[v] == 0) side0 += w.vertex_weight(v);
+  }
+  EXPECT_NEAR(static_cast<double>(side0),
+              static_cast<double>(w.total_vertex_weight()) / 2.0,
+              0.1 * static_cast<double>(w.total_vertex_weight()));
+}
+
+TEST(Bisect, FindsPlantedBisection) {
+  // Two 30-cliques joined by one bridge: the optimal bisection cut is 1.
+  const Graph g = gen::caveman_graph(2, 30);
+  const WGraph w = WGraph::from_graph(g);
+  const auto parts = bisect(w, w.total_vertex_weight() / 2, 5);
+  EXPECT_LE(weighted_cut(w, parts), 3);
+}
+
+TEST(FmRefine, NeverWorsensCut) {
+  const Graph g = gen::erdos_renyi(150, 600, 13);
+  const WGraph w = WGraph::from_graph(g);
+  std::vector<PartitionId> parts(w.num_vertices());
+  for (VertexId v = 0; v < w.num_vertices(); ++v) parts[v] = v % 2;
+  const Weight before = weighted_cut(w, parts);
+  const Weight after =
+      fm_refine_bisection(w, parts, w.total_vertex_weight() / 2);
+  EXPECT_LE(after, before);
+  EXPECT_EQ(after, weighted_cut(w, parts));  // returned cut is consistent
+}
+
+TEST(KwayRefine, NeverWorsensCutAndKeepsBalance) {
+  const Graph g = gen::erdos_renyi(300, 1500, 17);
+  const WGraph w = WGraph::from_graph(g);
+  const PartitionId k = 5;
+  std::vector<PartitionId> parts(w.num_vertices());
+  for (VertexId v = 0; v < w.num_vertices(); ++v) parts[v] = v % k;
+  const Weight before = weighted_cut(w, parts);
+  const Weight after = kway_refine(w, parts, k, 1.05, 8, 3);
+  EXPECT_LE(after, before);
+
+  std::vector<Weight> loads(k, 0);
+  for (VertexId v = 0; v < w.num_vertices(); ++v) {
+    loads[parts[v]] += w.vertex_weight(v);
+  }
+  const Weight max_load = *std::max_element(loads.begin(), loads.end());
+  EXPECT_LE(static_cast<double>(max_load),
+            1.06 * static_cast<double>(w.total_vertex_weight()) / k + 1.0);
+}
+
+TEST(Multilevel, VertexPartitionIsCompleteAndBalanced) {
+  const Graph g = gen::barabasi_albert(2000, 4, 19);
+  const MetisPartitioner metis;
+  const auto parts = metis.vertex_partition(g, config_for(10));
+  ASSERT_EQ(parts.size(), g.num_vertices());
+  std::vector<std::size_t> sizes(10, 0);
+  for (const PartitionId p : parts) {
+    ASSERT_LT(p, 10u);
+    ++sizes[p];
+  }
+  const std::size_t max_size = *std::max_element(sizes.begin(), sizes.end());
+  EXPECT_LT(static_cast<double>(max_size), 1.35 * 2000.0 / 10.0);
+}
+
+TEST(Multilevel, RecoversPlantedCommunities) {
+  const Graph g = gen::caveman_graph(4, 20);
+  const MetisPartitioner metis;
+  const auto parts = metis.vertex_partition(g, config_for(4));
+  // Optimal cut is 3 (the bridges).
+  EXPECT_LE(edge_cut(g, parts), 6u);
+}
+
+TEST(Multilevel, BeatsNaiveSplitOnErdosRenyi) {
+  const Graph g = gen::erdos_renyi(1000, 5000, 23);
+  const MetisPartitioner metis;
+  const auto config = config_for(8);
+  const auto parts = metis.vertex_partition(g, config);
+  std::vector<PartitionId> naive(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) naive[v] = v % 8;
+  EXPECT_LT(edge_cut(g, parts), edge_cut(g, naive));
+}
+
+TEST(Multilevel, EdgePartitionIsValid) {
+  const MetisPartitioner metis;
+  for (const Graph& g :
+       {gen::path_graph(30), gen::star_graph(50), gen::complete_graph(15),
+        gen::erdos_renyi(400, 2000, 29), gen::caveman_graph(5, 10)}) {
+    const auto config = config_for(5);
+    const EdgePartition part = metis.partition(g, config);
+    EXPECT_TRUE(validate(g, part, config).ok()) << g.summary();
+  }
+}
+
+TEST(Multilevel, Deterministic) {
+  const Graph g = gen::barabasi_albert(500, 3, 31);
+  const MetisPartitioner metis;
+  const auto a = metis.vertex_partition(g, config_for(6, 9));
+  const auto b = metis.vertex_partition(g, config_for(6, 9));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Multilevel, HandlesTinyGraphsAndEdgeCases) {
+  const MetisPartitioner metis;
+  // Fewer vertices than parts.
+  const Graph tiny = gen::path_graph(3);
+  const auto parts = metis.vertex_partition(tiny, config_for(8));
+  ASSERT_EQ(parts.size(), 3u);
+  for (const PartitionId p : parts) EXPECT_LT(p, 8u);
+  // k = 1.
+  const auto one = metis.vertex_partition(tiny, config_for(1));
+  EXPECT_TRUE(std::all_of(one.begin(), one.end(),
+                          [](PartitionId p) { return p == 0; }));
+  // Empty graph.
+  EXPECT_TRUE(metis.vertex_partition(Graph{}, config_for(4)).empty());
+  // Zero partitions.
+  EXPECT_THROW((void)metis.partition(tiny, config_for(0)),
+               std::invalid_argument);
+}
+
+TEST(Multilevel, LowRfOnCommunitiesVersusRandomHash) {
+  const Graph g = gen::sbm(1000, 8000, 10, 0.9, 37);
+  const MetisPartitioner metis;
+  const auto config = config_for(10);
+  const EdgePartition part = metis.partition(g, config);
+  EdgePartition hash(10, g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    hash.assign(e, static_cast<PartitionId>((e * 2654435761u) % 10));
+  }
+  EXPECT_LT(replication_factor(g, part), replication_factor(g, hash));
+}
+
+}  // namespace
+}  // namespace tlp::metis

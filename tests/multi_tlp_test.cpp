@@ -1,0 +1,119 @@
+// Tests for the concurrent multi-seed TLP extension.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/multi_tlp.hpp"
+#include "core/tlp.hpp"
+#include "gen/generators.hpp"
+#include "partition/metrics.hpp"
+#include "partition/validator.hpp"
+
+namespace tlp {
+namespace {
+
+PartitionConfig config_for(PartitionId p, std::uint64_t seed = 42) {
+  PartitionConfig config;
+  config.num_partitions = p;
+  config.seed = seed;
+  return config;
+}
+
+TEST(MultiTlp, CompleteAndInRangeOnVariousGraphs) {
+  const MultiTlpPartitioner multi;
+  for (const Graph& g :
+       {gen::path_graph(40), gen::star_graph(40), gen::complete_graph(12),
+        gen::caveman_graph(6, 6), gen::erdos_renyi(200, 800, 5),
+        gen::barabasi_albert(200, 3, 6), gen::sbm(240, 1400, 8, 0.85, 7)}) {
+    const auto config = config_for(4);
+    const EdgePartition part = multi.partition(g, config);
+    EXPECT_TRUE(validate(g, part, config).ok()) << g.summary();
+  }
+}
+
+TEST(MultiTlp, DeterministicForSeed) {
+  const Graph g = gen::barabasi_albert(250, 3, 9);
+  const MultiTlpPartitioner multi;
+  const EdgePartition a = multi.partition(g, config_for(5, 3));
+  const EdgePartition b = multi.partition(g, config_for(5, 3));
+  EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(MultiTlp, RejectsZeroPartitions) {
+  const Graph g = gen::path_graph(4);
+  EXPECT_THROW((void)MultiTlpPartitioner{}.partition(g, config_for(0)),
+               std::invalid_argument);
+}
+
+TEST(MultiTlp, SinglePartitionDegenerates) {
+  const Graph g = gen::erdos_renyi(60, 200, 11);
+  const EdgePartition part =
+      MultiTlpPartitioner{}.partition(g, config_for(1));
+  EXPECT_DOUBLE_EQ(replication_factor(g, part), 1.0);
+}
+
+TEST(MultiTlp, ConcurrentGrowthIsAtLeastAsBalancedAsSequential) {
+  // The motivation for this variant: the sequential algorithm's last round
+  // inherits scraps; concurrent growth competes fairly from the start.
+  const Graph g = gen::sbm(900, 7200, 18, 0.9, 13);
+  const auto config = config_for(9);
+  const EdgePartition multi = MultiTlpPartitioner{}.partition(g, config);
+  EXPECT_TRUE(validate(g, multi, config).ok());
+  EXPECT_LT(balance_factor(multi), 1.35);
+}
+
+TEST(MultiTlp, QualityComparableToSequentialOnCommunities) {
+  const Graph g = gen::caveman_graph(8, 8);
+  const auto config = config_for(8);
+  const double rf_multi = replication_factor(
+      g, MultiTlpPartitioner{}.partition(g, config));
+  const double rf_seq =
+      replication_factor(g, TlpPartitioner{}.partition(g, config));
+  // Same ballpark; neither should blow up on planted communities.
+  EXPECT_LT(rf_multi, 1.6);
+  EXPECT_LT(rf_multi, rf_seq + 0.5);
+}
+
+TEST(MultiTlp, StatsAggregateAcrossPartitions) {
+  const Graph g = gen::erdos_renyi(300, 1200, 15);
+  const MultiTlpPartitioner multi;
+  TlpStats stats;
+  const auto config = config_for(6);
+  const EdgePartition part = multi.partition_with_stats(g, config, stats);
+  EXPECT_TRUE(validate(g, part, config).ok());
+  EXPECT_EQ(stats.rounds.size(), 6u);
+  EXPECT_GT(stats.stage1_joins + stats.stage2_joins, 0u);
+  EdgeId total = 0;
+  for (const RoundStats& r : stats.rounds) total += r.edges;
+  EXPECT_EQ(total + stats.spilled_edges, g.num_edges());
+}
+
+TEST(MultiTlp, NoOvershootStaysWithinCapacityMostly) {
+  MultiTlpOptions options;
+  options.allow_overshoot = false;
+  const MultiTlpPartitioner multi(options);
+  const Graph g = gen::erdos_renyi(200, 1000, 17);
+  const auto config = config_for(5);
+  const EdgePartition part = multi.partition(g, config);
+  EXPECT_TRUE(validate(g, part, config).ok());
+  // With hard caps everywhere, only the spill can exceed C.
+  const EdgeId capacity = config.capacity(g.num_edges());
+  for (const EdgeId load : part.edge_counts()) {
+    EXPECT_LE(load, capacity + capacity / 4);
+  }
+}
+
+TEST(MultiTlp, DisconnectedGraphFullyCovered) {
+  EdgeList edges;
+  for (VertexId i = 0; i < 30; ++i) {
+    edges.push_back(Edge{static_cast<VertexId>(2 * i),
+                         static_cast<VertexId>(2 * i + 1)});
+  }
+  const Graph g = Graph::from_edges(60, std::move(edges));
+  const auto config = config_for(3);
+  const EdgePartition part = MultiTlpPartitioner{}.partition(g, config);
+  EXPECT_TRUE(validate(g, part, config).ok());
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,91 @@
+// Tests for vertex/edge stream orderings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+#include "graph/ordering.hpp"
+
+namespace tlp {
+namespace {
+
+TEST(DfsOrder, PathFromEnd) {
+  const Graph g = gen::path_graph(5);
+  const auto order = dfs_order(g, 0);
+  EXPECT_EQ(order, (std::vector<VertexId>{0, 1, 2, 3, 4}));
+}
+
+TEST(DfsOrder, VisitsSmallestNeighborFirst) {
+  // Star: DFS from center should visit leaves in ascending order... DFS
+  // goes deep: center, leaf1, back, leaf2, ... all depth-1 here.
+  const Graph g = gen::star_graph(4);
+  const auto order = dfs_order(g, 0);
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+}
+
+TEST(DfsOrder, OnlyOwnComponent) {
+  const Graph g = Graph::from_edges(5, {{0, 1}, {2, 3}});
+  EXPECT_EQ(dfs_order(g, 0).size(), 2u);
+  EXPECT_THROW(dfs_order(g, 9), std::out_of_range);
+}
+
+class StreamOrderTest : public ::testing::TestWithParam<StreamOrder> {};
+
+TEST_P(StreamOrderTest, IsAPermutationOfEdgeIds) {
+  const Graph g = gen::erdos_renyi(80, 300, 101);
+  const auto order = edge_stream_order(g, GetParam(), 5);
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(g.num_edges()));
+  std::vector<EdgeId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) EXPECT_EQ(sorted[e], e);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, StreamOrderTest,
+                         ::testing::Values(StreamOrder::kNatural,
+                                           StreamOrder::kRandom,
+                                           StreamOrder::kBfs,
+                                           StreamOrder::kDfs));
+
+TEST(StreamOrders, NaturalIsIdentity) {
+  const Graph g = gen::path_graph(6);
+  const auto order = edge_stream_order(g, StreamOrder::kNatural);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) EXPECT_EQ(order[e], e);
+}
+
+TEST(StreamOrders, RandomIsSeedDeterministic) {
+  const Graph g = gen::erdos_renyi(50, 150, 103);
+  EXPECT_EQ(edge_stream_order(g, StreamOrder::kRandom, 7),
+            edge_stream_order(g, StreamOrder::kRandom, 7));
+  EXPECT_NE(edge_stream_order(g, StreamOrder::kRandom, 7),
+            edge_stream_order(g, StreamOrder::kRandom, 8));
+}
+
+TEST(StreamOrders, BfsFrontLoadsTheSourceNeighborhood) {
+  // On a path graph the BFS order from vertex 0 is the natural chain:
+  // early edges must touch low-rank vertices.
+  const Graph g = gen::path_graph(20);
+  const auto order = edge_stream_order(g, StreamOrder::kBfs);
+  // First edge must be incident to vertex 0 (rank 0).
+  const Edge& first = g.edge(order.front());
+  EXPECT_TRUE(first.u == 0 || first.v == 0);
+  // Edge ranks must be non-decreasing in the min endpoint's BFS rank — on a
+  // path, BFS rank == vertex id, so min endpoints must be sorted.
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(g.edge(order[i - 1]).u, g.edge(order[i]).u);
+  }
+}
+
+TEST(StreamOrders, TraversalOrdersCoverDisconnectedGraphs) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {2, 3}, {4, 5}});
+  for (const StreamOrder mode : {StreamOrder::kBfs, StreamOrder::kDfs}) {
+    const auto order = edge_stream_order(g, mode);
+    EXPECT_EQ(order.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,123 @@
+// Tests for partition serialization (text .parts and binary formats).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/tlp.hpp"
+#include "gen/generators.hpp"
+#include "partition/partition_io.hpp"
+
+namespace tlp::io {
+namespace {
+
+EdgePartition make_partition(const Graph& g, PartitionId p) {
+  PartitionConfig config;
+  config.num_partitions = p;
+  return TlpPartitioner{}.partition(g, config);
+}
+
+TEST(PartitionText, RoundTrip) {
+  const Graph g = gen::erdos_renyi(60, 200, 81);
+  const EdgePartition original = make_partition(g, 4);
+  std::stringstream buffer;
+  write_partition_text(g, original, buffer);
+  const EdgePartition reloaded = read_partition_text(g, buffer);
+  EXPECT_EQ(reloaded.raw(), original.raw());
+  EXPECT_EQ(reloaded.num_partitions(), 4u);
+}
+
+TEST(PartitionText, AcceptsReversedEndpointsAndComments) {
+  const Graph g = gen::path_graph(3);  // edges (0,1),(1,2)
+  std::istringstream in(
+      "# a comment\n"
+      "1 0 1\n"   // reversed orientation
+      "2 1 0\n");
+  const EdgePartition part = read_partition_text(g, in);
+  EXPECT_EQ(part.partition_of(0), 1u);
+  EXPECT_EQ(part.partition_of(1), 0u);
+}
+
+TEST(PartitionText, RejectsUnknownEdge) {
+  const Graph g = gen::path_graph(3);
+  std::istringstream in("0 2 0\n");  // (0,2) is not an edge
+  EXPECT_THROW((void)read_partition_text(g, in), std::runtime_error);
+}
+
+TEST(PartitionText, RejectsMissingEdges) {
+  const Graph g = gen::path_graph(4);  // 3 edges
+  std::istringstream in("0 1 0\n");
+  EXPECT_THROW((void)read_partition_text(g, in), std::runtime_error);
+}
+
+TEST(PartitionText, RejectsMalformedLine) {
+  const Graph g = gen::path_graph(3);
+  std::istringstream in("0 1\n1 2 0\n");  // first line lacks a partition
+  EXPECT_THROW((void)read_partition_text(g, in), std::runtime_error);
+}
+
+TEST(PartitionBinary, RoundTripExact) {
+  const Graph g = gen::barabasi_albert(80, 3, 83);
+  const EdgePartition original = make_partition(g, 6);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_partition_binary(original, buffer);
+  const EdgePartition reloaded = read_partition_binary(buffer);
+  EXPECT_EQ(reloaded.raw(), original.raw());
+  EXPECT_EQ(reloaded.num_partitions(), original.num_partitions());
+}
+
+TEST(PartitionBinary, PreservesUnassignedSentinel) {
+  EdgePartition sparse(3, EdgeId{4});
+  sparse.assign(1, 2);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_partition_binary(sparse, buffer);
+  const EdgePartition reloaded = read_partition_binary(buffer);
+  EXPECT_EQ(reloaded.partition_of(0), kNoPartition);
+  EXPECT_EQ(reloaded.partition_of(1), 2u);
+  EXPECT_EQ(reloaded.unassigned_count(), 3u);
+}
+
+TEST(PartitionBinary, RejectsBadMagicAndRange) {
+  std::stringstream bad(std::ios::in | std::ios::out | std::ios::binary);
+  bad << "NOPE----------------";
+  EXPECT_THROW((void)read_partition_binary(bad), std::runtime_error);
+
+  // Craft a payload with an out-of-range partition id.
+  EdgePartition original(2, EdgeId{1});
+  original.assign(0, 1);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_partition_binary(original, buffer);
+  std::string bytes = buffer.str();
+  bytes[bytes.size() - 4] = 0x7f;  // clobber the stored partition id
+  std::stringstream corrupt(std::ios::in | std::ios::out | std::ios::binary);
+  corrupt << bytes;
+  EXPECT_THROW((void)read_partition_binary(corrupt), std::runtime_error);
+}
+
+TEST(PartitionBinary, RejectsTruncation) {
+  const Graph g = gen::path_graph(10);
+  const EdgePartition original = make_partition(g, 2);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_partition_binary(original, buffer);
+  const std::string full = buffer.str();
+  std::stringstream cut(std::ios::in | std::ios::out | std::ios::binary);
+  cut << full.substr(0, full.size() - 3);
+  EXPECT_THROW((void)read_partition_binary(cut), std::runtime_error);
+}
+
+TEST(PartitionFiles, RoundTripViaDisk) {
+  const Graph g = gen::cycle_graph(20);
+  const EdgePartition original = make_partition(g, 3);
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto text = dir / "tlp_part_test.parts";
+  const auto bin = dir / "tlp_part_test.partsb";
+  write_partition_text_file(g, original, text);
+  write_partition_binary_file(original, bin);
+  EXPECT_EQ(read_partition_text_file(g, text).raw(), original.raw());
+  EXPECT_EQ(read_partition_binary_file(bin).raw(), original.raw());
+  std::filesystem::remove(text);
+  std::filesystem::remove(bin);
+}
+
+}  // namespace
+}  // namespace tlp::io

@@ -1,0 +1,54 @@
+// Tests for the partitioner registry and builtin registration.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "bench_common/runner.hpp"
+#include "partition/registry.hpp"
+
+namespace tlp {
+namespace {
+
+TEST(Registry, BuiltinsAreRegistered) {
+  bench::register_builtin_partitioners();
+  for (const char* name :
+       {"tlp", "metis", "ldg", "dbh", "random", "grid", "greedy", "hdrf",
+        "ne", "fennel", "kl", "2ps", "window_tlp", "multi_tlp"}) {
+    EXPECT_TRUE(is_registered(name)) << name;
+    const PartitionerPtr p = make_partitioner(name);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->name(), name);
+  }
+}
+
+TEST(Registry, RegistrationIsIdempotent) {
+  bench::register_builtin_partitioners();
+  EXPECT_NO_THROW(bench::register_builtin_partitioners());
+}
+
+TEST(Registry, UnknownNameThrowsWithKnownList) {
+  bench::register_builtin_partitioners();
+  try {
+    (void)make_partitioner("definitely-not-registered");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("tlp"), std::string::npos);
+    EXPECT_NE(what.find("metis"), std::string::npos);
+  }
+}
+
+TEST(Registry, DuplicateRegistrationThrows) {
+  bench::register_builtin_partitioners();
+  EXPECT_THROW(register_partitioner("tlp", nullptr), std::logic_error);
+}
+
+TEST(Registry, ListIsSorted) {
+  bench::register_builtin_partitioners();
+  const auto names = registered_partitioners();
+  EXPECT_GE(names.size(), 9u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+}  // namespace
+}  // namespace tlp

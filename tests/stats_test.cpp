@@ -1,0 +1,83 @@
+// Tests for degree statistics and the power-law MLE.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace tlp {
+namespace {
+
+TEST(Stats, StarGraph) {
+  const Graph g = gen::star_graph(10);
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.num_vertices, 11u);
+  EXPECT_EQ(s.num_edges, 10u);
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.max_degree, 10u);
+  EXPECT_NEAR(s.avg_degree, 20.0 / 11.0, 1e-12);
+  EXPECT_EQ(s.isolated_vertices, 0u);
+  EXPECT_EQ(s.num_components, 1u);
+  EXPECT_EQ(s.largest_component, 11u);
+}
+
+TEST(Stats, IsolatedVerticesCounted) {
+  const Graph g = Graph::from_edges(5, {{0, 1}});
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.isolated_vertices, 3u);
+  EXPECT_EQ(s.num_components, 4u);
+}
+
+TEST(Stats, RegularGraphHasZeroStddev) {
+  const Graph g = gen::cycle_graph(8);
+  const GraphStats s = compute_stats(g);
+  EXPECT_DOUBLE_EQ(s.degree_stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 2.0);
+}
+
+TEST(Stats, EmptyGraph) {
+  const GraphStats s = compute_stats(Graph{});
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_EQ(s.num_edges, 0u);
+}
+
+TEST(DegreeHistogram, SumsToVertexCount) {
+  const Graph g = gen::barabasi_albert(200, 3, /*seed=*/5);
+  const auto hist = degree_histogram(g);
+  std::size_t total = 0;
+  std::size_t weighted = 0;
+  for (std::size_t d = 0; d < hist.size(); ++d) {
+    total += hist[d];
+    weighted += d * hist[d];
+  }
+  EXPECT_EQ(total, g.num_vertices());
+  EXPECT_EQ(weighted, 2 * static_cast<std::size_t>(g.num_edges()));
+}
+
+TEST(PowerLawAlpha, HeavyTailGivesPlausibleExponent) {
+  const Graph g = gen::chung_lu_power_law(20000, 80000, 2.2, /*seed=*/9);
+  const double alpha = power_law_alpha_mle(g);
+  // The MLE should land in the heavy-tail ballpark (generator gamma 2.2);
+  // generous bounds since truncation and dedup shift the fit.
+  EXPECT_GT(alpha, 1.5);
+  EXPECT_LT(alpha, 3.5);
+}
+
+TEST(PowerLawAlpha, TooFewSamplesGivesZero) {
+  const Graph g = gen::path_graph(4);
+  EXPECT_DOUBLE_EQ(power_law_alpha_mle(g, 100), 0.0);
+}
+
+TEST(Stats, StreamOutputMentionsFields) {
+  const Graph g = gen::path_graph(4);
+  std::ostringstream out;
+  out << compute_stats(g);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("vertices"), std::string::npos);
+  EXPECT_NE(text.find("edges"), std::string::npos);
+  EXPECT_NE(text.find("components"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,106 @@
+// Tests for clustering coefficients and k-core decomposition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/generators.hpp"
+#include "graph/algorithms.hpp"
+
+namespace tlp {
+namespace {
+
+TEST(Clustering, CompleteGraphIsOne) {
+  const Graph g = gen::complete_graph(6);
+  for (const double c : local_clustering(g)) EXPECT_DOUBLE_EQ(c, 1.0);
+  EXPECT_DOUBLE_EQ(average_clustering(g), 1.0);
+  EXPECT_DOUBLE_EQ(global_clustering(g), 1.0);
+}
+
+TEST(Clustering, TreeIsZero) {
+  const Graph g = gen::star_graph(10);
+  EXPECT_DOUBLE_EQ(average_clustering(g), 0.0);
+  EXPECT_DOUBLE_EQ(global_clustering(g), 0.0);
+}
+
+TEST(Clustering, TriangleWithTail) {
+  // Triangle {0,1,2} plus edge (2,3).
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  const auto local = local_clustering(g);
+  EXPECT_DOUBLE_EQ(local[0], 1.0);
+  EXPECT_DOUBLE_EQ(local[1], 1.0);
+  EXPECT_DOUBLE_EQ(local[2], 1.0 / 3.0);  // 1 triangle of C(3,2)=3 wedges
+  EXPECT_DOUBLE_EQ(local[3], 0.0);
+  // Global: 3 closed wedge-ends... transitivity = 3*1 / (1+1+3) = 0.6.
+  EXPECT_DOUBLE_EQ(global_clustering(g), 3.0 / 5.0);
+}
+
+TEST(Clustering, DegreeOneVerticesExcludedFromAverage) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  // Average over {0,1,2} only: (1 + 1 + 1/3)/3.
+  EXPECT_NEAR(average_clustering(g), (1.0 + 1.0 + 1.0 / 3.0) / 3.0, 1e-12);
+}
+
+TEST(Clustering, SbmBeatsErdosRenyi) {
+  // Planted communities produce far more triangles than an equal-density
+  // random graph — the property the DCSBM dataset stand-ins rely on.
+  const Graph sbm = gen::sbm(600, 6000, 20, 0.9, 51);
+  const Graph er = gen::erdos_renyi(600, 6000, 51);
+  EXPECT_GT(average_clustering(sbm), 2.0 * average_clustering(er));
+}
+
+TEST(KCore, PathAndCycle) {
+  const auto path_cores = core_numbers(gen::path_graph(6));
+  for (const auto c : path_cores) EXPECT_EQ(c, 1u);
+  const auto cycle_cores = core_numbers(gen::cycle_graph(6));
+  for (const auto c : cycle_cores) EXPECT_EQ(c, 2u);
+}
+
+TEST(KCore, CompleteGraph) {
+  const auto cores = core_numbers(gen::complete_graph(7));
+  for (const auto c : cores) EXPECT_EQ(c, 6u);
+  EXPECT_EQ(degeneracy(gen::complete_graph(7)), 6u);
+}
+
+TEST(KCore, CliqueWithPendantPath) {
+  // K4 on {0..3} plus path 3-4-5.
+  const Graph g = Graph::from_edges(
+      6, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}});
+  const auto core = core_numbers(g);
+  EXPECT_EQ(core[0], 3u);
+  EXPECT_EQ(core[1], 3u);
+  EXPECT_EQ(core[2], 3u);
+  EXPECT_EQ(core[3], 3u);
+  EXPECT_EQ(core[4], 1u);
+  EXPECT_EQ(core[5], 1u);
+}
+
+TEST(KCore, IsolatedVerticesAreZero) {
+  const Graph g = Graph::from_edges(3, {{0, 1}});
+  const auto core = core_numbers(g);
+  EXPECT_EQ(core[2], 0u);
+}
+
+TEST(KCore, CoreIsMonotoneUnderDegree) {
+  const Graph g = gen::barabasi_albert(500, 3, 53);
+  const auto core = core_numbers(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(core[v], g.degree(v));
+  }
+  EXPECT_GE(degeneracy(g), 3u);  // BA(m=3) has a 3-core
+}
+
+TEST(KCore, PeelingInvariant) {
+  // Every vertex of core number k has >= k neighbors with core >= k.
+  const Graph g = gen::erdos_renyi(300, 1800, 57);
+  const auto core = core_numbers(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::size_t strong = 0;
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (core[nb.vertex] >= core[v]) ++strong;
+    }
+    EXPECT_GE(strong, core[v]) << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,104 @@
+// Tests for TLP telemetry: working-set tracking and modularity sampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tlp.hpp"
+#include "gen/generators.hpp"
+#include "partition/metrics.hpp"
+
+namespace tlp {
+namespace {
+
+PartitionConfig config_for(PartitionId p) {
+  PartitionConfig config;
+  config.num_partitions = p;
+  return config;
+}
+
+TEST(Telemetry, PeakWorkingSetIsTracked) {
+  const Graph g = gen::erdos_renyi(400, 1600, 131);
+  const TlpPartitioner tlp;
+  TlpStats stats;
+  (void)tlp.partition_with_stats(g, config_for(4), stats);
+  EXPECT_GT(stats.peak_frontier, 0u);
+  EXPECT_GT(stats.peak_members, 0u);
+  // The working set is bounded by the graph itself.
+  EXPECT_LE(stats.peak_frontier, g.num_vertices());
+  EXPECT_LE(stats.peak_members, g.num_vertices());
+  // Peak members can't be below the largest round's joins.
+  std::size_t max_joins = 0;
+  for (const RoundStats& r : stats.rounds) {
+    max_joins = std::max(max_joins, r.joins);
+  }
+  EXPECT_EQ(stats.peak_members, max_joins);
+}
+
+TEST(Telemetry, ModularitySamplingOffByDefault) {
+  const Graph g = gen::erdos_renyi(200, 800, 133);
+  const TlpPartitioner tlp;
+  TlpStats stats;
+  (void)tlp.partition_with_stats(g, config_for(4), stats);
+  for (const RoundStats& r : stats.rounds) {
+    EXPECT_TRUE(r.modularity_samples.empty());
+  }
+}
+
+TEST(Telemetry, ModularitySamplesFollowStride) {
+  const Graph g = gen::erdos_renyi(300, 1500, 137);
+  const TlpPartitioner tlp;
+  TlpStats stats;
+  stats.modularity_sample_stride = 4;
+  (void)tlp.partition_with_stats(g, config_for(3), stats);
+  ASSERT_FALSE(stats.rounds.empty());
+  const RoundStats& round = stats.rounds.front();
+  EXPECT_GT(round.modularity_samples.size(), 0u);
+  // Roughly one sample per 4 joins.
+  EXPECT_NEAR(static_cast<double>(round.modularity_samples.size()),
+              static_cast<double>(round.joins) / 4.0, 2.0);
+  // Samples are valid ratios (or +inf when the boundary is empty).
+  for (const double m : round.modularity_samples) {
+    EXPECT_TRUE(m >= 0.0 || std::isinf(m));
+  }
+}
+
+TEST(Telemetry, StrideSurvivesStatsReset) {
+  // partition_with_stats resets stats but must keep the caller's stride.
+  const Graph g = gen::path_graph(40);
+  const TlpPartitioner tlp;
+  TlpStats stats;
+  stats.modularity_sample_stride = 2;
+  stats.stage1_joins = 999;  // garbage that must be cleared
+  (void)tlp.partition_with_stats(g, config_for(2), stats);
+  EXPECT_EQ(stats.modularity_sample_stride, 2u);
+  EXPECT_LT(stats.stage1_joins, 999u);
+  bool any_samples = false;
+  for (const RoundStats& r : stats.rounds) {
+    any_samples = any_samples || !r.modularity_samples.empty();
+  }
+  EXPECT_TRUE(any_samples);
+}
+
+TEST(Telemetry, StageDegreeAveragesConsistent) {
+  const Graph g = gen::dcsbm(2000, 16000, 2.1, 14, 0.65, 139);
+  const TlpPartitioner tlp;
+  TlpStats stats;
+  (void)tlp.partition_with_stats(g, config_for(8), stats);
+  if (stats.stage1_joins > 0) {
+    EXPECT_GE(stats.stage1_avg_degree(), 1.0);
+    EXPECT_LE(stats.stage1_avg_degree(),
+              static_cast<double>(g.num_vertices()));
+  }
+  // Sum of per-round stage joins equals the aggregate.
+  std::size_t s1 = 0;
+  std::size_t s2 = 0;
+  for (const RoundStats& r : stats.rounds) {
+    s1 += r.stage1_joins;
+    s2 += r.stage2_joins;
+  }
+  EXPECT_EQ(s1, stats.stage1_joins);
+  EXPECT_EQ(s2, stats.stage2_joins);
+}
+
+}  // namespace
+}  // namespace tlp

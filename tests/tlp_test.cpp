@@ -1,0 +1,241 @@
+// End-to-end tests for the TLP partitioner and the TLP_R variant.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/tlp.hpp"
+#include "gen/generators.hpp"
+#include "partition/metrics.hpp"
+#include "partition/validator.hpp"
+
+namespace tlp {
+namespace {
+
+PartitionConfig config_for(PartitionId p, std::uint64_t seed = 42) {
+  PartitionConfig config;
+  config.num_partitions = p;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Tlp, NameReflectsVariant) {
+  EXPECT_EQ(TlpPartitioner{}.name(), "tlp");
+  EXPECT_EQ(make_tlp_r(0.3).name(), "tlp_r0.3");
+  EXPECT_EQ(make_tlp_r(1.0).name(), "tlp_r1.0");
+}
+
+TEST(Tlp, CompleteAndInRangeOnVariousGraphs) {
+  const TlpPartitioner tlp;
+  for (const Graph& g :
+       {gen::path_graph(30), gen::cycle_graph(24), gen::star_graph(40),
+        gen::complete_graph(12), gen::grid_graph(6, 8),
+        gen::caveman_graph(6, 5), gen::erdos_renyi(100, 300, 1),
+        gen::barabasi_albert(150, 3, 2)}) {
+    const auto config = config_for(4);
+    const EdgePartition part = tlp.partition(g, config);
+    const ValidationResult r = validate(g, part, config);
+    EXPECT_TRUE(r.ok()) << g.summary();
+  }
+}
+
+TEST(Tlp, DeterministicForSeed) {
+  const Graph g = gen::barabasi_albert(300, 3, /*seed=*/9);
+  const TlpPartitioner tlp;
+  const EdgePartition a = tlp.partition(g, config_for(5, 7));
+  const EdgePartition b = tlp.partition(g, config_for(5, 7));
+  EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(Tlp, SeedChangesResult) {
+  const Graph g = gen::barabasi_albert(300, 3, /*seed=*/9);
+  const TlpPartitioner tlp;
+  const EdgePartition a = tlp.partition(g, config_for(5, 1));
+  const EdgePartition b = tlp.partition(g, config_for(5, 2));
+  EXPECT_NE(a.raw(), b.raw());
+}
+
+TEST(Tlp, SinglePartitionTakesEverything) {
+  const Graph g = gen::erdos_renyi(50, 120, 3);
+  const TlpPartitioner tlp;
+  const EdgePartition part = tlp.partition(g, config_for(1));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(part.partition_of(e), 0u);
+  }
+  EXPECT_DOUBLE_EQ(replication_factor(g, part), 1.0);
+}
+
+TEST(Tlp, MorePartitionsThanEdges) {
+  const Graph g = gen::path_graph(4);  // 3 edges
+  const TlpPartitioner tlp;
+  const auto config = config_for(8);
+  const EdgePartition part = tlp.partition(g, config);
+  EXPECT_TRUE(validate(g, part, config).ok());
+}
+
+TEST(Tlp, EmptyGraph) {
+  const Graph g;
+  const TlpPartitioner tlp;
+  const EdgePartition part = tlp.partition(g, config_for(3));
+  EXPECT_EQ(part.num_edges(), 0u);
+}
+
+TEST(Tlp, GraphWithIsolatedVertices) {
+  const Graph g = Graph::from_edges(10, {{0, 1}, {1, 2}, {3, 4}});
+  const TlpPartitioner tlp;
+  const auto config = config_for(2);
+  EXPECT_TRUE(validate(g, tlp.partition(g, config), config).ok());
+}
+
+TEST(Tlp, RejectsZeroPartitions) {
+  const Graph g = gen::path_graph(3);
+  const TlpPartitioner tlp;
+  EXPECT_THROW((void)tlp.partition(g, config_for(0)), std::invalid_argument);
+}
+
+TEST(Tlp, NearPerfectOnPlantedCommunities) {
+  // 8 cliques of 8 joined by single bridges, p = 8: local growth should
+  // recover the cliques almost exactly — RF close to 1.
+  const Graph g = gen::caveman_graph(8, 8);
+  const TlpPartitioner tlp;
+  const EdgePartition part = tlp.partition(g, config_for(8));
+  EXPECT_LT(replication_factor(g, part), 1.35);
+}
+
+TEST(Tlp, BeatsHashSplitOnCommunities) {
+  const Graph g = gen::sbm(800, 6400, 16, 0.9, /*seed=*/12);
+  const TlpPartitioner tlp;
+  const EdgePartition part = tlp.partition(g, config_for(8));
+
+  EdgePartition hash(8, g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    hash.assign(e, static_cast<PartitionId>((e * 2654435761u) % 8));
+  }
+  EXPECT_LT(replication_factor(g, part), replication_factor(g, hash));
+}
+
+TEST(Tlp, BalanceStaysNearOneWithOvershoot) {
+  const Graph g = gen::barabasi_albert(2000, 4, /*seed=*/5);
+  const TlpPartitioner tlp;
+  const EdgePartition part = tlp.partition(g, config_for(10));
+  // Overshoot is bounded by one vertex's connections per round.
+  EXPECT_LT(balance_factor(part), 1.5);
+}
+
+TEST(Tlp, NoOvershootRespectsCapacityOutsideLastRound) {
+  TlpOptions options;
+  options.allow_overshoot = false;
+  const TlpPartitioner tlp(options);
+  const Graph g = gen::erdos_renyi(200, 1000, 4);
+  const auto config = config_for(5);
+  const EdgePartition part = tlp.partition(g, config);
+  const auto counts = part.edge_counts();
+  const EdgeId capacity = config.capacity(g.num_edges());
+  // All rounds but the (uncapped) last must respect C exactly.
+  EdgeId over = 0;
+  for (const EdgeId c : counts) {
+    if (c > capacity) ++over;
+  }
+  EXPECT_LE(over, 1u);
+  EXPECT_TRUE(validate(g, part, config).ok());
+}
+
+TEST(TlpStats, StageOneSelectsHigherDegreeVertices) {
+  // Table VI's headline property: avg degree in Stage I >> Stage II.
+  const Graph g = gen::chung_lu_power_law(4000, 24000, 2.1, /*seed=*/13);
+  const TlpPartitioner tlp;
+  TlpStats stats;
+  (void)tlp.partition_with_stats(g, config_for(10), stats);
+  ASSERT_GT(stats.stage1_joins, 0u);
+  ASSERT_GT(stats.stage2_joins, 0u);
+  EXPECT_GT(stats.stage1_avg_degree(), stats.stage2_avg_degree());
+}
+
+TEST(TlpStats, RoundsAreRecorded) {
+  const Graph g = gen::erdos_renyi(100, 400, 6);
+  const TlpPartitioner tlp;
+  TlpStats stats;
+  (void)tlp.partition_with_stats(g, config_for(4), stats);
+  EXPECT_EQ(stats.rounds.size(), 4u);
+  EdgeId total = 0;
+  for (const RoundStats& r : stats.rounds) {
+    total += r.edges;
+    EXPECT_EQ(r.joins, r.stage1_joins + r.stage2_joins + r.restarts + 1);
+  }
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(TlpR, ZeroRatioIsPureStageTwo) {
+  const Graph g = gen::erdos_renyi(200, 800, 8);
+  const TlpPartitioner tlp = make_tlp_r(0.0);
+  TlpStats stats;
+  (void)tlp.partition_with_stats(g, config_for(4), stats);
+  EXPECT_EQ(stats.stage1_joins, 0u);
+  EXPECT_GT(stats.stage2_joins, 0u);
+}
+
+TEST(TlpR, FullRatioIsPureStageOne) {
+  const Graph g = gen::erdos_renyi(200, 800, 8);
+  const TlpPartitioner tlp = make_tlp_r(1.0);
+  TlpStats stats;
+  (void)tlp.partition_with_stats(g, config_for(4), stats);
+  EXPECT_EQ(stats.stage2_joins, 0u);
+  EXPECT_GT(stats.stage1_joins, 0u);
+}
+
+TEST(TlpR, MidRatioUsesBothStages) {
+  const Graph g = gen::erdos_renyi(400, 1600, 8);
+  const TlpPartitioner tlp = make_tlp_r(0.5);
+  TlpStats stats;
+  (void)tlp.partition_with_stats(g, config_for(4), stats);
+  EXPECT_GT(stats.stage1_joins, 0u);
+  EXPECT_GT(stats.stage2_joins, 0u);
+}
+
+TEST(TlpR, RejectsOutOfRangeRatio) {
+  const Graph g = gen::path_graph(4);
+  EXPECT_THROW((void)make_tlp_r(1.5).partition(g, config_for(2)),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_tlp_r(-0.1).partition(g, config_for(2)),
+               std::invalid_argument);
+}
+
+TEST(TlpStrict, SpillsKeepResultComplete) {
+  TlpOptions options;
+  options.empty_frontier = EmptyFrontierPolicy::kStrict;
+  const TlpPartitioner tlp(options);
+  // Many small components force early frontier exhaustion under kStrict.
+  EdgeList edges;
+  for (VertexId i = 0; i < 40; ++i) {
+    edges.push_back(Edge{static_cast<VertexId>(2 * i),
+                         static_cast<VertexId>(2 * i + 1)});
+  }
+  const Graph g = Graph::from_edges(80, std::move(edges));
+  const auto config = config_for(4);
+  TlpStats stats;
+  const EdgePartition part = tlp.partition_with_stats(g, config, stats);
+  EXPECT_TRUE(validate(g, part, config).ok());
+  // 4 strict rounds claim one component each (1 edge per round << C=10),
+  // so almost everything must have been spilled.
+  EXPECT_GT(stats.spilled_edges, 30u);
+}
+
+TEST(TlpRestart, CoversDisconnectedGraphWithoutSpill) {
+  const TlpPartitioner tlp;  // default restart policy
+  EdgeList edges;
+  for (VertexId i = 0; i < 40; ++i) {
+    edges.push_back(Edge{static_cast<VertexId>(2 * i),
+                         static_cast<VertexId>(2 * i + 1)});
+  }
+  const Graph g = Graph::from_edges(80, std::move(edges));
+  const auto config = config_for(4);
+  TlpStats stats;
+  const EdgePartition part = tlp.partition_with_stats(g, config, stats);
+  EXPECT_TRUE(validate(g, part, config).ok());
+  EXPECT_EQ(stats.spilled_edges, 0u);
+  EXPECT_GT(stats.restarts, 0u);
+  // Each round fills to capacity: perfect balance on this instance.
+  EXPECT_DOUBLE_EQ(balance_factor(part), 1.0);
+}
+
+}  // namespace
+}  // namespace tlp

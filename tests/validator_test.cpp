@@ -1,0 +1,89 @@
+// Tests for edge-partition validation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+#include "partition/validator.hpp"
+
+namespace tlp {
+namespace {
+
+PartitionConfig config_for(PartitionId p) {
+  PartitionConfig config;
+  config.num_partitions = p;
+  return config;
+}
+
+TEST(Validator, AcceptsCompleteBalancedPartition) {
+  const Graph g = gen::cycle_graph(8);
+  EdgePartition part(2, g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    part.assign(e, static_cast<PartitionId>(e % 2));
+  }
+  const ValidationResult r = validate(g, part, config_for(2));
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.strictly_ok());
+  EXPECT_EQ(r.unassigned, 0u);
+  EXPECT_EQ(r.max_load, 4u);
+  EXPECT_TRUE(r.errors.empty());
+}
+
+TEST(Validator, FlagsUnassignedEdges) {
+  const Graph g = gen::path_graph(4);
+  EdgePartition part(2, g.num_edges());
+  part.assign(0, 0);
+  const ValidationResult r = validate(g, part, config_for(2));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.unassigned, 2u);
+  EXPECT_FALSE(r.errors.empty());
+}
+
+TEST(Validator, FlagsOutOfRangeAssignment) {
+  const Graph g = gen::path_graph(3);
+  EdgePartition part(2, g.num_edges());
+  part.assign(0, 0);
+  part.assign(1, 7);  // out of range
+  const ValidationResult r = validate(g, part, config_for(2));
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.in_range);
+}
+
+TEST(Validator, FlagsCapacityViolationWithoutFailingOk) {
+  const Graph g = gen::cycle_graph(8);
+  EdgePartition part(2, g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) part.assign(e, 0);
+  const ValidationResult r = validate(g, part, config_for(2));
+  EXPECT_TRUE(r.ok());             // complete + in range
+  EXPECT_FALSE(r.strictly_ok());   // but capacity busted
+  EXPECT_FALSE(r.within_capacity);
+  EXPECT_EQ(r.max_load, 8u);
+  EXPECT_EQ(r.capacity, 4u);
+}
+
+TEST(Validator, SizeMismatchIsFatal) {
+  const Graph g = gen::path_graph(4);
+  const EdgePartition part(2, EdgeId{1});  // wrong edge count
+  const ValidationResult r = validate(g, part, config_for(2));
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.errors.empty());
+}
+
+TEST(Validator, ThrowHelper) {
+  const Graph g = gen::path_graph(4);
+  EdgePartition bad(2, g.num_edges());
+  EXPECT_THROW(validate_or_throw(g, bad, config_for(2)), std::logic_error);
+
+  EdgePartition good(2, g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) good.assign(e, 0);
+  EXPECT_NO_THROW(validate_or_throw(g, good, config_for(2)));
+}
+
+TEST(Validator, EmptyGraphIsValid) {
+  const Graph g;
+  const EdgePartition part(3, EdgeId{0});
+  EXPECT_TRUE(validate(g, part, config_for(3)).ok());
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,73 @@
+// Tests for the edge-cut-model (vertex partitioning) metrics.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+#include "partition/vertex_metrics.hpp"
+
+namespace tlp {
+namespace {
+
+TEST(VertexMetrics, PathBisection) {
+  const Graph g = gen::path_graph(4);  // 0-1-2-3
+  const auto m = vertex_partition_metrics(g, {0, 0, 1, 1}, 2);
+  EXPECT_EQ(m.cut_edges, 1u);
+  EXPECT_DOUBLE_EQ(m.cut_fraction, 1.0 / 3.0);
+  // Vertex 1 has a ghost on part 1, vertex 2 on part 0.
+  EXPECT_EQ(m.ghost_count, 2u);
+  EXPECT_DOUBLE_EQ(m.ghost_factor, 1.5);
+  EXPECT_EQ(m.max_part_vertices, 2u);
+  EXPECT_DOUBLE_EQ(m.vertex_balance, 1.0);
+}
+
+TEST(VertexMetrics, NoCutMeansNoGhosts) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  const auto m = vertex_partition_metrics(g, {0, 0, 1, 1}, 2);
+  EXPECT_EQ(m.cut_edges, 0u);
+  EXPECT_EQ(m.ghost_count, 0u);
+  EXPECT_DOUBLE_EQ(m.ghost_factor, 1.0);
+}
+
+TEST(VertexMetrics, StarCutEverywhere) {
+  const Graph g = gen::star_graph(6);
+  // Center on part 0, all leaves on part 1.
+  std::vector<PartitionId> parts(7, 1);
+  parts[0] = 0;
+  const auto m = vertex_partition_metrics(g, parts, 2);
+  EXPECT_EQ(m.cut_edges, 6u);
+  EXPECT_DOUBLE_EQ(m.cut_fraction, 1.0);
+  // Center ghosts once on part 1; each leaf ghosts once on part 0.
+  EXPECT_EQ(m.ghost_count, 7u);
+  EXPECT_DOUBLE_EQ(m.ghost_factor, 2.0);
+}
+
+TEST(VertexMetrics, GhostCountsDistinctPartsOnly) {
+  // Vertex 0 adjacent to two vertices on the SAME foreign part: one ghost.
+  const Graph g = Graph::from_edges(3, {{0, 1}, {0, 2}});
+  const auto m = vertex_partition_metrics(g, {0, 1, 1}, 2);
+  EXPECT_EQ(m.cut_edges, 2u);
+  EXPECT_EQ(m.ghost_count, 3u);  // 0 ghosts on part 1; 1 and 2 ghost on part 0
+}
+
+TEST(VertexMetrics, EdgeBalanceUsesIntraEdges) {
+  const Graph g = gen::complete_graph(4);
+  // All vertices on part 0 of 2: all 6 edges intra on part 0.
+  const auto m = vertex_partition_metrics(g, {0, 0, 0, 0}, 2);
+  EXPECT_EQ(m.max_part_edges, 6u);
+  EXPECT_DOUBLE_EQ(m.edge_balance, 2.0);
+  EXPECT_DOUBLE_EQ(m.vertex_balance, 2.0);
+}
+
+TEST(VertexMetrics, RejectsBadInput) {
+  const Graph g = gen::path_graph(3);
+  EXPECT_THROW((void)vertex_partition_metrics(g, {0, 0}, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)vertex_partition_metrics(g, {0, 0, 5}, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)vertex_partition_metrics(g, {0, 0, 0}, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,284 @@
+// tlp_cli — command-line front end for the whole library.
+//
+//   tlp_cli generate <model> <out.txt> [model args]   synthesize a graph
+//   tlp_cli stats <graph.txt>                         structural statistics
+//   tlp_cli partition <graph.txt> <algo> <p> [seed] [out.parts]
+//   tlp_cli evaluate <graph.txt> <parts-file>         re-score a .parts file
+//   tlp_cli convert <in> <out>                        text <-> binary (by extension)
+//   tlp_cli compare <graph.txt> <p>                   all algorithms, one table
+//   tlp_cli pagerank <graph.txt> <algo> <p> [iters]   GAS engine simulation
+//   tlp_cli algorithms                                list registered algorithms
+//
+// Generate models:
+//   er <n> <m>  |  ba <n> <deg>  |  rmat <n> <m>  |  cl <n> <m> <gamma>
+//   sbm <n> <m> <blocks> <p_in>  |  dcsbm <n> <m> <gamma> <blocks> <p_in>
+//   ws <n> <k> <beta>
+//
+// Note: text graphs are loaded with vertex-id compaction (first-seen
+// order), so .parts files written here use the compacted ids; `evaluate`
+// applies the same compaction and is therefore always consistent with
+// `partition` output for the same input file. Use examples/partition_file
+// to keep original ids.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common/runner.hpp"
+#include "bench_common/table.hpp"
+#include "engine/pagerank.hpp"
+#include "gen/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "partition/metrics.hpp"
+#include "partition/registry.hpp"
+#include "partition/validator.hpp"
+
+namespace {
+
+using namespace tlp;
+
+int usage() {
+  std::cerr <<
+      "usage: tlp_cli <command> [args]\n"
+      "  generate <model> <out.txt> [args]  er|ba|rmat|cl|sbm|dcsbm|ws\n"
+      "  stats <graph.txt>\n"
+      "  partition <graph.txt> <algo> <p> [seed] [out.parts]\n"
+      "  evaluate <graph.txt> <parts-file>\n"
+      "  convert <in> <out>                 (.bin selects the binary format)\n"
+      "  compare <graph.txt> <p>\n"
+      "  pagerank <graph.txt> <algo> <p> [iters]\n"
+      "  algorithms\n";
+  return 2;
+}
+
+Graph load(const std::string& path) {
+  if (path.ends_with(".bin")) {
+    return io::read_binary_file(path);
+  }
+  if (path.ends_with(".mtx")) {
+    BuildReport report;
+    Graph g = io::read_matrix_market_file(path, &report);
+    std::cerr << "loaded " << path << ": " << g.summary() << '\n';
+    return g;
+  }
+  BuildReport report;
+  Graph g = io::read_edge_list_file(path, &report);
+  std::cerr << "loaded " << path << ": " << g.summary() << " (dropped "
+            << report.self_loops << " loops, " << report.duplicate_edges
+            << " dups)\n";
+  return g;
+}
+
+std::uint64_t to_u64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+int cmd_generate(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const std::string& model = args[0];
+  const std::string& out = args[1];
+  const auto arg = [&](std::size_t i, double fallback) {
+    return args.size() > i + 2 ? std::strtod(args[i + 2].c_str(), nullptr)
+                               : fallback;
+  };
+  Graph g;
+  if (model == "er") {
+    g = gen::erdos_renyi(static_cast<VertexId>(arg(0, 1000)),
+                         static_cast<EdgeId>(arg(1, 5000)), 42);
+  } else if (model == "ba") {
+    g = gen::barabasi_albert(static_cast<VertexId>(arg(0, 1000)),
+                             static_cast<std::size_t>(arg(1, 3)), 42);
+  } else if (model == "rmat") {
+    g = gen::rmat(static_cast<VertexId>(arg(0, 1024)),
+                  static_cast<EdgeId>(arg(1, 8000)), gen::RmatParams{}, 42);
+  } else if (model == "cl") {
+    g = gen::chung_lu_power_law(static_cast<VertexId>(arg(0, 1000)),
+                                static_cast<EdgeId>(arg(1, 5000)),
+                                arg(2, 2.1), 42);
+  } else if (model == "sbm") {
+    g = gen::sbm(static_cast<VertexId>(arg(0, 1000)),
+                 static_cast<EdgeId>(arg(1, 5000)),
+                 static_cast<VertexId>(arg(2, 10)), arg(3, 0.8), 42);
+  } else if (model == "dcsbm") {
+    g = gen::dcsbm(static_cast<VertexId>(arg(0, 1000)),
+                   static_cast<EdgeId>(arg(1, 5000)), arg(2, 2.1),
+                   static_cast<VertexId>(arg(3, 10)), arg(4, 0.6), 42);
+  } else if (model == "ws") {
+    g = gen::watts_strogatz(static_cast<VertexId>(arg(0, 1000)),
+                            static_cast<std::size_t>(arg(1, 6)), arg(2, 0.1),
+                            42);
+  } else {
+    std::cerr << "unknown model '" << model << "'\n";
+    return 2;
+  }
+  if (out.ends_with(".bin")) {
+    io::write_binary_file(g, out);
+  } else {
+    io::write_edge_list_file(g, out);
+  }
+  std::cerr << "wrote " << out << ": " << g.summary() << '\n';
+  return 0;
+}
+
+int cmd_stats(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const Graph g = load(args[0]);
+  std::cout << compute_stats(g);
+  return 0;
+}
+
+int cmd_partition(const std::vector<std::string>& args) {
+  if (args.size() < 3) return usage();
+  const Graph g = load(args[0]);
+  PartitionConfig config;
+  config.num_partitions = static_cast<PartitionId>(to_u64(args[2]));
+  config.seed = args.size() > 3 ? to_u64(args[3]) : 42;
+
+  const PartitionerPtr partitioner = make_partitioner(args[1]);
+  const bench::RunResult r = bench::run_partitioner(*partitioner, g, config);
+  std::cout << "algorithm:  " << args[1] << "\npartitions: "
+            << config.num_partitions << "\nrf:         " << r.rf
+            << "\nbalance:    " << r.balance << "\ntime:       " << r.seconds
+            << " s\nvalid:      " << (r.valid ? "yes" : "NO") << '\n';
+
+  if (args.size() > 4) {
+    const EdgePartition part = partitioner->partition(g, config);
+    std::ofstream out(args[4]);
+    if (!out) {
+      std::cerr << "cannot write " << args[4] << '\n';
+      return 1;
+    }
+    out << "# algo=" << args[1] << " p=" << config.num_partitions
+        << " seed=" << config.seed << '\n';
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      out << g.edge(e).u << ' ' << g.edge(e).v << ' ' << part.partition_of(e)
+          << '\n';
+    }
+    std::cerr << "wrote " << args[4] << '\n';
+  }
+  return 0;
+}
+
+int cmd_evaluate(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const Graph g = load(args[0]);
+  std::ifstream in(args[1]);
+  if (!in) {
+    std::cerr << "cannot read " << args[1] << '\n';
+    return 1;
+  }
+  // .parts format: "u v partition" per line; edges matched by endpoints.
+  std::map<std::pair<VertexId, VertexId>, PartitionId> lookup;
+  std::string line;
+  PartitionId max_part = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    VertexId u;
+    VertexId v;
+    PartitionId part;
+    if (std::sscanf(line.c_str(), "%u %u %u", &u, &v, &part) != 3) {
+      std::cerr << "malformed line: " << line << '\n';
+      return 1;
+    }
+    lookup[{std::min(u, v), std::max(u, v)}] = part;
+    max_part = std::max(max_part, part);
+  }
+  EdgePartition partition(max_part + 1, g.num_edges());
+  EdgeId missing = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto it = lookup.find({g.edge(e).u, g.edge(e).v});
+    if (it == lookup.end()) {
+      ++missing;
+    } else {
+      partition.assign(e, it->second);
+    }
+  }
+  if (missing > 0) {
+    std::cerr << "warning: " << missing << " edges missing from parts file\n";
+  }
+  std::cout << "partitions: " << partition.num_partitions()
+            << "\nrf:         " << replication_factor(g, partition)
+            << "\nbalance:    " << balance_factor(partition)
+            << "\nunassigned: " << partition.unassigned_count() << '\n';
+  return 0;
+}
+
+int cmd_convert(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const Graph g = load(args[0]);
+  if (args[1].ends_with(".bin")) {
+    io::write_binary_file(g, args[1]);
+  } else if (args[1].ends_with(".mtx")) {
+    io::write_matrix_market_file(g, args[1]);
+  } else {
+    io::write_edge_list_file(g, args[1]);
+  }
+  std::cerr << "wrote " << args[1] << '\n';
+  return 0;
+}
+
+int cmd_compare(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const Graph g = load(args[0]);
+  PartitionConfig config;
+  config.num_partitions = static_cast<PartitionId>(to_u64(args[1]));
+  bench::Table table({"Algorithm", "RF", "balance", "time s"});
+  for (const std::string& name : registered_partitioners()) {
+    const bench::RunResult r =
+        bench::run_partitioner(*make_partitioner(name), g, config);
+    table.add_row({name, bench::fmt_double(r.rf, 3),
+                   bench::fmt_double(r.balance, 3),
+                   bench::fmt_double(r.seconds, 3)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_pagerank(const std::vector<std::string>& args) {
+  if (args.size() < 3) return usage();
+  const Graph g = load(args[0]);
+  PartitionConfig config;
+  config.num_partitions = static_cast<PartitionId>(to_u64(args[2]));
+  const std::size_t iters = args.size() > 3 ? to_u64(args[3]) : 20;
+  const EdgePartition part =
+      make_partitioner(args[1])->partition(g, config);
+  const auto result = engine::pagerank(g, part, iters);
+  std::cout << "rf:             " << replication_factor(g, part)
+            << "\nsupersteps:     " << result.comm.supersteps
+            << "\nmirrors:        " << result.comm.mirror_count
+            << "\ntotal messages: " << result.comm.total_messages()
+            << "\nmsgs/superstep: " << result.comm.messages_per_superstep()
+            << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  bench::register_builtin_partitioners();
+  const std::string command = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "partition") return cmd_partition(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "convert") return cmd_convert(args);
+    if (command == "compare") return cmd_compare(args);
+    if (command == "pagerank") return cmd_pagerank(args);
+    if (command == "algorithms") {
+      for (const std::string& name : registered_partitioners()) {
+        std::cout << name << '\n';
+      }
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
