@@ -28,6 +28,7 @@ int main() {
   std::cout << "== Figs. 9-11: TLP vs TLP_R across the stage-split ratio R "
                "==\n";
 
+  RunContext ctx;  // one context across the whole sweep: buffers recycle
   for (const PartitionId p : bench_partition_counts()) {
     std::cout << "\n-- p = " << p << " (Fig. " << (p == 10 ? 9 : p == 15 ? 10 : 11)
               << ") --\n";
@@ -55,7 +56,7 @@ int main() {
       std::vector<double> rfs;
       for (int r = 0; r <= 10; ++r) {
         const TlpPartitioner variant = make_tlp_r(r / 10.0);
-        const RunResult result = run_partitioner(variant, g, config);
+        const RunResult result = run_partitioner(variant, g, config, ctx);
         rfs.push_back(result.rf);
         row.push_back(fmt_double(result.rf, 3));
         if (result.rf < best_rf) {
@@ -65,7 +66,7 @@ int main() {
         worst_rf = std::max(worst_rf, result.rf);
         std::cout.flush();
       }
-      const RunResult tlp_result = run_partitioner(tlp, g, config);
+      const RunResult tlp_result = run_partitioner(tlp, g, config, ctx);
       row.push_back(fmt_double(tlp_result.rf, 3));
       row.push_back(fmt_double(best_r / 10.0, 1));
       table.add_row(std::move(row));

@@ -22,6 +22,7 @@ int main() {
 
   std::cout << "== LFR mixing sweep: RF vs community strength (n = 20000, "
                "avg deg 15, p = " << p << ") ==\n\n";
+  RunContext ctx;  // shared across the sweep: scratch buffers recycle
   std::vector<std::string> header = {"mu", "communities", "m"};
   for (const auto& a : algorithms) header.push_back("RF " + a);
   Table table(header);
@@ -41,7 +42,7 @@ int main() {
         std::to_string(lfr_graph.graph.num_edges())};
     for (const std::string& algo : algorithms) {
       const RunResult r = run_partitioner(*make_partitioner(algo),
-                                          lfr_graph.graph, config);
+                                          lfr_graph.graph, config, ctx);
       row.push_back(fmt_double(r.rf, 3));
       std::cout.flush();
     }

@@ -24,6 +24,7 @@ int main() {
 
   Table table({"|V|", "|E|", "TLP s", "METIS s", "TLP RF", "METIS RF",
                "peak frontier", "peak members", "working set / n"});
+  RunContext ctx;  // shared across sizes: scratch buffers are reused
   for (const EdgeId m : {EdgeId{25000}, EdgeId{50000}, EdgeId{100000},
                          EdgeId{200000}, EdgeId{400000}}) {
     const auto n = static_cast<VertexId>(m / 7);
@@ -33,25 +34,29 @@ int main() {
     config.num_partitions = p;
 
     const TlpPartitioner tlp;
-    TlpStats stats;
+    ctx.telemetry().clear();  // fresh gauges per size, same arena
     const auto t0 = std::chrono::steady_clock::now();
-    const EdgePartition tlp_part = tlp.partition_with_stats(g, config, stats);
+    const EdgePartition tlp_part = tlp.partition(g, config, ctx);
     const auto t1 = std::chrono::steady_clock::now();
     const metis::MetisPartitioner metis;
     const EdgePartition metis_part = metis.partition(g, config);
     const auto t2 = std::chrono::steady_clock::now();
 
-    const double working_set = static_cast<double>(stats.peak_frontier +
-                                                   stats.peak_members) /
-                               static_cast<double>(g.num_vertices());
+    const auto peak_frontier =
+        static_cast<std::size_t>(ctx.telemetry().counter("peak_frontier"));
+    const auto peak_members =
+        static_cast<std::size_t>(ctx.telemetry().counter("peak_members"));
+    const double working_set =
+        static_cast<double>(peak_frontier + peak_members) /
+        static_cast<double>(g.num_vertices());
     table.add_row(
         {std::to_string(g.num_vertices()), std::to_string(g.num_edges()),
          fmt_double(std::chrono::duration<double>(t1 - t0).count(), 2),
          fmt_double(std::chrono::duration<double>(t2 - t1).count(), 2),
          fmt_double(replication_factor(g, tlp_part), 3),
          fmt_double(replication_factor(g, metis_part), 3),
-         std::to_string(stats.peak_frontier),
-         std::to_string(stats.peak_members), fmt_double(working_set, 3)});
+         std::to_string(peak_frontier), std::to_string(peak_members),
+         fmt_double(working_set, 3)});
     std::cout.flush();
   }
   table.print(std::cout);

@@ -24,17 +24,23 @@ int main() {
 
   Table table({"Graph", "stage-1 joins", "stage-2 joins", "M@10%", "M@25%",
                "M@50%", "M@75%", "M@end", "crosses M=1"});
+  RunContext ctx;  // shared across graphs: scratch buffers are reused
   for (const std::string& id : bench_graph_ids()) {
     const Graph g = make_dataset(id, default_scale(id) * scale);
     PartitionConfig config;
     config.num_partitions = p;
-    const TlpPartitioner tlp;
-    TlpStats stats;
-    stats.modularity_sample_stride = 8;
-    (void)tlp.partition_with_stats(g, config, stats);
-    if (stats.rounds.empty()) continue;
-    const RoundStats& round = stats.rounds.front();
-    const auto& samples = round.modularity_samples;
+    TlpOptions options;
+    options.modularity_sample_stride = 8;
+    const TlpPartitioner tlp(options);
+    ctx.telemetry().clear();  // fresh metrics per graph, same arena
+    (void)tlp.partition(g, config, ctx);
+    const Telemetry& telemetry = ctx.telemetry();
+    const auto* s1_series = telemetry.series("round_stage1_joins");
+    const auto* s2_series = telemetry.series("round_stage2_joins");
+    if (s1_series == nullptr || s1_series->empty()) continue;
+    const auto* sample_series = telemetry.series("round0_modularity");
+    const std::vector<double> samples =
+        sample_series == nullptr ? std::vector<double>{} : *sample_series;
     const auto at = [&](double fraction) {
       if (samples.empty()) return 0.0;
       const std::size_t index = std::min(
@@ -46,8 +52,10 @@ int main() {
     const bool crosses =
         std::any_of(samples.begin(), samples.end(),
                     [](double m) { return m > 1.0; });
-    table.add_row({id, std::to_string(round.stage1_joins),
-                   std::to_string(round.stage2_joins), fmt_double(at(0.10), 3),
+    table.add_row({id,
+                   std::to_string(static_cast<std::size_t>(s1_series->front())),
+                   std::to_string(static_cast<std::size_t>(s2_series->front())),
+                   fmt_double(at(0.10), 3),
                    fmt_double(at(0.25), 3), fmt_double(at(0.50), 3),
                    fmt_double(at(0.75), 3),
                    samples.empty() ? "-" : fmt_double(samples.back(), 3),

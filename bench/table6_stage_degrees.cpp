@@ -32,20 +32,26 @@ int main() {
 
   std::size_t stage1_larger = 0;
   std::size_t cells = 0;
+  RunContext ctx;  // shared across all cells: scratch buffers are reused
   for (const std::string& id : graph_ids) {
     const Graph g = make_dataset(id, default_scale(id) * scale);
     std::vector<std::string> row = {id};
     for (const PartitionId p : ps) {
       PartitionConfig config;
       config.num_partitions = p;
-      TlpStats stats;
-      (void)tlp.partition_with_stats(g, config, stats);
-      row.push_back(fmt_double(stats.stage1_avg_degree(), 2));
-      row.push_back(fmt_double(stats.stage2_avg_degree(), 2));
+      ctx.telemetry().clear();  // fresh metrics per cell, same arena
+      (void)tlp.partition(g, config, ctx);
+      const Telemetry& t = ctx.telemetry();
+      const auto avg_degree = [&](const char* joins, const char* degree_sum) {
+        const double n = t.counter(joins);
+        return n == 0.0 ? 0.0 : t.counter(degree_sum) / n;
+      };
+      const double s1 = avg_degree("stage1_joins", "stage1_degree_sum");
+      const double s2 = avg_degree("stage2_joins", "stage2_degree_sum");
+      row.push_back(fmt_double(s1, 2));
+      row.push_back(fmt_double(s2, 2));
       ++cells;
-      if (stats.stage1_avg_degree() > stats.stage2_avg_degree()) {
-        ++stage1_larger;
-      }
+      if (s1 > s2) ++stage1_larger;
       std::cout.flush();
     }
     table.add_row(std::move(row));

@@ -29,21 +29,33 @@ int main(int argc, char** argv) {
   config.num_partitions = p;
   config.seed = 42;
 
+  // A RunContext gives you scratch-buffer reuse across runs, structured
+  // telemetry, and cancellation. (For one-shot runs, tlp.partition(g, config)
+  // works too and makes a private context internally.)
   const TlpPartitioner tlp;
-  TlpStats stats;
-  const EdgePartition partition = tlp.partition_with_stats(g, config, stats);
+  RunContext ctx;
+  const EdgePartition partition = tlp.partition(g, config, ctx);
 
   // 3. Check the invariants and the quality metrics the paper reports.
   validate_or_throw(g, partition, config);
+  const Telemetry& telemetry = ctx.telemetry();
+  const auto avg_degree = [&](const char* joins, const char* degree_sum) {
+    const double n = telemetry.counter(joins);
+    return n == 0.0 ? 0.0 : telemetry.counter(degree_sum) / n;
+  };
   std::cout << "partitions:         " << p << '\n'
             << "replication factor: " << replication_factor(g, partition)
             << "  (1.0 = no vertex is replicated)\n"
             << "balance factor:     " << balance_factor(partition)
             << "  (1.0 = perfectly even edge loads)\n"
-            << "stage I selections: " << stats.stage1_joins
-            << " (avg degree " << stats.stage1_avg_degree() << ")\n"
-            << "stage II selections:" << stats.stage2_joins << " (avg degree "
-            << stats.stage2_avg_degree() << ")\n";
+            << "stage I selections: " << telemetry.counter("stage1_joins")
+            << " (avg degree "
+            << avg_degree("stage1_joins", "stage1_degree_sum") << ")\n"
+            << "stage II selections:" << telemetry.counter("stage2_joins")
+            << " (avg degree "
+            << avg_degree("stage2_joins", "stage2_degree_sum") << ")\n"
+            << "partitioning time:  " << telemetry.timer_seconds("total_s")
+            << " s\n";
 
   // 4. Per-partition view.
   const auto loads = partition.edge_counts();

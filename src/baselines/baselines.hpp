@@ -1,9 +1,15 @@
 // Baseline edge partitioners the paper compares against (Section IV.B),
 // plus the canonical streaming edge partitioners from the related work
 // (Greedy/PowerGraph, HDRF, NE) as extensions.
+//
+// All baselines implement the RunContext-based Partitioner interface: the
+// base class records the shared "runs" counter and "total_s" timer; each
+// algorithm additionally writes the cheap per-algorithm counters documented
+// on its class (docs/API.md lists the full telemetry schema).
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "partition/partitioner.hpp"
 
@@ -17,44 +23,60 @@ enum class StreamMode {
 };
 
 /// Random: every edge hashed uniformly onto [0, p). The paper's quality
-/// floor (Gonzalez et al., PowerGraph).
+/// floor (Gonzalez et al., PowerGraph). Counters: edges_assigned.
 class RandomPartitioner : public Partitioner {
  public:
   [[nodiscard]] std::string name() const override { return "random"; }
-  [[nodiscard]] EdgePartition partition(
-      const Graph& g, const PartitionConfig& config) const override;
+
+ protected:
+  [[nodiscard]] EdgePartition do_partition(const Graph& g,
+                                           const PartitionConfig& config,
+                                           RunContext& ctx) const override;
 };
 
 /// DBH — Degree-Based Hashing (Xie et al., NIPS 2014): each edge is hashed
 /// by its lower-degree endpoint, so high-degree vertices absorb the
 /// replication (optimal for power-law graphs among hashing schemes).
+/// Counters: edges_assigned.
 class DbhPartitioner : public Partitioner {
  public:
   [[nodiscard]] std::string name() const override { return "dbh"; }
-  [[nodiscard]] EdgePartition partition(
-      const Graph& g, const PartitionConfig& config) const override;
+
+ protected:
+  [[nodiscard]] EdgePartition do_partition(const Graph& g,
+                                           const PartitionConfig& config,
+                                           RunContext& ctx) const override;
 };
 
 /// Grid (2D) constrained hashing: partitions arranged in a sqrt(p) x
 /// sqrt(p) grid; edge (u,v) lands in the intersection of u's row and v's
 /// column, bounding each vertex's replicas by 2*sqrt(p)-1.
+/// Counters: edges_assigned, grid_rows, grid_cols.
 class GridPartitioner : public Partitioner {
  public:
   [[nodiscard]] std::string name() const override { return "grid"; }
-  [[nodiscard]] EdgePartition partition(
-      const Graph& g, const PartitionConfig& config) const override;
+
+ protected:
+  [[nodiscard]] EdgePartition do_partition(const Graph& g,
+                                           const PartitionConfig& config,
+                                           RunContext& ctx) const override;
 };
 
 /// Greedy (PowerGraph, Gonzalez et al. OSDI 2012): streaming; place each
 /// edge in the partition already holding both endpoints, else one endpoint
 /// (breaking ties toward the lighter partition), else the lightest.
+/// Counters: edges_assigned, case_shared, case_disjoint, case_single,
+/// case_fresh (the four PowerGraph placement rules).
 class GreedyPartitioner : public Partitioner {
  public:
   explicit GreedyPartitioner(StreamMode mode = StreamMode::kSeededShuffle)
       : mode_(mode) {}
   [[nodiscard]] std::string name() const override { return "greedy"; }
-  [[nodiscard]] EdgePartition partition(
-      const Graph& g, const PartitionConfig& config) const override;
+
+ protected:
+  [[nodiscard]] EdgePartition do_partition(const Graph& g,
+                                           const PartitionConfig& config,
+                                           RunContext& ctx) const override;
 
  private:
   StreamMode mode_;
@@ -62,6 +84,7 @@ class GreedyPartitioner : public Partitioner {
 
 /// HDRF (Petroni et al., CIKM 2015): greedy streaming that prefers
 /// replicating the higher-degree endpoint, with an explicit balance term.
+/// Counters: edges_assigned.
 class HdrfPartitioner : public Partitioner {
  public:
   /// lambda > 0 weighs the balance term (paper default 1.0).
@@ -69,8 +92,11 @@ class HdrfPartitioner : public Partitioner {
                            StreamMode mode = StreamMode::kSeededShuffle)
       : lambda_(lambda), mode_(mode) {}
   [[nodiscard]] std::string name() const override { return "hdrf"; }
-  [[nodiscard]] EdgePartition partition(
-      const Graph& g, const PartitionConfig& config) const override;
+
+ protected:
+  [[nodiscard]] EdgePartition do_partition(const Graph& g,
+                                           const PartitionConfig& config,
+                                           RunContext& ctx) const override;
 
  private:
   double lambda_;
@@ -82,30 +108,38 @@ class HdrfPartitioner : public Partitioner {
 /// scaled by a linear capacity penalty. Edges are then derived from the
 /// vertex parts (see vertex_to_edge.hpp), matching how vertex partitioners
 /// are evaluated under the edge-partitioning RF metric.
+/// Counters: vertices_placed, edges_assigned.
 class LdgPartitioner : public Partitioner {
  public:
   [[nodiscard]] std::string name() const override { return "ldg"; }
-  [[nodiscard]] EdgePartition partition(
-      const Graph& g, const PartitionConfig& config) const override;
 
   /// The underlying vertex assignment (exposed for tests/benches).
   [[nodiscard]] std::vector<PartitionId> vertex_partition(
       const Graph& g, const PartitionConfig& config) const;
+
+ protected:
+  [[nodiscard]] EdgePartition do_partition(const Graph& g,
+                                           const PartitionConfig& config,
+                                           RunContext& ctx) const override;
 };
 
 /// FENNEL (Tsourakakis et al., WSDM 2014): streaming vertex partitioner
 /// with an interpolated objective — place v in argmax
 /// |N(v) ∩ P_k| - alpha * gamma * |P_k|^(gamma-1). Edges derived like LDG.
+/// Counters: vertices_placed, edges_assigned.
 class FennelPartitioner : public Partitioner {
  public:
   /// gamma = 1.5 and load-derived alpha are the paper's defaults.
   explicit FennelPartitioner(double gamma = 1.5) : gamma_(gamma) {}
   [[nodiscard]] std::string name() const override { return "fennel"; }
-  [[nodiscard]] EdgePartition partition(
-      const Graph& g, const PartitionConfig& config) const override;
 
   [[nodiscard]] std::vector<PartitionId> vertex_partition(
       const Graph& g, const PartitionConfig& config) const;
+
+ protected:
+  [[nodiscard]] EdgePartition do_partition(const Graph& g,
+                                           const PartitionConfig& config,
+                                           RunContext& ctx) const override;
 
  private:
   double gamma_;
@@ -116,14 +150,18 @@ class FennelPartitioner : public Partitioner {
 /// Fiduccia–Mattheyses pass-with-rollback refinement (the standard modern
 /// KL formulation), no multilevel coarsening. The paper's "offline,
 /// needs-global-information" classic. Edges derived like LDG/METIS.
+/// Counters: vertices_placed, edges_assigned.
 class KlPartitioner : public Partitioner {
  public:
   [[nodiscard]] std::string name() const override { return "kl"; }
-  [[nodiscard]] EdgePartition partition(
-      const Graph& g, const PartitionConfig& config) const override;
 
   [[nodiscard]] std::vector<PartitionId> vertex_partition(
       const Graph& g, const PartitionConfig& config) const;
+
+ protected:
+  [[nodiscard]] EdgePartition do_partition(const Graph& g,
+                                           const PartitionConfig& config,
+                                           RunContext& ctx) const override;
 };
 
 /// 2PS — Two-Phase Streaming (Mayer et al. 2022, simplified): phase 1
@@ -132,22 +170,31 @@ class KlPartitioner : public Partitioner {
 /// onto partitions by volume and streams edges again, keeping intra-cluster
 /// edges on their cluster's partition and splitting cross-cluster edges
 /// HDRF-style. The modern streaming counterpart of TLP's locality idea.
+/// Counters: edges_assigned, clusters_formed, intra_cluster_edges; timers
+/// cluster_s, assign_s.
 class TwoPhaseStreamingPartitioner : public Partitioner {
  public:
   [[nodiscard]] std::string name() const override { return "2ps"; }
-  [[nodiscard]] EdgePartition partition(
-      const Graph& g, const PartitionConfig& config) const override;
+
+ protected:
+  [[nodiscard]] EdgePartition do_partition(const Graph& g,
+                                           const PartitionConfig& config,
+                                           RunContext& ctx) const override;
 };
 
 /// NE — Neighborhood Expansion (Zhang et al., KDD 2017), the paper's
 /// closest offline rival: grows each partition by repeatedly moving the
 /// boundary vertex with the fewest external neighbors into the core and
 /// claiming its incident edges.
+/// Counters: edges_assigned, ne_joins, ne_reseeds.
 class NePartitioner : public Partitioner {
  public:
   [[nodiscard]] std::string name() const override { return "ne"; }
-  [[nodiscard]] EdgePartition partition(
-      const Graph& g, const PartitionConfig& config) const override;
+
+ protected:
+  [[nodiscard]] EdgePartition do_partition(const Graph& g,
+                                           const PartitionConfig& config,
+                                           RunContext& ctx) const override;
 };
 
 }  // namespace tlp::baselines

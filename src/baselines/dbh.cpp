@@ -1,15 +1,11 @@
-#include <stdexcept>
-
 #include "baselines/baselines.hpp"
 #include "baselines/hashing.hpp"
 
 namespace tlp::baselines {
 
-EdgePartition DbhPartitioner::partition(const Graph& g,
-                                        const PartitionConfig& config) const {
-  if (config.num_partitions == 0) {
-    throw std::invalid_argument("DbhPartitioner: num_partitions must be >= 1");
-  }
+EdgePartition DbhPartitioner::do_partition(const Graph& g,
+                                           const PartitionConfig& config,
+                                           RunContext& ctx) const {
   EdgePartition result(config.num_partitions, g.num_edges());
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     const Edge& edge = g.edge(e);
@@ -21,6 +17,7 @@ EdgePartition DbhPartitioner::partition(const Graph& g,
         (du < dv || (du == dv && edge.u < edge.v)) ? edge.u : edge.v;
     result.assign(e, hash_vertex(anchor, config.seed, config.num_partitions));
   }
+  ctx.telemetry().add("edges_assigned", static_cast<double>(g.num_edges()));
   return result;
 }
 

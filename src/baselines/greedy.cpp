@@ -1,33 +1,30 @@
 #include <algorithm>
 #include <numeric>
 #include <random>
-#include <stdexcept>
-#include <vector>
 
 #include "baselines/baselines.hpp"
 #include "partition/replica_set.hpp"
 
 namespace tlp::baselines {
 
-EdgePartition GreedyPartitioner::partition(const Graph& g,
-                                           const PartitionConfig& config) const {
+EdgePartition GreedyPartitioner::do_partition(const Graph& g,
+                                              const PartitionConfig& config,
+                                              RunContext& ctx) const {
   const PartitionId p = config.num_partitions;
-  if (p == 0) {
-    throw std::invalid_argument("GreedyPartitioner: num_partitions must be >= 1");
-  }
   EdgePartition result(p, g.num_edges());
-  std::vector<ReplicaSet> replicas(g.num_vertices(), ReplicaSet(p));
-  std::vector<EdgeId> load(p, 0);
-  std::vector<std::size_t> remaining(g.num_vertices());
+  ScratchArena& arena = ctx.arena();
+  auto replicas = arena.acquire<ReplicaSet>(g.num_vertices(), ReplicaSet(p));
+  auto load = arena.acquire<EdgeId>(p, 0);
+  auto remaining = arena.acquire<std::size_t>(g.num_vertices(), 0);
   for (VertexId v = 0; v < g.num_vertices(); ++v) remaining[v] = g.degree(v);
 
   // Stream edges in a seeded random order (PowerGraph streams in arrival
   // order; a seeded shuffle removes dependence on file ordering).
-  std::vector<EdgeId> order(static_cast<std::size_t>(g.num_edges()));
-  std::iota(order.begin(), order.end(), EdgeId{0});
+  auto order = arena.acquire<EdgeId>(static_cast<std::size_t>(g.num_edges()));
+  std::iota(order->begin(), order->end(), EdgeId{0});
   if (mode_ == StreamMode::kSeededShuffle) {
     std::mt19937_64 rng(config.seed);
-    std::shuffle(order.begin(), order.end(), rng);
+    std::shuffle(order->begin(), order->end(), rng);
   }
 
   // Least-loaded partition within a candidate mask test.
@@ -41,7 +38,13 @@ EdgePartition GreedyPartitioner::partition(const Graph& g,
     return best;
   };
 
-  for (const EdgeId e : order) {
+  // The four PowerGraph placement cases, tallied for telemetry.
+  std::size_t case_shared = 0;
+  std::size_t case_disjoint = 0;
+  std::size_t case_single = 0;
+  std::size_t case_fresh = 0;
+
+  for (const EdgeId e : *order) {
     const Edge& edge = g.edge(e);
     const ReplicaSet& au = replicas[edge.u];
     const ReplicaSet& av = replicas[edge.v];
@@ -50,6 +53,7 @@ EdgePartition GreedyPartitioner::partition(const Graph& g,
       // Case 1: shared partition exists; pick the least loaded of them.
       target = least_loaded(
           [&](PartitionId k) { return au.contains(k) && av.contains(k); });
+      ++case_shared;
     } else if (!au.empty() && !av.empty()) {
       // Case 2: both placed, disjoint; replicate the endpoint with fewer
       // remaining edges into a partition of the other (more-remaining)
@@ -57,13 +61,16 @@ EdgePartition GreedyPartitioner::partition(const Graph& g,
       const ReplicaSet& anchor =
           remaining[edge.u] >= remaining[edge.v] ? au : av;
       target = least_loaded([&](PartitionId k) { return anchor.contains(k); });
+      ++case_disjoint;
     } else if (!au.empty() || !av.empty()) {
       // Case 3: only one endpoint placed; join it.
       const ReplicaSet& anchor = au.empty() ? av : au;
       target = least_loaded([&](PartitionId k) { return anchor.contains(k); });
+      ++case_single;
     } else {
       // Case 4: fresh edge; least-loaded partition overall.
       target = least_loaded([](PartitionId) { return true; });
+      ++case_fresh;
     }
     result.assign(e, target);
     replicas[edge.u].insert(target);
@@ -72,6 +79,13 @@ EdgePartition GreedyPartitioner::partition(const Graph& g,
     --remaining[edge.u];
     --remaining[edge.v];
   }
+
+  Telemetry& t = ctx.telemetry();
+  t.add("edges_assigned", static_cast<double>(g.num_edges()));
+  t.add("case_shared", static_cast<double>(case_shared));
+  t.add("case_disjoint", static_cast<double>(case_disjoint));
+  t.add("case_single", static_cast<double>(case_single));
+  t.add("case_fresh", static_cast<double>(case_fresh));
   return result;
 }
 

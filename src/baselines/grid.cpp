@@ -1,18 +1,14 @@
 #include <cmath>
-#include <stdexcept>
-#include <vector>
 
 #include "baselines/baselines.hpp"
 #include "baselines/hashing.hpp"
 
 namespace tlp::baselines {
 
-EdgePartition GridPartitioner::partition(const Graph& g,
-                                         const PartitionConfig& config) const {
+EdgePartition GridPartitioner::do_partition(const Graph& g,
+                                            const PartitionConfig& config,
+                                            RunContext& ctx) const {
   const PartitionId p = config.num_partitions;
-  if (p == 0) {
-    throw std::invalid_argument("GridPartitioner: num_partitions must be >= 1");
-  }
   // Arrange partitions in an r x c grid with r*c >= p as square as possible;
   // cells beyond p-1 are folded back with modulo.
   const auto rows = static_cast<PartitionId>(
@@ -27,6 +23,9 @@ EdgePartition GridPartitioner::partition(const Graph& g,
         hash_vertex(edge.v, config.seed ^ 0x9e3779b9ULL, cols);
     result.assign(e, (ru * cols + cv) % p);
   }
+  ctx.telemetry().add("edges_assigned", static_cast<double>(g.num_edges()));
+  ctx.telemetry().set("grid_rows", static_cast<double>(rows));
+  ctx.telemetry().set("grid_cols", static_cast<double>(cols));
   return result;
 }
 

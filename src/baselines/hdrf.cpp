@@ -1,33 +1,30 @@
 #include <algorithm>
 #include <numeric>
 #include <random>
-#include <stdexcept>
-#include <vector>
 
 #include "baselines/baselines.hpp"
 #include "partition/replica_set.hpp"
 
 namespace tlp::baselines {
 
-EdgePartition HdrfPartitioner::partition(const Graph& g,
-                                         const PartitionConfig& config) const {
+EdgePartition HdrfPartitioner::do_partition(const Graph& g,
+                                            const PartitionConfig& config,
+                                            RunContext& ctx) const {
   const PartitionId p = config.num_partitions;
-  if (p == 0) {
-    throw std::invalid_argument("HdrfPartitioner: num_partitions must be >= 1");
-  }
   EdgePartition result(p, g.num_edges());
-  std::vector<ReplicaSet> replicas(g.num_vertices(), ReplicaSet(p));
-  std::vector<EdgeId> load(p, 0);
+  ScratchArena& arena = ctx.arena();
+  auto replicas = arena.acquire<ReplicaSet>(g.num_vertices(), ReplicaSet(p));
+  auto load = arena.acquire<EdgeId>(p, 0);
 
-  std::vector<EdgeId> order(static_cast<std::size_t>(g.num_edges()));
-  std::iota(order.begin(), order.end(), EdgeId{0});
+  auto order = arena.acquire<EdgeId>(static_cast<std::size_t>(g.num_edges()));
+  std::iota(order->begin(), order->end(), EdgeId{0});
   if (mode_ == StreamMode::kSeededShuffle) {
     std::mt19937_64 rng(config.seed);
-    std::shuffle(order.begin(), order.end(), rng);
+    std::shuffle(order->begin(), order->end(), rng);
   }
 
   constexpr double kEps = 1e-9;
-  for (const EdgeId e : order) {
+  for (const EdgeId e : *order) {
     const Edge& edge = g.edge(e);
     // Partial degrees as in the HDRF paper; using final degrees (available
     // here since the whole graph is known) is the common offline variant.
@@ -36,8 +33,8 @@ EdgePartition HdrfPartitioner::partition(const Graph& g,
     const double theta_u = du / std::max(du + dv, 1.0);
     const double theta_v = 1.0 - theta_u;
 
-    const EdgeId max_load = *std::max_element(load.begin(), load.end());
-    const EdgeId min_load = *std::min_element(load.begin(), load.end());
+    const EdgeId max_load = *std::max_element(load->begin(), load->end());
+    const EdgeId min_load = *std::min_element(load->begin(), load->end());
 
     PartitionId best = 0;
     double best_score = -1.0;
@@ -62,6 +59,7 @@ EdgePartition HdrfPartitioner::partition(const Graph& g,
     replicas[edge.v].insert(best);
     ++load[best];
   }
+  ctx.telemetry().add("edges_assigned", static_cast<double>(g.num_edges()));
   return result;
 }
 

@@ -143,8 +143,11 @@ std::vector<PartitionId> KlPartitioner::vertex_partition(
   return parts;
 }
 
-EdgePartition KlPartitioner::partition(const Graph& g,
-                                       const PartitionConfig& config) const {
+EdgePartition KlPartitioner::do_partition(const Graph& g,
+                                          const PartitionConfig& config,
+                                          RunContext& ctx) const {
+  ctx.telemetry().add("vertices_placed", static_cast<double>(g.num_vertices()));
+  ctx.telemetry().add("edges_assigned", static_cast<double>(g.num_edges()));
   return derive_edge_partition(g, vertex_partition(g, config),
                                config.num_partitions);
 }

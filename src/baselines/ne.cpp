@@ -4,9 +4,7 @@
 #include <numeric>
 #include <random>
 #include <set>
-#include <stdexcept>
 #include <unordered_map>
-#include <vector>
 
 #include "baselines/baselines.hpp"
 
@@ -20,32 +18,41 @@ namespace {
 /// method improves on.
 class NeRun {
  public:
-  NeRun(const Graph& g, const PartitionConfig& config)
+  NeRun(const Graph& g, const PartitionConfig& config, RunContext& ctx)
       : g_(g),
         config_(config),
-        assigned_(static_cast<std::size_t>(g.num_edges()), false),
-        residual_degree_(g.num_vertices()),
-        member_round_(g.num_vertices(), kNoRound),
+        ctx_(ctx),
+        assigned_(ctx.arena().acquire<std::uint8_t>(
+            static_cast<std::size_t>(g.num_edges()), 0)),
+        residual_degree_(ctx.arena().acquire<std::uint32_t>(g.num_vertices(),
+                                                            0)),
+        member_round_(ctx.arena().acquire<std::uint32_t>(g.num_vertices(),
+                                                         kNoRound)),
         partition_(config.num_partitions, g.num_edges()),
-        seed_order_(g.num_vertices()) {
+        seed_order_(ctx.arena().acquire<VertexId>(g.num_vertices())) {
     unassigned_ = g.num_edges();
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       residual_degree_[v] = static_cast<std::uint32_t>(g.degree(v));
     }
-    std::iota(seed_order_.begin(), seed_order_.end(), VertexId{0});
+    std::iota(seed_order_->begin(), seed_order_->end(), VertexId{0});
     std::mt19937_64 rng(config.seed);
-    std::shuffle(seed_order_.begin(), seed_order_.end(), rng);
+    std::shuffle(seed_order_->begin(), seed_order_->end(), rng);
   }
 
   EdgePartition run() {
     const PartitionId p = config_.num_partitions;
     const EdgeId capacity = config_.capacity(g_.num_edges());
     for (PartitionId k = 0; k < p && unassigned_ > 0; ++k) {
+      ctx_.check_cancelled();
       const EdgeId round_capacity =
           (k + 1 == p) ? std::numeric_limits<EdgeId>::max() : capacity;
       grow(k, round_capacity);
     }
     assert(unassigned_ == 0);
+    Telemetry& t = ctx_.telemetry();
+    t.add("edges_assigned", static_cast<double>(g_.num_edges()));
+    t.add("ne_joins", static_cast<double>(joins_));
+    t.add("ne_reseeds", static_cast<double>(reseeds_));
     return std::move(partition_);
   }
 
@@ -63,8 +70,8 @@ class NeRun {
   }
 
   VertexId next_seed() {
-    while (seed_cursor_ < seed_order_.size()) {
-      const VertexId v = seed_order_[seed_cursor_];
+    while (seed_cursor_ < seed_order_->size()) {
+      const VertexId v = (*seed_order_)[seed_cursor_];
       if (residual_degree_[v] > 0) return v;
       ++seed_cursor_;
     }
@@ -78,10 +85,11 @@ class NeRun {
       candidates_.erase(it);
     }
     member_round_[v] = round_;
+    ++joins_;
     for (const Neighbor& nb : g_.neighbors(v)) {
-      if (assigned_[static_cast<std::size_t>(nb.edge)]) continue;
+      if (assigned_[static_cast<std::size_t>(nb.edge)] != 0) continue;
       if (is_member(nb.vertex)) {
-        assigned_[static_cast<std::size_t>(nb.edge)] = true;
+        assigned_[static_cast<std::size_t>(nb.edge)] = 1;
         partition_.assign(nb.edge, k);
         --residual_degree_[v];
         --residual_degree_[nb.vertex];
@@ -112,6 +120,7 @@ class NeRun {
       if (order_.empty()) {
         v = next_seed();
         if (v == kInvalidVertex) break;
+        ++reseeds_;
       } else {
         v = order_.begin()->second;  // min external expansion, then min id
       }
@@ -121,29 +130,30 @@ class NeRun {
 
   const Graph& g_;
   const PartitionConfig& config_;
-  std::vector<bool> assigned_;
-  std::vector<std::uint32_t> residual_degree_;
-  std::vector<std::uint32_t> member_round_;
+  RunContext& ctx_;
+  ScratchArena::Lease<std::uint8_t> assigned_;
+  ScratchArena::Lease<std::uint32_t> residual_degree_;
+  ScratchArena::Lease<std::uint32_t> member_round_;
   EdgePartition partition_;
   EdgeId unassigned_ = 0;
   std::uint32_t round_ = kNoRound;
+  std::size_t joins_ = 0;
+  std::size_t reseeds_ = 0;
 
   std::unordered_map<VertexId, Candidate> candidates_;
   /// (external-expansion, vertex) ordered ascending.
   std::set<std::pair<std::uint32_t, VertexId>> order_;
 
-  std::vector<VertexId> seed_order_;
+  ScratchArena::Lease<VertexId> seed_order_;
   std::size_t seed_cursor_ = 0;
 };
 
 }  // namespace
 
-EdgePartition NePartitioner::partition(const Graph& g,
-                                       const PartitionConfig& config) const {
-  if (config.num_partitions == 0) {
-    throw std::invalid_argument("NePartitioner: num_partitions must be >= 1");
-  }
-  NeRun run(g, config);
+EdgePartition NePartitioner::do_partition(const Graph& g,
+                                          const PartitionConfig& config,
+                                          RunContext& ctx) const {
+  NeRun run(g, config, ctx);
   return run.run();
 }
 

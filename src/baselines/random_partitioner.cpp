@@ -1,19 +1,16 @@
-#include <stdexcept>
-
 #include "baselines/baselines.hpp"
 #include "baselines/hashing.hpp"
 
 namespace tlp::baselines {
 
-EdgePartition RandomPartitioner::partition(const Graph& g,
-                                           const PartitionConfig& config) const {
-  if (config.num_partitions == 0) {
-    throw std::invalid_argument("RandomPartitioner: num_partitions must be >= 1");
-  }
+EdgePartition RandomPartitioner::do_partition(const Graph& g,
+                                              const PartitionConfig& config,
+                                              RunContext& ctx) const {
   EdgePartition result(config.num_partitions, g.num_edges());
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     result.assign(e, hash_edge(e, config.seed, config.num_partitions));
   }
+  ctx.telemetry().add("edges_assigned", static_cast<double>(g.num_edges()));
   return result;
 }
 

@@ -1,7 +1,6 @@
 #include <algorithm>
 #include <numeric>
 #include <random>
-#include <stdexcept>
 #include <vector>
 
 #include "baselines/baselines.hpp"
@@ -12,11 +11,12 @@ namespace {
 
 /// Phase-1 streaming clustering state (union-by-relabel with volume caps).
 struct Clustering {
-  std::vector<VertexId> cluster;       // per vertex
-  std::vector<EdgeId> volume;          // per cluster: sum of member degrees
-  explicit Clustering(const Graph& g)
-      : cluster(g.num_vertices()), volume(g.num_vertices(), 0) {
-    std::iota(cluster.begin(), cluster.end(), VertexId{0});
+  ScratchArena::Lease<VertexId> cluster;  // per vertex
+  ScratchArena::Lease<EdgeId> volume;     // per cluster: sum of member degrees
+  Clustering(const Graph& g, ScratchArena& arena)
+      : cluster(arena.acquire<VertexId>(g.num_vertices())),
+        volume(arena.acquire<EdgeId>(g.num_vertices(), 0)) {
+    std::iota(cluster->begin(), cluster->end(), VertexId{0});
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       volume[v] = static_cast<EdgeId>(g.degree(v));
     }
@@ -25,27 +25,26 @@ struct Clustering {
 
 }  // namespace
 
-EdgePartition TwoPhaseStreamingPartitioner::partition(
-    const Graph& g, const PartitionConfig& config) const {
+EdgePartition TwoPhaseStreamingPartitioner::do_partition(
+    const Graph& g, const PartitionConfig& config, RunContext& ctx) const {
   const PartitionId p = config.num_partitions;
-  if (p == 0) {
-    throw std::invalid_argument(
-        "TwoPhaseStreamingPartitioner: num_partitions must be >= 1");
-  }
   EdgePartition result(p, g.num_edges());
   if (g.num_edges() == 0) return result;
+  ScratchArena& arena = ctx.arena();
+  Telemetry& t = ctx.telemetry();
 
-  std::vector<EdgeId> order(static_cast<std::size_t>(g.num_edges()));
-  std::iota(order.begin(), order.end(), EdgeId{0});
+  auto order = arena.acquire<EdgeId>(static_cast<std::size_t>(g.num_edges()));
+  std::iota(order->begin(), order->end(), EdgeId{0});
   std::mt19937_64 rng(config.seed);
-  std::shuffle(order.begin(), order.end(), rng);
+  std::shuffle(order->begin(), order->end(), rng);
 
   // ---- Phase 1: streaming clustering ------------------------------------
   // Volume cap ~ 2m/p keeps every cluster assignable to one partition.
+  auto cluster_timer = t.time("cluster_s");
   const EdgeId volume_cap =
       std::max<EdgeId>(2, 2 * g.num_edges() / std::max<PartitionId>(p, 1));
-  Clustering clusters(g);
-  for (const EdgeId e : order) {
+  Clustering clusters(g, arena);
+  for (const EdgeId e : *order) {
     const Edge& edge = g.edge(e);
     const VertexId cu = clusters.cluster[edge.u];
     const VertexId cv = clusters.cluster[edge.v];
@@ -65,7 +64,7 @@ EdgePartition TwoPhaseStreamingPartitioner::partition(
 
   // ---- Pack clusters onto partitions (largest-first bin packing) --------
   std::vector<VertexId> cluster_ids;
-  for (VertexId c = 0; c < clusters.volume.size(); ++c) {
+  for (VertexId c = 0; c < clusters.volume->size(); ++c) {
     if (clusters.volume[c] > 0) cluster_ids.push_back(c);
   }
   std::sort(cluster_ids.begin(), cluster_ids.end(),
@@ -75,27 +74,32 @@ EdgePartition TwoPhaseStreamingPartitioner::partition(
               }
               return a < b;
             });
-  std::vector<PartitionId> cluster_partition(clusters.volume.size(), 0);
-  std::vector<EdgeId> packed(p, 0);
+  auto cluster_partition =
+      arena.acquire<PartitionId>(clusters.volume->size(), 0);
+  auto packed = arena.acquire<EdgeId>(p, 0);
   for (const VertexId c : cluster_ids) {
     const auto lightest = static_cast<PartitionId>(std::distance(
-        packed.begin(), std::min_element(packed.begin(), packed.end())));
+        packed->begin(), std::min_element(packed->begin(), packed->end())));
     cluster_partition[c] = lightest;
     packed[lightest] += clusters.volume[c];
   }
+  cluster_timer.stop();
 
   // ---- Phase 2: cluster-aware edge assignment ----------------------------
-  std::vector<ReplicaSet> replicas(g.num_vertices(), ReplicaSet(p));
-  std::vector<EdgeId> load(p, 0);
+  auto assign_timer = t.time("assign_s");
+  auto replicas = arena.acquire<ReplicaSet>(g.num_vertices(), ReplicaSet(p));
+  auto load = arena.acquire<EdgeId>(p, 0);
   const EdgeId cap = config.capacity(g.num_edges()) +
                      config.capacity(g.num_edges()) / 10 + 1;
-  for (const EdgeId e : order) {
+  std::size_t intra_cluster = 0;
+  for (const EdgeId e : *order) {
     const Edge& edge = g.edge(e);
     const PartitionId pu = cluster_partition[clusters.cluster[edge.u]];
     const PartitionId pv = cluster_partition[clusters.cluster[edge.v]];
     PartitionId target;
     if (pu == pv && load[pu] < cap) {
       target = pu;  // intra-cluster (or co-located clusters): keep together
+      ++intra_cluster;
     } else {
       // Cross-cluster: prefer the endpoint partition with room and lighter
       // load; fall back to globally lightest.
@@ -107,7 +111,7 @@ EdgePartition TwoPhaseStreamingPartitioner::partition(
         target = pv;
       } else {
         target = static_cast<PartitionId>(std::distance(
-            load.begin(), std::min_element(load.begin(), load.end())));
+            load->begin(), std::min_element(load->begin(), load->end())));
       }
     }
     result.assign(e, target);
@@ -115,6 +119,11 @@ EdgePartition TwoPhaseStreamingPartitioner::partition(
     replicas[edge.v].insert(target);
     ++load[target];
   }
+  assign_timer.stop();
+
+  t.add("edges_assigned", static_cast<double>(g.num_edges()));
+  t.add("clusters_formed", static_cast<double>(cluster_ids.size()));
+  t.add("intra_cluster_edges", static_cast<double>(intra_cluster));
   return result;
 }
 

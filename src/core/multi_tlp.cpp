@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <numeric>
 #include <random>
 #include <set>
-#include <stdexcept>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/residual.hpp"
@@ -39,6 +40,7 @@ class EagerFrontier {
   };
 
   [[nodiscard]] bool empty() const { return candidates_.empty(); }
+  [[nodiscard]] std::size_t size() const { return candidates_.size(); }
   [[nodiscard]] bool contains(VertexId v) const {
     return candidates_.contains(v);
   }
@@ -121,22 +123,27 @@ class EagerFrontier {
 class MultiRun {
  public:
   MultiRun(const Graph& g, const PartitionConfig& config,
-           const MultiTlpOptions& options, TlpStats& stats)
+           const MultiTlpOptions& options, RunContext& ctx)
       : g_(g),
         config_(config),
         options_(options),
-        stats_(stats),
-        residual_(g),
+        ctx_(ctx),
+        residual_(g, ctx.arena()),
         partition_(config.num_partitions, g.num_edges()),
-        member_(g.num_vertices(), ReplicaSet(config.num_partitions)),
-        candidate_(g.num_vertices(), ReplicaSet(config.num_partitions)),
-        touched_(g.num_vertices(), false),
-        count_(g.num_vertices(), 0),
+        member_(ctx.arena().acquire<ReplicaSet>(
+            g.num_vertices(), ReplicaSet(config.num_partitions))),
+        candidate_(ctx.arena().acquire<ReplicaSet>(
+            g.num_vertices(), ReplicaSet(config.num_partitions))),
+        touched_(ctx.arena().acquire<std::uint8_t>(g.num_vertices(), 0)),
+        count_(ctx.arena().acquire<std::uint32_t>(g.num_vertices(), 0)),
+        count_touched_(ctx.arena().acquire<VertexId>(0)),
+        residual_neighbors_(ctx.arena().acquire<VertexId>(0)),
+        claim_buffer_(ctx.arena().acquire<EdgeId>(0)),
         parts_(config.num_partitions),
-        seed_order_(g.num_vertices()) {
-    std::iota(seed_order_.begin(), seed_order_.end(), VertexId{0});
+        seed_order_(ctx.arena().acquire<VertexId>(g.num_vertices())) {
+    std::iota(seed_order_->begin(), seed_order_->end(), VertexId{0});
     std::mt19937_64 rng(config.seed);
-    std::shuffle(seed_order_.begin(), seed_order_.end(), rng);
+    std::shuffle(seed_order_->begin(), seed_order_->end(), rng);
     for (auto& part : parts_) part.seed_cursor = 0;
   }
 
@@ -145,6 +152,7 @@ class MultiRun {
     const EdgeId capacity = config_.capacity(g_.num_edges());
     bool progressed = true;
     while (residual_.unassigned_count() > 0 && progressed) {
+      ctx_.check_cancelled();
       progressed = false;
       for (PartitionId k = 0; k < p && residual_.unassigned_count() > 0; ++k) {
         if (parts_[k].e_in >= capacity) continue;
@@ -152,7 +160,7 @@ class MultiRun {
       }
     }
     spill_remaining();
-    finalize_stats();
+    flush_telemetry();
     return std::move(partition_);
   }
 
@@ -167,6 +175,19 @@ class MultiRun {
     std::size_t seed_cursor = 0;
     std::size_t fresh_cursor = 0;
     VertexId first_seed = kInvalidVertex;
+  };
+
+  /// Whole-run tallies in plain locals; flushed once into the telemetry
+  /// sink (hot joins never touch the string-keyed maps).
+  struct Totals {
+    std::size_t stage1_joins = 0;
+    std::size_t stage2_joins = 0;
+    double stage1_degree_sum = 0.0;
+    double stage2_degree_sum = 0.0;
+    EdgeId spilled_edges = 0;
+    std::size_t peak_frontier = 0;
+    std::size_t peak_members = 0;
+    std::size_t capacity_closes = 0;
   };
 
   /// Exact μs1 of candidate v for partition k: max over members of k that v
@@ -209,7 +230,7 @@ class MultiRun {
     parts_[k].frontier.upsert(v, c, residual_.residual_degree(v),
                               mu_s1(v, k));
     candidate_[v].insert(k);
-    touched_[v] = true;
+    touched_[v] = 1;
   }
 
   [[nodiscard]] ReplicaSet without(ReplicaSet set, PartitionId k) const {
@@ -261,18 +282,18 @@ class MultiRun {
     parts_[k].frontier.remove(v);
     candidate_[v] = without(candidate_[v], k);
     member_[v].insert(k);
-    touched_[v] = true;
+    touched_[v] = 1;
 
     // Claim residual edges to members of k first (collect, then assign —
     // assign_edge mutates the structures we iterate).
-    claim_buffer_.clear();
+    claim_buffer_->clear();
     for (const Neighbor& nb : g_.neighbors(v)) {
       if (residual_.is_assigned(nb.edge)) continue;
       if (member_[nb.vertex].contains(k)) {
-        claim_buffer_.push_back(nb.edge);
+        claim_buffer_->push_back(nb.edge);
       }
     }
-    for (const EdgeId e : claim_buffer_) {
+    for (const EdgeId e : *claim_buffer_) {
       assert(parts_[k].e_out > 0);
       --parts_[k].e_out;  // was external to k; assign_edge adds to e_in
       assign_edge(e, k);
@@ -285,14 +306,14 @@ class MultiRun {
     // neighbor at once when that is cheaper than per-pair intersections.
     const double dv = static_cast<double>(std::max<std::size_t>(
         1, g_.degree(v)));
-    residual_neighbors_.clear();
+    residual_neighbors_->clear();
     std::size_t two_hop_cost = 0;
     std::size_t merge_cost = 0;
     for (const Neighbor& nb : g_.neighbors(v)) {
       two_hop_cost += g_.degree(nb.vertex);
       if (residual_.is_assigned(nb.edge)) continue;
       if (member_[nb.vertex].contains(k)) continue;
-      residual_neighbors_.push_back(nb.vertex);
+      residual_neighbors_->push_back(nb.vertex);
       const std::size_t du = g_.degree(nb.vertex);
       merge_cost +=
           std::min(du + g_.degree(v), 16 * std::min<std::size_t>(
@@ -302,11 +323,11 @@ class MultiRun {
     if (use_counting) {
       for (const Neighbor& w : g_.neighbors(v)) {
         for (const Neighbor& u : g_.neighbors(w.vertex)) {
-          if (count_[u.vertex]++ == 0) count_touched_.push_back(u.vertex);
+          if (count_[u.vertex]++ == 0) count_touched_->push_back(u.vertex);
         }
       }
     }
-    for (const VertexId u : residual_neighbors_) {
+    for (const VertexId u : *residual_neighbors_) {
       ++parts_[k].e_out;
       const double term =
           (use_counting ? static_cast<double>(count_[u])
@@ -320,13 +341,15 @@ class MultiRun {
       } else {
         frontier.upsert(u, 1, residual_.residual_degree(u), term);
         candidate_[u].insert(k);
-        touched_[u] = true;
+        touched_[u] = 1;
       }
     }
     if (use_counting) {
-      for (const VertexId x : count_touched_) count_[x] = 0;
-      count_touched_.clear();
+      for (const VertexId x : *count_touched_) count_[x] = 0;
+      count_touched_->clear();
     }
+    totals_.peak_frontier =
+        std::max(totals_.peak_frontier, parts_[k].frontier.size());
   }
 
   [[nodiscard]] VertexId next_seed(PartitionId k) {
@@ -335,14 +358,14 @@ class MultiRun {
     // Without this, every partition's cursor converges on the same early
     // vertices and the seeds pile onto one region. `touched_` is monotone,
     // so the cursor never has to back up.
-    while (part.fresh_cursor < seed_order_.size()) {
-      const VertexId v = seed_order_[part.fresh_cursor];
-      if (residual_.residual_degree(v) > 0 && !touched_[v]) return v;
+    while (part.fresh_cursor < seed_order_->size()) {
+      const VertexId v = (*seed_order_)[part.fresh_cursor];
+      if (residual_.residual_degree(v) > 0 && touched_[v] == 0) return v;
       ++part.fresh_cursor;
     }
     // Fallback: anything with residual edges that is not already a member.
-    while (part.seed_cursor < seed_order_.size()) {
-      const VertexId v = seed_order_[part.seed_cursor];
+    while (part.seed_cursor < seed_order_->size()) {
+      const VertexId v = (*seed_order_)[part.seed_cursor];
       // Skipping is permanent only for conditions that never un-happen:
       // exhausted residual degree or prior membership of k.
       if (residual_.residual_degree(v) == 0 || member_[v].contains(k)) {
@@ -375,18 +398,19 @@ class MultiRun {
         part.e_in + part.frontier.at(v).c > capacity) {
       // Closing the partition: mark full by saturating e_in.
       part.e_in = capacity;
+      ++totals_.capacity_closes;
       return false;
     }
     join(v, k);
     ++part.joins;
     if (stage1) {
       ++part.stage1_joins;
-      ++stats_.stage1_joins;
-      stats_.stage1_degree_sum += static_cast<double>(g_.degree(v));
+      ++totals_.stage1_joins;
+      totals_.stage1_degree_sum += static_cast<double>(g_.degree(v));
     } else {
       ++part.stage2_joins;
-      ++stats_.stage2_joins;
-      stats_.stage2_degree_sum += static_cast<double>(g_.degree(v));
+      ++totals_.stage2_joins;
+      totals_.stage2_degree_sum += static_cast<double>(g_.degree(v));
     }
     return true;
   }
@@ -400,58 +424,65 @@ class MultiRun {
           counts.begin(), std::min_element(counts.begin(), counts.end())));
       partition_.assign(e, lightest);
       ++counts[lightest];
-      ++stats_.spilled_edges;
+      ++totals_.spilled_edges;
     }
   }
 
-  void finalize_stats() {
+  void flush_telemetry() {
+    Telemetry& t = ctx_.telemetry();
+    // One round_* entry per (concurrently grown) partition, mirroring the
+    // sequential TLP schema.
     for (const Part& part : parts_) {
-      RoundStats round;
-      round.seed = part.first_seed;
-      round.joins = part.joins;
-      round.stage1_joins = part.stage1_joins;
-      round.stage2_joins = part.stage2_joins;
-      round.edges = part.e_in;
-      stats_.rounds.push_back(round);
-      stats_.peak_members = std::max(stats_.peak_members, part.joins);
+      t.append("round_seed", part.first_seed == kInvalidVertex
+                                 ? -1.0
+                                 : static_cast<double>(part.first_seed));
+      t.append("round_joins", static_cast<double>(part.joins));
+      t.append("round_stage1_joins",
+               static_cast<double>(part.stage1_joins));
+      t.append("round_stage2_joins",
+               static_cast<double>(part.stage2_joins));
+      t.append("round_restarts", 0.0);
+      t.append("round_edges", static_cast<double>(part.e_in));
+      totals_.peak_members = std::max(totals_.peak_members, part.joins);
     }
+    t.add("stage1_joins", static_cast<double>(totals_.stage1_joins));
+    t.add("stage2_joins", static_cast<double>(totals_.stage2_joins));
+    t.add("stage1_degree_sum", totals_.stage1_degree_sum);
+    t.add("stage2_degree_sum", totals_.stage2_degree_sum);
+    t.add("restarts", 0.0);
+    t.add("spilled_edges", static_cast<double>(totals_.spilled_edges));
+    t.add("capacity_closes", static_cast<double>(totals_.capacity_closes));
+    t.add("strict_round_ends", 0.0);
+    t.set_max("peak_frontier", static_cast<double>(totals_.peak_frontier));
+    t.set_max("peak_members", static_cast<double>(totals_.peak_members));
   }
 
   const Graph& g_;
   const PartitionConfig& config_;
   const MultiTlpOptions& options_;
-  TlpStats& stats_;
+  RunContext& ctx_;
 
   ResidualState residual_;
   EdgePartition partition_;
-  std::vector<ReplicaSet> member_;
-  std::vector<ReplicaSet> candidate_;
-  std::vector<bool> touched_;
-  std::vector<std::uint32_t> count_;
-  std::vector<VertexId> count_touched_;
-  std::vector<VertexId> residual_neighbors_;
+  ScratchArena::Lease<ReplicaSet> member_;
+  ScratchArena::Lease<ReplicaSet> candidate_;
+  ScratchArena::Lease<std::uint8_t> touched_;
+  ScratchArena::Lease<std::uint32_t> count_;
+  ScratchArena::Lease<VertexId> count_touched_;
+  ScratchArena::Lease<VertexId> residual_neighbors_;
+  ScratchArena::Lease<EdgeId> claim_buffer_;
   std::vector<Part> parts_;
-  std::vector<EdgeId> claim_buffer_;
 
-  std::vector<VertexId> seed_order_;
+  ScratchArena::Lease<VertexId> seed_order_;
+  Totals totals_;
 };
 
 }  // namespace
 
-EdgePartition MultiTlpPartitioner::partition(
-    const Graph& g, const PartitionConfig& config) const {
-  TlpStats stats;
-  return partition_with_stats(g, config, stats);
-}
-
-EdgePartition MultiTlpPartitioner::partition_with_stats(
-    const Graph& g, const PartitionConfig& config, TlpStats& stats) const {
-  if (config.num_partitions == 0) {
-    throw std::invalid_argument(
-        "MultiTlpPartitioner: num_partitions must be >= 1");
-  }
-  stats = TlpStats{};
-  MultiRun run(g, config, options_, stats);
+EdgePartition MultiTlpPartitioner::do_partition(const Graph& g,
+                                                const PartitionConfig& config,
+                                                RunContext& ctx) const {
+  MultiRun run(g, config, options_, ctx);
   return run.run();
 }
 

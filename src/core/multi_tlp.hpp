@@ -13,11 +13,14 @@
 // connection counts can now DECREASE (another partition may claim its
 // edges), so this implementation maintains its frontiers eagerly instead of
 // with the frozen-degree optimizations of core/frontier.hpp.
+//
+// Telemetry follows the TLP schema (see core/tlp.hpp and docs/API.md):
+// stage counters/degree sums aggregate across all concurrently growing
+// partitions, and the round_* series hold one entry per partition.
 #pragma once
 
 #include <string>
 
-#include "core/tlp.hpp"  // TlpStats
 #include "partition/partitioner.hpp"
 
 namespace tlp {
@@ -34,14 +37,10 @@ class MultiTlpPartitioner : public Partitioner {
 
   [[nodiscard]] std::string name() const override { return "multi_tlp"; }
 
-  [[nodiscard]] EdgePartition partition(
-      const Graph& g, const PartitionConfig& config) const override;
-
-  /// Telemetry-aware variant (stage counts/degrees aggregate across all
-  /// concurrently growing partitions; `rounds` holds one entry per
-  /// partition).
-  [[nodiscard]] EdgePartition partition_with_stats(
-      const Graph& g, const PartitionConfig& config, TlpStats& stats) const;
+ protected:
+  [[nodiscard]] EdgePartition do_partition(const Graph& g,
+                                           const PartitionConfig& config,
+                                           RunContext& ctx) const override;
 
  private:
   MultiTlpOptions options_;

@@ -35,7 +35,10 @@ RefineResult refine_replication(const Graph& g, EdgePartition& partition,
                                 const RefineOptions& options = {});
 
 /// Wrapper combining any partitioner with the refinement pass, usable
-/// anywhere a Partitioner is (e.g. "tlp+refine" rows in benches).
+/// anywhere a Partitioner is (e.g. "tlp+refine" rows in benches). The base
+/// partitioner runs against the same RunContext; the refinement pass adds
+/// counters refine_moves / refine_replicas_removed / refine_passes and the
+/// refine_s phase timer.
 class RefinedPartitioner : public Partitioner {
  public:
   RefinedPartitioner(PartitionerPtr base, RefineOptions options = {})
@@ -45,10 +48,20 @@ class RefinedPartitioner : public Partitioner {
     return base_->name() + "+refine";
   }
 
-  [[nodiscard]] EdgePartition partition(
-      const Graph& g, const PartitionConfig& config) const override {
-    EdgePartition result = base_->partition(g, config);
-    (void)refine_replication(g, result, options_);
+ protected:
+  [[nodiscard]] EdgePartition do_partition(const Graph& g,
+                                           const PartitionConfig& config,
+                                           RunContext& ctx) const override {
+    EdgePartition result = base_->partition(g, config, ctx);
+    const RefineResult refined = [&] {
+      const auto timer = ctx.telemetry().time("refine_s");
+      return refine_replication(g, result, options_);
+    }();
+    ctx.telemetry().add("refine_moves", static_cast<double>(refined.moves));
+    ctx.telemetry().add("refine_replicas_removed",
+                        static_cast<double>(refined.replicas_removed));
+    ctx.telemetry().add("refine_passes",
+                        static_cast<double>(refined.passes));
     return result;
   }
 

@@ -2,10 +2,11 @@
 
 namespace tlp {
 
-ResidualState::ResidualState(const Graph& g)
+ResidualState::ResidualState(const Graph& g, ScratchArena& arena)
     : graph_(&g),
-      assigned_(static_cast<std::size_t>(g.num_edges()), false),
-      residual_degree_(g.num_vertices()),
+      assigned_(arena.acquire<std::uint64_t>(
+          (static_cast<std::size_t>(g.num_edges()) + 63) / 64, 0)),
+      residual_degree_(arena.acquire<std::uint32_t>(g.num_vertices(), 0)),
       unassigned_(g.num_edges()) {
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     residual_degree_[v] = static_cast<std::uint32_t>(g.degree(v));
@@ -14,7 +15,8 @@ ResidualState::ResidualState(const Graph& g)
 
 void ResidualState::mark_assigned(EdgeId e) {
   assert(!is_assigned(e));
-  assigned_[static_cast<std::size_t>(e)] = true;
+  assigned_[static_cast<std::size_t>(e) >> 6] |=
+      std::uint64_t{1} << (static_cast<std::size_t>(e) & 63);
   const Edge& edge = graph_->edge(e);
   assert(residual_degree_[edge.u] > 0 && residual_degree_[edge.v] > 0);
   --residual_degree_[edge.u];

@@ -1,21 +1,26 @@
 // ResidualState: which edges are still unassigned, and per-vertex residual
 // degrees. This is the "unpartitioned graph data" the paper's local method
-// operates on — partitions only ever claim residual edges.
+// operates on — partitions only ever claim residual edges. Both O(m)/O(n)
+// tables come from the run's ScratchArena so repeated runs reuse capacity.
 #pragma once
 
 #include <cassert>
-#include <vector>
+#include <cstdint>
 
 #include "graph/graph.hpp"
+#include "partition/run_context.hpp"
 
 namespace tlp {
 
 class ResidualState {
  public:
-  explicit ResidualState(const Graph& g);
+  ResidualState(const Graph& g, ScratchArena& arena);
 
   [[nodiscard]] bool is_assigned(EdgeId e) const {
-    return assigned_[static_cast<std::size_t>(e)];
+    // Bit-packed: the whole table stays cache-resident even for large m.
+    return (assigned_[static_cast<std::size_t>(e) >> 6] >>
+            (static_cast<std::size_t>(e) & 63)) &
+           1u;
   }
 
   /// Number of unassigned edges incident to v.
@@ -31,8 +36,8 @@ class ResidualState {
 
  private:
   const Graph* graph_;
-  std::vector<bool> assigned_;
-  std::vector<std::uint32_t> residual_degree_;
+  ScratchArena::Lease<std::uint64_t> assigned_;  ///< one bit per edge
+  ScratchArena::Lease<std::uint32_t> residual_degree_;
   EdgeId unassigned_ = 0;
 };
 

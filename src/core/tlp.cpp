@@ -7,6 +7,7 @@
 #include <numeric>
 #include <random>
 #include <stdexcept>
+#include <vector>
 
 #include "core/frontier.hpp"
 #include "core/residual.hpp"
@@ -14,33 +15,65 @@
 namespace tlp {
 namespace {
 
+/// Per-round tallies, kept in plain locals during the hot loop and flushed
+/// into the telemetry sink once per round (hot joins never touch the
+/// string-keyed maps).
+struct RoundLocal {
+  VertexId seed = kInvalidVertex;
+  std::size_t joins = 0;
+  std::size_t stage1_joins = 0;
+  std::size_t stage2_joins = 0;
+  std::size_t restarts = 0;
+  EdgeId edges = 0;
+  std::vector<double> modularity_samples;
+};
+
+/// Whole-run tallies, flushed once at the end of the run.
+struct RunLocal {
+  std::size_t stage1_joins = 0;
+  std::size_t stage2_joins = 0;
+  double stage1_degree_sum = 0.0;
+  double stage2_degree_sum = 0.0;
+  std::size_t restarts = 0;
+  EdgeId spilled_edges = 0;
+  std::size_t peak_frontier = 0;
+  std::size_t peak_members = 0;
+  std::size_t capacity_closes = 0;
+  std::size_t strict_round_ends = 0;
+};
+
 /// One full TLP run over a graph. Owns all per-run mutable state so the
-/// public partitioner object stays stateless/reusable.
+/// public partitioner object stays stateless/reusable; every O(n)/O(m)
+/// buffer is leased from the context's scratch arena.
 class GrowthRun {
  public:
   GrowthRun(const Graph& g, const PartitionConfig& config,
-            const TlpOptions& options, TlpStats& stats)
+            const TlpOptions& options, RunContext& ctx)
       : g_(g),
         config_(config),
         options_(options),
-        stats_(stats),
-        residual_(g),
+        ctx_(ctx),
+        residual_(g, ctx.arena()),
         partition_(config.num_partitions, g.num_edges()),
-        member_round_(g.num_vertices(), kNoRound),
-        count_(g.num_vertices(), 0),
-        seed_order_(g.num_vertices()) {
+        member_round_(ctx.arena().acquire<std::uint32_t>(g.num_vertices(),
+                                                         kNoRound)),
+        count_(ctx.arena().acquire<std::uint32_t>(g.num_vertices(), 0)),
+        touched_(ctx.arena().acquire<VertexId>(0)),
+        residual_neighbors_(ctx.arena().acquire<VertexId>(0)),
+        seed_order_(ctx.arena().acquire<VertexId>(g.num_vertices())) {
     // A fixed random permutation provides the paper's "select vertex x from
     // G randomly" deterministically: each (re)seed takes the next vertex in
     // the permutation that still has residual edges.
-    std::iota(seed_order_.begin(), seed_order_.end(), VertexId{0});
+    std::iota(seed_order_->begin(), seed_order_->end(), VertexId{0});
     std::mt19937_64 rng(config.seed);
-    std::shuffle(seed_order_.begin(), seed_order_.end(), rng);
+    std::shuffle(seed_order_->begin(), seed_order_->end(), rng);
   }
 
   EdgePartition run() {
     const PartitionId p = config_.num_partitions;
     const EdgeId capacity = config_.capacity(g_.num_edges());
     for (PartitionId k = 0; k < p && residual_.unassigned_count() > 0; ++k) {
+      ctx_.check_cancelled();
       // In the default (restart) mode the final round must absorb whatever
       // remains so that exactly p partitions cover E.
       const bool last = (k + 1 == p);
@@ -53,6 +86,7 @@ class GrowthRun {
     if (residual_.unassigned_count() > 0) {
       spill_remaining();
     }
+    flush_totals();
     return std::move(partition_);
   }
 
@@ -69,8 +103,8 @@ class GrowthRun {
   /// has residual edges — so any vertex with residual degree > 0 is a valid
   /// fresh seed. Residual degrees never grow, so the cursor only advances.
   VertexId next_seed() {
-    while (seed_cursor_ < seed_order_.size()) {
-      const VertexId v = seed_order_[seed_cursor_];
+    while (seed_cursor_ < seed_order_->size()) {
+      const VertexId v = (*seed_order_)[seed_cursor_];
       if (residual_.residual_degree(v) > 0) {
         assert(!is_member(v));
         return v;
@@ -101,7 +135,7 @@ class GrowthRun {
     if (frontier_.contains(v)) frontier_.remove(v);
     member_round_[v] = current_round_;
 
-    residual_neighbors_.clear();
+    residual_neighbors_->clear();
     const std::size_t dv = g_.degree(v);
     std::size_t two_hop_cost = 0;
     std::size_t merge_cost = 0;
@@ -116,29 +150,29 @@ class GrowthRun {
         --e_out_;
       } else {
         ++e_out_;
-        residual_neighbors_.push_back(nb.vertex);
+        residual_neighbors_->push_back(nb.vertex);
         const std::size_t du = g_.degree(nb.vertex);
         merge_cost += std::min(du + dv, 16 * std::min(du, dv) + 16);
       }
     }
-    if (residual_neighbors_.empty() || dv == 0) return;
+    if (residual_neighbors_->empty() || dv == 0) return;
 
     if (two_hop_cost < merge_cost) {
       // Shared counting pass: count_[u] = |N(u) ∩ N(v)| for every two-hop u.
       for (const Neighbor& w : g_.neighbors(v)) {
         for (const Neighbor& u : g_.neighbors(w.vertex)) {
-          if (count_[u.vertex]++ == 0) touched_.push_back(u.vertex);
+          if (count_[u.vertex]++ == 0) touched_->push_back(u.vertex);
         }
       }
-      for (const VertexId u : residual_neighbors_) {
+      for (const VertexId u : *residual_neighbors_) {
         const double term =
             static_cast<double>(count_[u]) / static_cast<double>(dv);
         frontier_.add_connection(u, term, residual_.residual_degree(u));
       }
-      for (const VertexId u : touched_) count_[u] = 0;
-      touched_.clear();
+      for (const VertexId u : *touched_) count_[u] = 0;
+      touched_->clear();
     } else {
-      for (const VertexId u : residual_neighbors_) {
+      for (const VertexId u : *residual_neighbors_) {
         // Upper bound on the Eq. 7 term: |N(u) ∩ N(v)| <= min(deg u, deg v).
         const double bound =
             static_cast<double>(std::min(g_.degree(u), dv)) /
@@ -168,7 +202,7 @@ class GrowthRun {
     frontier_.clear();
     e_in_ = 0;
     e_out_ = 0;
-    RoundStats round;
+    RoundLocal round;
 
     // The TLP_R stage threshold is defined against the nominal capacity C,
     // not the uncapped last round.
@@ -178,6 +212,7 @@ class GrowthRun {
       if (frontier_.empty()) {
         if (round.joins > 0 &&
             options_.empty_frontier == EmptyFrontierPolicy::kStrict) {
+          ++totals_.strict_round_ends;
           break;  // Algorithm 1 line 11-12
         }
         const VertexId seed = next_seed();
@@ -195,22 +230,23 @@ class GrowthRun {
       assert(v != kInvalidVertex);
       if (!options_.allow_overshoot && e_in_ > 0 &&
           e_in_ + frontier_.connections(v) > round_capacity) {
+        ++totals_.capacity_closes;
         break;  // joining v would blow the capacity; close the round
       }
       join(v, k);
       ++round.joins;
       if (stage1) {
         ++round.stage1_joins;
-        ++stats_.stage1_joins;
-        stats_.stage1_degree_sum += static_cast<double>(g_.degree(v));
+        ++totals_.stage1_joins;
+        totals_.stage1_degree_sum += static_cast<double>(g_.degree(v));
       } else {
         ++round.stage2_joins;
-        ++stats_.stage2_joins;
-        stats_.stage2_degree_sum += static_cast<double>(g_.degree(v));
+        ++totals_.stage2_joins;
+        totals_.stage2_degree_sum += static_cast<double>(g_.degree(v));
       }
-      stats_.peak_frontier = std::max(stats_.peak_frontier, frontier_.size());
-      if (stats_.modularity_sample_stride != 0 &&
-          round.joins % stats_.modularity_sample_stride == 0) {
+      totals_.peak_frontier = std::max(totals_.peak_frontier, frontier_.size());
+      if (options_.modularity_sample_stride != 0 &&
+          round.joins % options_.modularity_sample_stride == 0) {
         round.modularity_samples.push_back(
             e_out_ == 0 ? std::numeric_limits<double>::infinity()
                         : static_cast<double>(e_in_) /
@@ -219,9 +255,9 @@ class GrowthRun {
     }
 
     round.edges = e_in_;
-    stats_.peak_members = std::max(stats_.peak_members, round.joins);
-    stats_.restarts += round.restarts;
-    stats_.rounds.push_back(round);
+    totals_.peak_members = std::max(totals_.peak_members, round.joins);
+    totals_.restarts += round.restarts;
+    flush_round(k, round);
   }
 
   /// Strict-mode fallback: distribute edges left after p rounds to the
@@ -234,61 +270,84 @@ class GrowthRun {
           counts.begin(), std::min_element(counts.begin(), counts.end())));
       partition_.assign(e, lightest);
       ++counts[lightest];
-      ++stats_.spilled_edges;
+      ++totals_.spilled_edges;
     }
+  }
+
+  void flush_round(PartitionId k, const RoundLocal& round) {
+    Telemetry& t = ctx_.telemetry();
+    t.append("round_seed", round.seed == kInvalidVertex
+                               ? -1.0
+                               : static_cast<double>(round.seed));
+    t.append("round_joins", static_cast<double>(round.joins));
+    t.append("round_stage1_joins", static_cast<double>(round.stage1_joins));
+    t.append("round_stage2_joins", static_cast<double>(round.stage2_joins));
+    t.append("round_restarts", static_cast<double>(round.restarts));
+    t.append("round_edges", static_cast<double>(round.edges));
+    if (!round.modularity_samples.empty()) {
+      const std::string key = "round" + std::to_string(k) + "_modularity";
+      for (const double m : round.modularity_samples) t.append(key, m);
+    }
+  }
+
+  void flush_totals() {
+    Telemetry& t = ctx_.telemetry();
+    t.add("stage1_joins", static_cast<double>(totals_.stage1_joins));
+    t.add("stage2_joins", static_cast<double>(totals_.stage2_joins));
+    t.add("stage1_degree_sum", totals_.stage1_degree_sum);
+    t.add("stage2_degree_sum", totals_.stage2_degree_sum);
+    t.add("restarts", static_cast<double>(totals_.restarts));
+    t.add("spilled_edges", static_cast<double>(totals_.spilled_edges));
+    t.add("capacity_closes", static_cast<double>(totals_.capacity_closes));
+    t.add("strict_round_ends",
+          static_cast<double>(totals_.strict_round_ends));
+    t.set_max("peak_frontier", static_cast<double>(totals_.peak_frontier));
+    t.set_max("peak_members", static_cast<double>(totals_.peak_members));
   }
 
   const Graph& g_;
   const PartitionConfig& config_;
   const TlpOptions& options_;
-  TlpStats& stats_;
+  RunContext& ctx_;
 
   ResidualState residual_;
   EdgePartition partition_;
   Frontier frontier_;
-  std::vector<std::uint32_t> member_round_;
+  ScratchArena::Lease<std::uint32_t> member_round_;
   std::uint32_t current_round_ = kNoRound;
   EdgeId e_in_ = 0;   ///< |E(P_k)| of the partition being grown
   EdgeId e_out_ = 0;  ///< residual external edges of the current partition
 
   // Scratch reused across joins (two-hop counting and neighbor staging).
-  std::vector<std::uint32_t> count_;
-  std::vector<VertexId> touched_;
-  std::vector<VertexId> residual_neighbors_;
+  ScratchArena::Lease<std::uint32_t> count_;
+  ScratchArena::Lease<VertexId> touched_;
+  ScratchArena::Lease<VertexId> residual_neighbors_;
 
-  std::vector<VertexId> seed_order_;
+  ScratchArena::Lease<VertexId> seed_order_;
   std::size_t seed_cursor_ = 0;
+
+  RunLocal totals_;
 };
 
 }  // namespace
 
 std::string TlpPartitioner::name() const {
   if (options_.stage_rule == StageRule::kModularity) return "tlp";
+  // %g keeps every distinct ratio distinct (tlp_r0.25 vs tlp_r0.2) without
+  // trailing-zero noise.
   char buf[32];
-  std::snprintf(buf, sizeof buf, "tlp_r%.1f", options_.stage_ratio);
+  std::snprintf(buf, sizeof buf, "tlp_r%g", options_.stage_ratio);
   return buf;
 }
 
-EdgePartition TlpPartitioner::partition(const Graph& g,
-                                        const PartitionConfig& config) const {
-  TlpStats stats;
-  return partition_with_stats(g, config, stats);
-}
-
-EdgePartition TlpPartitioner::partition_with_stats(const Graph& g,
-                                                   const PartitionConfig& config,
-                                                   TlpStats& stats) const {
-  if (config.num_partitions == 0) {
-    throw std::invalid_argument("TlpPartitioner: num_partitions must be >= 1");
-  }
+EdgePartition TlpPartitioner::do_partition(const Graph& g,
+                                           const PartitionConfig& config,
+                                           RunContext& ctx) const {
   if (options_.stage_rule == StageRule::kEdgeRatio &&
       (options_.stage_ratio < 0.0 || options_.stage_ratio > 1.0)) {
     throw std::invalid_argument("TlpPartitioner: stage_ratio must be in [0,1]");
   }
-  const std::size_t stride = stats.modularity_sample_stride;
-  stats = TlpStats{};
-  stats.modularity_sample_stride = stride;
-  GrowthRun run(g, config, options_, stats);
+  GrowthRun run(g, config, options_, ctx);
   return run.run();
 }
 

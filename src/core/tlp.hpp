@@ -8,11 +8,19 @@
 //   Stage II (tight partition): μs2, modularity gain (Eqs. 9-10)
 // TLP switches on modularity M(P_k) <= 1 (Table II / Algorithm 1); TLP_R
 // switches on the edge-count ratio |E(P_k)| <= R*C (Table V).
+//
+// Telemetry (written into RunContext::telemetry(); see docs/API.md):
+//   counters  stage1_joins, stage2_joins, stage1_degree_sum,
+//             stage2_degree_sum, restarts, spilled_edges, capacity_closes,
+//             strict_round_ends; gauges peak_frontier, peak_members
+//   series    round_seed, round_joins, round_stage1_joins,
+//             round_stage2_joins, round_restarts, round_edges (one entry
+//             per round), and round<k>_modularity when
+//             TlpOptions::modularity_sample_stride != 0.
 #pragma once
 
-#include <cstdint>
+#include <cstddef>
 #include <string>
-#include <vector>
 
 #include "partition/partitioner.hpp"
 
@@ -43,49 +51,10 @@ struct TlpOptions {
   /// overshoot C by (its connection count - 1) edges. If false, the round
   /// closes as soon as adding the selected vertex would exceed C.
   bool allow_overshoot = true;
-};
-
-/// Per-round telemetry.
-struct RoundStats {
-  VertexId seed = kInvalidVertex;
-  std::size_t joins = 0;
-  std::size_t stage1_joins = 0;
-  std::size_t stage2_joins = 0;
-  std::size_t restarts = 0;
-  EdgeId edges = 0;
-  /// Modularity M = E_in/E_out sampled every `modularity_sample_stride`
-  /// joins (see TlpStats); lets benches plot the Table-II stage dynamics.
-  std::vector<double> modularity_samples;
-};
-
-/// Whole-run telemetry; feeds Table VI (per-stage average degrees).
-struct TlpStats {
-  std::size_t stage1_joins = 0;
-  std::size_t stage2_joins = 0;
-  /// Sums of the *static* graph degree of vertices at the moment they were
-  /// selected in each stage (Section IV.D counts degrees in G).
-  double stage1_degree_sum = 0.0;
-  double stage2_degree_sum = 0.0;
-  std::size_t restarts = 0;
-  EdgeId spilled_edges = 0;  ///< only under kStrict
-  /// Largest frontier |N(P_k)| observed — the working-set bound behind the
-  /// paper's O(Ld) space claim (Section III.E).
-  std::size_t peak_frontier = 0;
-  /// Largest member count of any single partition (the L in O(Ld)).
-  std::size_t peak_members = 0;
-  /// Stride for RoundStats::modularity_samples (0 = don't sample). Set this
-  /// BEFORE calling partition_with_stats.
+  /// Sample M = E_in/E_out into the round<k>_modularity telemetry series
+  /// every this many joins (0 = don't sample); feeds the Table-II stage
+  /// dynamics plots.
   std::size_t modularity_sample_stride = 0;
-  std::vector<RoundStats> rounds;
-
-  [[nodiscard]] double stage1_avg_degree() const {
-    return stage1_joins == 0 ? 0.0
-                             : stage1_degree_sum / static_cast<double>(stage1_joins);
-  }
-  [[nodiscard]] double stage2_avg_degree() const {
-    return stage2_joins == 0 ? 0.0
-                             : stage2_degree_sum / static_cast<double>(stage2_joins);
-  }
 };
 
 class TlpPartitioner : public Partitioner {
@@ -94,14 +63,12 @@ class TlpPartitioner : public Partitioner {
 
   [[nodiscard]] std::string name() const override;
 
-  [[nodiscard]] EdgePartition partition(
-      const Graph& g, const PartitionConfig& config) const override;
-
-  /// Like partition() but also returns telemetry.
-  [[nodiscard]] EdgePartition partition_with_stats(
-      const Graph& g, const PartitionConfig& config, TlpStats& stats) const;
-
   [[nodiscard]] const TlpOptions& options() const { return options_; }
+
+ protected:
+  [[nodiscard]] EdgePartition do_partition(const Graph& g,
+                                           const PartitionConfig& config,
+                                           RunContext& ctx) const override;
 
  private:
   TlpOptions options_;

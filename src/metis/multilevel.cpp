@@ -1,6 +1,7 @@
 #include "metis/multilevel.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "baselines/vertex_to_edge.hpp"
@@ -9,9 +10,26 @@
 #include "metis/refine.hpp"
 
 namespace tlp::metis {
+namespace {
+
+/// Optional phase timer: active only when a context was supplied.
+class PhaseTimer {
+ public:
+  PhaseTimer(RunContext* ctx, const char* name) {
+    if (ctx != nullptr) timer_.emplace(ctx->telemetry().time(name));
+  }
+  void stop() {
+    if (timer_.has_value()) timer_->stop();
+  }
+
+ private:
+  std::optional<Telemetry::ScopedTimer> timer_;
+};
+
+}  // namespace
 
 std::vector<PartitionId> MetisPartitioner::vertex_partition(
-    const Graph& g, const PartitionConfig& config) const {
+    const Graph& g, const PartitionConfig& config, RunContext* ctx) const {
   const PartitionId k = config.num_partitions;
   if (k == 0) {
     throw std::invalid_argument("MetisPartitioner: num_partitions must be >= 1");
@@ -20,6 +38,7 @@ std::vector<PartitionId> MetisPartitioner::vertex_partition(
   if (k == 1) return std::vector<PartitionId>(g.num_vertices(), 0);
 
   // --- Coarsening ---------------------------------------------------------
+  PhaseTimer coarsen_timer(ctx, "coarsen_s");
   std::vector<CoarseLevel> levels;
   WGraph current = WGraph::from_graph(g);
   const VertexId stop_at =
@@ -33,14 +52,21 @@ std::vector<PartitionId> MetisPartitioner::vertex_partition(
     current = level.graph;  // keep a copy at this level for projection
     levels.push_back(std::move(level));
   }
+  coarsen_timer.stop();
+  if (ctx != nullptr) {
+    ctx->telemetry().add("coarsen_levels", static_cast<double>(levels.size()));
+  }
 
   // --- Initial partitioning on the coarsest graph --------------------------
+  PhaseTimer initial_timer(ctx, "initial_s");
   std::vector<PartitionId> parts =
       recursive_bisection(current, k, config.seed ^ 0xabcdef12345678ULL);
   kway_refine(current, parts, k, options_.imbalance, options_.refine_passes,
               config.seed + 17);
+  initial_timer.stop();
 
   // --- Uncoarsening + refinement ------------------------------------------
+  PhaseTimer refine_timer(ctx, "refine_s");
   WGraph fine = WGraph::from_graph(g);
   for (std::size_t i = levels.size(); i-- > 0;) {
     // Project coarse labels to the finer level.
@@ -60,12 +86,15 @@ std::vector<PartitionId> MetisPartitioner::vertex_partition(
     kway_refine(fine, parts, k, options_.imbalance, options_.refine_passes,
                 config.seed + 31);
   }
+  refine_timer.stop();
   return parts;
 }
 
-EdgePartition MetisPartitioner::partition(const Graph& g,
-                                          const PartitionConfig& config) const {
-  return baselines::derive_edge_partition(g, vertex_partition(g, config),
+EdgePartition MetisPartitioner::do_partition(const Graph& g,
+                                             const PartitionConfig& config,
+                                             RunContext& ctx) const {
+  ctx.telemetry().add("edges_assigned", static_cast<double>(g.num_edges()));
+  return baselines::derive_edge_partition(g, vertex_partition(g, config, &ctx),
                                           config.num_partitions);
 }
 

@@ -29,13 +29,17 @@ class MetisPartitioner : public Partitioner {
 
   [[nodiscard]] std::string name() const override { return "metis"; }
 
-  [[nodiscard]] EdgePartition partition(
-      const Graph& g, const PartitionConfig& config) const override;
-
   /// The underlying multilevel vertex partition (exposed for tests and
-  /// edge-cut benches).
+  /// edge-cut benches). With a context, records per-phase timers
+  /// (coarsen_s, initial_s, refine_s) and the coarsen_levels counter.
   [[nodiscard]] std::vector<PartitionId> vertex_partition(
-      const Graph& g, const PartitionConfig& config) const;
+      const Graph& g, const PartitionConfig& config,
+      RunContext* ctx = nullptr) const;
+
+ protected:
+  [[nodiscard]] EdgePartition do_partition(const Graph& g,
+                                           const PartitionConfig& config,
+                                           RunContext& ctx) const override;
 
  private:
   MetisOptions options_;

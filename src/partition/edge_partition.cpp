@@ -5,7 +5,9 @@ namespace tlp {
 std::vector<EdgeId> EdgePartition::edge_counts() const {
   std::vector<EdgeId> counts(num_partitions_, 0);
   for (const PartitionId p : assignment_) {
-    if (p != kNoPartition) ++counts[p];
+    // Out-of-range ids can occur in hand-built invalid partitions (the
+    // validator reports them); they must not index past `counts`.
+    if (p != kNoPartition && p < num_partitions_) ++counts[p];
   }
   return counts;
 }

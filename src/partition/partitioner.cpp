@@ -1,0 +1,21 @@
+#include "partition/partitioner.hpp"
+
+namespace tlp {
+
+EdgePartition Partitioner::partition(const Graph& g,
+                                     const PartitionConfig& config) const {
+  RunContext ctx;
+  return partition(g, config, ctx);
+}
+
+EdgePartition Partitioner::partition(const Graph& g,
+                                     const PartitionConfig& config,
+                                     RunContext& ctx) const {
+  config.validate();
+  ctx.begin_run(name());
+  ctx.check_cancelled();
+  const auto timer = ctx.telemetry().time("total_s");
+  return do_partition(g, config, ctx);
+}
+
+}  // namespace tlp

@@ -1,11 +1,20 @@
 // Abstract edge-partitioner interface shared by TLP and all baselines.
+//
+// The public entry points are non-virtual: they validate the config, stamp
+// the run into the RunContext (telemetry "runs" counter + "total_s" timer),
+// honour cancellation, and then dispatch to the protected do_partition()
+// hook each algorithm implements. The two-arg overload is a convenience
+// wrapper that runs against a throwaway context.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "partition/edge_partition.hpp"
+#include "partition/run_context.hpp"
 
 namespace tlp {
 
@@ -16,18 +25,36 @@ struct PartitionConfig {
   PartitionId num_partitions = 2;
 
   /// Capacity multiplier: C = ceil(m / p) * balance_slack (Def. 3's C).
-  /// 1.0 reproduces the paper's exactly-balanced setting.
+  /// 1.0 reproduces the paper's exactly-balanced setting. Values below 1.0
+  /// are invalid — a sub-unit slack would make the p capacities sum to less
+  /// than m, so no complete partition could respect it. validate() rejects
+  /// them; capacity() applies the multiplier as given.
   double balance_slack = 1.0;
 
   /// RNG seed; every partitioner is deterministic given (graph, config).
   std::uint64_t seed = 42;
 
+  /// Throws std::invalid_argument if the config is unusable. Called by
+  /// Partitioner::partition() on every run, so implementations do not need
+  /// their own num_partitions/balance_slack checks.
+  void validate() const {
+    if (num_partitions == 0) {
+      throw std::invalid_argument(
+          "PartitionConfig: num_partitions must be >= 1");
+    }
+    if (!(balance_slack >= 1.0) || !std::isfinite(balance_slack)) {
+      throw std::invalid_argument(
+          "PartitionConfig: balance_slack must be a finite value >= 1.0");
+    }
+  }
+
   /// Capacity C for a given edge count (at least 1 so progress is possible).
+  /// Assumes a validated config: balance_slack >= 1.0 is applied verbatim.
   [[nodiscard]] EdgeId capacity(EdgeId num_edges) const {
     if (num_partitions == 0) return num_edges;
     const auto base = (num_edges + num_partitions - 1) / num_partitions;
-    const auto scaled = static_cast<EdgeId>(
-        static_cast<double>(base) * (balance_slack < 1.0 ? 1.0 : balance_slack));
+    const auto scaled =
+        static_cast<EdgeId>(static_cast<double>(base) * balance_slack);
     return scaled > 0 ? scaled : 1;
   }
 };
@@ -41,10 +68,24 @@ class Partitioner {
   /// Short stable identifier, e.g. "tlp", "metis", "dbh".
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Partitions all edges of g into config.num_partitions parts.
+  /// Partitions all edges of g into config.num_partitions parts using a
+  /// private single-use RunContext.
   /// Postcondition: every edge assigned (validated in tests).
-  [[nodiscard]] virtual EdgePartition partition(
-      const Graph& g, const PartitionConfig& config) const = 0;
+  [[nodiscard]] EdgePartition partition(const Graph& g,
+                                        const PartitionConfig& config) const;
+
+  /// Same, against a caller-provided context: scratch buffers come from
+  /// ctx.arena(), telemetry accumulates into ctx.telemetry(), and
+  /// ctx.cancel() is polled at round boundaries (throws RunCancelled).
+  [[nodiscard]] EdgePartition partition(const Graph& g,
+                                        const PartitionConfig& config,
+                                        RunContext& ctx) const;
+
+ protected:
+  /// Algorithm body. Receives an already-validated config.
+  [[nodiscard]] virtual EdgePartition do_partition(const Graph& g,
+                                                   const PartitionConfig& config,
+                                                   RunContext& ctx) const = 0;
 };
 
 using PartitionerPtr = std::unique_ptr<Partitioner>;

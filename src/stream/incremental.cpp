@@ -100,6 +100,7 @@ PartitionId IncrementalAssigner::assign(const Edge& e) {
     // globally lightest partition anyway — completeness over balance.
     target = static_cast<PartitionId>(std::distance(
         load_.begin(), std::min_element(load_.begin(), load_.end())));
+    ++overflow_assigns_;
   }
 
   place(e.u, target);
@@ -114,6 +115,15 @@ double IncrementalAssigner::current_rf() const {
              ? 1.0
              : static_cast<double>(total_replicas_) /
                    static_cast<double>(covered_vertices_);
+}
+
+void IncrementalAssigner::report(Telemetry& sink) const {
+  sink.set("incremental_edges", static_cast<double>(total_edges_));
+  sink.set("incremental_vertices", static_cast<double>(covered_vertices_));
+  sink.set("incremental_replicas", static_cast<double>(total_replicas_));
+  sink.set("incremental_rf", current_rf());
+  sink.set("incremental_overflow_assigns",
+           static_cast<double>(overflow_assigns_));
 }
 
 }  // namespace tlp::stream

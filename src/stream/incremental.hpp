@@ -36,6 +36,19 @@ class IncrementalAssigner {
   /// Replication factor over every vertex seen so far (initial + arrived).
   [[nodiscard]] double current_rf() const;
 
+  /// Assignments that fell through every locality tier because all
+  /// partitions were at the rolling capacity.
+  [[nodiscard]] std::size_t overflow_assigns() const {
+    return overflow_assigns_;
+  }
+
+  /// Snapshots the live state into a telemetry sink as gauges:
+  /// incremental_edges, incremental_vertices, incremental_replicas,
+  /// incremental_rf, incremental_overflow_assigns. The assigner is
+  /// long-lived (state persists across waves), so this is a pull-style
+  /// report rather than per-call accumulation.
+  void report(Telemetry& sink) const;
+
  private:
   [[nodiscard]] EdgeId capacity() const;
   void grow_tables(VertexId v);
@@ -49,6 +62,7 @@ class IncrementalAssigner {
   EdgeId total_edges_ = 0;
   std::size_t total_replicas_ = 0;
   std::size_t covered_vertices_ = 0;
+  std::size_t overflow_assigns_ = 0;
 };
 
 }  // namespace tlp::stream

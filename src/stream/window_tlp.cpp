@@ -99,23 +99,28 @@ class WindowBuffer {
 class WindowRun {
  public:
   WindowRun(EdgeStream& source, const PartitionConfig& config,
-            EdgeId window_capacity, WindowStats& stats)
+            EdgeId window_capacity, WindowStats& stats, RunContext& ctx)
       : source_(source),
         config_(config),
         window_capacity_(window_capacity),
         stats_(stats),
+        ctx_(ctx),
         buffer_(source.num_vertices()),
         assignment_(static_cast<std::size_t>(source.total_edges()),
                     kNoPartition),
-        member_round_(source.num_vertices(), kNoRound),
-        count_(source.num_vertices(), 0),
-        load_(config.num_partitions, 0) {}
+        member_round_(ctx.arena().acquire<std::uint32_t>(
+            source.num_vertices(), kNoRound)),
+        count_(ctx.arena().acquire<std::uint32_t>(source.num_vertices(), 0)),
+        touched_(ctx.arena().acquire<VertexId>(0)),
+        residual_neighbors_(ctx.arena().acquire<VertexId>(0)),
+        load_(ctx.arena().acquire<EdgeId>(config.num_partitions, 0)) {}
 
   std::vector<PartitionId> run() {
     const PartitionId p = config_.num_partitions;
     const EdgeId capacity = config_.capacity(source_.total_edges());
     refill();
     for (PartitionId k = 0; k + 1 < p && buffer_.live_edges() > 0; ++k) {
+      ctx_.check_cancelled();
       grow(k, capacity);
       refill();
     }
@@ -154,7 +159,8 @@ class WindowRun {
         // Degenerate: a self-loop never spans partitions; assign to the
         // lightest partition directly.
         const auto lightest = static_cast<PartitionId>(std::distance(
-            load_.begin(), std::min_element(load_.begin(), load_.end())));
+            load_->begin(),
+            std::min_element(load_->begin(), load_->end())));
         assignment_[static_cast<std::size_t>(e->id)] = lightest;
         ++load_[lightest];
         ++stats_.self_loops;
@@ -186,15 +192,15 @@ class WindowRun {
   [[nodiscard]] double stage1_term(VertexId u, VertexId member) {
     const std::uint32_t dm = buffer_.live_degree(member);
     if (dm == 0) return 0.0;
-    touched_.clear();
+    touched_->clear();
     buffer_.for_each_live(u, [&](VertexId w, std::size_t) {
-      if (count_[w]++ == 0) touched_.push_back(w);
+      if (count_[w]++ == 0) touched_->push_back(w);
     });
     std::size_t common = 0;
     buffer_.for_each_live(member, [&](VertexId w, std::size_t) {
       if (count_[w] != 0) ++common;
     });
-    for (const VertexId w : touched_) count_[w] = 0;
+    for (const VertexId w : *touched_) count_[w] = 0;
     return static_cast<double>(common) / static_cast<double>(dm);
   }
 
@@ -215,7 +221,7 @@ class WindowRun {
     const std::uint32_t deg_at_join =
         std::max<std::uint32_t>(1, buffer_.live_degree(v));
 
-    residual_neighbors_.clear();
+    residual_neighbors_->clear();
     buffer_.for_each_live(v, [&](VertexId u, std::size_t slot) {
       if (is_member(u)) {
         assign_slot(slot, round_partition_);
@@ -224,24 +230,24 @@ class WindowRun {
         --e_out_;
       } else {
         ++e_out_;
-        residual_neighbors_.push_back(u);
+        residual_neighbors_->push_back(u);
       }
     });
-    if (residual_neighbors_.empty()) return;
+    if (residual_neighbors_->empty()) return;
 
     // Shared counting pass: count_[x] = |N_w(x) ∩ N_w(v)| over live edges.
-    touched_.clear();
+    touched_->clear();
     buffer_.for_each_live(v, [&](VertexId w, std::size_t) {
       buffer_.for_each_live(w, [&](VertexId x, std::size_t) {
-        if (count_[x]++ == 0) touched_.push_back(x);
+        if (count_[x]++ == 0) touched_->push_back(x);
       });
     });
     const double dv = static_cast<double>(deg_at_join);
-    for (const VertexId u : residual_neighbors_) {
+    for (const VertexId u : *residual_neighbors_) {
       const double term = static_cast<double>(count_[u]) / dv;
       frontier_.add_connection(u, term, buffer_.live_degree(u));
     }
-    for (const VertexId x : touched_) count_[x] = 0;
+    for (const VertexId x : *touched_) count_[x] = 0;
   }
 
   void grow(PartitionId k, EdgeId capacity) {
@@ -300,14 +306,15 @@ class WindowRun {
   const PartitionConfig& config_;
   EdgeId window_capacity_;
   WindowStats& stats_;
+  RunContext& ctx_;
 
   WindowBuffer buffer_;
   std::vector<PartitionId> assignment_;
-  std::vector<std::uint32_t> member_round_;
-  std::vector<std::uint32_t> count_;
-  std::vector<VertexId> touched_;
-  std::vector<VertexId> residual_neighbors_;
-  std::vector<EdgeId> load_;
+  ScratchArena::Lease<std::uint32_t> member_round_;
+  ScratchArena::Lease<std::uint32_t> count_;
+  ScratchArena::Lease<VertexId> touched_;
+  ScratchArena::Lease<VertexId> residual_neighbors_;
+  ScratchArena::Lease<EdgeId> load_;
 
   Frontier frontier_;
   std::uint32_t round_ = kNoRound;
@@ -318,17 +325,23 @@ class WindowRun {
 
 }  // namespace
 
-EdgePartition WindowTlpPartitioner::partition(
-    const Graph& g, const PartitionConfig& config) const {
+EdgePartition WindowTlpPartitioner::do_partition(const Graph& g,
+                                                 const PartitionConfig& config,
+                                                 RunContext& ctx) const {
   GraphEdgeStream source(g, config.seed);
-  WindowStats stats;
-  std::vector<PartitionId> assignment =
-      partition_stream(source, config, &stats);
+  std::vector<PartitionId> assignment = partition_stream(source, config, ctx);
   return EdgePartition(config.num_partitions, std::move(assignment));
 }
 
 std::vector<PartitionId> WindowTlpPartitioner::partition_stream(
     EdgeStream& source, const PartitionConfig& config,
+    WindowStats* stats) const {
+  RunContext ctx;
+  return partition_stream(source, config, ctx, stats);
+}
+
+std::vector<PartitionId> WindowTlpPartitioner::partition_stream(
+    EdgeStream& source, const PartitionConfig& config, RunContext& ctx,
     WindowStats* stats) const {
   if (config.num_partitions == 0) {
     throw std::invalid_argument(
@@ -340,8 +353,18 @@ std::vector<PartitionId> WindowTlpPartitioner::partition_stream(
                             : 2 * capacity;
   WindowStats local;
   local.window_capacity = window;
-  WindowRun run(source, config, window, local);
-  std::vector<PartitionId> assignment = run.run();
+  std::vector<PartitionId> assignment = [&] {
+    WindowRun run(source, config, window, local, ctx);
+    return run.run();
+  }();
+  Telemetry& t = ctx.telemetry();
+  t.set("window_capacity", static_cast<double>(local.window_capacity));
+  t.add("refills", static_cast<double>(local.refills));
+  t.add("reseeds", static_cast<double>(local.reseeds));
+  t.add("drained_edges", static_cast<double>(local.drained_edges));
+  t.add("self_loops", static_cast<double>(local.self_loops));
+  t.add("stage1_joins", static_cast<double>(local.stage1_joins));
+  t.add("stage2_joins", static_cast<double>(local.stage2_joins));
   if (stats != nullptr) *stats = local;
   return assignment;
 }

@@ -8,6 +8,10 @@
 // W >= C (the per-partition capacity) recovers TLP-like quality; small W
 // degrades gracefully toward streaming-heuristic quality. The
 // bench/window_sweep binary quantifies this trade-off.
+//
+// Telemetry (when run with a RunContext): counters stage1_joins,
+// stage2_joins, refills, reseeds, drained_edges, self_loops and the
+// window_capacity gauge.
 #pragma once
 
 #include <string>
@@ -25,7 +29,8 @@ struct WindowTlpOptions {
   EdgeId window_capacity = 0;
 };
 
-/// Telemetry of one windowed run.
+/// Telemetry of one windowed run (plain-struct view; the same values are
+/// written into the RunContext telemetry sink).
 struct WindowStats {
   EdgeId window_capacity = 0;   ///< resolved window size
   std::size_t refills = 0;      ///< stream top-ups
@@ -43,16 +48,25 @@ class WindowTlpPartitioner : public Partitioner {
 
   [[nodiscard]] std::string name() const override { return "window_tlp"; }
 
-  /// Partitioner interface: streams g's edges in a seeded random order
-  /// through the window. The result aligns with g's EdgeIds.
-  [[nodiscard]] EdgePartition partition(
-      const Graph& g, const PartitionConfig& config) const override;
-
   /// Streaming API: consumes the stream once; returns one PartitionId per
-  /// stream edge id. `stats` is optional telemetry.
+  /// stream edge id. `stats` is optional telemetry. Runs against a private
+  /// single-use RunContext.
   [[nodiscard]] std::vector<PartitionId> partition_stream(
       EdgeStream& source, const PartitionConfig& config,
       WindowStats* stats = nullptr) const;
+
+  /// Same, against a caller-provided context (scratch arena reuse +
+  /// telemetry accumulation + cancellation).
+  [[nodiscard]] std::vector<PartitionId> partition_stream(
+      EdgeStream& source, const PartitionConfig& config, RunContext& ctx,
+      WindowStats* stats = nullptr) const;
+
+ protected:
+  /// Partitioner interface: streams g's edges in a seeded random order
+  /// through the window. The result aligns with g's EdgeIds.
+  [[nodiscard]] EdgePartition do_partition(const Graph& g,
+                                           const PartitionConfig& config,
+                                           RunContext& ctx) const override;
 
  private:
   WindowTlpOptions options_;

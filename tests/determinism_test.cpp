@@ -1,0 +1,56 @@
+// Determinism regression: every registered partitioner must produce
+// byte-identical assignments when run twice with the same (graph, seed) —
+// including when both runs share one RunContext, so scratch-arena reuse can
+// never leak state between runs.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "bench_common/runner.hpp"
+#include "gen/generators.hpp"
+#include "partition/registry.hpp"
+#include "partition/run_context.hpp"
+#include "partition/validator.hpp"
+
+namespace tlp {
+namespace {
+
+class DeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeterminismTest, RepeatedRunsShareOneContext) {
+  const std::string& name = GetParam();
+  const Graph g = gen::sbm(400, 2400, 8, 0.8, /*seed=*/31);
+  PartitionConfig config;
+  config.num_partitions = 5;
+  config.seed = 1234;
+
+  const PartitionerPtr partitioner = make_partitioner(name);
+  RunContext ctx;
+  const EdgePartition a = partitioner->partition(g, config, ctx);
+  const EdgePartition b = partitioner->partition(g, config, ctx);
+  EXPECT_TRUE(validate(g, a, config).ok()) << name;
+  EXPECT_EQ(a.raw(), b.raw()) << name << ": arena reuse changed the result";
+
+  // A fresh context must agree with the shared one, too.
+  RunContext fresh;
+  const EdgePartition c = partitioner->partition(g, config, fresh);
+  EXPECT_EQ(a.raw(), c.raw()) << name << ": context identity leaked in";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegistered, DeterminismTest, ::testing::ValuesIn([] {
+                           bench::register_builtin_partitioners();
+                           return registered_partitioners();
+                         }()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace tlp

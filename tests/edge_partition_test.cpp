@@ -1,6 +1,9 @@
 // Tests for the EdgePartition value type.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 #include "partition/edge_partition.hpp"
 #include "partition/partitioner.hpp"
 
@@ -67,8 +70,23 @@ TEST(PartitionConfig, CapacitySlack) {
   config.num_partitions = 2;
   config.balance_slack = 1.5;
   EXPECT_EQ(config.capacity(10), 7u);  // ceil(10/2)*1.5 = 7.5 -> truncated
-  config.balance_slack = 0.5;          // sub-1 slack clamps to 1.0
-  EXPECT_EQ(config.capacity(10), 5u);
+}
+
+TEST(PartitionConfig, ValidateRejectsBadSlack) {
+  // Sub-1 slack is a contradiction (capacity below a perfect split); it
+  // used to clamp silently inside capacity() — now validate() rejects it.
+  PartitionConfig config;
+  config.num_partitions = 2;
+  config.balance_slack = 0.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.balance_slack = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.balance_slack = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.balance_slack = 1.0;
+  EXPECT_NO_THROW(config.validate());
+  config.num_partitions = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
 }
 
 }  // namespace

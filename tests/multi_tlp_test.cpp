@@ -74,18 +74,22 @@ TEST(MultiTlp, QualityComparableToSequentialOnCommunities) {
   EXPECT_LT(rf_multi, rf_seq + 0.5);
 }
 
-TEST(MultiTlp, StatsAggregateAcrossPartitions) {
+TEST(MultiTlp, TelemetryAggregatesAcrossPartitions) {
   const Graph g = gen::erdos_renyi(300, 1200, 15);
   const MultiTlpPartitioner multi;
-  TlpStats stats;
+  RunContext ctx;
   const auto config = config_for(6);
-  const EdgePartition part = multi.partition_with_stats(g, config, stats);
+  const EdgePartition part = multi.partition(g, config, ctx);
   EXPECT_TRUE(validate(g, part, config).ok());
-  EXPECT_EQ(stats.rounds.size(), 6u);
-  EXPECT_GT(stats.stage1_joins + stats.stage2_joins, 0u);
-  EdgeId total = 0;
-  for (const RoundStats& r : stats.rounds) total += r.edges;
-  EXPECT_EQ(total + stats.spilled_edges, g.num_edges());
+  const Telemetry& t = ctx.telemetry();
+  const auto* edges = t.series("round_edges");
+  ASSERT_NE(edges, nullptr);
+  EXPECT_EQ(edges->size(), 6u);
+  EXPECT_GT(t.counter("stage1_joins") + t.counter("stage2_joins"), 0.0);
+  double total = 0.0;
+  for (const double e : *edges) total += e;
+  EXPECT_EQ(total + t.counter("spilled_edges"),
+            static_cast<double>(g.num_edges()));
 }
 
 TEST(MultiTlp, NoOvershootStaysWithinCapacityMostly) {

@@ -1,6 +1,8 @@
-// Tests for TLP telemetry: working-set tracking and modularity sampling.
+// Tests for TLP telemetry: working-set tracking and modularity sampling
+// through the RunContext sink.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/tlp.hpp"
@@ -19,85 +21,105 @@ PartitionConfig config_for(PartitionId p) {
 TEST(Telemetry, PeakWorkingSetIsTracked) {
   const Graph g = gen::erdos_renyi(400, 1600, 131);
   const TlpPartitioner tlp;
-  TlpStats stats;
-  (void)tlp.partition_with_stats(g, config_for(4), stats);
-  EXPECT_GT(stats.peak_frontier, 0u);
-  EXPECT_GT(stats.peak_members, 0u);
+  RunContext ctx;
+  (void)tlp.partition(g, config_for(4), ctx);
+  const Telemetry& t = ctx.telemetry();
+  EXPECT_GT(t.counter("peak_frontier"), 0.0);
+  EXPECT_GT(t.counter("peak_members"), 0.0);
   // The working set is bounded by the graph itself.
-  EXPECT_LE(stats.peak_frontier, g.num_vertices());
-  EXPECT_LE(stats.peak_members, g.num_vertices());
-  // Peak members can't be below the largest round's joins.
-  std::size_t max_joins = 0;
-  for (const RoundStats& r : stats.rounds) {
-    max_joins = std::max(max_joins, r.joins);
-  }
-  EXPECT_EQ(stats.peak_members, max_joins);
+  EXPECT_LE(t.counter("peak_frontier"), static_cast<double>(g.num_vertices()));
+  EXPECT_LE(t.counter("peak_members"), static_cast<double>(g.num_vertices()));
+  // Peak members is exactly the largest round's join count.
+  const auto* joins = t.series("round_joins");
+  ASSERT_NE(joins, nullptr);
+  EXPECT_EQ(t.counter("peak_members"),
+            *std::max_element(joins->begin(), joins->end()));
 }
 
 TEST(Telemetry, ModularitySamplingOffByDefault) {
   const Graph g = gen::erdos_renyi(200, 800, 133);
   const TlpPartitioner tlp;
-  TlpStats stats;
-  (void)tlp.partition_with_stats(g, config_for(4), stats);
-  for (const RoundStats& r : stats.rounds) {
-    EXPECT_TRUE(r.modularity_samples.empty());
+  RunContext ctx;
+  (void)tlp.partition(g, config_for(4), ctx);
+  for (PartitionId k = 0; k < 4; ++k) {
+    const std::string key = "round" + std::to_string(k) + "_modularity";
+    EXPECT_EQ(ctx.telemetry().series(key), nullptr);
   }
 }
 
 TEST(Telemetry, ModularitySamplesFollowStride) {
   const Graph g = gen::erdos_renyi(300, 1500, 137);
-  const TlpPartitioner tlp;
-  TlpStats stats;
-  stats.modularity_sample_stride = 4;
-  (void)tlp.partition_with_stats(g, config_for(3), stats);
-  ASSERT_FALSE(stats.rounds.empty());
-  const RoundStats& round = stats.rounds.front();
-  EXPECT_GT(round.modularity_samples.size(), 0u);
+  TlpOptions options;
+  options.modularity_sample_stride = 4;
+  const TlpPartitioner tlp(options);
+  RunContext ctx;
+  (void)tlp.partition(g, config_for(3), ctx);
+  const Telemetry& t = ctx.telemetry();
+  const auto* joins = t.series("round_joins");
+  ASSERT_NE(joins, nullptr);
+  ASSERT_FALSE(joins->empty());
+  const auto* samples = t.series("round0_modularity");
+  ASSERT_NE(samples, nullptr);
+  EXPECT_GT(samples->size(), 0u);
   // Roughly one sample per 4 joins.
-  EXPECT_NEAR(static_cast<double>(round.modularity_samples.size()),
-              static_cast<double>(round.joins) / 4.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(samples->size()), joins->front() / 4.0, 2.0);
   // Samples are valid ratios (or +inf when the boundary is empty).
-  for (const double m : round.modularity_samples) {
+  for (const double m : *samples) {
     EXPECT_TRUE(m >= 0.0 || std::isinf(m));
   }
 }
 
-TEST(Telemetry, StrideSurvivesStatsReset) {
-  // partition_with_stats resets stats but must keep the caller's stride.
+TEST(Telemetry, AccumulatesAcrossRunsSharingContext) {
+  // A context is reusable: counters and series from a second run pile on
+  // top of the first instead of resetting.
   const Graph g = gen::path_graph(40);
   const TlpPartitioner tlp;
-  TlpStats stats;
-  stats.modularity_sample_stride = 2;
-  stats.stage1_joins = 999;  // garbage that must be cleared
-  (void)tlp.partition_with_stats(g, config_for(2), stats);
-  EXPECT_EQ(stats.modularity_sample_stride, 2u);
-  EXPECT_LT(stats.stage1_joins, 999u);
-  bool any_samples = false;
-  for (const RoundStats& r : stats.rounds) {
-    any_samples = any_samples || !r.modularity_samples.empty();
-  }
-  EXPECT_TRUE(any_samples);
+  RunContext ctx;
+  (void)tlp.partition(g, config_for(2), ctx);
+  const double joins_after_one = ctx.telemetry().counter("stage1_joins") +
+                                 ctx.telemetry().counter("stage2_joins");
+  const std::size_t rounds_after_one = ctx.telemetry().series("round_joins")->size();
+  (void)tlp.partition(g, config_for(2), ctx);
+  EXPECT_EQ(ctx.telemetry().counter("stage1_joins") +
+                ctx.telemetry().counter("stage2_joins"),
+            2.0 * joins_after_one);
+  EXPECT_EQ(ctx.telemetry().series("round_joins")->size(),
+            2 * rounds_after_one);
+  EXPECT_EQ(ctx.runs(), 2u);
+  EXPECT_EQ(ctx.telemetry().counter("runs"), 2.0);
+  EXPECT_EQ(ctx.last_algorithm(), "tlp");
 }
 
 TEST(Telemetry, StageDegreeAveragesConsistent) {
   const Graph g = gen::dcsbm(2000, 16000, 2.1, 14, 0.65, 139);
   const TlpPartitioner tlp;
-  TlpStats stats;
-  (void)tlp.partition_with_stats(g, config_for(8), stats);
-  if (stats.stage1_joins > 0) {
-    EXPECT_GE(stats.stage1_avg_degree(), 1.0);
-    EXPECT_LE(stats.stage1_avg_degree(),
-              static_cast<double>(g.num_vertices()));
+  RunContext ctx;
+  (void)tlp.partition(g, config_for(8), ctx);
+  const Telemetry& t = ctx.telemetry();
+  if (t.counter("stage1_joins") > 0.0) {
+    const double avg = t.counter("stage1_degree_sum") / t.counter("stage1_joins");
+    EXPECT_GE(avg, 1.0);
+    EXPECT_LE(avg, static_cast<double>(g.num_vertices()));
   }
-  // Sum of per-round stage joins equals the aggregate.
-  std::size_t s1 = 0;
-  std::size_t s2 = 0;
-  for (const RoundStats& r : stats.rounds) {
-    s1 += r.stage1_joins;
-    s2 += r.stage2_joins;
-  }
-  EXPECT_EQ(s1, stats.stage1_joins);
-  EXPECT_EQ(s2, stats.stage2_joins);
+  // Sum of per-round stage joins equals the aggregate counters.
+  const auto* s1 = t.series("round_stage1_joins");
+  const auto* s2 = t.series("round_stage2_joins");
+  ASSERT_NE(s1, nullptr);
+  ASSERT_NE(s2, nullptr);
+  double s1_sum = 0.0;
+  double s2_sum = 0.0;
+  for (const double v : *s1) s1_sum += v;
+  for (const double v : *s2) s2_sum += v;
+  EXPECT_EQ(s1_sum, t.counter("stage1_joins"));
+  EXPECT_EQ(s2_sum, t.counter("stage2_joins"));
+}
+
+TEST(Telemetry, TotalTimerIsRecorded) {
+  const Graph g = gen::erdos_renyi(200, 800, 141);
+  const TlpPartitioner tlp;
+  RunContext ctx;
+  (void)tlp.partition(g, config_for(4), ctx);
+  EXPECT_GT(ctx.telemetry().timer_seconds("total_s"), 0.0);
 }
 
 }  // namespace

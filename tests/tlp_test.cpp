@@ -1,6 +1,7 @@
 // End-to-end tests for the TLP partitioner and the TLP_R variant.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/tlp.hpp"
@@ -21,7 +22,15 @@ PartitionConfig config_for(PartitionId p, std::uint64_t seed = 42) {
 TEST(Tlp, NameReflectsVariant) {
   EXPECT_EQ(TlpPartitioner{}.name(), "tlp");
   EXPECT_EQ(make_tlp_r(0.3).name(), "tlp_r0.3");
-  EXPECT_EQ(make_tlp_r(1.0).name(), "tlp_r1.0");
+  EXPECT_EQ(make_tlp_r(1.0).name(), "tlp_r1");
+}
+
+TEST(Tlp, NameKeepsDistinctRatiosDistinct) {
+  // %.1f used to collapse 0.25 into "tlp_r0.2"; the name must round-trip
+  // enough precision that sweep tables never alias two variants.
+  EXPECT_EQ(make_tlp_r(0.25).name(), "tlp_r0.25");
+  EXPECT_EQ(make_tlp_r(0.2).name(), "tlp_r0.2");
+  EXPECT_NE(make_tlp_r(0.25).name(), make_tlp_r(0.2).name());
 }
 
 TEST(Tlp, CompleteAndInRangeOnVariousGraphs) {
@@ -139,56 +148,69 @@ TEST(Tlp, NoOvershootRespectsCapacityOutsideLastRound) {
   EXPECT_TRUE(validate(g, part, config).ok());
 }
 
-TEST(TlpStats, StageOneSelectsHigherDegreeVertices) {
+TEST(TlpTelemetry, StageOneSelectsHigherDegreeVertices) {
   // Table VI's headline property: avg degree in Stage I >> Stage II.
   const Graph g = gen::chung_lu_power_law(4000, 24000, 2.1, /*seed=*/13);
   const TlpPartitioner tlp;
-  TlpStats stats;
-  (void)tlp.partition_with_stats(g, config_for(10), stats);
-  ASSERT_GT(stats.stage1_joins, 0u);
-  ASSERT_GT(stats.stage2_joins, 0u);
-  EXPECT_GT(stats.stage1_avg_degree(), stats.stage2_avg_degree());
+  RunContext ctx;
+  (void)tlp.partition(g, config_for(10), ctx);
+  const Telemetry& t = ctx.telemetry();
+  ASSERT_GT(t.counter("stage1_joins"), 0.0);
+  ASSERT_GT(t.counter("stage2_joins"), 0.0);
+  const double s1_avg = t.counter("stage1_degree_sum") / t.counter("stage1_joins");
+  const double s2_avg = t.counter("stage2_degree_sum") / t.counter("stage2_joins");
+  EXPECT_GT(s1_avg, s2_avg);
 }
 
-TEST(TlpStats, RoundsAreRecorded) {
+TEST(TlpTelemetry, RoundsAreRecorded) {
   const Graph g = gen::erdos_renyi(100, 400, 6);
   const TlpPartitioner tlp;
-  TlpStats stats;
-  (void)tlp.partition_with_stats(g, config_for(4), stats);
-  EXPECT_EQ(stats.rounds.size(), 4u);
-  EdgeId total = 0;
-  for (const RoundStats& r : stats.rounds) {
-    total += r.edges;
-    EXPECT_EQ(r.joins, r.stage1_joins + r.stage2_joins + r.restarts + 1);
+  RunContext ctx;
+  (void)tlp.partition(g, config_for(4), ctx);
+  const Telemetry& t = ctx.telemetry();
+  const auto* joins = t.series("round_joins");
+  const auto* s1 = t.series("round_stage1_joins");
+  const auto* s2 = t.series("round_stage2_joins");
+  const auto* restarts = t.series("round_restarts");
+  const auto* edges = t.series("round_edges");
+  ASSERT_NE(joins, nullptr);
+  ASSERT_NE(edges, nullptr);
+  EXPECT_EQ(joins->size(), 4u);
+  double total = 0.0;
+  for (std::size_t i = 0; i < joins->size(); ++i) {
+    total += (*edges)[i];
+    // Every join is a stage-I pick, a stage-II pick, a restart reseed, or
+    // the round's initial seed.
+    EXPECT_EQ((*joins)[i], (*s1)[i] + (*s2)[i] + (*restarts)[i] + 1.0);
   }
-  EXPECT_EQ(total, g.num_edges());
+  EXPECT_EQ(total, static_cast<double>(g.num_edges()));
 }
 
 TEST(TlpR, ZeroRatioIsPureStageTwo) {
   const Graph g = gen::erdos_renyi(200, 800, 8);
   const TlpPartitioner tlp = make_tlp_r(0.0);
-  TlpStats stats;
-  (void)tlp.partition_with_stats(g, config_for(4), stats);
-  EXPECT_EQ(stats.stage1_joins, 0u);
-  EXPECT_GT(stats.stage2_joins, 0u);
+  RunContext ctx;
+  (void)tlp.partition(g, config_for(4), ctx);
+  EXPECT_EQ(ctx.telemetry().counter("stage1_joins"), 0.0);
+  EXPECT_GT(ctx.telemetry().counter("stage2_joins"), 0.0);
 }
 
 TEST(TlpR, FullRatioIsPureStageOne) {
   const Graph g = gen::erdos_renyi(200, 800, 8);
   const TlpPartitioner tlp = make_tlp_r(1.0);
-  TlpStats stats;
-  (void)tlp.partition_with_stats(g, config_for(4), stats);
-  EXPECT_EQ(stats.stage2_joins, 0u);
-  EXPECT_GT(stats.stage1_joins, 0u);
+  RunContext ctx;
+  (void)tlp.partition(g, config_for(4), ctx);
+  EXPECT_EQ(ctx.telemetry().counter("stage2_joins"), 0.0);
+  EXPECT_GT(ctx.telemetry().counter("stage1_joins"), 0.0);
 }
 
 TEST(TlpR, MidRatioUsesBothStages) {
   const Graph g = gen::erdos_renyi(400, 1600, 8);
   const TlpPartitioner tlp = make_tlp_r(0.5);
-  TlpStats stats;
-  (void)tlp.partition_with_stats(g, config_for(4), stats);
-  EXPECT_GT(stats.stage1_joins, 0u);
-  EXPECT_GT(stats.stage2_joins, 0u);
+  RunContext ctx;
+  (void)tlp.partition(g, config_for(4), ctx);
+  EXPECT_GT(ctx.telemetry().counter("stage1_joins"), 0.0);
+  EXPECT_GT(ctx.telemetry().counter("stage2_joins"), 0.0);
 }
 
 TEST(TlpR, RejectsOutOfRangeRatio) {
@@ -211,12 +233,68 @@ TEST(TlpStrict, SpillsKeepResultComplete) {
   }
   const Graph g = Graph::from_edges(80, std::move(edges));
   const auto config = config_for(4);
-  TlpStats stats;
-  const EdgePartition part = tlp.partition_with_stats(g, config, stats);
+  RunContext ctx;
+  const EdgePartition part = tlp.partition(g, config, ctx);
   EXPECT_TRUE(validate(g, part, config).ok());
   // 4 strict rounds claim one component each (1 edge per round << C=10),
   // so almost everything must have been spilled.
-  EXPECT_GT(stats.spilled_edges, 30u);
+  EXPECT_GT(ctx.telemetry().counter("spilled_edges"), 30.0);
+  // Every round ended through the paper-literal strict branch.
+  EXPECT_EQ(ctx.telemetry().counter("strict_round_ends"), 4.0);
+  // The spilled edges must still land spread over the lightest partitions.
+  EXPECT_LE(balance_factor(part), 1.2);
+}
+
+TEST(TlpStrict, SpillTargetsLightestPartitions) {
+  // One big clique plus isolated edges: round 1 eats the clique, strict
+  // rounds 2..4 take one isolated edge each, and the spill path must then
+  // top up partitions 2..4 (the light ones), never partition 1.
+  EdgeList edges;
+  for (VertexId u = 0; u < 8; ++u) {
+    for (VertexId v = u + 1; v < 8; ++v) edges.push_back(Edge{u, v});
+  }
+  for (VertexId i = 0; i < 20; ++i) {
+    edges.push_back(Edge{static_cast<VertexId>(8 + 2 * i),
+                         static_cast<VertexId>(9 + 2 * i)});
+  }
+  TlpOptions options;
+  options.empty_frontier = EmptyFrontierPolicy::kStrict;
+  const TlpPartitioner tlp(options);
+  const Graph g = Graph::from_edges(48, std::move(edges));
+  const auto config = config_for(4);
+  RunContext ctx;
+  const EdgePartition part = tlp.partition(g, config, ctx);
+  EXPECT_TRUE(validate(g, part, config).ok());
+  EXPECT_GT(ctx.telemetry().counter("spilled_edges"), 0.0);
+  const auto counts = part.edge_counts();
+  const EdgeId heaviest = *std::max_element(counts.begin(), counts.end());
+  const EdgeId lightest = *std::min_element(counts.begin(), counts.end());
+  // Spill balances the tail: no partition may end up more than one edge
+  // lighter than another once spilling has run.
+  EXPECT_LE(heaviest - lightest, config.capacity(g.num_edges()));
+}
+
+TEST(TlpNoOvershoot, RoundCloseIsCounted) {
+  TlpOptions options;
+  options.allow_overshoot = false;
+  const TlpPartitioner tlp(options);
+  // A clique has high-connection frontier vertices, so some round must hit
+  // the "joining v would blow the capacity" close at least once.
+  const Graph g = gen::complete_graph(20);
+  const auto config = config_for(6);
+  RunContext ctx;
+  const EdgePartition part = tlp.partition(g, config, ctx);
+  EXPECT_TRUE(validate(g, part, config).ok());
+  EXPECT_GT(ctx.telemetry().counter("capacity_closes"), 0.0);
+  // Closed rounds stay within capacity (only the uncapped last round may
+  // exceed it).
+  const auto counts = part.edge_counts();
+  const EdgeId capacity = config.capacity(g.num_edges());
+  EdgeId over = 0;
+  for (const EdgeId c : counts) {
+    if (c > capacity) ++over;
+  }
+  EXPECT_LE(over, 1u);
 }
 
 TEST(TlpRestart, CoversDisconnectedGraphWithoutSpill) {
@@ -228,11 +306,11 @@ TEST(TlpRestart, CoversDisconnectedGraphWithoutSpill) {
   }
   const Graph g = Graph::from_edges(80, std::move(edges));
   const auto config = config_for(4);
-  TlpStats stats;
-  const EdgePartition part = tlp.partition_with_stats(g, config, stats);
+  RunContext ctx;
+  const EdgePartition part = tlp.partition(g, config, ctx);
   EXPECT_TRUE(validate(g, part, config).ok());
-  EXPECT_EQ(stats.spilled_edges, 0u);
-  EXPECT_GT(stats.restarts, 0u);
+  EXPECT_EQ(ctx.telemetry().counter("spilled_edges"), 0.0);
+  EXPECT_GT(ctx.telemetry().counter("restarts"), 0.0);
   // Each round fills to capacity: perfect balance on this instance.
   EXPECT_DOUBLE_EQ(balance_factor(part), 1.0);
 }

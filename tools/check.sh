@@ -1,0 +1,38 @@
+#!/bin/sh
+# Tier-1 verification plus a sanitizer pass.
+#
+#   tools/check.sh            # tier-1 build + ctest, then ASan and UBSan test runs
+#   tools/check.sh --fast     # tier-1 only (skip the sanitizer builds)
+#
+# Each configuration builds into its own directory (build/, build-asan/,
+# build-ubsan/) so incremental re-runs stay cheap.
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  dir="$1"
+  shift
+  echo "== configure $dir ($*) =="
+  cmake -B "$dir" -S . "$@" > /dev/null
+  cmake --build "$dir" -j "$JOBS"
+  echo "== ctest $dir =="
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS")
+}
+
+# Tier-1: the roadmap's verify command.
+run_suite build
+
+if [ "${1:-}" = "--fast" ]; then
+  echo "check.sh: tier-1 OK (sanitizers skipped)"
+  exit 0
+fi
+
+# Sanitizer passes: tests only (benches/examples just slow these down).
+run_suite build-asan -DTLP_SANITIZE=address \
+  -DTLP_BUILD_BENCH=OFF -DTLP_BUILD_EXAMPLES=OFF
+run_suite build-ubsan -DTLP_SANITIZE=undefined \
+  -DTLP_BUILD_BENCH=OFF -DTLP_BUILD_EXAMPLES=OFF
+
+echo "check.sh: tier-1 + ASan + UBSan all green"
