@@ -20,6 +20,9 @@ struct RunResult {
   double balance = 0.0;   ///< max load / average load
   double seconds = 0.0;   ///< wall-clock partitioning time
   bool valid = false;     ///< complete + in-range per the validator
+  /// Worker threads the run reported via the "threads" telemetry gauge
+  /// (parallel multi_tlp); 1 for every single-threaded algorithm.
+  int threads = 1;
   /// This run's telemetry deltas: for each counter/timer the run changed,
   /// the net change (new value minus pre-run value on the shared context).
   /// Keys the run never touched are absent, so repeated runs of different

@@ -1,5 +1,8 @@
 #include "core/frontier.hpp"
 
+#include <algorithm>
+#include <functional>
+
 namespace tlp {
 namespace {
 
@@ -17,10 +20,18 @@ bool better_fraction(std::uint64_t a1, std::uint64_t b1, std::uint64_t a2,
 
 }  // namespace
 
+Frontier::Frontier()
+    : own_arena_(std::make_unique<ScratchArena>()),
+      arena_(own_arena_.get()),
+      stage1_heap_(arena_->acquire<HeapEntry>(0)) {}
+
+Frontier::Frontier(ScratchArena& arena)
+    : arena_(&arena), stage1_heap_(arena_->acquire<HeapEntry>(0)) {}
+
 void Frontier::clear() {
   candidates_.clear();
-  stage1_heap_ = {};
-  stage2_buckets_.clear();
+  stage1_heap_->clear();        // keeps the lease (and its capacity)
+  stage2_buckets_.clear();      // bucket leases return to the arena pool
 }
 
 std::uint32_t Frontier::connections(VertexId v) const {
@@ -36,14 +47,35 @@ void Frontier::remove(VertexId v) {
   // Heap and bucket entries become stale and are skipped lazily.
 }
 
+void Frontier::stage1_push(double mu1, VertexId v) {
+  stage1_heap_->push_back({mu1, v});
+  std::push_heap(stage1_heap_->begin(), stage1_heap_->end());
+}
+
+void Frontier::bucket_push(std::uint32_t c, std::uint32_t rdeg, VertexId v) {
+  const auto it = stage2_buckets_.find(c);
+  Bucket& bucket = it != stage2_buckets_.end()
+                       ? it->second
+                       : stage2_buckets_
+                             .emplace(c, arena_->acquire<
+                                             std::pair<std::uint32_t,
+                                                       VertexId>>(0))
+                             .first->second;
+  bucket->push_back({rdeg, v});
+  std::push_heap(bucket->begin(), bucket->end(), std::greater<>{});
+}
+
 VertexId Frontier::select_stage1() {
-  while (!stage1_heap_.empty()) {
-    const HeapEntry top = stage1_heap_.top();
+  auto& heap = *stage1_heap_;
+  while (!heap.empty()) {
+    const HeapEntry top = heap.front();
     const auto it = candidates_.find(top.vertex);
     if (it != candidates_.end() && it->second.mu1 == top.mu1) {
       return top.vertex;
     }
-    stage1_heap_.pop();  // stale: vertex joined or its μs1 grew since push
+    // Stale: vertex joined or its μs1 grew since push.
+    std::pop_heap(heap.begin(), heap.end());
+    heap.pop_back();
   }
   return kInvalidVertex;
 }
@@ -56,18 +88,19 @@ VertexId Frontier::select_stage2(EdgeId e_in, EdgeId e_out) {
   std::uint32_t best_r = 0;
   for (auto it = stage2_buckets_.begin(); it != stage2_buckets_.end();) {
     const std::uint32_t c = it->first;
-    Bucket& bucket = it->second;
+    auto& bucket = *it->second;
     // Drop entries superseded by a later c or removed candidates.
-    while (!bucket.empty() && !bucket_entry_live(c, bucket.top().second)) {
-      bucket.pop();
+    while (!bucket.empty() && !bucket_entry_live(c, bucket.front().second)) {
+      std::pop_heap(bucket.begin(), bucket.end(), std::greater<>{});
+      bucket.pop_back();
     }
     if (bucket.empty()) {
-      it = stage2_buckets_.erase(it);
+      it = stage2_buckets_.erase(it);  // lease returns to the arena
       continue;
     }
     // Within one c, M' is strictly decreasing in rdeg, so only the bucket's
     // (min rdeg, min id) entry can win.
-    const auto [rdeg, v] = bucket.top();
+    const auto [rdeg, v] = bucket.front();
     assert(rdeg >= c);
     const std::uint64_t num = e_in + c;
     // e_out counts every member->outside residual edge, c of which lead to

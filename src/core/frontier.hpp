@@ -16,21 +16,37 @@
 //    value — O(#distinct c) instead of O(|frontier|) per step. Buckets are
 //    lazily-invalidated min-heaps: entries from superseded c values are
 //    dropped when they surface.
+//
+// Storage: the stage-1 heap and every stage-2 bucket heap are leased from a
+// ScratchArena, so a frontier constructed from a RunContext's arena stops
+// reallocating after the first run (and after the first few rounds within a
+// run — a drained bucket's storage is recycled by the next bucket). The
+// candidate hash map still allocates nodes; only the heap/bucket bulk
+// storage is pooled. A default-constructed Frontier owns a private arena
+// (same behaviour as before, no cross-run reuse).
 #pragma once
 
 #include <cassert>
 #include <cstdint>
 #include <map>
-#include <queue>
+#include <memory>
 #include <unordered_map>
-#include <vector>
+#include <utility>
 
 #include "graph/types.hpp"
+#include "partition/run_context.hpp"
 
 namespace tlp {
 
 class Frontier {
  public:
+  /// Self-contained frontier backed by a private arena (tests, one-off use).
+  Frontier();
+  /// Frontier whose heap/bucket storage is leased from `arena` — pass the
+  /// RunContext's arena so repeated runs reuse capacity. The arena must
+  /// outlive the frontier.
+  explicit Frontier(ScratchArena& arena);
+
   /// Removes all candidates (start of a new round).
   void clear();
 
@@ -60,7 +76,7 @@ class Frontier {
       cand.rdeg = residual_degree;
       cand.mu1 = score_fn();
       bucket_push(cand.c, cand.rdeg, u);
-      stage1_heap_.push({cand.mu1, u});
+      stage1_push(cand.mu1, u);
       return;
     }
     assert(cand.rdeg == residual_degree);  // frozen within a round
@@ -70,7 +86,7 @@ class Frontier {
       const double term = score_fn();
       if (term > cand.mu1) {
         cand.mu1 = term;
-        stage1_heap_.push({cand.mu1, u});
+        stage1_push(cand.mu1, u);
       }
     }
   }
@@ -105,29 +121,30 @@ class Frontier {
   struct HeapEntry {
     double mu1;
     VertexId vertex;
-    /// std::priority_queue is a max-heap; order so the top is the highest
-    /// μs1 with the smallest id.
+    /// Max-heap order: the top is the highest μs1 with the smallest id.
     friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
       if (a.mu1 != b.mu1) return a.mu1 < b.mu1;
       return a.vertex > b.vertex;
     }
   };
 
-  /// Min-heap of (rdeg, vertex) used per stage-2 bucket.
-  using Bucket =
-      std::priority_queue<std::pair<std::uint32_t, VertexId>,
-                          std::vector<std::pair<std::uint32_t, VertexId>>,
-                          std::greater<>>;
+  /// Min-heap of (rdeg, vertex) used per stage-2 bucket; backing vector
+  /// leased from the arena (std::push_heap/pop_heap, std::greater order).
+  using Bucket = ScratchArena::Lease<std::pair<std::uint32_t, VertexId>>;
+
+  // own_arena_ is declared before every lease-holding member so leases are
+  // destroyed (returned) before the arena they came from.
+  std::unique_ptr<ScratchArena> own_arena_;
+  ScratchArena* arena_;
 
   std::unordered_map<VertexId, Candidate> candidates_;
   /// Lazy max-heap for Stage I; entries are validated against candidates_.
-  std::priority_queue<HeapEntry> stage1_heap_;
+  ScratchArena::Lease<HeapEntry> stage1_heap_;
   /// c -> lazily-invalidated bucket for Stage-II selection.
   std::map<std::uint32_t, Bucket> stage2_buckets_;
 
-  void bucket_push(std::uint32_t c, std::uint32_t rdeg, VertexId v) {
-    stage2_buckets_[c].push({rdeg, v});
-  }
+  void stage1_push(double mu1, VertexId v);
+  void bucket_push(std::uint32_t c, std::uint32_t rdeg, VertexId v);
 
   /// True iff (c, v) is the candidate's live bucket entry.
   [[nodiscard]] bool bucket_entry_live(std::uint32_t c, VertexId v) const {

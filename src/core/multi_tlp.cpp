@@ -3,17 +3,19 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
-#include <limits>
+#include <functional>
 #include <map>
 #include <numeric>
 #include <random>
-#include <set>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/residual.hpp"
 #include "partition/replica_set.hpp"
+#include "partition/spill.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tlp {
 namespace {
@@ -28,15 +30,22 @@ bool better_fraction(std::uint64_t a1, std::uint64_t b1, std::uint64_t a2,
          static_cast<unsigned __int128>(a2) * b1;
 }
 
-/// Eagerly-maintained frontier for one concurrently-growing partition.
-/// Supports connection-count decrements and residual-degree updates, which
-/// the sequential frontier's frozen-degree invariants rule out.
+/// Frontier for one concurrently-growing partition. Unlike the sequential
+/// frontier, a candidate's connection count and residual degree can
+/// DECREASE here (another partition may claim its edges), so the candidate
+/// map always holds the current exact values and the selection heaps are
+/// lazily invalidated: an entry is live iff it matches the map. Heap and
+/// bucket storage is leased from the owning worker's arena, so repeated
+/// runs (and drained buckets within a run) recycle capacity.
 class EagerFrontier {
  public:
+  explicit EagerFrontier(ScratchArena& arena)
+      : arena_(&arena), stage1_(arena.acquire<Stage1Entry>(0)) {}
+
   struct Candidate {
-    std::uint32_t c = 0;
-    std::uint32_t rdeg = 0;
-    double mu1 = 0.0;
+    std::uint32_t c = 0;     ///< residual connections to the partition
+    std::uint32_t rdeg = 0;  ///< current residual degree
+    double mu1 = 0.0;        ///< exact Stage-I score (Eq. 7)
   };
 
   [[nodiscard]] bool empty() const { return candidates_.empty(); }
@@ -48,45 +57,70 @@ class EagerFrontier {
     return candidates_.at(v);
   }
 
-  /// Inserts or updates candidate v with a new connection; mu1 is a
-  /// caller-maintained exact value (recomputed on structural changes).
+  /// Inserts or updates candidate v; mu1 is a caller-maintained exact value
+  /// (recomputed on structural changes). Heap entries are only pushed for
+  /// keys that actually changed — an unchanged key already has a live entry.
   void upsert(VertexId v, std::uint32_t c, std::uint32_t rdeg, double mu1) {
     auto [it, inserted] = candidates_.try_emplace(v);
-    if (!inserted) erase_keys(v, it->second);
-    it->second = Candidate{c, rdeg, mu1};
-    buckets_[c].insert({rdeg, v});
-    stage1_.insert({mu1, v});
+    Candidate& cand = it->second;
+    const bool push_stage1 = inserted || cand.mu1 != mu1;
+    const bool push_bucket = inserted || cand.c != c || cand.rdeg != rdeg;
+    cand = Candidate{c, rdeg, mu1};
+    if (push_stage1) {
+      stage1_->push_back({mu1, v});
+      std::push_heap(stage1_->begin(), stage1_->end());
+    }
+    if (push_bucket) bucket_push(c, rdeg, v);
   }
 
-  void remove(VertexId v) {
-    const auto it = candidates_.find(v);
-    if (it == candidates_.end()) return;
-    erase_keys(v, it->second);
-    candidates_.erase(it);
+  /// Removes v (joined, or lost its last connection). Stale heap entries
+  /// are dropped lazily when they surface.
+  void remove(VertexId v) { candidates_.erase(v); }
+
+  /// Stage-I selection: argmax μs1, ties by smaller vertex id. Returns
+  /// kInvalidVertex when empty.
+  [[nodiscard]] VertexId select_stage1() {
+    auto& heap = *stage1_;
+    while (!heap.empty()) {
+      const Stage1Entry top = heap.front();
+      const auto it = candidates_.find(top.vertex);
+      if (it != candidates_.end() && it->second.mu1 == top.mu1) {
+        return top.vertex;
+      }
+      std::pop_heap(heap.begin(), heap.end());
+      heap.pop_back();
+    }
+    return kInvalidVertex;
   }
 
-  [[nodiscard]] VertexId select_stage1() const {
-    if (stage1_.empty()) return kInvalidVertex;
-    // Ordered descending by mu1, ascending id on ties.
-    return stage1_.begin()->second;
-  }
-
-  [[nodiscard]] VertexId select_stage2(EdgeId e_in, EdgeId e_out) const {
+  /// Stage-II selection: argmax M' = (e_in + c)/(e_out + r - 2c); ties by
+  /// larger c, then smaller r, then smaller id. Scans one live best per
+  /// distinct c value. Returns kInvalidVertex when empty.
+  [[nodiscard]] VertexId select_stage2(EdgeId e_in, EdgeId e_out) {
     VertexId best = kInvalidVertex;
     std::uint64_t bn = 0;
     std::uint64_t bd = 1;
     std::uint32_t bc = 0;
     std::uint32_t br = 0;
-    for (const auto& [c, bucket] : buckets_) {
-      const auto [rdeg, v] = *bucket.begin();
+    for (auto it = buckets_.begin(); it != buckets_.end();) {
+      const std::uint32_t c = it->first;
+      auto& bucket = *it->second;
+      while (!bucket.empty() && !entry_live(c, bucket.front())) {
+        std::pop_heap(bucket.begin(), bucket.end(), std::greater<>{});
+        bucket.pop_back();
+      }
+      if (bucket.empty()) {
+        it = buckets_.erase(it);  // lease returns to the arena
+        continue;
+      }
+      const auto [rdeg, v] = bucket.front();
       assert(rdeg >= c && e_out + rdeg >= 2ULL * c);
       const std::uint64_t num = e_in + c;
       const std::uint64_t den = e_out + rdeg - 2ULL * c;
       const bool wins =
           best == kInvalidVertex || better_fraction(num, den, bn, bd) ||
           (!better_fraction(bn, bd, num, den) &&
-           (c > bc ||
-            (c == bc && (rdeg < br || (rdeg == br && v < best)))));
+           (c > bc || (c == bc && (rdeg < br || (rdeg == br && v < best)))));
       if (wins) {
         best = v;
         bn = num;
@@ -94,101 +128,222 @@ class EagerFrontier {
         bc = c;
         br = rdeg;
       }
+      ++it;
     }
     return best;
   }
 
  private:
-  struct Stage1Less {
-    bool operator()(const std::pair<double, VertexId>& a,
-                    const std::pair<double, VertexId>& b) const {
-      if (a.first != b.first) return a.first > b.first;
-      return a.second < b.second;
+  struct Stage1Entry {
+    double mu1;
+    VertexId vertex;
+    /// Max-heap order: the top is the highest μs1 with the smallest id.
+    friend bool operator<(const Stage1Entry& a, const Stage1Entry& b) {
+      if (a.mu1 != b.mu1) return a.mu1 < b.mu1;
+      return a.vertex > b.vertex;
     }
   };
+  /// Min-heap of (rdeg, vertex) per bucket (std::greater order).
+  using Bucket = ScratchArena::Lease<std::pair<std::uint32_t, VertexId>>;
 
-  void erase_keys(VertexId v, const Candidate& cand) {
-    const auto bucket = buckets_.find(cand.c);
-    bucket->second.erase({cand.rdeg, v});
-    if (bucket->second.empty()) buckets_.erase(bucket);
-    stage1_.erase({cand.mu1, v});
+  [[nodiscard]] bool entry_live(
+      std::uint32_t c, const std::pair<std::uint32_t, VertexId>& e) const {
+    const auto it = candidates_.find(e.second);
+    return it != candidates_.end() && it->second.c == c &&
+           it->second.rdeg == e.first;
   }
 
+  void bucket_push(std::uint32_t c, std::uint32_t rdeg, VertexId v) {
+    const auto it = buckets_.find(c);
+    Bucket& bucket =
+        it != buckets_.end()
+            ? it->second
+            : buckets_
+                  .emplace(c, arena_->acquire<
+                                  std::pair<std::uint32_t, VertexId>>(0))
+                  .first->second;
+    bucket->push_back({rdeg, v});
+    std::push_heap(bucket->begin(), bucket->end(), std::greater<>{});
+  }
+
+  ScratchArena* arena_;
   std::unordered_map<VertexId, Candidate> candidates_;
-  std::map<std::uint32_t, std::set<std::pair<std::uint32_t, VertexId>>>
-      buckets_;
-  std::set<std::pair<double, VertexId>, Stage1Less> stage1_;
+  ScratchArena::Lease<Stage1Entry> stage1_;
+  std::map<std::uint32_t, Bucket> buckets_;
 };
 
 class MultiRun {
  public:
   MultiRun(const Graph& g, const PartitionConfig& config,
-           const MultiTlpOptions& options, RunContext& ctx)
+           const MultiTlpOptions& options, RunContext& ctx, ThreadPool* pool,
+           std::size_t num_workers)
       : g_(g),
         config_(config),
         options_(options),
         ctx_(ctx),
+        pool_(pool),
+        num_workers_(num_workers),
         residual_(g, ctx.arena()),
         partition_(config.num_partitions, g.num_edges()),
         member_(ctx.arena().acquire<ReplicaSet>(
             g.num_vertices(), ReplicaSet(config.num_partitions))),
-        candidate_(ctx.arena().acquire<ReplicaSet>(
-            g.num_vertices(), ReplicaSet(config.num_partitions))),
         touched_(ctx.arena().acquire<std::uint8_t>(g.num_vertices(), 0)),
-        count_(ctx.arena().acquire<std::uint32_t>(g.num_vertices(), 0)),
-        count_touched_(ctx.arena().acquire<VertexId>(0)),
-        residual_neighbors_(ctx.arena().acquire<VertexId>(0)),
-        claim_buffer_(ctx.arena().acquire<EdgeId>(0)),
-        parts_(config.num_partitions),
+        epoch_(ctx.arena().acquire<std::uint32_t>(g.num_edges(), 0)),
+        commit_mark_(ctx.arena().acquire<std::uint32_t>(g.num_edges(), 0)),
+        claimant_(ctx.arena().acquire<PartitionId>(g.num_edges(),
+                                                   kNoPartition)),
+        events_(ctx.arena().acquire<EdgeId>(0)),
+        joined_(ctx.arena().acquire<VertexId>(config.num_partitions,
+                                              kInvalidVertex)),
         seed_order_(ctx.arena().acquire<VertexId>(g.num_vertices())) {
     std::iota(seed_order_->begin(), seed_order_->end(), VertexId{0});
     std::mt19937_64 rng(config.seed);
     std::shuffle(seed_order_->begin(), seed_order_->end(), rng);
-    for (auto& part : parts_) part.seed_cursor = 0;
+
+    // Child contexts are created and cleared on the calling thread before
+    // any worker touches them; worker w of every run reuses child(w)'s
+    // arena, so repeated parallel runs stay warm.
+    const VertexId n = g.num_vertices();
+    workers_.reserve(num_workers_);
+    for (std::size_t w = 0; w < num_workers_; ++w) {
+      RunContext& child = ctx.child(w);
+      child.telemetry().clear();
+      ScratchArena& arena = child.arena();
+      workers_.push_back(Worker{
+          &child,
+          arena.acquire<std::uint32_t>(n, 0),  // count
+          arena.acquire<VertexId>(0),          // count_touched
+          arena.acquire<std::uint32_t>(n, 0),  // refreshed
+          arena.acquire<std::uint32_t>(n, 0),  // cmark
+          arena.acquire<std::uint32_t>(n, 0),  // rmark
+          arena.acquire<VertexId>(0),          // c_dirty
+          arena.acquire<VertexId>(0),          // rdeg_dirty
+          arena.acquire<VertexId>(0),          // touched_out
+          0,
+      });
+    }
+    // Per-PARTITION state lives in the owning worker's arena (a shared
+    // arena is not thread-safe; ownership k % W keeps all of partition k's
+    // storage on one worker).
+    parts_.reserve(config.num_partitions);
+    for (PartitionId k = 0; k < config.num_partitions; ++k) {
+      parts_.emplace_back(ctx.child(k % num_workers_).arena());
+    }
   }
 
   EdgePartition run() {
-    const PartitionId p = config_.num_partitions;
     const EdgeId capacity = config_.capacity(g_.num_edges());
-    bool progressed = true;
-    while (residual_.unassigned_count() > 0 && progressed) {
-      ctx_.check_cancelled();
-      progressed = false;
-      for (PartitionId k = 0; k < p && residual_.unassigned_count() > 0; ++k) {
-        if (parts_[k].e_in >= capacity) continue;
-        if (take_turn(k, capacity)) progressed = true;
-      }
+    while (residual_.unassigned_count() > 0) {
+      ctx_.check_cancelled();  // one cancellation poll per super-step
+      ++step_;
+      flush_touched();
+      for_each_worker([&](std::size_t w) {
+        const auto timer = workers_[w].ctx->telemetry().time("worker_propose");
+        for (PartitionId k = static_cast<PartitionId>(w);
+             k < config_.num_partitions;
+             k += static_cast<PartitionId>(num_workers_)) {
+          propose(k, capacity);
+        }
+      });
+      if (!commit()) break;
+      for_each_worker([&](std::size_t w) {
+        const auto timer = workers_[w].ctx->telemetry().time("worker_update");
+        for (PartitionId k = static_cast<PartitionId>(w);
+             k < config_.num_partitions;
+             k += static_cast<PartitionId>(num_workers_)) {
+          update_frontier(workers_[w], k);
+        }
+      });
     }
     spill_remaining();
     flush_telemetry();
+    // Merge per-worker telemetry (phase timers) into the parent in fixed
+    // worker order; wall-time values vary, keys and counters do not.
+    for (const Worker& worker : workers_) {
+      ctx_.telemetry().merge_from(worker.ctx->telemetry());
+    }
     return std::move(partition_);
   }
 
  private:
   struct Part {
+    explicit Part(ScratchArena& arena)
+        : frontier(arena), attempts(arena.acquire<EdgeId>(0)) {}
+
     EagerFrontier frontier;
+    /// Claim attempts of the current proposal (won or contested alike).
+    ScratchArena::Lease<EdgeId> attempts;
     EdgeId e_in = 0;
     EdgeId e_out = 0;
     std::size_t joins = 0;
     std::size_t stage1_joins = 0;
     std::size_t stage2_joins = 0;
-    std::size_t seed_cursor = 0;
     std::size_t fresh_cursor = 0;
+    std::size_t seed_cursor = 0;
     VertexId first_seed = kInvalidVertex;
+    VertexId proposal = kInvalidVertex;
+    bool proposal_is_seed = false;
+    bool proposal_stage1 = false;
+    bool closed = false;
+    std::size_t capacity_closes = 0;
+    std::size_t peak_frontier = 0;
+  };
+
+  /// Worker-private scratch, leased from the worker's child-context arena.
+  /// Nothing algorithmic lives here — dropping or adding workers only
+  /// changes which thread executes a partition's work.
+  struct Worker {
+    RunContext* ctx;
+    ScratchArena::Lease<std::uint32_t> count;  ///< two-hop counting pass
+    ScratchArena::Lease<VertexId> count_touched;
+    ScratchArena::Lease<std::uint32_t> refreshed;  ///< full-refresh marks
+    ScratchArena::Lease<std::uint32_t> cmark;      ///< c_dirty dedup marks
+    ScratchArena::Lease<std::uint32_t> rmark;      ///< rdeg_dirty dedup marks
+    ScratchArena::Lease<VertexId> c_dirty;
+    ScratchArena::Lease<VertexId> rdeg_dirty;
+    /// Vertices whose touched_ flag must be raised; flushed serially at the
+    /// top of the next super-step (touched_ is shared, flags are idempotent
+    /// and order-independent, so the union is worker-count-invariant).
+    ScratchArena::Lease<VertexId> touched_out;
+    std::uint32_t epoch = 0;  ///< bumped once per (partition, step) handled
   };
 
   /// Whole-run tallies in plain locals; flushed once into the telemetry
-  /// sink (hot joins never touch the string-keyed maps).
+  /// sink. All accumulated serially at barriers in partition-id order, so
+  /// the values (including the double sums) are worker-count-invariant.
   struct Totals {
     std::size_t stage1_joins = 0;
     std::size_t stage2_joins = 0;
     double stage1_degree_sum = 0.0;
     double stage2_degree_sum = 0.0;
     EdgeId spilled_edges = 0;
-    std::size_t peak_frontier = 0;
     std::size_t peak_members = 0;
-    std::size_t capacity_closes = 0;
+    std::size_t claim_conflicts = 0;
+    std::size_t stale_claims = 0;
+    std::size_t seed_collisions = 0;
   };
+
+  void for_each_worker(const std::function<void(std::size_t)>& fn) {
+    if (pool_ == nullptr) {
+      fn(0);
+      return;
+    }
+    pool_->run_indexed(num_workers_, fn);
+  }
+
+  void flush_touched() {
+    for (Worker& worker : workers_) {
+      for (const VertexId v : *worker.touched_out) touched_[v] = 1;
+      worker.touched_out->clear();
+    }
+  }
+
+  /// Pre-step membership of x in k, reconstructed from the post-step sets:
+  /// a partition joins at most one vertex per step, so only joined_[k]
+  /// differs.
+  [[nodiscard]] bool member_pre(VertexId x, PartitionId k) const {
+    return member_[x].contains(k) && x != joined_[k];
+  }
 
   /// Exact μs1 of candidate v for partition k: max over members of k that v
   /// can still reach via an unassigned edge (Eq. 7 on the static graph).
@@ -207,164 +362,24 @@ class MultiRun {
     return best;
   }
 
-  /// Residual connection count of v into members of k.
-  [[nodiscard]] std::uint32_t connections(VertexId v, PartitionId k) const {
-    std::uint32_t c = 0;
-    for (const Neighbor& nb : g_.neighbors(v)) {
-      if (!residual_.is_assigned(nb.edge) && member_[nb.vertex].contains(k)) {
-        ++c;
-      }
-    }
-    return c;
-  }
-
-  /// Refreshes (or removes) candidate v in partition k from scratch.
-  void refresh_candidate(VertexId v, PartitionId k) {
-    if (member_[v].contains(k)) return;
-    const std::uint32_t c = connections(v, k);
-    if (c == 0) {
-      parts_[k].frontier.remove(v);
-      candidate_[v] = without(candidate_[v], k);
-      return;
-    }
-    parts_[k].frontier.upsert(v, c, residual_.residual_degree(v),
-                              mu_s1(v, k));
-    candidate_[v].insert(k);
-    touched_[v] = 1;
-  }
-
-  [[nodiscard]] ReplicaSet without(ReplicaSet set, PartitionId k) const {
-    // ReplicaSet has no erase; rebuild (p is tiny).
-    ReplicaSet out(config_.num_partitions);
-    for (PartitionId q = 0; q < config_.num_partitions; ++q) {
-      if (q != k && set.contains(q)) out.insert(q);
-    }
-    return out;
-  }
-
-  /// Assigns edge e to partition j and repairs every other partition's
-  /// bookkeeping that the edge participated in.
-  void assign_edge(EdgeId e, PartitionId j) {
-    const Edge& edge = g_.edge(e);
-    residual_.mark_assigned(e);
-    partition_.assign(e, j);
-    ++parts_[j].e_in;
-
-    // For every other partition q: if exactly one endpoint is a member of
-    // q, this residual edge was external to q and connected the other
-    // endpoint as a candidate.
-    for (PartitionId q = 0; q < config_.num_partitions; ++q) {
-      if (q == j) continue;
-      const bool mu = member_[edge.u].contains(q);
-      const bool mv = member_[edge.v].contains(q);
-      assert(!(mu && mv));  // co-members' edges can never still be residual
-      if (mu || mv) {
-        assert(parts_[q].e_out > 0);
-        --parts_[q].e_out;
-        refresh_candidate(mu ? edge.v : edge.u, q);
-      }
-    }
-    // Residual degrees of both endpoints changed: rekey their candidate
-    // entries everywhere (rdeg is a selection key; c and μs1 are intact on
-    // this path, so no recomputation is needed).
-    for (const VertexId v : {edge.u, edge.v}) {
-      for (PartitionId q = 0; q < config_.num_partitions; ++q) {
-        if (!candidate_[v].contains(q)) continue;
-        if (!parts_[q].frontier.contains(v)) continue;  // just removed above
-        const auto& cand = parts_[q].frontier.at(v);
-        parts_[q].frontier.upsert(v, cand.c, residual_.residual_degree(v),
-                                  cand.mu1);
-      }
-    }
-  }
-
-  void join(VertexId v, PartitionId k) {
-    parts_[k].frontier.remove(v);
-    candidate_[v] = without(candidate_[v], k);
-    member_[v].insert(k);
-    touched_[v] = 1;
-
-    // Claim residual edges to members of k first (collect, then assign —
-    // assign_edge mutates the structures we iterate).
-    claim_buffer_->clear();
-    for (const Neighbor& nb : g_.neighbors(v)) {
-      if (residual_.is_assigned(nb.edge)) continue;
-      if (member_[nb.vertex].contains(k)) {
-        claim_buffer_->push_back(nb.edge);
-      }
-    }
-    for (const EdgeId e : *claim_buffer_) {
-      assert(parts_[k].e_out > 0);
-      --parts_[k].e_out;  // was external to k; assign_edge adds to e_in
-      assign_edge(e, k);
-    }
-    // Remaining residual edges become external to k; their far endpoints
-    // become candidates of k (or gain one connection). Incremental update:
-    // c grows by one and μs1 is a running max over static terms, so only
-    // the new member's Eq. 7 term needs computing. Like sequential TLP,
-    // a single two-hop counting pass computes |N(u) ∩ N(v)| for every
-    // neighbor at once when that is cheaper than per-pair intersections.
-    const double dv = static_cast<double>(std::max<std::size_t>(
-        1, g_.degree(v)));
-    residual_neighbors_->clear();
-    std::size_t two_hop_cost = 0;
-    std::size_t merge_cost = 0;
-    for (const Neighbor& nb : g_.neighbors(v)) {
-      two_hop_cost += g_.degree(nb.vertex);
-      if (residual_.is_assigned(nb.edge)) continue;
-      if (member_[nb.vertex].contains(k)) continue;
-      residual_neighbors_->push_back(nb.vertex);
-      const std::size_t du = g_.degree(nb.vertex);
-      merge_cost +=
-          std::min(du + g_.degree(v), 16 * std::min<std::size_t>(
-                                               du, g_.degree(v)) + 16);
-    }
-    const bool use_counting = two_hop_cost < merge_cost;
-    if (use_counting) {
-      for (const Neighbor& w : g_.neighbors(v)) {
-        for (const Neighbor& u : g_.neighbors(w.vertex)) {
-          if (count_[u.vertex]++ == 0) count_touched_->push_back(u.vertex);
-        }
-      }
-    }
-    for (const VertexId u : *residual_neighbors_) {
-      ++parts_[k].e_out;
-      const double term =
-          (use_counting ? static_cast<double>(count_[u])
-                        : static_cast<double>(g_.common_neighbor_count(u, v))) /
-          dv;
-      auto& frontier = parts_[k].frontier;
-      if (frontier.contains(u)) {
-        const auto& cand = frontier.at(u);
-        frontier.upsert(u, cand.c + 1, residual_.residual_degree(u),
-                        std::max(cand.mu1, term));
-      } else {
-        frontier.upsert(u, 1, residual_.residual_degree(u), term);
-        candidate_[u].insert(k);
-        touched_[u] = 1;
-      }
-    }
-    if (use_counting) {
-      for (const VertexId x : *count_touched_) count_[x] = 0;
-      count_touched_->clear();
-    }
-    totals_.peak_frontier =
-        std::max(totals_.peak_frontier, parts_[k].frontier.size());
-  }
-
   [[nodiscard]] VertexId next_seed(PartitionId k) {
     Part& part = parts_[k];
+    const std::size_t n = seed_order_->size();
     // Prefer virgin territory: a vertex no partition has touched yet.
-    // Without this, every partition's cursor converges on the same early
-    // vertices and the seeds pile onto one region. `touched_` is monotone,
-    // so the cursor never has to back up.
-    while (part.fresh_cursor < seed_order_->size()) {
+    // Several partitions seeding in the same step will propose the SAME
+    // fresh vertex; the barrier's seed dedup lets the lowest id keep it
+    // and the losers re-scan next step against the then-updated touched_
+    // marks, which serialises initial seeding and spreads the seeds away
+    // from already-growing regions (the behaviour the round-robin
+    // scheduler got for free). `touched_` is monotone, so the cursor
+    // never has to back up.
+    while (part.fresh_cursor < n) {
       const VertexId v = (*seed_order_)[part.fresh_cursor];
       if (residual_.residual_degree(v) > 0 && touched_[v] == 0) return v;
       ++part.fresh_cursor;
     }
     // Fallback: anything with residual edges that is not already a member.
-    while (part.seed_cursor < seed_order_->size()) {
+    while (part.seed_cursor < n) {
       const VertexId v = (*seed_order_)[part.seed_cursor];
       // Skipping is permanent only for conditions that never un-happen:
       // exhausted residual degree or prior membership of k.
@@ -377,61 +392,314 @@ class MultiRun {
     return kInvalidVertex;
   }
 
-  /// One join for partition k; returns false if k could not act.
-  bool take_turn(PartitionId k, EdgeId capacity) {
+  /// Super-step phase A for one owned partition: select the next join from
+  /// the frozen pre-step state and claim its residual member edges. Only
+  /// atomic bitmap operations touch shared mutable state here; everything
+  /// else read is frozen until the barrier. The CAS winner records the
+  /// step in epoch_ (it is the unique writer for that edge), which is how
+  /// the serial commit distinguishes this step's claims from stale attempts
+  /// on edges assigned in earlier steps.
+  void propose(PartitionId k, EdgeId capacity) {
     Part& part = parts_[k];
+    part.proposal = kInvalidVertex;
+    if (part.closed) return;
+    if (part.e_in >= capacity) {
+      part.closed = true;
+      return;
+    }
     VertexId v;
-    bool stage1 = false;
     if (part.frontier.empty()) {
       v = next_seed(k);
-      if (v == kInvalidVertex) return false;
-      if (part.first_seed == kInvalidVertex) part.first_seed = v;
-      join(v, k);
-      ++part.joins;
-      return true;
-    }
-    stage1 = part.e_in <= part.e_out;
-    v = stage1 ? part.frontier.select_stage1()
-               : part.frontier.select_stage2(part.e_in, part.e_out);
-    assert(v != kInvalidVertex);
-    if (!options_.allow_overshoot && part.e_in > 0 &&
-        part.e_in + part.frontier.at(v).c > capacity) {
-      // Closing the partition: mark full by saturating e_in.
-      part.e_in = capacity;
-      ++totals_.capacity_closes;
-      return false;
-    }
-    join(v, k);
-    ++part.joins;
-    if (stage1) {
-      ++part.stage1_joins;
-      ++totals_.stage1_joins;
-      totals_.stage1_degree_sum += static_cast<double>(g_.degree(v));
+      if (v == kInvalidVertex) return;  // permanently out of seeds
+      part.proposal_is_seed = true;
     } else {
-      ++part.stage2_joins;
-      ++totals_.stage2_joins;
-      totals_.stage2_degree_sum += static_cast<double>(g_.degree(v));
+      const bool stage1 = part.e_in <= part.e_out;
+      v = stage1 ? part.frontier.select_stage1()
+                 : part.frontier.select_stage2(part.e_in, part.e_out);
+      assert(v != kInvalidVertex);
+      if (!options_.allow_overshoot && part.e_in > 0 &&
+          part.e_in + part.frontier.at(v).c > capacity) {
+        part.closed = true;
+        ++part.capacity_closes;
+        return;
+      }
+      part.proposal_is_seed = false;
+      part.proposal_stage1 = stage1;
+    }
+    part.proposal = v;
+    part.attempts->clear();
+    for (const Neighbor& nb : g_.neighbors(v)) {
+      // The far endpoint is a pre-step member of k — or v itself for a
+      // self-loop, which becomes internal the moment v joins.
+      if (nb.vertex != v && !member_[nb.vertex].contains(k)) continue;
+      if (residual_.try_claim(nb.edge)) epoch_[nb.edge] = step_;
+      part.attempts->push_back(nb.edge);
+    }
+  }
+
+  /// Super-step barrier (serial): seed dedup, deterministic claim
+  /// resolution, and all state commits, in partition-id order. Returns
+  /// false when no partition could act (growth is finished).
+  bool commit() {
+    const PartitionId p = config_.num_partitions;
+    // Seed dedup: the lowest partition id keeps a contested seed vertex;
+    // losers idle this step (their cursors re-evaluate next step, when the
+    // vertex is touched). A cancelled seed's claim attempts can only be
+    // self-loops of the seed vertex — which the keeper also attempts — so
+    // skipping the loser's attempts below never orphans a claimed edge.
+    bool progressed = false;
+    for (PartitionId k = 0; k < p; ++k) {
+      joined_[k] = kInvalidVertex;
+      Part& part = parts_[k];
+      if (part.proposal == kInvalidVertex) continue;
+      if (part.proposal_is_seed) {
+        for (PartitionId q = 0; q < k; ++q) {
+          if (parts_[q].proposal_is_seed &&
+              parts_[q].proposal == part.proposal) {
+            part.proposal = kInvalidVertex;
+            ++totals_.seed_collisions;
+            break;
+          }
+        }
+        if (part.proposal == kInvalidVertex) continue;
+      }
+      progressed = true;
+    }
+    if (!progressed) return false;
+
+    // Claim resolution: scan surviving proposals in ascending partition-id
+    // order. The first claimant of an edge whose epoch says "claimed this
+    // step" is the lowest id and wins — independent of which thread won
+    // the phase-A CAS. Attempts on edges assigned in earlier steps are
+    // stale and dropped.
+    events_->clear();
+    for (PartitionId k = 0; k < p; ++k) {
+      if (parts_[k].proposal == kInvalidVertex) continue;
+      for (const EdgeId e : *parts_[k].attempts) {
+        if (epoch_[e] != step_) {
+          ++totals_.stale_claims;
+          continue;
+        }
+        if (commit_mark_[e] == step_) {
+          ++totals_.claim_conflicts;
+          continue;
+        }
+        commit_mark_[e] = step_;
+        claimant_[e] = k;
+        events_->push_back(e);
+      }
+    }
+
+    // Edge commits + e_out removals, against PRE-step memberships (the
+    // membership inserts happen below): an assigned edge leaves the
+    // external set of every partition holding exactly one of its
+    // endpoints.
+    for (const EdgeId e : *events_) {
+      const PartitionId j = claimant_[e];
+      partition_.assign(e, j);
+      residual_.commit_claim(e);
+      ++parts_[j].e_in;
+      const Edge& edge = g_.edge(e);
+      if (edge.u == edge.v) continue;  // self-loops are never external
+      for (PartitionId q = 0; q < p; ++q) {
+        const bool mu = member_[edge.u].contains(q);
+        const bool mv = member_[edge.v].contains(q);
+        assert(!(mu && mv));  // co-members' edges can never still be residual
+        if (mu != mv) {
+          assert(parts_[q].e_out > 0);
+          --parts_[q].e_out;
+        }
+      }
+    }
+
+    // Memberships + join tallies, in partition-id order (the double sums
+    // must accumulate in a worker-count-independent order).
+    for (PartitionId k = 0; k < p; ++k) {
+      Part& part = parts_[k];
+      if (part.proposal == kInvalidVertex) continue;
+      const VertexId v = part.proposal;
+      joined_[k] = v;
+      member_[v].insert(k);
+      touched_[v] = 1;
+      ++part.joins;
+      if (part.proposal_is_seed) {
+        if (part.first_seed == kInvalidVertex) part.first_seed = v;
+      } else if (part.proposal_stage1) {
+        ++part.stage1_joins;
+        ++totals_.stage1_joins;
+        totals_.stage1_degree_sum += static_cast<double>(g_.degree(v));
+      } else {
+        ++part.stage2_joins;
+        ++totals_.stage2_joins;
+        totals_.stage2_degree_sum += static_cast<double>(g_.degree(v));
+      }
+    }
+    // e_out additions: each join's still-residual incident edges with a
+    // non-member far endpoint become external to k. For far endpoints
+    // (never the join itself) k-membership did not change this step, so
+    // the post-step test below equals the pre-step one.
+    for (PartitionId k = 0; k < p; ++k) {
+      const VertexId v = joined_[k];
+      if (v == kInvalidVertex) continue;
+      for (const Neighbor& nb : g_.neighbors(v)) {
+        if (nb.vertex == v || residual_.is_assigned(nb.edge)) continue;
+        if (member_[nb.vertex].contains(k)) continue;
+        ++parts_[k].e_out;
+      }
     }
     return true;
   }
 
-  void spill_remaining() {
-    if (residual_.unassigned_count() == 0) return;
-    auto counts = partition_.edge_counts();
-    for (EdgeId e = 0; e < g_.num_edges(); ++e) {
-      if (partition_.is_assigned(e)) continue;
-      const auto lightest = static_cast<PartitionId>(std::distance(
-          counts.begin(), std::min_element(counts.begin(), counts.end())));
-      partition_.assign(e, lightest);
-      ++counts[lightest];
-      ++totals_.spilled_edges;
+  /// Refreshes (or removes) candidate u of partition k from the post-step
+  /// state, and marks it so the incremental join path does not double-count
+  /// the connection a full refresh already saw.
+  void refresh_candidate(Worker& worker, VertexId u, PartitionId k,
+                         std::uint32_t mark) {
+    Part& part = parts_[k];
+    if (member_[u].contains(k)) return;  // it is this step's join itself
+    std::uint32_t c = 0;
+    for (const Neighbor& nb : g_.neighbors(u)) {
+      if (!residual_.is_assigned(nb.edge) && member_[nb.vertex].contains(k)) {
+        ++c;
+      }
     }
+    if (c == 0) {
+      part.frontier.remove(u);
+      return;
+    }
+    part.frontier.upsert(u, c, residual_.residual_degree(u), mu_s1(u, k));
+    worker.refreshed[u] = mark;
+    worker.touched_out->push_back(u);
+  }
+
+  /// Folds partition k's own join into its frontier: remove the new member
+  /// and connect its still-residual neighbors. c grows by one per edge and
+  /// μs1 is a running max over static terms, so only the new member's
+  /// Eq. 7 term needs computing; like sequential TLP, a single two-hop
+  /// counting pass computes |N(u) ∩ N(v)| for every neighbor at once when
+  /// that is cheaper than per-pair intersections.
+  void apply_join(Worker& worker, VertexId v, PartitionId k,
+                  std::uint32_t mark) {
+    Part& part = parts_[k];
+    part.frontier.remove(v);
+    std::size_t two_hop_cost = 0;
+    std::size_t merge_cost = 0;
+    bool any = false;
+    for (const Neighbor& nb : g_.neighbors(v)) {
+      two_hop_cost += g_.degree(nb.vertex);
+      if (nb.vertex == v || residual_.is_assigned(nb.edge)) continue;
+      if (member_[nb.vertex].contains(k)) continue;
+      if (worker.refreshed[nb.vertex] == mark) continue;
+      any = true;
+      const std::size_t du = g_.degree(nb.vertex);
+      merge_cost += std::min(
+          du + g_.degree(v),
+          16 * std::min<std::size_t>(du, g_.degree(v)) + 16);
+    }
+    if (!any) return;
+    const bool use_counting = two_hop_cost < merge_cost;
+    if (use_counting) {
+      for (const Neighbor& w : g_.neighbors(v)) {
+        for (const Neighbor& u : g_.neighbors(w.vertex)) {
+          if (worker.count[u.vertex]++ == 0) {
+            worker.count_touched->push_back(u.vertex);
+          }
+        }
+      }
+    }
+    const double dv =
+        static_cast<double>(std::max<std::size_t>(1, g_.degree(v)));
+    for (const Neighbor& nb : g_.neighbors(v)) {
+      if (nb.vertex == v || residual_.is_assigned(nb.edge)) continue;
+      const VertexId u = nb.vertex;
+      if (member_[u].contains(k)) continue;
+      if (worker.refreshed[u] == mark) continue;  // refresh already counted v
+      const double term =
+          (use_counting
+               ? static_cast<double>(worker.count[u])
+               : static_cast<double>(g_.common_neighbor_count(u, v))) /
+          dv;
+      auto& frontier = part.frontier;
+      if (frontier.contains(u)) {
+        const auto& cand = frontier.at(u);
+        frontier.upsert(u, cand.c + 1, residual_.residual_degree(u),
+                        std::max(cand.mu1, term));
+      } else {
+        frontier.upsert(u, 1, residual_.residual_degree(u), term);
+        worker.touched_out->push_back(u);
+      }
+    }
+    if (use_counting) {
+      for (const VertexId x : *worker.count_touched) worker.count[x] = 0;
+      worker.count_touched->clear();
+    }
+  }
+
+  /// Super-step phase C for one owned partition: fold the step's committed
+  /// events into k's frontier. Everything read here (events, memberships,
+  /// the bitmap, residual degrees) is frozen until the next barrier, and
+  /// everything written is owned by k's worker, so the phase runs without
+  /// locks and its outcome is worker-count-invariant.
+  void update_frontier(Worker& worker, PartitionId k) {
+    Part& part = parts_[k];
+    if (part.closed) return;  // its frontier is never consulted again
+    const VertexId vk = joined_[k];
+    const std::uint32_t mark = ++worker.epoch;
+    worker.c_dirty->clear();
+    worker.rdeg_dirty->clear();
+    for (const EdgeId e : *events_) {
+      const Edge& edge = g_.edge(e);
+      const bool self = edge.u == edge.v;
+      // A claimed edge with exactly one PRE-step endpoint in k took a
+      // connection from the far endpoint: full refresh (c, μs1 and rdeg
+      // all change). Both endpoints lost residual degree either way:
+      // rekey their candidate entries.
+      if (!self) {
+        const bool mu = member_pre(edge.u, k);
+        const bool mv = member_pre(edge.v, k);
+        assert(!(mu && mv));
+        if (mu != mv) {
+          const VertexId other = mu ? edge.v : edge.u;
+          if (worker.cmark[other] != mark) {
+            worker.cmark[other] = mark;
+            worker.c_dirty->push_back(other);
+          }
+        }
+      }
+      for (const VertexId x : {edge.u, edge.v}) {
+        if (worker.rmark[x] != mark) {
+          worker.rmark[x] = mark;
+          worker.rdeg_dirty->push_back(x);
+        }
+        if (self) break;
+      }
+    }
+    for (const VertexId u : *worker.c_dirty) {
+      refresh_candidate(worker, u, k, mark);
+    }
+    if (vk != kInvalidVertex) apply_join(worker, vk, k, mark);
+    for (const VertexId u : *worker.rdeg_dirty) {
+      if (worker.refreshed[u] == mark) continue;  // already rebuilt
+      if (!part.frontier.contains(u)) continue;
+      const auto& cand = part.frontier.at(u);
+      part.frontier.upsert(u, cand.c, residual_.residual_degree(u),
+                           cand.mu1);
+    }
+    part.peak_frontier =
+        std::max(part.peak_frontier, part.frontier.size());
+  }
+
+  void spill_remaining() {
+    totals_.spilled_edges = spill_to_lightest(partition_);
   }
 
   void flush_telemetry() {
     Telemetry& t = ctx_.telemetry();
+    std::size_t peak_frontier = 0;
+    std::size_t capacity_closes = 0;
     // One round_* entry per (concurrently grown) partition, mirroring the
-    // sequential TLP schema.
+    // sequential TLP schema; flushed by the main thread in partition order
+    // so the series are worker-count-invariant.
     for (const Part& part : parts_) {
       t.append("round_seed", part.first_seed == kInvalidVertex
                                  ? -1.0
@@ -444,6 +712,8 @@ class MultiRun {
       t.append("round_restarts", 0.0);
       t.append("round_edges", static_cast<double>(part.e_in));
       totals_.peak_members = std::max(totals_.peak_members, part.joins);
+      peak_frontier = std::max(peak_frontier, part.peak_frontier);
+      capacity_closes += part.capacity_closes;
     }
     t.add("stage1_joins", static_cast<double>(totals_.stage1_joins));
     t.add("stage2_joins", static_cast<double>(totals_.stage2_joins));
@@ -451,9 +721,14 @@ class MultiRun {
     t.add("stage2_degree_sum", totals_.stage2_degree_sum);
     t.add("restarts", 0.0);
     t.add("spilled_edges", static_cast<double>(totals_.spilled_edges));
-    t.add("capacity_closes", static_cast<double>(totals_.capacity_closes));
+    t.add("capacity_closes", static_cast<double>(capacity_closes));
     t.add("strict_round_ends", 0.0);
-    t.set_max("peak_frontier", static_cast<double>(totals_.peak_frontier));
+    t.add("super_steps", static_cast<double>(step_));
+    t.add("claim_conflicts", static_cast<double>(totals_.claim_conflicts));
+    t.add("stale_claims", static_cast<double>(totals_.stale_claims));
+    t.add("seed_collisions", static_cast<double>(totals_.seed_collisions));
+    t.set("threads", static_cast<double>(num_workers_));
+    t.set_max("peak_frontier", static_cast<double>(peak_frontier));
     t.set_max("peak_members", static_cast<double>(totals_.peak_members));
   }
 
@@ -461,20 +736,29 @@ class MultiRun {
   const PartitionConfig& config_;
   const MultiTlpOptions& options_;
   RunContext& ctx_;
+  ThreadPool* pool_;  ///< nullptr = inline single-worker execution
+  std::size_t num_workers_;
 
   ResidualState residual_;
   EdgePartition partition_;
   ScratchArena::Lease<ReplicaSet> member_;
-  ScratchArena::Lease<ReplicaSet> candidate_;
   ScratchArena::Lease<std::uint8_t> touched_;
-  ScratchArena::Lease<std::uint32_t> count_;
-  ScratchArena::Lease<VertexId> count_touched_;
-  ScratchArena::Lease<VertexId> residual_neighbors_;
-  ScratchArena::Lease<EdgeId> claim_buffer_;
-  std::vector<Part> parts_;
-
+  /// Super-step in which each edge's claim CAS was won (0 = never).
+  ScratchArena::Lease<std::uint32_t> epoch_;
+  /// Super-step in which each edge's claim was committed (0 = never).
+  ScratchArena::Lease<std::uint32_t> commit_mark_;
+  /// Final claimant of each committed edge.
+  ScratchArena::Lease<PartitionId> claimant_;
+  /// Edges committed in the current super-step, in partition-scan order.
+  ScratchArena::Lease<EdgeId> events_;
+  /// Vertex joined by each partition this super-step (or kInvalidVertex).
+  ScratchArena::Lease<VertexId> joined_;
   ScratchArena::Lease<VertexId> seed_order_;
+
+  std::vector<Part> parts_;
+  std::vector<Worker> workers_;
   Totals totals_;
+  std::uint32_t step_ = 0;
 };
 
 }  // namespace
@@ -482,7 +766,18 @@ class MultiRun {
 EdgePartition MultiTlpPartitioner::do_partition(const Graph& g,
                                                 const PartitionConfig& config,
                                                 RunContext& ctx) const {
-  MultiRun run(g, config, options_, ctx);
+  std::size_t requested = options_.num_threads;
+  if (requested == 0) {
+    requested = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  const std::size_t workers = std::max<std::size_t>(
+      1, std::min<std::size_t>(requested, config.num_partitions));
+  if (workers == 1) {
+    MultiRun run(g, config, options_, ctx, nullptr, 1);
+    return run.run();
+  }
+  ThreadPool pool(workers);
+  MultiRun run(g, config, options_, ctx, &pool, workers);
   return run.run();
 }
 

@@ -17,6 +17,11 @@ void ResidualState::mark_assigned(EdgeId e) {
   assert(!is_assigned(e));
   assigned_[static_cast<std::size_t>(e) >> 6] |=
       std::uint64_t{1} << (static_cast<std::size_t>(e) & 63);
+  commit_claim(e);
+}
+
+void ResidualState::commit_claim(EdgeId e) {
+  assert(is_assigned(e));
   const Edge& edge = graph_->edge(e);
   assert(residual_degree_[edge.u] > 0 && residual_degree_[edge.v] > 0);
   --residual_degree_[edge.u];

@@ -4,6 +4,7 @@
 // tables come from the run's ScratchArena so repeated runs reuse capacity.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 
@@ -33,6 +34,29 @@ class ResidualState {
   /// Marks e assigned and decrements both endpoints' residual degrees.
   /// Precondition: e is unassigned.
   void mark_assigned(EdgeId e);
+
+  /// Atomic claim path for concurrent growth (core/multi_tlp.cpp): sets e's
+  /// bit with a fetch_or on the containing packed word and reports whether
+  /// THIS call flipped it. Safe to race with other try_claim calls; must
+  /// not race with the non-atomic readers/writers above (callers separate
+  /// the claim phase from everything else with a barrier). A false return
+  /// means the bit was already set — either an earlier super-step assigned
+  /// the edge, or a concurrent claimant won; the caller disambiguates at
+  /// its barrier and resolves contests deterministically.
+  /// Degrees and the unassigned count are NOT touched here — the winning
+  /// claim is finalized serially with commit_claim().
+  bool try_claim(EdgeId e) {
+    const std::uint64_t bit = std::uint64_t{1}
+                              << (static_cast<std::size_t>(e) & 63);
+    std::atomic_ref<std::uint64_t> word(
+        assigned_[static_cast<std::size_t>(e) >> 6]);
+    return (word.fetch_or(bit, std::memory_order_relaxed) & bit) == 0;
+  }
+
+  /// Serial follow-up to a successful try_claim: decrements both endpoints'
+  /// residual degrees and the unassigned count. Precondition: e's bit is
+  /// set and commit_claim(e) has not run before.
+  void commit_claim(EdgeId e);
 
  private:
   const Graph* graph_;

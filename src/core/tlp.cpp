@@ -11,6 +11,7 @@
 
 #include "core/frontier.hpp"
 #include "core/residual.hpp"
+#include "partition/spill.hpp"
 
 namespace tlp {
 namespace {
@@ -55,6 +56,7 @@ class GrowthRun {
         ctx_(ctx),
         residual_(g, ctx.arena()),
         partition_(config.num_partitions, g.num_edges()),
+        frontier_(ctx.arena()),
         member_round_(ctx.arena().acquire<std::uint32_t>(g.num_vertices(),
                                                          kNoRound)),
         count_(ctx.arena().acquire<std::uint32_t>(g.num_vertices(), 0)),
@@ -263,15 +265,7 @@ class GrowthRun {
   /// Strict-mode fallback: distribute edges left after p rounds to the
   /// lightest partitions (keeps the result a complete p-partition).
   void spill_remaining() {
-    auto counts = partition_.edge_counts();
-    for (EdgeId e = 0; e < g_.num_edges(); ++e) {
-      if (partition_.is_assigned(e)) continue;
-      const auto lightest = static_cast<PartitionId>(std::distance(
-          counts.begin(), std::min_element(counts.begin(), counts.end())));
-      partition_.assign(e, lightest);
-      ++counts[lightest];
-      ++totals_.spilled_edges;
-    }
+    totals_.spilled_edges += spill_to_lightest(partition_);
   }
 
   void flush_round(PartitionId k, const RoundLocal& round) {

@@ -83,8 +83,9 @@ double Telemetry::timer_seconds(std::string_view name) const {
 void Telemetry::ScopedTimer::stop() {
   if (sink_ == nullptr) return;
   const auto elapsed = std::chrono::steady_clock::now() - start_;
-  sink_->add_seconds(name_,
-                     std::chrono::duration<double>(elapsed).count());
+  const double seconds = std::chrono::duration<double>(elapsed).count();
+  sink_->add_seconds(name_, seconds);
+  if (sink_->phase_hook_) sink_->phase_hook_(name_, seconds);
   sink_ = nullptr;
 }
 
@@ -140,6 +141,15 @@ std::string Telemetry::to_json() const {
   return out;
 }
 
+void Telemetry::merge_from(const Telemetry& other) {
+  for (const auto& [name, value] : other.counters_) add(name, value);
+  for (const auto& [name, value] : other.timers_) add_seconds(name, value);
+  for (const auto& [name, values] : other.series_) {
+    auto& mine = series_[name];
+    mine.insert(mine.end(), values.begin(), values.end());
+  }
+}
+
 void Telemetry::clear() {
   counters_.clear();
   timers_.clear();
@@ -158,6 +168,13 @@ void RunContext::begin_run(std::string_view algorithm) {
   ++runs_;
   last_algorithm_.assign(algorithm);
   telemetry_.add("runs");
+}
+
+RunContext& RunContext::child(std::size_t index) {
+  while (children_.size() <= index) {
+    children_.push_back(std::make_unique<RunContext>());
+  }
+  return *children_[index];
 }
 
 }  // namespace tlp

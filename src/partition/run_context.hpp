@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -142,6 +143,9 @@ class ScratchArena {
 /// the context; clear() resets everything.
 class Telemetry {
  public:
+  /// Sentinel `seconds` value passed to the phase hook on scope entry.
+  static constexpr double kPhaseEnter = -1.0;
+
   /// counters["name"] += v (creates at v).
   void add(std::string_view name, double v = 1.0);
   /// counters["name"] = v unconditionally.
@@ -162,7 +166,9 @@ class Telemetry {
     ScopedTimer(Telemetry& sink, std::string name)
         : sink_(&sink),
           name_(std::move(name)),
-          start_(std::chrono::steady_clock::now()) {}
+          start_(std::chrono::steady_clock::now()) {
+      if (sink_->phase_hook_) sink_->phase_hook_(name_, kPhaseEnter);
+    }
     ScopedTimer(ScopedTimer&& other) noexcept
         : sink_(other.sink_), name_(std::move(other.name_)), start_(other.start_) {
       other.sink_ = nullptr;
@@ -188,6 +194,22 @@ class Telemetry {
   /// The named series, or nullptr if never written.
   [[nodiscard]] const std::vector<double>* series(std::string_view name) const;
 
+  /// Folds another sink into this one: counters and timers are ADDED,
+  /// series are APPENDED in other's order. Gauge-style keys written with
+  /// set_max() do not survive addition — producers that fan out per-worker
+  /// keep gauges in plain locals and set_max() once on the parent (see
+  /// core/multi_tlp.cpp). Callers merging several workers must do so in a
+  /// fixed order (worker 0, 1, ...) so series stay deterministic.
+  void merge_from(const Telemetry& other);
+
+  /// Opt-in phase-boundary callback, fired by every ScopedTimer from
+  /// time(): once on scope entry (seconds < 0) and once on exit (seconds =
+  /// elapsed wall time). Lets profilers cut per phase (perf markers,
+  /// flamegraph annotations) without polling the timer maps. The hook runs
+  /// on the thread that owns the scope; pass nullptr to disable.
+  using PhaseHook = std::function<void(std::string_view phase, double seconds)>;
+  void set_phase_hook(PhaseHook hook) { phase_hook_ = std::move(hook); }
+
   [[nodiscard]] const std::map<std::string, double, std::less<>>& counters()
       const {
     return counters_;
@@ -211,6 +233,7 @@ class Telemetry {
   std::map<std::string, double, std::less<>> counters_;
   std::map<std::string, double, std::less<>> timers_;
   std::map<std::string, std::vector<double>, std::less<>> series_;
+  PhaseHook phase_hook_;
 };
 
 /// Thrown by RunContext::check_cancelled() when a stop was requested or the
@@ -272,12 +295,26 @@ class RunContext {
     return last_algorithm_;
   }
 
+  /// Worker-private child context #index, created lazily and CACHED for the
+  /// parent's lifetime — worker `i` of every run reuses child(i)'s arena, so
+  /// repeated parallel runs get the same warm-arena behaviour as the parent
+  /// (multi-threaded growth leases per-worker scratch from here; a shared
+  /// ScratchArena is not thread-safe). Child telemetry is scratch space:
+  /// producers clear it at run start and merge_from() it into the parent at
+  /// a barrier. Children share nothing with the parent automatically —
+  /// cancellation stays on the parent's token.
+  [[nodiscard]] RunContext& child(std::size_t index);
+
+  /// Number of child contexts created so far.
+  [[nodiscard]] std::size_t num_children() const { return children_.size(); }
+
  private:
   ScratchArena arena_;
   Telemetry telemetry_;
   CancelToken cancel_;
   std::uint64_t runs_ = 0;
   std::string last_algorithm_;
+  std::vector<std::unique_ptr<RunContext>> children_;
 };
 
 }  // namespace tlp

@@ -1,0 +1,34 @@
+#include "partition/spill.hpp"
+
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace tlp {
+
+EdgeId spill_to_lightest(EdgePartition& partition) {
+  // Min-heap of (load, partition id); the (load, id) ordering reproduces
+  // min_element's first-minimum tie-break exactly.
+  using Entry = std::pair<EdgeId, PartitionId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  {
+    const std::vector<EdgeId> counts = partition.edge_counts();
+    for (PartitionId k = 0; k < partition.num_partitions(); ++k) {
+      heap.push({counts[k], k});
+    }
+  }
+  EdgeId spilled = 0;
+  const EdgeId m = partition.num_edges();
+  for (EdgeId e = 0; e < m; ++e) {
+    if (partition.is_assigned(e)) continue;
+    auto [load, k] = heap.top();
+    heap.pop();
+    partition.assign(e, k);
+    heap.push({load + 1, k});
+    ++spilled;
+  }
+  return spilled;
+}
+
+}  // namespace tlp

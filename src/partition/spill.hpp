@@ -1,0 +1,18 @@
+// Shared spill fallback: distribute edges left unassigned after growth to
+// the lightest partitions. Both TLP growth loops (core/tlp.cpp and
+// core/multi_tlp.cpp) used to re-scan all p loads with std::min_element per
+// edge — quadratic when strict mode leaves many residual edges; this helper
+// keeps the loads in a min-heap instead (O(log p) per spilled edge).
+#pragma once
+
+#include "partition/edge_partition.hpp"
+
+namespace tlp {
+
+/// Assigns every still-unassigned edge of `partition` to the currently
+/// lightest partition, ties broken toward the lowest partition id —
+/// bit-identical to the historical min_element scan (whose first-minimum
+/// tie-break is the same rule). Returns the number of edges spilled.
+EdgeId spill_to_lightest(EdgePartition& partition);
+
+}  // namespace tlp

@@ -14,10 +14,15 @@ namespace {
 /// The bounded in-memory buffer: a dynamic multigraph over the unassigned
 /// edges currently inside the window. Adjacency entries are cleaned lazily
 /// (assigned slots are swap-removed when a vertex's list is next scanned).
+/// All three tables lease their storage from the caller's arena, so
+/// repeated partition_stream calls on a shared RunContext stop rebuilding
+/// them from cold allocations (the ROADMAP's warm-arena streaming item).
 class WindowBuffer {
  public:
-  explicit WindowBuffer(VertexId num_vertices)
-      : adjacency_(num_vertices), live_degree_(num_vertices, 0) {}
+  WindowBuffer(VertexId num_vertices, ScratchArena& arena)
+      : slots_(arena.acquire<Slot>(0)),
+        adjacency_(arena.acquire<std::vector<std::size_t>>(num_vertices)),
+        live_degree_(arena.acquire<std::uint32_t>(num_vertices, 0)) {}
 
   struct Slot {
     VertexId u;
@@ -33,8 +38,8 @@ class WindowBuffer {
 
   /// Inserts an unassigned edge; returns its slot index.
   std::size_t add(const StreamEdge& e) {
-    const std::size_t slot = slots_.size();
-    slots_.push_back(Slot{e.edge.u, e.edge.v, e.id});
+    const std::size_t slot = slots_->size();
+    slots_->push_back(Slot{e.edge.u, e.edge.v, e.id});
     adjacency_[e.edge.u].push_back(slot);
     adjacency_[e.edge.v].push_back(slot);
     ++live_degree_[e.edge.u];
@@ -76,22 +81,22 @@ class WindowBuffer {
   /// Any vertex with a live edge, scanning from a rotating cursor; returns
   /// kInvalidVertex when the buffer is empty.
   [[nodiscard]] VertexId any_live_vertex() {
-    while (seed_cursor_ < slots_.size()) {
+    while (seed_cursor_ < slots_->size()) {
       if (!slots_[seed_cursor_].assigned) return slots_[seed_cursor_].u;
       ++seed_cursor_;
     }
     // Older slots may have been refilled after the cursor passed; fall back
     // to a full scan (rare: only when the stream interleaves adversarially).
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
+    for (std::size_t i = 0; i < slots_->size(); ++i) {
       if (!slots_[i].assigned) return slots_[i].u;
     }
     return kInvalidVertex;
   }
 
  private:
-  std::vector<Slot> slots_;
-  std::vector<std::vector<std::size_t>> adjacency_;
-  std::vector<std::uint32_t> live_degree_;
+  ScratchArena::Lease<Slot> slots_;
+  ScratchArena::Lease<std::vector<std::size_t>> adjacency_;
+  ScratchArena::Lease<std::uint32_t> live_degree_;
   EdgeId live_edges_ = 0;
   std::size_t seed_cursor_ = 0;
 };
@@ -105,7 +110,7 @@ class WindowRun {
         window_capacity_(window_capacity),
         stats_(stats),
         ctx_(ctx),
-        buffer_(source.num_vertices()),
+        buffer_(source.num_vertices(), ctx.arena()),
         assignment_(static_cast<std::size_t>(source.total_edges()),
                     kNoPartition),
         member_round_(ctx.arena().acquire<std::uint32_t>(
@@ -113,7 +118,8 @@ class WindowRun {
         count_(ctx.arena().acquire<std::uint32_t>(source.num_vertices(), 0)),
         touched_(ctx.arena().acquire<VertexId>(0)),
         residual_neighbors_(ctx.arena().acquire<VertexId>(0)),
-        load_(ctx.arena().acquire<EdgeId>(config.num_partitions, 0)) {}
+        load_(ctx.arena().acquire<EdgeId>(config.num_partitions, 0)),
+        frontier_(ctx.arena()) {}
 
   std::vector<PartitionId> run() {
     const PartitionId p = config_.num_partitions;

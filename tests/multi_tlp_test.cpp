@@ -1,9 +1,12 @@
 // Tests for the concurrent multi-seed TLP extension.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <stdexcept>
 
 #include "core/multi_tlp.hpp"
+#include "partition/run_context.hpp"
 #include "core/tlp.hpp"
 #include "gen/generators.hpp"
 #include "partition/metrics.hpp"
@@ -29,6 +32,48 @@ TEST(MultiTlp, CompleteAndInRangeOnVariousGraphs) {
     const EdgePartition part = multi.partition(g, config);
     EXPECT_TRUE(validate(g, part, config).ok()) << g.summary();
   }
+}
+
+TEST(MultiTlp, BitIdenticalAcrossThreadCounts) {
+  const Graph g = gen::sbm(600, 4200, 17, 0.88, 11);
+  const auto config = config_for(9, 7);
+  RunContext ctx1;
+  MultiTlpOptions opts;
+  opts.num_threads = 1;
+  const EdgePartition base =
+      MultiTlpPartitioner{opts}.partition(g, config, ctx1);
+  auto counters_sans_threads = [](const RunContext& ctx) {
+    auto c = ctx.telemetry().counters();
+    c.erase("threads");  // the only legitimately thread-count-dependent key
+    c.erase("runs");
+    return c;
+  };
+  for (const std::size_t threads : {2u, 8u}) {
+    RunContext ctx;
+    MultiTlpOptions o;
+    o.num_threads = threads;
+    const EdgePartition part =
+        MultiTlpPartitioner{o}.partition(g, config, ctx);
+    EXPECT_EQ(part.raw(), base.raw()) << threads << " threads";
+    EXPECT_EQ(counters_sans_threads(ctx), counters_sans_threads(ctx1))
+        << threads << " threads";
+    EXPECT_EQ(ctx.telemetry().all_series(), ctx1.telemetry().all_series())
+        << threads << " threads";
+    EXPECT_EQ(ctx.telemetry().counter("threads"),
+              static_cast<double>(std::min<std::size_t>(threads, 9)));
+  }
+}
+
+TEST(MultiTlp, HardwareThreadsMatchInline) {
+  const Graph g = gen::barabasi_albert(300, 4, 19);
+  const auto config = config_for(6, 5);
+  MultiTlpOptions inline_opts;  // num_threads = 1
+  MultiTlpOptions hw_opts;
+  hw_opts.num_threads = 0;  // hardware_concurrency, capped at p
+  const EdgePartition a =
+      MultiTlpPartitioner{inline_opts}.partition(g, config);
+  const EdgePartition b = MultiTlpPartitioner{hw_opts}.partition(g, config);
+  EXPECT_EQ(a.raw(), b.raw());
 }
 
 TEST(MultiTlp, DeterministicForSeed) {

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/tlp.hpp"
@@ -163,6 +165,59 @@ TEST(Telemetry, ClearResetsEverything) {
   EXPECT_EQ(t.series("s"), nullptr);
 }
 
+TEST(Telemetry, MergeFromAddsCountersAndTimersAndConcatenatesSeries) {
+  Telemetry parent;
+  parent.add("joins", 2.0);
+  parent.add_seconds("phase_s", 1.0);
+  parent.append("rounds", 1.0);
+  Telemetry worker;
+  worker.add("joins", 3.0);
+  worker.add("conflicts", 1.0);
+  worker.add_seconds("phase_s", 0.5);
+  worker.append("rounds", 2.0);
+  parent.merge_from(worker);
+  EXPECT_EQ(parent.counter("joins"), 5.0);
+  EXPECT_EQ(parent.counter("conflicts"), 1.0);
+  EXPECT_EQ(parent.timer_seconds("phase_s"), 1.5);
+  EXPECT_EQ(*parent.series("rounds"), (std::vector<double>{1.0, 2.0}));
+  // The source is untouched.
+  EXPECT_EQ(worker.counter("joins"), 3.0);
+}
+
+TEST(Telemetry, PhaseHookFiresOnEntryAndExit) {
+  Telemetry t;
+  std::vector<std::pair<std::string, double>> events;
+  t.set_phase_hook([&events](std::string_view phase, double seconds) {
+    events.emplace_back(std::string(phase), seconds);
+  });
+  { auto timer = t.time("grow_s"); }
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].first, "grow_s");
+  EXPECT_LT(events[0].second, 0.0);  // entry marker
+  EXPECT_EQ(events[1].first, "grow_s");
+  EXPECT_GE(events[1].second, 0.0);  // elapsed on exit
+  t.set_phase_hook(nullptr);
+  { auto timer = t.time("grow_s"); }
+  EXPECT_EQ(events.size(), 2u);  // disabled hook stays silent
+}
+
+TEST(RunContext, ChildContextsAreCachedPerIndex) {
+  RunContext ctx;
+  EXPECT_EQ(ctx.num_children(), 0u);
+  RunContext& a = ctx.child(0);
+  RunContext& b = ctx.child(1);
+  EXPECT_EQ(ctx.num_children(), 2u);
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(&ctx.child(0), &a);  // same object on re-request
+  EXPECT_EQ(ctx.num_children(), 2u);
+  // Child arenas are private: leases recycle within the child only.
+  { const auto lease = a.arena().acquire<int>(32); }
+  const auto reuse = a.arena().acquire<int>(16);
+  EXPECT_EQ(a.arena().hits(), 1u);
+  EXPECT_EQ(ctx.arena().hits(), 0u);
+  EXPECT_EQ(b.arena().hits(), 0u);
+}
+
 TEST(CancelToken, StopFlagTrips) {
   CancelToken token;
   EXPECT_FALSE(token.cancelled());
@@ -216,12 +271,15 @@ TEST(RunContext, ArenaHitsFromSecondRunOnward) {
   config.num_partitions = 4;
   RunContext ctx;
   (void)tlp.partition(g, config, ctx);
-  EXPECT_EQ(ctx.arena().hits(), 0u);
+  // Frontier bucket heaps recycle pooled buffers even within run 1, so hits
+  // may already be nonzero here; what matters is that run 2 allocates
+  // nothing new.
+  const std::uint64_t hits_after_first = ctx.arena().hits();
   const std::uint64_t misses_after_first = ctx.arena().misses();
   EXPECT_GT(misses_after_first, 0u);
   (void)tlp.partition(g, config, ctx);
   // Run 2 reuses every buffer run 1 allocated: all hits, no new misses.
-  EXPECT_GT(ctx.arena().hits(), 0u);
+  EXPECT_GT(ctx.arena().hits(), hits_after_first);
   EXPECT_EQ(ctx.arena().misses(), misses_after_first);
 }
 

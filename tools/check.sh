@@ -1,11 +1,14 @@
 #!/bin/sh
 # Tier-1 verification plus a sanitizer pass.
 #
-#   tools/check.sh            # tier-1 build + ctest, then ASan and UBSan test runs
+#   tools/check.sh            # tier-1 build + ctest, then ASan, UBSan, and
+#                             # TSan test runs
 #   tools/check.sh --fast     # tier-1 only (skip the sanitizer builds)
 #
 # Each configuration builds into its own directory (build/, build-asan/,
-# build-ubsan/) so incremental re-runs stay cheap.
+# build-ubsan/, build-tsan/) so incremental re-runs stay cheap. The TSan
+# leg only runs the concurrency-relevant suites (the thread pool and the
+# parallel multi-partition growth) with the worker count forced above one.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -35,4 +38,14 @@ run_suite build-asan -DTLP_SANITIZE=address \
 run_suite build-ubsan -DTLP_SANITIZE=undefined \
   -DTLP_BUILD_BENCH=OFF -DTLP_BUILD_EXAMPLES=OFF
 
-echo "check.sh: tier-1 + ASan + UBSan all green"
+# TSan: only the suites that actually spin up threads. The multi_tlp suite
+# includes cross-thread-count runs (2 and 8 workers), so the claim/commit
+# protocol races would surface here.
+echo "== configure build-tsan (-DTLP_SANITIZE=thread) =="
+cmake -B build-tsan -S . -DTLP_SANITIZE=thread \
+  -DTLP_BUILD_BENCH=OFF -DTLP_BUILD_EXAMPLES=OFF > /dev/null
+cmake --build build-tsan -j "$JOBS" --target thread_pool_test multi_tlp_test
+echo "== ctest build-tsan (MultiTlp|ThreadPool) =="
+(cd build-tsan && ctest --output-on-failure -R 'MultiTlp|ThreadPool')
+
+echo "check.sh: tier-1 + ASan + UBSan + TSan all green"
