@@ -166,10 +166,10 @@ void BM_FrontierChurn(benchmark::State& state) {
   for (auto _ : state) {
     Frontier f;
     for (VertexId v = 0; v < 1000; ++v) {
-      f.add_connection(v, 0.001 * v, 8);
+      f.add_connection(v, 8, 0.001 * v);
     }
     for (VertexId v = 0; v < 1000; v += 2) {
-      f.add_connection(v, 0.5, 8);
+      f.add_connection(v, 8, 0.5);
     }
     benchmark::DoNotOptimize(f.select_stage1());
     benchmark::DoNotOptimize(f.select_stage2(100, 300));

@@ -23,44 +23,47 @@ bool better_fraction(std::uint64_t a1, std::uint64_t b1, std::uint64_t a2,
 Frontier::Frontier()
     : own_arena_(std::make_unique<ScratchArena>()),
       arena_(own_arena_.get()),
+      cand_(arena_->acquire<Candidate>(0)),
+      stamp_(arena_->acquire<std::uint32_t>(0)),
       stage1_heap_(arena_->acquire<HeapEntry>(0)) {}
 
-Frontier::Frontier(ScratchArena& arena)
-    : arena_(&arena), stage1_heap_(arena_->acquire<HeapEntry>(0)) {}
+Frontier::Frontier(ScratchArena& arena, VertexId num_vertices)
+    : arena_(&arena),
+      cand_(arena_->acquire<Candidate>(num_vertices)),
+      stamp_(arena_->acquire<std::uint32_t>(num_vertices, 0)),
+      stage1_heap_(arena_->acquire<HeapEntry>(0)) {}
 
 void Frontier::clear() {
-  candidates_.clear();
-  stage1_heap_->clear();        // keeps the lease (and its capacity)
-  stage2_buckets_.clear();      // bucket leases return to the arena pool
+  size_ = 0;
+  stage1_heap_->clear();  // keeps the lease (and its capacity)
+  for (std::uint32_t c = 1; c <= hwm_c_; ++c) {
+    ladder_[c - 1]->clear();  // ditto: drained buckets stay pooled
+  }
+  hwm_c_ = 0;
+  if (++epoch_ == 0) {
+    // A wrapped epoch could resurrect prehistoric stamps; re-zero and
+    // restart. Unreachable in practice (2^32 - 1 rounds on one frontier).
+    std::fill(stamp_->begin(), stamp_->end(), 0u);
+    epoch_ = 1;
+  }
 }
 
-std::uint32_t Frontier::connections(VertexId v) const {
-  const auto it = candidates_.find(v);
-  assert(it != candidates_.end());
-  return it->second.c;
-}
-
-void Frontier::remove(VertexId v) {
-  const auto it = candidates_.find(v);
-  assert(it != candidates_.end());
-  candidates_.erase(it);
-  // Heap and bucket entries become stale and are skipped lazily.
-}
-
-void Frontier::stage1_push(double mu1, VertexId v) {
-  stage1_heap_->push_back({mu1, v});
-  std::push_heap(stage1_heap_->begin(), stage1_heap_->end());
+void Frontier::grow_to(std::size_t n) {
+  // Amortized doubling keeps on-demand growth O(1) per insert; resize()
+  // value-initializes the new stamps to 0 (= never live).
+  const std::size_t target = std::max(n, stamp_->size() * 2);
+  stamp_->resize(target, 0u);
+  cand_->resize(target);
 }
 
 void Frontier::bucket_push(std::uint32_t c, std::uint32_t rdeg, VertexId v) {
-  const auto it = stage2_buckets_.find(c);
-  Bucket& bucket = it != stage2_buckets_.end()
-                       ? it->second
-                       : stage2_buckets_
-                             .emplace(c, arena_->acquire<
-                                             std::pair<std::uint32_t,
-                                                       VertexId>>(0))
-                             .first->second;
+  assert(c >= 1);
+  while (ladder_.size() < c) {
+    ladder_.push_back(
+        arena_->acquire<std::pair<std::uint32_t, VertexId>>(0));
+  }
+  hwm_c_ = std::max(hwm_c_, c);
+  Bucket& bucket = ladder_[c - 1];
   bucket->push_back({rdeg, v});
   std::push_heap(bucket->begin(), bucket->end(), std::greater<>{});
 }
@@ -69,11 +72,10 @@ VertexId Frontier::select_stage1() {
   auto& heap = *stage1_heap_;
   while (!heap.empty()) {
     const HeapEntry top = heap.front();
-    const auto it = candidates_.find(top.vertex);
-    if (it != candidates_.end() && it->second.mu1 == top.mu1) {
+    if (contains(top.vertex) && (*cand_)[top.vertex].mu1 == top.mu1) {
       return top.vertex;
     }
-    // Stale: vertex joined or its μs1 grew since push.
+    // Stale: vertex joined or its μs1 changed since push.
     std::pop_heap(heap.begin(), heap.end());
     heap.pop_back();
   }
@@ -86,18 +88,15 @@ VertexId Frontier::select_stage2(EdgeId e_in, EdgeId e_out) {
   std::uint64_t best_den = 1;
   std::uint32_t best_c = 0;
   std::uint32_t best_r = 0;
-  for (auto it = stage2_buckets_.begin(); it != stage2_buckets_.end();) {
-    const std::uint32_t c = it->first;
-    auto& bucket = *it->second;
-    // Drop entries superseded by a later c or removed candidates.
-    while (!bucket.empty() && !bucket_entry_live(c, bucket.front().second)) {
+  for (std::uint32_t c = 1; c <= hwm_c_; ++c) {
+    auto& bucket = *ladder_[c - 1];
+    // Drop entries superseded by a newer (c, rdeg) state or removed
+    // candidates.
+    while (!bucket.empty() && !bucket_entry_live(c, bucket.front())) {
       std::pop_heap(bucket.begin(), bucket.end(), std::greater<>{});
       bucket.pop_back();
     }
-    if (bucket.empty()) {
-      it = stage2_buckets_.erase(it);  // lease returns to the arena
-      continue;
-    }
+    if (bucket.empty()) continue;
     // Within one c, M' is strictly decreasing in rdeg, so only the bucket's
     // (min rdeg, min id) entry can win.
     const auto [rdeg, v] = bucket.front();
@@ -119,7 +118,6 @@ VertexId Frontier::select_stage2(EdgeId e_in, EdgeId e_out) {
       best_c = c;
       best_r = rdeg;
     }
-    ++it;
   }
   return best;
 }

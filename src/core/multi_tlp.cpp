@@ -4,14 +4,13 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <numeric>
 #include <random>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/frontier.hpp"
 #include "core/residual.hpp"
 #include "partition/replica_set.hpp"
 #include "partition/spill.hpp"
@@ -19,158 +18,6 @@
 
 namespace tlp {
 namespace {
-
-/// Exact M' comparison, as in core/frontier.cpp.
-bool better_fraction(std::uint64_t a1, std::uint64_t b1, std::uint64_t a2,
-                     std::uint64_t b2) {
-  if (b1 == 0 && b2 == 0) return a1 > a2;
-  if (b1 == 0) return true;
-  if (b2 == 0) return false;
-  return static_cast<unsigned __int128>(a1) * b2 >
-         static_cast<unsigned __int128>(a2) * b1;
-}
-
-/// Frontier for one concurrently-growing partition. Unlike the sequential
-/// frontier, a candidate's connection count and residual degree can
-/// DECREASE here (another partition may claim its edges), so the candidate
-/// map always holds the current exact values and the selection heaps are
-/// lazily invalidated: an entry is live iff it matches the map. Heap and
-/// bucket storage is leased from the owning worker's arena, so repeated
-/// runs (and drained buckets within a run) recycle capacity.
-class EagerFrontier {
- public:
-  explicit EagerFrontier(ScratchArena& arena)
-      : arena_(&arena), stage1_(arena.acquire<Stage1Entry>(0)) {}
-
-  struct Candidate {
-    std::uint32_t c = 0;     ///< residual connections to the partition
-    std::uint32_t rdeg = 0;  ///< current residual degree
-    double mu1 = 0.0;        ///< exact Stage-I score (Eq. 7)
-  };
-
-  [[nodiscard]] bool empty() const { return candidates_.empty(); }
-  [[nodiscard]] std::size_t size() const { return candidates_.size(); }
-  [[nodiscard]] bool contains(VertexId v) const {
-    return candidates_.contains(v);
-  }
-  [[nodiscard]] const Candidate& at(VertexId v) const {
-    return candidates_.at(v);
-  }
-
-  /// Inserts or updates candidate v; mu1 is a caller-maintained exact value
-  /// (recomputed on structural changes). Heap entries are only pushed for
-  /// keys that actually changed — an unchanged key already has a live entry.
-  void upsert(VertexId v, std::uint32_t c, std::uint32_t rdeg, double mu1) {
-    auto [it, inserted] = candidates_.try_emplace(v);
-    Candidate& cand = it->second;
-    const bool push_stage1 = inserted || cand.mu1 != mu1;
-    const bool push_bucket = inserted || cand.c != c || cand.rdeg != rdeg;
-    cand = Candidate{c, rdeg, mu1};
-    if (push_stage1) {
-      stage1_->push_back({mu1, v});
-      std::push_heap(stage1_->begin(), stage1_->end());
-    }
-    if (push_bucket) bucket_push(c, rdeg, v);
-  }
-
-  /// Removes v (joined, or lost its last connection). Stale heap entries
-  /// are dropped lazily when they surface.
-  void remove(VertexId v) { candidates_.erase(v); }
-
-  /// Stage-I selection: argmax μs1, ties by smaller vertex id. Returns
-  /// kInvalidVertex when empty.
-  [[nodiscard]] VertexId select_stage1() {
-    auto& heap = *stage1_;
-    while (!heap.empty()) {
-      const Stage1Entry top = heap.front();
-      const auto it = candidates_.find(top.vertex);
-      if (it != candidates_.end() && it->second.mu1 == top.mu1) {
-        return top.vertex;
-      }
-      std::pop_heap(heap.begin(), heap.end());
-      heap.pop_back();
-    }
-    return kInvalidVertex;
-  }
-
-  /// Stage-II selection: argmax M' = (e_in + c)/(e_out + r - 2c); ties by
-  /// larger c, then smaller r, then smaller id. Scans one live best per
-  /// distinct c value. Returns kInvalidVertex when empty.
-  [[nodiscard]] VertexId select_stage2(EdgeId e_in, EdgeId e_out) {
-    VertexId best = kInvalidVertex;
-    std::uint64_t bn = 0;
-    std::uint64_t bd = 1;
-    std::uint32_t bc = 0;
-    std::uint32_t br = 0;
-    for (auto it = buckets_.begin(); it != buckets_.end();) {
-      const std::uint32_t c = it->first;
-      auto& bucket = *it->second;
-      while (!bucket.empty() && !entry_live(c, bucket.front())) {
-        std::pop_heap(bucket.begin(), bucket.end(), std::greater<>{});
-        bucket.pop_back();
-      }
-      if (bucket.empty()) {
-        it = buckets_.erase(it);  // lease returns to the arena
-        continue;
-      }
-      const auto [rdeg, v] = bucket.front();
-      assert(rdeg >= c && e_out + rdeg >= 2ULL * c);
-      const std::uint64_t num = e_in + c;
-      const std::uint64_t den = e_out + rdeg - 2ULL * c;
-      const bool wins =
-          best == kInvalidVertex || better_fraction(num, den, bn, bd) ||
-          (!better_fraction(bn, bd, num, den) &&
-           (c > bc || (c == bc && (rdeg < br || (rdeg == br && v < best)))));
-      if (wins) {
-        best = v;
-        bn = num;
-        bd = den;
-        bc = c;
-        br = rdeg;
-      }
-      ++it;
-    }
-    return best;
-  }
-
- private:
-  struct Stage1Entry {
-    double mu1;
-    VertexId vertex;
-    /// Max-heap order: the top is the highest μs1 with the smallest id.
-    friend bool operator<(const Stage1Entry& a, const Stage1Entry& b) {
-      if (a.mu1 != b.mu1) return a.mu1 < b.mu1;
-      return a.vertex > b.vertex;
-    }
-  };
-  /// Min-heap of (rdeg, vertex) per bucket (std::greater order).
-  using Bucket = ScratchArena::Lease<std::pair<std::uint32_t, VertexId>>;
-
-  [[nodiscard]] bool entry_live(
-      std::uint32_t c, const std::pair<std::uint32_t, VertexId>& e) const {
-    const auto it = candidates_.find(e.second);
-    return it != candidates_.end() && it->second.c == c &&
-           it->second.rdeg == e.first;
-  }
-
-  void bucket_push(std::uint32_t c, std::uint32_t rdeg, VertexId v) {
-    const auto it = buckets_.find(c);
-    Bucket& bucket =
-        it != buckets_.end()
-            ? it->second
-            : buckets_
-                  .emplace(c, arena_->acquire<
-                                  std::pair<std::uint32_t, VertexId>>(0))
-                  .first->second;
-    bucket->push_back({rdeg, v});
-    std::push_heap(bucket->begin(), bucket->end(), std::greater<>{});
-  }
-
-  ScratchArena* arena_;
-  std::unordered_map<VertexId, Candidate> candidates_;
-  ScratchArena::Lease<Stage1Entry> stage1_;
-  std::map<std::uint32_t, Bucket> buckets_;
-};
 
 class MultiRun {
  public:
@@ -267,10 +114,16 @@ class MultiRun {
 
  private:
   struct Part {
+    /// The frontier grows its dense candidate slots on demand (hint 0): a
+    /// partition only ever touches its local region, so pre-sizing all p
+    /// frontiers to n vertices each would waste O(n·p) memory. Unlike the
+    /// sequential run, a candidate's c/rdeg/μs1 can DECREASE here (another
+    /// partition may claim its edges), so candidates are re-stated eagerly
+    /// via Frontier::upsert with exact values.
     explicit Part(ScratchArena& arena)
         : frontier(arena), attempts(arena.acquire<EdgeId>(0)) {}
 
-    EagerFrontier frontier;
+    Frontier frontier;
     /// Claim attempts of the current proposal (won or contested alike).
     ScratchArena::Lease<EdgeId> attempts;
     EdgeId e_in = 0;
@@ -591,18 +444,16 @@ class MultiRun {
       if (member_[nb.vertex].contains(k)) continue;
       if (worker.refreshed[nb.vertex] == mark) continue;
       any = true;
-      const std::size_t du = g_.degree(nb.vertex);
-      merge_cost += std::min(
-          du + g_.degree(v),
-          16 * std::min<std::size_t>(du, g_.degree(v)) + 16);
+      merge_cost += Graph::intersection_cost(g_.degree(nb.vertex),
+                                             g_.degree(v));
     }
     if (!any) return;
     const bool use_counting = two_hop_cost < merge_cost;
     if (use_counting) {
-      for (const Neighbor& w : g_.neighbors(v)) {
-        for (const Neighbor& u : g_.neighbors(w.vertex)) {
-          if (worker.count[u.vertex]++ == 0) {
-            worker.count_touched->push_back(u.vertex);
+      for (const VertexId w : g_.neighbor_ids(v)) {
+        for (const VertexId u : g_.neighbor_ids(w)) {
+          if (worker.count[u]++ == 0) {
+            worker.count_touched->push_back(u);
           }
         }
       }

@@ -56,7 +56,7 @@ class GrowthRun {
         ctx_(ctx),
         residual_(g, ctx.arena()),
         partition_(config.num_partitions, g.num_edges()),
-        frontier_(ctx.arena()),
+        frontier_(ctx.arena(), g.num_vertices()),
         member_round_(ctx.arena().acquire<std::uint32_t>(g.num_vertices(),
                                                          kNoRound)),
         count_(ctx.arena().acquire<std::uint32_t>(g.num_vertices(), 0)),
@@ -134,7 +134,7 @@ class GrowthRun {
   /// the rdeg(v) * deg(v) blowup when hubs join, which dominates runtime on
   /// power-law graphs.
   void join(VertexId v, PartitionId k) {
-    if (frontier_.contains(v)) frontier_.remove(v);
+    frontier_.remove(v);  // no-op for seeds
     member_round_[v] = current_round_;
 
     residual_neighbors_->clear();
@@ -153,23 +153,24 @@ class GrowthRun {
       } else {
         ++e_out_;
         residual_neighbors_->push_back(nb.vertex);
-        const std::size_t du = g_.degree(nb.vertex);
-        merge_cost += std::min(du + dv, 16 * std::min(du, dv) + 16);
+        merge_cost += Graph::intersection_cost(g_.degree(nb.vertex), dv);
       }
     }
     if (residual_neighbors_->empty() || dv == 0) return;
 
     if (two_hop_cost < merge_cost) {
       // Shared counting pass: count_[u] = |N(u) ∩ N(v)| for every two-hop u.
-      for (const Neighbor& w : g_.neighbors(v)) {
-        for (const Neighbor& u : g_.neighbors(w.vertex)) {
-          if (count_[u.vertex]++ == 0) touched_->push_back(u.vertex);
+      // Walks the vertex-only adjacency mirror — this loop is pure memory
+      // bandwidth and never needs the edge ids.
+      for (const VertexId w : g_.neighbor_ids(v)) {
+        for (const VertexId u : g_.neighbor_ids(w)) {
+          if (count_[u]++ == 0) touched_->push_back(u);
         }
       }
       for (const VertexId u : *residual_neighbors_) {
         const double term =
             static_cast<double>(count_[u]) / static_cast<double>(dv);
-        frontier_.add_connection(u, term, residual_.residual_degree(u));
+        frontier_.add_connection(u, residual_.residual_degree(u), term);
       }
       for (const VertexId u : *touched_) count_[u] = 0;
       touched_->clear();
@@ -223,6 +224,8 @@ class GrowthRun {
         if (round.seed == kInvalidVertex) round.seed = seed;
         join(seed, k);
         ++round.joins;
+        totals_.peak_frontier =
+            std::max(totals_.peak_frontier, frontier_.size());
         continue;
       }
 

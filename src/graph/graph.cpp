@@ -53,33 +53,69 @@ Graph Graph::from_edges(VertexId num_vertices, EdgeList edges) {
       }
     }
   }
+
+  g.adjacency_vertex_.resize(g.adjacency_.size());
+  for (std::size_t i = 0; i < g.adjacency_.size(); ++i) {
+    g.adjacency_vertex_[i] = g.adjacency_[i].vertex;
+  }
   return g;
 }
 
 bool Graph::has_edge(VertexId u, VertexId v) const {
-  const auto nbrs = neighbors(u);
-  return std::binary_search(
-      nbrs.begin(), nbrs.end(), Neighbor{v, 0},
-      [](const Neighbor& a, const Neighbor& b) { return a.vertex < b.vertex; });
+  const auto nbrs = neighbor_ids(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::size_t Graph::intersection_cost(std::size_t deg_a, std::size_t deg_b) {
+  const std::size_t small = std::min(deg_a, deg_b);
+  const std::size_t big = std::max(deg_a, deg_b);
+  if (small == 0) return 1;
+  if (big >= kGallopSkew * small) {
+    // Galloping path: each of the `small` probes costs ~2·log2 of its jump
+    // distance; the jump distances sum to `big`, so log2(big/small) + 2 per
+    // probe bounds the total.
+    return small * (static_cast<std::size_t>(std::bit_width(big / small)) + 2);
+  }
+  return small + big;
 }
 
 std::size_t Graph::common_neighbor_count(VertexId u, VertexId v) const {
-  auto a = neighbors(u);
-  auto b = neighbors(v);
+  auto a = neighbor_ids(u);
+  auto b = neighbor_ids(v);
   if (a.size() > b.size()) std::swap(a, b);
-  // When one list is much longer, binary-searching it per element of the
-  // shorter list beats the linear merge (hub vertices in power-law graphs).
-  // Cost model: gallop ~ |a| * log2(|b|), merge ~ |a| + |b|.
-  const std::size_t log_b = static_cast<std::size_t>(
-      std::bit_width(b.size() + 1));
-  if (a.size() * log_b < (a.size() + b.size()) / 2) {
+  if (a.empty()) return 0;
+  if (b.size() >= kGallopSkew * a.size()) {
+    // Galloping intersection: both lists are sorted, so for each element of
+    // the short list, exponential-search forward in the long list from the
+    // previous match position. Total O(|a| · log(|b| / |a|)) — the win over
+    // the merge grows with the skew (hub vertices in power-law graphs).
     std::size_t count = 0;
-    for (const Neighbor& nb : a) {
-      if (std::binary_search(b.begin(), b.end(), Neighbor{nb.vertex, 0},
-                             [](const Neighbor& x, const Neighbor& y) {
-                               return x.vertex < y.vertex;
-                             })) {
+    std::size_t pos = 0;  // cursor into b; only ever advances
+    for (const VertexId target : a) {
+      std::size_t lo = pos;
+      std::size_t hi = pos;
+      std::size_t step = 1;
+      while (hi < b.size() && b[hi] < target) {
+        lo = hi + 1;
+        hi += step;
+        step <<= 1;
+      }
+      hi = std::min(hi, b.size());
+      // Invariant: b[lo - 1] < target (or lo == pos) and b[hi] >= target
+      // (or hi == |b|); binary-search the gap.
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (b[mid] < target) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      pos = lo;
+      if (pos == b.size()) break;  // everything left in a is larger too
+      if (b[pos] == target) {
         ++count;
+        ++pos;
       }
     }
     return count;
@@ -88,9 +124,9 @@ std::size_t Graph::common_neighbor_count(VertexId u, VertexId v) const {
   std::size_t i = 0;
   std::size_t j = 0;
   while (i < a.size() && j < b.size()) {
-    if (a[i].vertex < b[j].vertex) {
+    if (a[i] < b[j]) {
       ++i;
-    } else if (a[i].vertex > b[j].vertex) {
+    } else if (a[i] > b[j]) {
       ++j;
     } else {
       ++count;

@@ -53,6 +53,16 @@ class Graph {
             adjacency_.data() + offsets_[v + 1]};
   }
 
+  /// Vertex-only view of neighbors(v): same order, 4-byte stride. The
+  /// growth hot path (two-hop counting, common-neighbor intersections)
+  /// walks this mirror instead of the Neighbor pairs — a vertex-only scan
+  /// through {vertex, edge} records wastes half its memory bandwidth.
+  [[nodiscard]] std::span<const VertexId> neighbor_ids(VertexId v) const {
+    assert(v < num_vertices_);
+    return {adjacency_vertex_.data() + offsets_[v],
+            adjacency_vertex_.data() + offsets_[v + 1]};
+  }
+
   [[nodiscard]] std::size_t degree(VertexId v) const {
     assert(v < num_vertices_);
     return offsets_[v + 1] - offsets_[v];
@@ -68,8 +78,23 @@ class Graph {
   /// True iff u and v are adjacent. O(log deg) via binary search.
   [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
 
-  /// Number of common neighbors |N(u) ∩ N(v)|. O(deg(u) + deg(v)) merge.
+  /// Degree skew ratio at or above which common_neighbor_count abandons the
+  /// linear merge for a galloping (exponential-search) scan of the longer
+  /// list: O(d_min · log(d_max / d_min)) instead of O(d_min + d_max).
+  static constexpr std::size_t kGallopSkew = 16;
+
+  /// Number of common neighbors |N(u) ∩ N(v)|: a linear merge of the sorted
+  /// adjacency lists, or a galloping intersection when the degrees are
+  /// skewed by ≥ kGallopSkew× (hub vertices in power-law graphs).
   [[nodiscard]] std::size_t common_neighbor_count(VertexId u, VertexId v) const;
+
+  /// Cost model mirror of common_neighbor_count's dispatch, for callers
+  /// that budget intersections before running them (the TLP join loop
+  /// chooses between per-pair intersections and one shared counting pass
+  /// over the joiner's two-hop neighborhood). Deterministic in the degrees
+  /// alone.
+  [[nodiscard]] static std::size_t intersection_cost(std::size_t deg_a,
+                                                     std::size_t deg_b);
 
   /// Human-readable one-line summary, e.g. "Graph(n=1005, m=25571)".
   [[nodiscard]] std::string summary() const;
@@ -79,6 +104,7 @@ class Graph {
   EdgeList edges_;                      // canonical orientation, id = index
   std::vector<std::size_t> offsets_;    // size n+1
   std::vector<Neighbor> adjacency_;     // size 2m, sorted per vertex
+  std::vector<VertexId> adjacency_vertex_;  // adjacency_[i].vertex mirror
 };
 
 }  // namespace tlp

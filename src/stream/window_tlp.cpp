@@ -212,7 +212,7 @@ class WindowRun {
 
   void connect_candidate(VertexId u, VertexId member) {
     const double term = stage1_term(u, member);
-    frontier_.add_connection(u, term, buffer_.live_degree(u));
+    frontier_.add_connection(u, buffer_.live_degree(u), term);
   }
 
   /// Adds v to the current partition (round_partition_), claiming its live
@@ -251,7 +251,7 @@ class WindowRun {
     const double dv = static_cast<double>(deg_at_join);
     for (const VertexId u : *residual_neighbors_) {
       const double term = static_cast<double>(count_[u]) / dv;
-      frontier_.add_connection(u, term, buffer_.live_degree(u));
+      frontier_.add_connection(u, buffer_.live_degree(u), term);
     }
     for (const VertexId x : *touched_) count_[x] = 0;
   }

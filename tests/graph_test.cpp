@@ -86,7 +86,7 @@ TEST(Graph, CommonNeighborCount) {
 }
 
 TEST(Graph, CommonNeighborCountGallopPath) {
-  // Star with a big hub exercises the binary-search branch (size ratio > 32).
+  // Star with a big hub exercises the galloping branch (skew well over 16x).
   EdgeList edges;
   const VertexId n = 200;
   for (VertexId v = 2; v < n; ++v) edges.push_back(Edge{0, v});
@@ -96,6 +96,82 @@ TEST(Graph, CommonNeighborCountGallopPath) {
   const Graph g = Graph::from_edges(n, std::move(edges));
   EXPECT_EQ(g.common_neighbor_count(0, 1), 2u);  // {2, 3}
   EXPECT_EQ(g.common_neighbor_count(1, 0), 2u);  // symmetric
+}
+
+namespace {
+
+/// Reference oracle: quadratic double loop over both adjacency lists.
+std::size_t brute_common(const Graph& g, VertexId u, VertexId v) {
+  std::size_t count = 0;
+  for (const Neighbor& a : g.neighbors(u)) {
+    for (const Neighbor& b : g.neighbors(v)) {
+      if (a.vertex == b.vertex) ++count;
+    }
+  }
+  return count;
+}
+
+/// Graph where deg(0) = small_deg, deg(1) = big_deg, and vertices 0 and 1
+/// share exactly `overlap` neighbors.
+Graph skewed_pair(std::size_t small_deg, std::size_t big_deg,
+                  std::size_t overlap) {
+  EdgeList edges;
+  VertexId next = 2;
+  std::vector<VertexId> shared;
+  for (std::size_t i = 0; i < overlap; ++i) shared.push_back(next++);
+  for (const VertexId s : shared) {
+    edges.push_back(Edge{0, s});
+    edges.push_back(Edge{1, s});
+  }
+  for (std::size_t i = overlap; i < small_deg; ++i) {
+    edges.push_back(Edge{0, next++});
+  }
+  for (std::size_t i = overlap; i < big_deg; ++i) {
+    edges.push_back(Edge{1, next++});
+  }
+  return Graph::from_edges(next, std::move(edges));
+}
+
+}  // namespace
+
+TEST(Graph, CommonNeighborCountAtGallopThresholdBoundary) {
+  // deg(0) = 4 against deg(1) = 60 / 64 / 68: skews of 15x (merge), 16x
+  // (first gallop), and 17x (gallop). The count must be identical on both
+  // sides of Graph::kGallopSkew.
+  for (const std::size_t ratio : {15u, 16u, 17u}) {
+    const std::size_t small_deg = 4;
+    const std::size_t big_deg = small_deg * ratio;
+    for (const std::size_t overlap : {0u, 1u, 3u, 4u}) {
+      const Graph g = skewed_pair(small_deg, big_deg, overlap);
+      EXPECT_EQ(g.common_neighbor_count(0, 1), overlap)
+          << "ratio " << ratio << ", overlap " << overlap;
+      EXPECT_EQ(g.common_neighbor_count(1, 0), overlap) << "symmetric";
+      EXPECT_EQ(g.common_neighbor_count(0, 1), brute_common(g, 0, 1));
+    }
+  }
+}
+
+TEST(Graph, CommonNeighborCountEmptyAndDisjoint) {
+  // Vertex 3 is isolated: intersecting with an empty list is always 0.
+  const Graph g = Graph::from_edges(5, {{0, 1}, {0, 2}, {1, 2}, {2, 4}});
+  EXPECT_EQ(g.common_neighbor_count(3, 0), 0u);
+  EXPECT_EQ(g.common_neighbor_count(0, 3), 0u);
+  EXPECT_EQ(g.common_neighbor_count(3, 3), 0u);
+
+  // Fully disjoint neighborhoods at >= 16x skew: the gallop must walk off
+  // the long list without finding anything.
+  const Graph h = skewed_pair(4, 64, 0);
+  EXPECT_EQ(h.common_neighbor_count(0, 1), 0u);
+  EXPECT_EQ(h.common_neighbor_count(1, 0), 0u);
+
+  // Short list entirely ABOVE the long list's range: first probe gallops
+  // past the end immediately.
+  EdgeList edges;
+  for (VertexId v = 2; v < 66; ++v) edges.push_back(Edge{0, v});
+  edges.push_back(Edge{1, 100});
+  edges.push_back(Edge{1, 101});
+  const Graph above = Graph::from_edges(102, std::move(edges));
+  EXPECT_EQ(above.common_neighbor_count(0, 1), 0u);
 }
 
 TEST(Graph, FromEdgesRejectsOutOfRange) {

@@ -2,13 +2,17 @@
 # Tier-1 verification plus a sanitizer pass.
 #
 #   tools/check.sh            # tier-1 build + ctest, then ASan, UBSan, and
-#                             # TSan test runs
-#   tools/check.sh --fast     # tier-1 only (skip the sanitizer builds)
+#                             # TSan test runs, then a Release perf smoke
+#   tools/check.sh --fast     # tier-1 only (skip sanitizers + perf smoke)
 #
 # Each configuration builds into its own directory (build/, build-asan/,
-# build-ubsan/, build-tsan/) so incremental re-runs stay cheap. The TSan
-# leg only runs the concurrency-relevant suites (the thread pool and the
-# parallel multi-partition growth) with the worker count forced above one.
+# build-ubsan/, build-tsan/, build-release/) so incremental re-runs stay
+# cheap. The TSan leg only runs the concurrency-relevant suites (the thread
+# pool and the parallel multi-partition growth) with the worker count forced
+# above one. The perf-smoke leg builds the hot-path microbench at -O2 and
+# runs its small fixture: bit-identity of the flat growth structures against
+# the embedded pre-change baseline plus the zero-steady-state-allocation
+# check, with BENCH_hotpath.json left behind as the artifact.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -48,4 +52,13 @@ cmake --build build-tsan -j "$JOBS" --target thread_pool_test multi_tlp_test
 echo "== ctest build-tsan (MultiTlp|ThreadPool) =="
 (cd build-tsan && ctest --output-on-failure -R 'MultiTlp|ThreadPool')
 
-echo "check.sh: tier-1 + ASan + UBSan + TSan all green"
+# Perf smoke: -O2 hot-path microbench on a small fixture. Exits nonzero if
+# the flat structures diverge from the embedded legacy baseline or the warm
+# join/select path allocates; timings are informational at this size.
+echo "== configure build-release (-DCMAKE_BUILD_TYPE=Release) =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build build-release -j "$JOBS" --target hotpath_micro
+echo "== perf smoke (hotpath_micro --smoke) =="
+(cd build-release/bench && ./hotpath_micro --smoke)
+
+echo "check.sh: tier-1 + ASan + UBSan + TSan + perf smoke all green"
