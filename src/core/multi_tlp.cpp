@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <numeric>
@@ -69,13 +70,24 @@ class MultiRun {
           0,
       });
     }
-    // Per-PARTITION state lives in the owning worker's arena (a shared
-    // arena is not thread-safe; ownership k % W keeps all of partition k's
-    // storage on one worker).
+    // Per-PARTITION state lives in a per-partition child arena (children
+    // [W, W + p); workers use [0, W)). A shared arena is not thread-safe,
+    // and with work stealing a partition's task can run on ANY worker — but
+    // each partition's task runs exactly once per phase, so an arena only
+    // its own partition touches is race-free no matter which thread
+    // executes the task.
     parts_.reserve(config.num_partitions);
     for (PartitionId k = 0; k < config.num_partitions; ++k) {
-      parts_.emplace_back(ctx.child(k % num_workers_).arena());
+      parts_.emplace_back(ctx.child(num_workers_ + k).arena());
     }
+    if (steal_active()) {
+      queues_.resize(num_workers_);
+      const std::size_t per_worker =
+          (config.num_partitions + num_workers_ - 1) / num_workers_;
+      for (StealQueue& queue : queues_) queue.reserve_hint(per_worker);
+    }
+    busy_.assign(num_workers_, 0.0);
+    step_busy_.assign(num_workers_, 0.0);
   }
 
   EdgePartition run() {
@@ -84,23 +96,14 @@ class MultiRun {
       ctx_.check_cancelled();  // one cancellation poll per super-step
       ++step_;
       flush_touched();
-      for_each_worker([&](std::size_t w) {
-        const auto timer = workers_[w].ctx->telemetry().time("worker_propose");
-        for (PartitionId k = static_cast<PartitionId>(w);
-             k < config_.num_partitions;
-             k += static_cast<PartitionId>(num_workers_)) {
-          propose(k, capacity);
-        }
+      run_phase("worker_propose", [&](std::size_t /*worker*/, PartitionId k) {
+        propose(k, capacity);
       });
       if (!commit()) break;
-      for_each_worker([&](std::size_t w) {
-        const auto timer = workers_[w].ctx->telemetry().time("worker_update");
-        for (PartitionId k = static_cast<PartitionId>(w);
-             k < config_.num_partitions;
-             k += static_cast<PartitionId>(num_workers_)) {
-          update_frontier(workers_[w], k);
-        }
+      run_phase("worker_update", [&](std::size_t w, PartitionId k) {
+        update_frontier(workers_[w], k);
       });
+      record_step_balance();
     }
     spill_remaining();
     flush_telemetry();
@@ -174,14 +177,85 @@ class MultiRun {
     std::size_t claim_conflicts = 0;
     std::size_t stale_claims = 0;
     std::size_t seed_collisions = 0;
+    /// Scheduler outcomes — wall-clock/schedule-dependent, NOT
+    /// worker-count-invariant (unlike everything above).
+    std::uint64_t steals = 0;
+    std::uint64_t steal_failures = 0;
   };
 
-  void for_each_worker(const std::function<void(std::size_t)>& fn) {
+  [[nodiscard]] bool steal_active() const {
+    return pool_ != nullptr && options_.steal;
+  }
+
+  /// Runs `task(worker, k)` exactly once for every partition k, under the
+  /// per-worker child-context phase timer `timer_key`, and accumulates each
+  /// worker's busy time (entry-to-exit of its phase body, i.e. excluding
+  /// the barrier wait) into step_busy_. Three schedules, one result:
+  /// inline (W == 1), static ownership (k % W, ascending k), or
+  /// work-stealing deques — which thread runs a partition-task only moves
+  /// wall-clock time, never the task's effect (docs/THREADING.md).
+  void run_phase(const char* timer_key,
+                 const std::function<void(std::size_t, PartitionId)>& task) {
+    const PartitionId p = config_.num_partitions;
     if (pool_ == nullptr) {
-      fn(0);
+      const auto timer = workers_[0].ctx->telemetry().time(timer_key);
+      for (PartitionId k = 0; k < p; ++k) task(0, k);
+      return;  // no busy tracking inline: imbalance is 1 by definition
+    }
+    if (!steal_active()) {
+      pool_->run_indexed(num_workers_, [&](std::size_t w) {
+        const auto timer = workers_[w].ctx->telemetry().time(timer_key);
+        const auto start = std::chrono::steady_clock::now();
+        for (PartitionId k = static_cast<PartitionId>(w); k < p;
+             k += static_cast<PartitionId>(num_workers_)) {
+          task(w, k);
+        }
+        step_busy_[w] += std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+      });
       return;
     }
-    pool_->run_indexed(num_workers_, fn);
+    // Refill the deques serially: worker w owns partitions k ≡ w (mod W),
+    // pushed in ascending k so the owner drains them in the same order the
+    // static schedule would, and thieves steal the highest pending k first.
+    for (std::size_t w = 0; w < num_workers_; ++w) {
+      queues_[w].reset();
+      for (PartitionId k = static_cast<PartitionId>(w); k < p;
+           k += static_cast<PartitionId>(num_workers_)) {
+        queues_[w].push(k);
+      }
+    }
+    pool_->run_stealable(
+        queues_,
+        [&](std::size_t w, StealSource& source) {
+          const auto timer = workers_[w].ctx->telemetry().time(timer_key);
+          const auto start = std::chrono::steady_clock::now();
+          std::uint32_t k = 0;
+          while (source.next(k)) task(w, static_cast<PartitionId>(k));
+          step_busy_[w] += std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+        },
+        &steal_stats_);
+    for (const StealStats& stats : steal_stats_) {
+      totals_.steals += stats.steals;
+      totals_.steal_failures += stats.steal_failures;
+    }
+  }
+
+  /// Barrier-side (serial) bookkeeping after a committed super-step:
+  /// appends each worker's busy seconds for the step to the worker_busy
+  /// series (W entries per step, worker-minor) and folds them into the
+  /// whole-run totals behind the imbalance gauge. Wall-clock values — the
+  /// series varies across runs and worker counts by design.
+  void record_step_balance() {
+    if (num_workers_ <= 1) return;
+    for (std::size_t w = 0; w < num_workers_; ++w) {
+      ctx_.telemetry().append("worker_busy", step_busy_[w]);
+      busy_[w] += step_busy_[w];
+      step_busy_[w] = 0.0;
+    }
   }
 
   void flush_touched() {
@@ -579,6 +653,24 @@ class MultiRun {
     t.add("stale_claims", static_cast<double>(totals_.stale_claims));
     t.add("seed_collisions", static_cast<double>(totals_.seed_collisions));
     t.set("threads", static_cast<double>(num_workers_));
+    // Scheduler telemetry. These keys (plus threads and the worker_busy
+    // series) are the only ones allowed to differ across worker counts or
+    // steal settings — everything else is worker-count-invariant.
+    t.set("steal", steal_active() ? 1.0 : 0.0);
+    t.add("steals", static_cast<double>(totals_.steals));
+    t.add("steal_failures", static_cast<double>(totals_.steal_failures));
+    double imbalance = 1.0;  // trivially balanced inline
+    if (num_workers_ > 1) {
+      double total = 0.0;
+      double busiest = 0.0;
+      for (const double b : busy_) {
+        total += b;
+        busiest = std::max(busiest, b);
+      }
+      const double mean = total / static_cast<double>(num_workers_);
+      if (mean > 0.0) imbalance = busiest / mean;
+    }
+    t.set("imbalance", imbalance);
     t.set_max("peak_frontier", static_cast<double>(peak_frontier));
     t.set_max("peak_members", static_cast<double>(totals_.peak_members));
   }
@@ -608,6 +700,13 @@ class MultiRun {
 
   std::vector<Part> parts_;
   std::vector<Worker> workers_;
+  /// Work-stealing schedule (empty unless steal_active()): queues_[w] is
+  /// refilled with worker w's owned partitions at the top of each phase.
+  std::vector<StealQueue> queues_;
+  std::vector<StealStats> steal_stats_;  ///< per-phase scratch
+  /// Wall-clock busy seconds per worker: whole run / current super-step.
+  std::vector<double> busy_;
+  std::vector<double> step_busy_;
   Totals totals_;
   std::uint32_t step_ = 0;
 };

@@ -1,0 +1,134 @@
+// StealQueue + StealSource: the work-stealing schedule behind the parallel
+// super-step phases in core/multi_tlp.cpp (used via
+// ThreadPool::run_stealable, but independent of the pool).
+//
+// Each worker owns one StealQueue holding the indices of the tasks it is
+// responsible for this phase. The owner drains its queue from the HEAD (so
+// it runs its own tasks in the order they were pushed — for multi_tlp,
+// ascending partition id); idle workers steal from the TAIL of other
+// workers' queues (the tasks the owner would reach last). Only the
+// *schedule* moves: which thread runs a task never affects the task's
+// result, so a stealable phase stays bit-identical to the static one (see
+// docs/THREADING.md for the contract).
+//
+// The task set is FIXED for the lifetime of a phase: queues are filled
+// serially (reset/push) before workers start, and tasks never enqueue more
+// work. That makes termination trivial — a worker whose own queue is empty
+// and whose full victim sweep comes back empty-handed is done, because no
+// new tasks can appear.
+//
+// Implementation note: this is a mutex-per-queue deque, not a lock-free
+// Chase-Lev deque. Tasks here are coarse (one task = one partition's whole
+// phase work, thousands of instructions), so the lock is taken O(p + W²)
+// times per phase and never shows up in profiles; in exchange the structure
+// is trivially correct under TSan and has no ABA/overflow subtleties.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace tlp {
+
+/// One worker's task deque. reset()/push() are for the SERIAL setup phase
+/// (no locking contract); pop_front()/steal_back()/pending() are safe to
+/// call concurrently from any thread once workers are running.
+class StealQueue {
+ public:
+  StealQueue() = default;
+  /// Serial-setup-only move (lets queues live in a std::vector): takes the
+  /// tasks, not the mutex. Never move a queue workers might be touching.
+  StealQueue(StealQueue&& other) noexcept
+      : tasks_(std::move(other.tasks_)), head_(other.head_) {}
+  StealQueue& operator=(StealQueue&&) = delete;
+  StealQueue(const StealQueue&) = delete;
+  StealQueue& operator=(const StealQueue&) = delete;
+
+  /// Serial setup: empties the queue, keeping its capacity.
+  void reset() {
+    tasks_.clear();
+    head_ = 0;
+  }
+
+  /// Serial setup: appends a task at the tail.
+  void push(std::uint32_t task) { tasks_.push_back(task); }
+
+  /// Serial setup: pre-reserves capacity for `n` tasks.
+  void reserve_hint(std::size_t n) { tasks_.reserve(n); }
+
+  /// Owner side: takes the task at the head. Returns false when empty.
+  bool pop_front(std::uint32_t& out) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (head_ == tasks_.size()) return false;
+    out = tasks_[head_++];
+    return true;
+  }
+
+  /// Thief side: takes the task at the tail. Returns false when empty.
+  bool steal_back(std::uint32_t& out) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (head_ == tasks_.size()) return false;
+    out = tasks_.back();
+    tasks_.pop_back();
+    return true;
+  }
+
+  /// Snapshot of the number of tasks still queued (racy by nature; exact
+  /// only before workers start or after they finish).
+  [[nodiscard]] std::size_t pending() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return tasks_.size() - head_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::uint32_t> tasks_;
+  std::size_t head_ = 0;  ///< tasks_[head_..) are still pending
+};
+
+/// Per-worker scheduling outcomes, for imbalance telemetry.
+struct StealStats {
+  std::uint64_t steals = 0;  ///< tasks taken from another worker's tail
+  /// Individual steal_back probes that found a victim empty. A worker
+  /// winding down sweeps every victim once before exiting, so W·(W-1) per
+  /// phase is the noise floor; sustained higher values mean workers are
+  /// racing each other for scraps.
+  std::uint64_t steal_failures = 0;
+};
+
+/// Worker w's view of the whole queue array: next() yields tasks until the
+/// fixed task set is exhausted — own queue from the head first, then a
+/// round-robin sweep of the other queues' tails (never its own; offset
+/// starts at 1). The canonical worker body is
+///   while (src.next(t)) run(t);
+class StealSource {
+ public:
+  StealSource(std::vector<StealQueue>& queues, std::size_t worker)
+      : queues_(&queues), worker_(worker) {}
+
+  /// Pops the next task for this worker. Returns false when every queue is
+  /// empty — final, because the task set is fixed per phase.
+  bool next(std::uint32_t& task) {
+    if ((*queues_)[worker_].pop_front(task)) return true;
+    const std::size_t n = queues_->size();
+    for (std::size_t offset = 1; offset < n; ++offset) {
+      StealQueue& victim = (*queues_)[(worker_ + offset) % n];
+      if (victim.steal_back(task)) {
+        ++stats_.steals;
+        return true;
+      }
+      ++stats_.steal_failures;
+    }
+    return false;
+  }
+
+  [[nodiscard]] const StealStats& stats() const { return stats_; }
+
+ private:
+  std::vector<StealQueue>* queues_;
+  std::size_t worker_;
+  StealStats stats_;
+};
+
+}  // namespace tlp

@@ -95,4 +95,17 @@ void ThreadPool::run_indexed(std::size_t n,
   }
 }
 
+void ThreadPool::run_stealable(
+    std::vector<StealQueue>& queues,
+    const std::function<void(std::size_t, StealSource&)>& body,
+    std::vector<StealStats>* stats) {
+  if (stats != nullptr) stats->assign(queues.size(), StealStats{});
+  run_indexed(queues.size(), [&queues, &body, stats](std::size_t w) {
+    StealSource source(queues, w);
+    body(w, source);
+    // Each worker writes only its own pre-sized slot; no lock needed.
+    if (stats != nullptr) (*stats)[w] = source.stats();
+  });
+}
+
 }  // namespace tlp

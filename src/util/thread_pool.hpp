@@ -3,9 +3,12 @@
 // Built for the parallel multi-partition growth in core/multi_tlp.cpp, but
 // deliberately generic: FIFO task submission with futures, plus a blocking
 // run_indexed() that fans one callable out over [0, n) and acts as a
-// barrier. Exceptions propagate: a submitted task's exception surfaces
-// through its future; run_indexed rethrows the exception of the smallest
-// failing index (deterministic regardless of scheduling).
+// barrier, and run_stealable() — the same barrier over a set of per-worker
+// task deques (util/steal_queue.hpp) where idle workers steal pending tasks
+// from the tails of other workers' queues. Exceptions propagate: a
+// submitted task's exception surfaces through its future; the barriers
+// rethrow the exception of the smallest failing worker index (deterministic
+// regardless of scheduling).
 //
 // stop() cancels cooperatively: queued-but-unstarted tasks are abandoned
 // (their futures report std::future_errc::broken_promise) and later
@@ -24,6 +27,8 @@
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/steal_queue.hpp"
 
 namespace tlp {
 
@@ -68,6 +73,20 @@ class ThreadPool {
   /// supported, and stop() must not be called while a run_indexed() is in
   /// flight (abandoned indices would never complete the barrier).
   void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Work-stealing fork/join barrier: runs `body(w, src)` for each worker
+  /// w in [0, queues.size()), where `src` schedules the tasks the caller
+  /// pushed into `queues` before the call — own queue from the head, other
+  /// workers' tails when idle. The task set must be FIXED (bodies must not
+  /// push more tasks), and a body must drain its source
+  /// (`while (src.next(t)) ...`) or the undrained tasks are silently
+  /// skipped. Blocks until every body returns; per-worker StealStats land
+  /// in `*stats` (resized to queues.size()) when non-null. Exceptions
+  /// follow run_indexed: the smallest failing worker index is rethrown.
+  void run_stealable(
+      std::vector<StealQueue>& queues,
+      const std::function<void(std::size_t, StealSource&)>& body,
+      std::vector<StealStats>* stats = nullptr);
 
   /// Cooperative cancellation: abandons queued tasks (futures break),
   /// rejects later submits, and wakes idle workers. Running tasks finish.

@@ -1,0 +1,168 @@
+// Unit tests for the work-stealing deque and its scheduling source
+// (util/steal_queue.hpp) plus ThreadPool::run_stealable. The concurrent
+// cases are the TSan targets for the steal path (tools/check.sh).
+#include "util/steal_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace tlp {
+namespace {
+
+TEST(StealQueue, OwnerDrainsFromHeadInPushOrder) {
+  StealQueue queue;
+  for (std::uint32_t t = 0; t < 8; ++t) queue.push(t);
+  EXPECT_EQ(queue.pending(), 8u);
+  std::uint32_t task = 0;
+  for (std::uint32_t expected = 0; expected < 8; ++expected) {
+    ASSERT_TRUE(queue.pop_front(task));
+    EXPECT_EQ(task, expected);
+  }
+  EXPECT_FALSE(queue.pop_front(task));
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(StealQueue, ThiefTakesFromTail) {
+  StealQueue queue;
+  for (std::uint32_t t = 0; t < 4; ++t) queue.push(t);
+  std::uint32_t task = 0;
+  ASSERT_TRUE(queue.steal_back(task));
+  EXPECT_EQ(task, 3u);
+  ASSERT_TRUE(queue.pop_front(task));
+  EXPECT_EQ(task, 0u);
+  ASSERT_TRUE(queue.steal_back(task));
+  EXPECT_EQ(task, 2u);
+  ASSERT_TRUE(queue.pop_front(task));
+  EXPECT_EQ(task, 1u);
+  EXPECT_FALSE(queue.steal_back(task));
+  EXPECT_FALSE(queue.pop_front(task));
+}
+
+TEST(StealQueue, EmptyStealReturnsFalse) {
+  StealQueue queue;
+  std::uint32_t task = 99;
+  EXPECT_FALSE(queue.steal_back(task));
+  EXPECT_FALSE(queue.pop_front(task));
+  EXPECT_EQ(task, 99u);  // untouched on failure
+  queue.push(1);
+  ASSERT_TRUE(queue.pop_front(task));
+  EXPECT_FALSE(queue.steal_back(task));  // drained by the owner
+}
+
+TEST(StealQueue, ResetKeepsQueueReusable) {
+  StealQueue queue;
+  queue.push(7);
+  std::uint32_t task = 0;
+  ASSERT_TRUE(queue.steal_back(task));
+  queue.reset();
+  EXPECT_EQ(queue.pending(), 0u);
+  queue.push(5);
+  ASSERT_TRUE(queue.pop_front(task));
+  EXPECT_EQ(task, 5u);
+}
+
+TEST(StealSource, SoloWorkerNeverSelfSteals) {
+  std::vector<StealQueue> queues(1);
+  for (std::uint32_t t = 0; t < 5; ++t) queues[0].push(t);
+  StealSource source(queues, 0);
+  std::uint32_t task = 0;
+  for (std::uint32_t expected = 0; expected < 5; ++expected) {
+    ASSERT_TRUE(source.next(task));
+    EXPECT_EQ(task, expected);
+  }
+  EXPECT_FALSE(source.next(task));
+  // Own pops are not steals, and with no victims there are no failed
+  // probes either.
+  EXPECT_EQ(source.stats().steals, 0u);
+  EXPECT_EQ(source.stats().steal_failures, 0u);
+}
+
+TEST(StealSource, DrainsOwnQueueBeforeStealingFromVictimTails) {
+  std::vector<StealQueue> queues(2);
+  queues[0].push(0);
+  for (const std::uint32_t t : {10u, 11u, 12u}) queues[1].push(t);
+  StealSource source(queues, 0);
+  std::uint32_t task = 0;
+  ASSERT_TRUE(source.next(task));
+  EXPECT_EQ(task, 0u);  // own head first
+  ASSERT_TRUE(source.next(task));
+  EXPECT_EQ(task, 12u);  // then the victim's tail
+  ASSERT_TRUE(source.next(task));
+  EXPECT_EQ(task, 11u);
+  ASSERT_TRUE(source.next(task));
+  EXPECT_EQ(task, 10u);
+  EXPECT_FALSE(source.next(task));
+  EXPECT_EQ(source.stats().steals, 3u);
+  EXPECT_EQ(source.stats().steal_failures, 1u);  // the final empty sweep
+}
+
+TEST(StealSource, AllQueuesEmptyCountsOneFailedSweep) {
+  std::vector<StealQueue> queues(4);
+  StealSource source(queues, 2);
+  std::uint32_t task = 0;
+  EXPECT_FALSE(source.next(task));
+  EXPECT_EQ(source.stats().steals, 0u);
+  EXPECT_EQ(source.stats().steal_failures, 3u);  // one probe per victim
+}
+
+// Concurrent steal under TSan: every task runs exactly once even when all
+// the work sits in one queue and three thieves hammer its tail.
+TEST(StealQueue, ConcurrentStealCoversEveryTaskExactlyOnce) {
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::uint32_t kTasks = 2000;
+  ThreadPool pool(kWorkers);
+  std::vector<StealQueue> queues(kWorkers);
+  for (std::uint32_t t = 0; t < kTasks; ++t) queues[0].push(t);
+  std::vector<std::atomic<int>> hits(kTasks);
+  std::vector<StealStats> stats;
+  pool.run_stealable(
+      queues,
+      [&](std::size_t /*worker*/, StealSource& source) {
+        std::uint32_t task = 0;
+        while (source.next(task)) ++hits[task];
+      },
+      &stats);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  ASSERT_EQ(stats.size(), kWorkers);
+  std::uint64_t steals = 0;
+  for (const StealStats& s : stats) steals += s.steals;
+  EXPECT_LE(steals, kTasks);  // a task is stolen at most once
+  for (StealQueue& queue : queues) EXPECT_EQ(queue.pending(), 0u);
+}
+
+// The imbalance mechanism itself, deterministically: 8 sleep-tasks all
+// owned by worker 0 must end up split with worker 1 once stealing is on.
+// Sleeps overlap even on a single core, so this holds on any host.
+TEST(StealQueue, RunStealableBalancesSleepTasks) {
+  ThreadPool pool(2);
+  std::vector<StealQueue> queues(2);
+  for (std::uint32_t t = 0; t < 8; ++t) queues[0].push(t);
+  std::vector<StealStats> stats;
+  std::atomic<int> ran{0};
+  pool.run_stealable(
+      queues,
+      [&](std::size_t /*worker*/, StealSource& source) {
+        std::uint32_t task = 0;
+        while (source.next(task)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          ++ran;
+        }
+      },
+      &stats);
+  EXPECT_EQ(ran.load(), 8);
+  ASSERT_EQ(stats.size(), 2u);
+  // Worker 1 found its own queue empty while worker 0 was asleep in task 0
+  // and must have stolen several tasks from worker 0's tail.
+  EXPECT_GE(stats[1].steals, 2u);
+}
+
+}  // namespace
+}  // namespace tlp

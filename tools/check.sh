@@ -1,22 +1,29 @@
 #!/bin/sh
 # Tier-1 verification plus a sanitizer pass.
 #
-#   tools/check.sh            # tier-1 build + ctest, then ASan, UBSan, and
-#                             # TSan test runs, then a Release perf smoke
-#   tools/check.sh --fast     # tier-1 only (skip sanitizers + perf smoke)
+#   tools/check.sh            # docs link check, tier-1 build + ctest, then
+#                             # ASan, UBSan, and TSan test runs, then a
+#                             # Release perf smoke
+#   tools/check.sh --fast     # link check + tier-1 only (skip sanitizers +
+#                             # perf smoke)
 #
 # Each configuration builds into its own directory (build/, build-asan/,
 # build-ubsan/, build-tsan/, build-release/) so incremental re-runs stay
 # cheap. The TSan leg only runs the concurrency-relevant suites (the thread
-# pool and the parallel multi-partition growth) with the worker count forced
-# above one. The perf-smoke leg builds the hot-path microbench at -O2 and
-# runs its small fixture: bit-identity of the flat growth structures against
-# the embedded pre-change baseline plus the zero-steady-state-allocation
-# check, with BENCH_hotpath.json left behind as the artifact.
+# pool, the steal deque, and the parallel multi-partition growth — including
+# its work-stealing schedule) with the worker count forced above one. The
+# perf-smoke leg builds the hot-path microbench at -O2 and runs its small
+# fixture: bit-identity of the flat growth structures against the embedded
+# pre-change baseline plus the zero-steady-state-allocation check, with
+# BENCH_hotpath.json left behind as the artifact.
 set -eu
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+# Docs first: cheapest check, catches stale links before any compile.
+echo "== check_links (README, DESIGN, docs/*.md) =="
+python3 tools/check_links.py
 
 run_suite() {
   dir="$1"
@@ -43,14 +50,17 @@ run_suite build-ubsan -DTLP_SANITIZE=undefined \
   -DTLP_BUILD_BENCH=OFF -DTLP_BUILD_EXAMPLES=OFF
 
 # TSan: only the suites that actually spin up threads. The multi_tlp suite
-# includes cross-thread-count runs (2 and 8 workers), so the claim/commit
-# protocol races would surface here.
+# includes cross-thread-count runs (2 and 8 workers) with stealing both on
+# and off, and the steal_queue suite hammers one deque from four thieves,
+# so claim/commit protocol races and steal-schedule races surface here.
 echo "== configure build-tsan (-DTLP_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DTLP_SANITIZE=thread \
   -DTLP_BUILD_BENCH=OFF -DTLP_BUILD_EXAMPLES=OFF > /dev/null
-cmake --build build-tsan -j "$JOBS" --target thread_pool_test multi_tlp_test
-echo "== ctest build-tsan (MultiTlp|ThreadPool) =="
-(cd build-tsan && ctest --output-on-failure -R 'MultiTlp|ThreadPool')
+cmake --build build-tsan -j "$JOBS" \
+  --target thread_pool_test multi_tlp_test steal_queue_test
+echo "== ctest build-tsan (MultiTlp|ThreadPool|StealQueue|StealSource) =="
+(cd build-tsan && ctest --output-on-failure \
+  -R 'MultiTlp|ThreadPool|StealQueue|StealSource')
 
 # Perf smoke: -O2 hot-path microbench on a small fixture. Exits nonzero if
 # the flat structures diverge from the embedded legacy baseline or the warm

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs (stdlib only).
+
+Validates every relative link and intra-repo anchor in the top-level
+markdown files and docs/*.md:
+
+  * relative file targets must exist (resolved against the linking file);
+  * `#fragment` targets — both bare (`#setup`) and suffixed
+    (`docs/API.md#telemetry`) — must match a heading in the target file,
+    using GitHub's slugging rules (lowercase; drop everything but
+    alphanumerics, spaces, hyphens, underscores; spaces -> hyphens;
+    duplicate slugs get -1, -2, ... suffixes);
+  * external schemes (http, https, mailto) are skipped, as is anything
+    inside fenced code blocks or inline code spans.
+
+Exit status is the number of broken links (0 = clean), each printed as
+`file:line: message`. Run from anywhere; paths resolve against the repo
+root (the parent of this script's directory). Wired into tools/check.sh.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Checked files: every top-level *.md plus docs/*.md.
+def doc_files() -> list[Path]:
+    files = sorted(REPO.glob("*.md")) + sorted((REPO / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+# [text](target) — target captured up to the closing paren; images too.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\)[^()\s]*)*)\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str, seen: dict[str, int]) -> str:
+    """GitHub's anchor slug for a heading, tracking duplicates in `seen`."""
+    text = CODE_SPAN_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    # Drop markdown emphasis markers and links ([text](url) -> text).
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.replace("*", "").replace("`", "")
+    slug = "".join(
+        ch for ch in text.lower() if ch.isalnum() or ch in " -_"
+    ).replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def strip_code(lines: list[str]) -> list[str]:
+    """Blank out fenced code blocks and inline code spans, keeping line
+    numbers stable so reported positions match the file."""
+    out = []
+    in_fence = False
+    for line in lines:
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else CODE_SPAN_RE.sub("", line))
+    return out
+
+
+def anchors_of(path: Path, cache: dict[Path, set[str]]) -> set[str]:
+    if path not in cache:
+        seen: dict[str, int] = {}
+        slugs = set()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        in_fence = False
+        for line in lines:
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                slugs.add(github_slug(m.group(2), seen))
+        cache[path] = slugs
+    return cache[path]
+
+
+def main() -> int:
+    errors = []
+    anchor_cache: dict[Path, set[str]] = {}
+    for doc in doc_files():
+        rel = doc.relative_to(REPO)
+        lines = strip_code(doc.read_text(encoding="utf-8").splitlines())
+        for lineno, line in enumerate(lines, start=1):
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                if target.startswith(SKIP_SCHEMES):
+                    continue
+                path_part, _, fragment = target.partition("#")
+                if path_part:
+                    resolved = (doc.parent / path_part).resolve()
+                    if not resolved.exists():
+                        errors.append(
+                            f"{rel}:{lineno}: broken link '{target}' "
+                            f"(no such file {path_part})"
+                        )
+                        continue
+                else:
+                    resolved = doc  # bare '#anchor' points into this file
+                if fragment:
+                    if resolved.suffix != ".md" or resolved.is_dir():
+                        continue  # anchors only checked in markdown files
+                    if fragment.lower() not in anchors_of(
+                        resolved, anchor_cache
+                    ):
+                        errors.append(
+                            f"{rel}:{lineno}: broken anchor '{target}' "
+                            f"(no heading slugs to '#{fragment}' in "
+                            f"{resolved.relative_to(REPO)})"
+                        )
+    for err in errors:
+        print(err)
+    checked = len(doc_files())
+    if errors:
+        print(f"check_links: {len(errors)} broken link(s) across "
+              f"{checked} file(s)")
+    else:
+        print(f"check_links: OK ({checked} markdown files)")
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
