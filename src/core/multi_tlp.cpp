@@ -6,13 +6,19 @@
 #include <cstdint>
 #include <functional>
 #include <numeric>
+#include <optional>
 #include <random>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/frontier.hpp"
 #include "core/residual.hpp"
+#include "dist/all_reduce.hpp"
+#include "dist/claim_protocol.hpp"
+#include "dist/comm_fabric.hpp"
 #include "partition/replica_set.hpp"
 #include "partition/spill.hpp"
 #include "util/thread_pool.hpp"
@@ -31,7 +37,8 @@ class MultiRun {
         ctx_(ctx),
         pool_(pool),
         num_workers_(num_workers),
-        residual_(g, ctx.arena()),
+        residual_(g, ctx.arena(),
+                  std::max<std::uint32_t>(1, options.num_shards)),
         partition_(config.num_partitions, g.num_edges()),
         member_(ctx.arena().acquire<ReplicaSet>(
             g.num_vertices(), ReplicaSet(config.num_partitions))),
@@ -79,6 +86,12 @@ class MultiRun {
     parts_.reserve(config.num_partitions);
     for (PartitionId k = 0; k < config.num_partitions; ++k) {
       parts_.emplace_back(ctx.child(num_workers_ + k).arena());
+    }
+    if (options.num_shards > 0) {
+      dist_.emplace(options.num_shards, config.num_partitions);
+      if (options.comm_faults) {
+        dist_->fabric.set_fault_plan(options.comm_faults);
+      }
     }
     if (steal_active()) {
       queues_.resize(num_workers_);
@@ -181,6 +194,33 @@ class MultiRun {
     /// worker-count-invariant (unlike everything above).
     std::uint64_t steals = 0;
     std::uint64_t steal_failures = 0;
+  };
+
+  /// Message-passing claim state (sharded mode only; docs/THREADING.md,
+  /// "Sharded claim protocol"). Ranks on the fabric are the S bitmap
+  /// shards, senders are the p partitions. Per-shard scratch
+  /// (requests/wins) is plain vectors: shard s's slots are touched only by
+  /// the one thread resolving shard s in a round, and capacity is reused
+  /// across rounds.
+  struct DistState {
+    DistState(std::uint32_t num_shards, PartitionId num_partitions)
+        : fabric(num_shards, num_partitions),
+          all_reduce(num_shards),
+          requests(num_shards),
+          wins(num_shards),
+          busy(num_shards, 0.0) {}
+
+    dist::CommFabric<dist::ClaimRequest> fabric;
+    dist::AllReduce<dist::ClaimWin> all_reduce;
+    std::vector<std::vector<dist::ClaimRequest>> requests;
+    std::vector<std::vector<dist::ClaimWin>> wins;
+    /// The round's all-reduced global verdict.
+    std::vector<dist::ClaimWin> combined;
+    /// Whole-run wall-clock resolution seconds per shard (telemetry).
+    std::vector<double> busy;
+    std::uint64_t claim_rounds = 0;
+    /// All-reduce contributions (one message per shard per round).
+    std::uint64_t allreduce_messages = 0;
   };
 
   [[nodiscard]] bool steal_active() const {
@@ -359,9 +399,72 @@ class MultiRun {
       // The far endpoint is a pre-step member of k — or v itself for a
       // self-loop, which becomes internal the moment v joins.
       if (nb.vertex != v && !member_[nb.vertex].contains(k)) continue;
-      if (residual_.try_claim(nb.edge)) epoch_[nb.edge] = step_;
+      if (dist_) {
+        // Sharded mode: no shared word to CAS — ask the owning shard.
+        // Partition k is the sender, so the lane is sender-serial no
+        // matter which worker runs this task.
+        dist_->fabric.send(k, residual_.shard_map().owner(nb.edge),
+                           dist::ClaimRequest{nb.edge, k});
+      } else if (residual_.try_claim(nb.edge)) {
+        epoch_[nb.edge] = step_;
+      }
       part.attempts->push_back(nb.edge);
     }
+  }
+
+  /// Sharded-mode claim round (serial barrier side, shard resolution
+  /// fanned out over the pool): every shard collects its inbox, computes
+  /// its winner vector (lowest requesting partition id per still-free
+  /// edge; dist/claim_protocol.hpp) and marks the wins in its own bitmap
+  /// shard; the per-shard vectors are then all-reduced (ordered
+  /// concatenation) into the round's global verdict, which lands in
+  /// commit_mark_/claimant_ for the canonical scan. Winner = min over
+  /// requesters is exactly what the shared-memory serial scan computes, so
+  /// the two modes commit identical edges to identical partitions.
+  void resolve_claims_dist() {
+    DistState& d = *dist_;
+    ++d.claim_rounds;
+    const std::uint32_t num_shards = residual_.shard_map().num_shards();
+    const auto resolve_one = [&](std::uint32_t s) {
+      const auto start = std::chrono::steady_clock::now();
+      d.fabric.collect(s, d.requests[s]);
+      dist::resolve_shard_claims(
+          d.requests[s], [&](EdgeId e) { return residual_.is_assigned(e); },
+          d.wins[s]);
+      for (const dist::ClaimWin& win : d.wins[s]) {
+        // This thread is the shard's only writer this round, and the win
+        // list holds distinct free edges — the bit must be fresh.
+        const bool fresh = residual_.claim_owned(win.edge);
+        assert(fresh);
+        (void)fresh;
+      }
+      d.busy[s] += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    };
+    if (pool_ == nullptr) {
+      for (std::uint32_t s = 0; s < num_shards; ++s) resolve_one(s);
+    } else {
+      pool_->run_strided(num_shards, [&](std::size_t /*worker*/,
+                                         std::size_t s) {
+        resolve_one(static_cast<std::uint32_t>(s));
+      });
+    }
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      d.all_reduce.contribute(s, d.wins[s]);
+    }
+    d.allreduce_messages += num_shards;
+    d.combined = d.all_reduce.reduce(
+        [](std::vector<dist::ClaimWin> a, const std::vector<dist::ClaimWin>& b) {
+          a.insert(a.end(), b.begin(), b.end());
+          return a;
+        });
+    d.all_reduce.reset();
+    for (const dist::ClaimWin& win : d.combined) {
+      commit_mark_[win.edge] = step_;
+      claimant_[win.edge] = win.winner;
+    }
+    d.fabric.clear_all_inboxes();
   }
 
   /// Super-step barrier (serial): seed dedup, deterministic claim
@@ -394,26 +497,61 @@ class MultiRun {
     }
     if (!progressed) return false;
 
-    // Claim resolution: scan surviving proposals in ascending partition-id
-    // order. The first claimant of an edge whose epoch says "claimed this
-    // step" is the lowest id and wins — independent of which thread won
-    // the phase-A CAS. Attempts on edges assigned in earlier steps are
-    // stale and dropped.
+    // Claim resolution. Both modes end with the same canonical event
+    // order (ascending partition id, attempts order within a partition)
+    // and the same winner rule, which is what keeps them bit-identical.
     events_->clear();
-    for (PartitionId k = 0; k < p; ++k) {
-      if (parts_[k].proposal == kInvalidVertex) continue;
-      for (const EdgeId e : *parts_[k].attempts) {
-        if (epoch_[e] != step_) {
-          ++totals_.stale_claims;
-          continue;
+    if (dist_) {
+      // Sharded mode: the shards already decided this round's winners
+      // (min requesting partition id per free edge) and the all-reduce
+      // stamped them into commit_mark_/claimant_; the scan just classifies
+      // each surviving attempt against that verdict.
+      resolve_claims_dist();
+      for (PartitionId k = 0; k < p; ++k) {
+        if (parts_[k].proposal == kInvalidVertex) continue;
+        for (const EdgeId e : *parts_[k].attempts) {
+          if (commit_mark_[e] == step_) {
+            if (claimant_[e] == k) {
+              events_->push_back(e);
+            } else {
+              ++totals_.claim_conflicts;
+            }
+          } else if (residual_.is_assigned(e)) {
+            ++totals_.stale_claims;
+          } else {
+            // Neither granted this round nor previously assigned: the
+            // claim request never reached its shard (possible only under
+            // the fault-injection hook). Fail loudly rather than let the
+            // edge silently fall out of the protocol.
+            throw std::runtime_error(
+                "multi_tlp: sharded claim protocol diverged: partition " +
+                std::to_string(k) + "'s claim request for edge " +
+                std::to_string(e) +
+                " was neither granted nor stale (request lost in transit)");
+          }
         }
-        if (commit_mark_[e] == step_) {
-          ++totals_.claim_conflicts;
-          continue;
+      }
+    } else {
+      // Shared-memory mode: scan surviving proposals in ascending
+      // partition-id order. The first claimant of an edge whose epoch says
+      // "claimed this step" is the lowest id and wins — independent of
+      // which thread won the phase-A CAS. Attempts on edges assigned in
+      // earlier steps are stale and dropped.
+      for (PartitionId k = 0; k < p; ++k) {
+        if (parts_[k].proposal == kInvalidVertex) continue;
+        for (const EdgeId e : *parts_[k].attempts) {
+          if (epoch_[e] != step_) {
+            ++totals_.stale_claims;
+            continue;
+          }
+          if (commit_mark_[e] == step_) {
+            ++totals_.claim_conflicts;
+            continue;
+          }
+          commit_mark_[e] = step_;
+          claimant_[e] = k;
+          events_->push_back(e);
         }
-        commit_mark_[e] = step_;
-        claimant_[e] = k;
-        events_->push_back(e);
       }
     }
 
@@ -671,6 +809,23 @@ class MultiRun {
       if (mean > 0.0) imbalance = busiest / mean;
     }
     t.set("imbalance", imbalance);
+    // Sharded claim protocol telemetry (docs/THREADING.md). The keys are
+    // always present (0 in shared-memory mode) so consumers never branch on
+    // key existence; for a fixed shard count the counters are
+    // schedule-invariant, and only the shard_busy series (wall-clock) and
+    // `shards` itself may differ across shard counts.
+    t.set("shards",
+          dist_ ? static_cast<double>(residual_.shard_map().num_shards())
+                : 0.0);
+    t.add("messages_sent",
+          dist_ ? static_cast<double>(dist_->fabric.messages_sent() +
+                                      dist_->allreduce_messages)
+                : 0.0);
+    t.add("claim_rounds",
+          dist_ ? static_cast<double>(dist_->claim_rounds) : 0.0);
+    if (dist_) {
+      for (const double b : dist_->busy) t.append("shard_busy", b);
+    }
     t.set_max("peak_frontier", static_cast<double>(peak_frontier));
     t.set_max("peak_members", static_cast<double>(totals_.peak_members));
   }
@@ -704,6 +859,8 @@ class MultiRun {
   /// refilled with worker w's owned partitions at the top of each phase.
   std::vector<StealQueue> queues_;
   std::vector<StealStats> steal_stats_;  ///< per-phase scratch
+  /// Message-passing claim state; engaged iff options.num_shards > 0.
+  std::optional<DistState> dist_;
   /// Wall-clock busy seconds per worker: whole run / current super-step.
   std::vector<double> busy_;
   std::vector<double> step_busy_;

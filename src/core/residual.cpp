@@ -2,12 +2,16 @@
 
 namespace tlp {
 
-ResidualState::ResidualState(const Graph& g, ScratchArena& arena)
+ResidualState::ResidualState(const Graph& g, ScratchArena& arena,
+                             std::uint32_t num_shards)
     : graph_(&g),
-      assigned_(arena.acquire<std::uint64_t>(
-          (static_cast<std::size_t>(g.num_edges()) + 63) / 64, 0)),
+      map_(static_cast<std::size_t>(g.num_edges()), num_shards),
       residual_degree_(arena.acquire<std::uint32_t>(g.num_vertices(), 0)),
       unassigned_(g.num_edges()) {
+  shards_.reserve(map_.num_shards());
+  for (std::uint32_t s = 0; s < map_.num_shards(); ++s) {
+    shards_.push_back(arena.acquire<std::uint64_t>(map_.shard_words(s), 0));
+  }
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     residual_degree_[v] = static_cast<std::uint32_t>(g.degree(v));
   }
@@ -15,8 +19,10 @@ ResidualState::ResidualState(const Graph& g, ScratchArena& arena)
 
 void ResidualState::mark_assigned(EdgeId e) {
   assert(!is_assigned(e));
-  assigned_[static_cast<std::size_t>(e) >> 6] |=
-      std::uint64_t{1} << (static_cast<std::size_t>(e) & 63);
+  const auto id = static_cast<std::size_t>(e);
+  const std::size_t local = map_.local_index(id);
+  shards_[map_.owner(id)][ShardMap::word_index(local)] |=
+      ShardMap::bit_mask(local);
   commit_claim(e);
 }
 

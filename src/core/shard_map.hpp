@@ -1,0 +1,77 @@
+// ShardMap: the index arithmetic behind a bit-packed table sharded by
+// `id % num_shards`. Shard s owns items {id : id % S == s}; inside a shard,
+// items are densely renumbered by `id / S` ("local index") and packed 64 to
+// a word. With S == 1 this degenerates to the classic contiguous layout
+// (owner 0, local index == id) on a branch the predictor eats for free, so
+// the shared-memory hot path pays nothing for the generality.
+//
+// Factored out of ResidualState so the word-index math exists in exactly
+// one place: the claim bitmap used to assume a single contiguous
+// allocation, which the distributed-growth mode (docs/THREADING.md,
+// "Sharded claim protocol") breaks by giving every shard its own
+// allocation. Boundary behaviour (word 63/64, shard boundaries, empty
+// shards when S > num_items) is pinned by tests/shard_map_test.cpp.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace tlp {
+
+class ShardMap {
+ public:
+  ShardMap() = default;
+  ShardMap(std::size_t num_items, std::uint32_t num_shards)
+      : num_items_(num_items), num_shards_(num_shards) {
+    assert(num_shards_ >= 1);
+  }
+
+  [[nodiscard]] std::size_t num_items() const { return num_items_; }
+  [[nodiscard]] std::uint32_t num_shards() const { return num_shards_; }
+
+  /// Shard owning `id`: id % S.
+  [[nodiscard]] std::uint32_t owner(std::size_t id) const {
+    assert(id < num_items_);
+    return num_shards_ == 1 ? 0u
+                            : static_cast<std::uint32_t>(id % num_shards_);
+  }
+
+  /// Dense index of `id` inside its owning shard: id / S.
+  [[nodiscard]] std::size_t local_index(std::size_t id) const {
+    assert(id < num_items_);
+    return num_shards_ == 1 ? id : id / num_shards_;
+  }
+
+  /// Number of items shard `s` owns. Empty (0) when S > num_items and
+  /// s >= num_items — every local index below this is valid, none above.
+  [[nodiscard]] std::size_t shard_size(std::uint32_t s) const {
+    assert(s < num_shards_);
+    return s < num_items_ ? (num_items_ - 1 - s) / num_shards_ + 1 : 0;
+  }
+
+  /// 64-bit words needed to hold shard `s`'s bits (0 for an empty shard).
+  [[nodiscard]] std::size_t shard_words(std::uint32_t s) const {
+    return (shard_size(s) + 63) / 64;
+  }
+
+  /// Word holding local index `local` within its shard's allocation.
+  [[nodiscard]] static std::size_t word_index(std::size_t local) {
+    return local >> 6;
+  }
+
+  /// Bit position of local index `local` within its word.
+  [[nodiscard]] static std::uint32_t bit_offset(std::size_t local) {
+    return static_cast<std::uint32_t>(local & 63);
+  }
+
+  [[nodiscard]] static std::uint64_t bit_mask(std::size_t local) {
+    return std::uint64_t{1} << bit_offset(local);
+  }
+
+ private:
+  std::size_t num_items_ = 0;
+  std::uint32_t num_shards_ = 1;
+};
+
+}  // namespace tlp

@@ -1,0 +1,89 @@
+// AllReduce<T>: the collective that replaces multi_tlp's serial claim scan
+// in the sharded mode — every rank contributes a vector, the contributions
+// are combined with a user-supplied ASSOCIATIVE op, and the combined value
+// is what every rank would see after the collective completes.
+//
+// reduce() folds in a fixed binary-tree order (pairwise neighbor combine,
+// halving each level — the shape of a recursive-doubling all-reduce);
+// reduce_linear() folds rank 0..R-1 left to right. For an associative op
+// the two agree on every input — that equivalence IS the associativity
+// contract, and tests/dist_comm_test.cpp asserts it — so callers get
+// tree-depth latency semantics without results depending on the tree shape.
+// The op need not be commutative: contributions always combine in ascending
+// rank order (ordered concatenation is a valid op).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tlp::dist {
+
+template <class T>
+class AllReduce {
+ public:
+  explicit AllReduce(std::size_t num_ranks)
+      : values_(num_ranks), present_(num_ranks, 0) {}
+
+  [[nodiscard]] std::size_t num_ranks() const { return values_.size(); }
+
+  /// Deposits rank's contribution for the current round. Rank-serial; one
+  /// contribution per rank per round (re-contributing overwrites).
+  void contribute(std::size_t rank, std::vector<T> value) {
+    values_[rank] = std::move(value);
+    present_[rank] = 1;
+  }
+
+  /// Binary-tree fold of all contributions, ascending rank order within
+  /// every combine. Precondition: every rank contributed this round.
+  template <class Op>
+  [[nodiscard]] std::vector<T> reduce(Op&& op) const {
+    assert(all_present());
+    std::vector<std::vector<T>> level = values_;
+    while (level.size() > 1) {
+      std::vector<std::vector<T>> next;
+      next.reserve((level.size() + 1) / 2);
+      for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+        next.push_back(op(std::move(level[i]), std::move(level[i + 1])));
+      }
+      if (level.size() % 2 == 1) next.push_back(std::move(level.back()));
+      level = std::move(next);
+    }
+    return level.empty() ? std::vector<T>{} : std::move(level.front());
+  }
+
+  /// Left-to-right fold (rank 0 .. R-1); the associativity reference.
+  template <class Op>
+  [[nodiscard]] std::vector<T> reduce_linear(Op&& op) const {
+    assert(all_present());
+    if (values_.empty()) return {};
+    std::vector<T> acc = values_.front();
+    for (std::size_t r = 1; r < values_.size(); ++r) {
+      acc = op(std::move(acc), values_[r]);
+    }
+    return acc;
+  }
+
+  /// Forgets all contributions (for the next round).
+  void reset() {
+    for (std::size_t r = 0; r < values_.size(); ++r) {
+      values_[r].clear();
+      present_[r] = 0;
+    }
+  }
+
+ private:
+  [[nodiscard]] bool all_present() const {
+    for (const std::uint8_t p : present_) {
+      if (p == 0) return false;
+    }
+    return true;
+  }
+
+  std::vector<std::vector<T>> values_;
+  std::vector<std::uint8_t> present_;
+};
+
+}  // namespace tlp::dist

@@ -1,0 +1,69 @@
+// The sharded claim protocol's message types and shard-side resolution
+// rule, shared by multi_tlp's message-passing mode and the dist test/fuzz
+// suites (which drive it through a faulty CommFabric to prove the
+// robustness claims).
+//
+// Protocol (one claim round = one BSP super-step; docs/THREADING.md):
+//  1. Partition k proposes a join and SENDS ClaimRequest{e, k} to shard
+//     e % S for every residual edge of the join (sender id = k).
+//  2. Each shard resolves its inbox with resolve_shard_claims(): requests
+//     on edges its bitmap already shows assigned are stale; every other
+//     requested edge is won by the LOWEST requesting partition id. The
+//     shard then marks the won edges in its own bitmap.
+//  3. The per-shard winner vectors are all-reduced (ordered concatenation)
+//     into the round's global verdict, which the barrier applies.
+//
+// Resolution is a pure function of the request SET: duplicates are
+// idempotent (min over a multiset ignores repeats) and delivery order is
+// irrelevant (requests are canonically sorted before grouping) — the two
+// properties the fault-injection suite pins down. Lost requests are the
+// one fault the shard cannot see; the commit scan detects the resulting
+// hole (an attempt neither granted nor stale) and fails loudly.
+#pragma once
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace tlp::dist {
+
+/// Partition `partition` asks edge `edge`'s owning shard to assign it.
+struct ClaimRequest {
+  EdgeId edge;
+  PartitionId partition;
+  friend bool operator==(const ClaimRequest&, const ClaimRequest&) = default;
+};
+
+/// One shard's verdict: `edge` was free this round and goes to `winner`.
+struct ClaimWin {
+  EdgeId edge;
+  PartitionId winner;
+  friend bool operator==(const ClaimWin&, const ClaimWin&) = default;
+};
+
+/// Resolves one shard's batch of claim requests against its pre-round
+/// bitmap view: for every distinct requested edge with !assigned(edge),
+/// emits ClaimWin{edge, min partition id} into `wins` (cleared first),
+/// sorted by edge id. `requests` is sorted in place (canonicalization is
+/// what makes the result reorder- and duplicate-invariant). The caller
+/// marks the won edges in the shard bitmap AFTER resolution — never
+/// during, or a duplicated request would masquerade as stale.
+template <class AssignedFn>
+void resolve_shard_claims(std::vector<ClaimRequest>& requests,
+                          AssignedFn&& assigned, std::vector<ClaimWin>& wins) {
+  wins.clear();
+  std::sort(requests.begin(), requests.end(),
+            [](const ClaimRequest& a, const ClaimRequest& b) {
+              return std::tie(a.edge, a.partition) <
+                     std::tie(b.edge, b.partition);
+            });
+  for (std::size_t i = 0; i < requests.size();) {
+    const EdgeId e = requests[i].edge;
+    if (!assigned(e)) wins.push_back(ClaimWin{e, requests[i].partition});
+    while (i < requests.size() && requests[i].edge == e) ++i;
+  }
+}
+
+}  // namespace tlp::dist

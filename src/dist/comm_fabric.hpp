@@ -1,0 +1,134 @@
+// CommFabric<T>: the in-process message-passing fabric — R ranks, each
+// with a typed Mailbox<T> inbox, plus a total messages_sent counter and a
+// deterministic fault-injection hook (tests only). multi_tlp's sharded
+// claim protocol sends over one of these with ranks = shards and senders =
+// partitions; a future network transport swaps the mailbox array for
+// sockets without touching callers (docs/THREADING.md).
+//
+// Threading contract (inherited from Mailbox): sends are sender-serial per
+// sender id but freely concurrent across senders; collect()/clear_*() are
+// consumer-side and must be separated from sends by a barrier. The fault
+// plan is keyed on per-lane sequence numbers, so faults hit the same
+// messages no matter which threads ran the senders.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "dist/fault_plan.hpp"
+#include "dist/mailbox.hpp"
+
+namespace tlp::dist {
+
+template <class T>
+class CommFabric {
+ public:
+  CommFabric(std::size_t num_ranks, std::size_t num_senders)
+      : num_senders_(num_senders),
+        lane_seq_(num_ranks * num_senders, 0) {
+    inboxes_.reserve(num_ranks);
+    for (std::size_t r = 0; r < num_ranks; ++r) {
+      inboxes_.emplace_back(num_senders);
+    }
+  }
+
+  [[nodiscard]] std::size_t num_ranks() const { return inboxes_.size(); }
+  [[nodiscard]] std::size_t num_senders() const { return num_senders_; }
+
+  /// Posts `message` from `sender` into rank `to`'s inbox, applying the
+  /// fault plan (drop/duplicate) if one is set. Sender-serial per sender;
+  /// concurrent across senders.
+  void send(std::size_t sender, std::size_t to, T message) {
+    messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    if (!plan_) {
+      inboxes_[to].post(sender, std::move(message));
+      return;
+    }
+    // Lane sequence numbers are sender-serial state, like the lane itself.
+    const std::uint64_t seq = lane_seq_[to * num_senders_ + sender]++;
+    if (plan_->drop_permille > 0 &&
+        fault_roll(plan_->seed, sender, to, seq, kDropSalt) % 1000 <
+            plan_->drop_permille) {
+      return;  // lost in transit; the send was still counted
+    }
+    const bool dup =
+        plan_->dup_permille > 0 &&
+        fault_roll(plan_->seed, sender, to, seq, kDupSalt) % 1000 <
+            plan_->dup_permille;
+    if (dup) {
+      inboxes_[to].post(sender, message);
+      messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+    inboxes_[to].post(sender, std::move(message));
+  }
+
+  [[nodiscard]] Mailbox<T>& inbox(std::size_t rank) { return inboxes_[rank]; }
+  [[nodiscard]] const Mailbox<T>& inbox(std::size_t rank) const {
+    return inboxes_[rank];
+  }
+
+  /// Gathers rank's pending messages into `out` (cleared first) in delivery
+  /// order: ascending sender, FIFO per lane — except a reordering fault
+  /// plan, which applies a deterministic per-lane permutation keyed on
+  /// (seed, sender, rank, lane length). Does not consume; pair with
+  /// clear_inbox() once the round is resolved.
+  void collect(std::size_t rank, std::vector<T>& out) const {
+    out.clear();
+    const Mailbox<T>& box = inboxes_[rank];
+    for (std::size_t sender = 0; sender < box.num_senders(); ++sender) {
+      const std::vector<T>& lane = box.lane(sender);
+      const std::size_t first = out.size();
+      out.insert(out.end(), lane.begin(), lane.end());
+      if (plan_ && plan_->reorder && lane.size() > 1) {
+        // Fisher-Yates on the lane's slice of `out`, drawing from the
+        // deterministic roll stream.
+        for (std::size_t i = lane.size() - 1; i > 0; --i) {
+          const std::size_t j =
+              fault_roll(plan_->seed, sender, rank, i, kReorderSalt) % (i + 1);
+          std::swap(out[first + i], out[first + j]);
+        }
+      }
+    }
+  }
+
+  /// Empties rank's inbox (keeps capacity). Consumer-side.
+  void clear_inbox(std::size_t rank) { inboxes_[rank].clear(); }
+
+  void clear_all_inboxes() {
+    for (Mailbox<T>& box : inboxes_) box.clear();
+  }
+
+  /// Total messages accepted by send(), including fault-injected
+  /// duplicates; dropped messages count too (they were sent, then lost).
+  [[nodiscard]] std::uint64_t messages_sent() const {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+
+  /// TEST HOOK — install (or clear) a deterministic fault plan. Serial
+  /// only: never call while senders are running.
+  void set_fault_plan(std::optional<FaultPlan> plan) {
+    plan_ = plan;
+    std::fill(lane_seq_.begin(), lane_seq_.end(), 0);
+  }
+
+ private:
+  static constexpr std::uint64_t kDropSalt = 0xD609;
+  static constexpr std::uint64_t kDupSalt = 0xD0B1;
+  static constexpr std::uint64_t kReorderSalt = 0x5E0;
+
+  std::size_t num_senders_;
+  std::vector<Mailbox<T>> inboxes_;
+  /// Per (rank × sender) lane sequence counters for fault keying;
+  /// sender-serial like the lanes themselves.
+  std::vector<std::uint64_t> lane_seq_;
+  std::optional<FaultPlan> plan_;
+  std::atomic<std::uint64_t> messages_sent_{0};
+};
+
+}  // namespace tlp::dist

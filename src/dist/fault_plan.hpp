@@ -1,0 +1,45 @@
+// FaultPlan: deterministic message-fault injection for CommFabric (a TEST
+// hook — production paths never set one). Faults are keyed on
+// (seed, sender, rank, per-lane sequence number) through a splitmix64 hash,
+// so a given plan perturbs a given message stream identically on every run
+// and under every thread schedule: the per-lane sequence number is defined
+// by the sender's own (serial) send order, which scheduling cannot move.
+#pragma once
+
+#include <cstdint>
+
+namespace tlp::dist {
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// P(message silently lost), in 1/1000. 1000 drops everything.
+  std::uint32_t drop_permille = 0;
+  /// P(message delivered twice), in 1/1000. Applied after the drop roll.
+  std::uint32_t dup_permille = 0;
+  /// Deterministically permute each (sender → rank) lane at delivery time.
+  bool reorder = false;
+};
+
+/// SplitMix64 finalizer: the standard cheap 64-bit mixer. Good enough to
+/// decorrelate fault rolls; not a cryptographic primitive.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// One deterministic roll for message #`sequence` on lane (sender → rank).
+/// `salt` separates the independent drop/dup/reorder decision streams.
+[[nodiscard]] constexpr std::uint64_t fault_roll(std::uint64_t seed,
+                                                 std::uint64_t sender,
+                                                 std::uint64_t rank,
+                                                 std::uint64_t sequence,
+                                                 std::uint64_t salt) {
+  std::uint64_t h = splitmix64(seed ^ salt);
+  h = splitmix64(h ^ sender);
+  h = splitmix64(h ^ rank);
+  return splitmix64(h ^ sequence);
+}
+
+}  // namespace tlp::dist

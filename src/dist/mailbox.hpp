@@ -1,0 +1,71 @@
+// Mailbox<T>: one rank's typed inbox — a fixed array of per-sender FIFO
+// lanes. This is the unit of state a real network transport would replace;
+// everything above it (CommFabric, the claim protocol) only assumes the
+// mailbox contract:
+//
+//  * FIFO per sender-pair: messages from sender a to this rank are
+//    delivered in the order a posted them. No ordering is promised across
+//    different senders — the deterministic drain order (ascending sender,
+//    FIFO within a sender) is this in-process simulation's way of making
+//    consumption schedule-invariant.
+//  * Sender-serial posting: each sender id is driven by at most one thread
+//    at a time (in multi_tlp, partition k's propose task — whichever worker
+//    runs it). Lanes are pre-allocated and disjoint, so DISTINCT senders
+//    post concurrently without locks; the consumer drains only after a
+//    barrier orders it with every producer.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tlp::dist {
+
+template <class T>
+class Mailbox {
+ public:
+  explicit Mailbox(std::size_t num_senders) : lanes_(num_senders) {}
+
+  [[nodiscard]] std::size_t num_senders() const { return lanes_.size(); }
+
+  /// Appends to `sender`'s lane. Sender-serial (see header comment).
+  void post(std::size_t sender, T message) {
+    lanes_[sender].push_back(std::move(message));
+  }
+
+  /// Deterministic delivery sweep: visit(sender, message) in ascending
+  /// sender order, FIFO within each sender. Consumer-side only.
+  template <class F>
+  void for_each(F&& visit) const {
+    for (std::size_t sender = 0; sender < lanes_.size(); ++sender) {
+      for (const T& message : lanes_[sender]) visit(sender, message);
+    }
+  }
+
+  [[nodiscard]] const std::vector<T>& lane(std::size_t sender) const {
+    return lanes_[sender];
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const std::vector<T>& lane : lanes_) total += lane.size();
+    return total;
+  }
+
+  [[nodiscard]] bool empty() const {
+    for (const std::vector<T>& lane : lanes_) {
+      if (!lane.empty()) return false;
+    }
+    return true;
+  }
+
+  /// Empties every lane, keeping lane capacity for the next round.
+  void clear() {
+    for (std::vector<T>& lane : lanes_) lane.clear();
+  }
+
+ private:
+  std::vector<std::vector<T>> lanes_;
+};
+
+}  // namespace tlp::dist

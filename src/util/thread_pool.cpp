@@ -95,6 +95,16 @@ void ThreadPool::run_indexed(std::size_t n,
   }
 }
 
+void ThreadPool::run_strided(
+    std::size_t num_tasks,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (num_tasks == 0) return;
+  const std::size_t stride = std::min(size(), num_tasks);
+  run_indexed(stride, [&fn, num_tasks, stride](std::size_t w) {
+    for (std::size_t t = w; t < num_tasks; t += stride) fn(w, t);
+  });
+}
+
 void ThreadPool::run_stealable(
     std::vector<StealQueue>& queues,
     const std::function<void(std::size_t, StealSource&)>& body,

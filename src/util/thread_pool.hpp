@@ -74,6 +74,16 @@ class ThreadPool {
   /// flight (abandoned indices would never complete the barrier).
   void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Statically-strided fork/join barrier: runs fn(worker, task) for every
+  /// task in [0, num_tasks), task t on worker t % min(size(), num_tasks),
+  /// each worker walking its tasks in ascending order. The cheap fan-out
+  /// for phases whose tasks are too small to be worth a stealing schedule
+  /// (multi_tlp's per-shard claim resolution). Exceptions follow
+  /// run_indexed: the smallest failing worker index is rethrown.
+  void run_strided(
+      std::size_t num_tasks,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
   /// Work-stealing fork/join barrier: runs `body(w, src)` for each worker
   /// w in [0, queues.size()), where `src` schedules the tasks the caller
   /// pushed into `queues` before the call — own queue from the head, other

@@ -1,0 +1,168 @@
+// Randomized differential fuzz for the dist comm layer, in the mold of
+// tests/io_fuzz_test.cpp: seeded random op scripts (send / collect /
+// clear_inbox / all-reduce rounds) are replayed against a deliberately
+// naive sequential oracle — a flat log of sends, filtered per collect —
+// and every divergence is a bug. A second pass replays each faulty script
+// on two fabrics with the same FaultPlan and demands byte-identical
+// delivery (the determinism contract behind the multi_tlp fault tests).
+// Runs in the ASan/UBSan legs of tools/check.sh.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "dist/all_reduce.hpp"
+#include "dist/comm_fabric.hpp"
+#include "dist/fault_plan.hpp"
+
+namespace tlp::dist {
+namespace {
+
+/// The oracle: every accepted send in order, replayed per collect by a
+/// stable sweep (ascending sender, send order within a sender) — computed
+/// from the flat log, not from per-lane state, so it shares no structure
+/// with Mailbox.
+struct OracleSend {
+  std::size_t sender;
+  std::size_t rank;
+  std::uint64_t payload;
+};
+
+std::vector<std::uint64_t> oracle_collect(const std::vector<OracleSend>& log,
+                                          std::size_t rank,
+                                          std::size_t num_senders) {
+  std::vector<std::uint64_t> out;
+  for (std::size_t sender = 0; sender < num_senders; ++sender) {
+    for (const OracleSend& s : log) {
+      if (s.rank == rank && s.sender == sender) out.push_back(s.payload);
+    }
+  }
+  return out;
+}
+
+constexpr std::size_t kOpsPerScript = 5000;
+
+TEST(DistFuzz, FaultFreeFabricMatchesSequentialOracle) {
+  for (const std::uint64_t seed : {1ull, 7ull, 1234ull, 987654321ull}) {
+    std::mt19937_64 rng(seed);
+    const std::size_t num_ranks = 1 + rng() % 4;
+    const std::size_t num_senders = 1 + rng() % 6;
+    CommFabric<std::uint64_t> fabric(num_ranks, num_senders);
+    std::vector<OracleSend> log;
+    std::uint64_t sent = 0;
+    for (std::size_t op = 0; op < kOpsPerScript; ++op) {
+      switch (rng() % 8) {
+        case 0: {  // collect a random rank and diff against the oracle
+          const std::size_t rank = rng() % num_ranks;
+          std::vector<std::uint64_t> got;
+          fabric.collect(rank, got);
+          ASSERT_EQ(got, oracle_collect(log, rank, num_senders))
+              << "seed " << seed << " op " << op << " rank " << rank;
+          break;
+        }
+        case 1: {  // consume a random rank's inbox
+          const std::size_t rank = rng() % num_ranks;
+          fabric.clear_inbox(rank);
+          log.erase(std::remove_if(
+                        log.begin(), log.end(),
+                        [rank](const OracleSend& s) { return s.rank == rank; }),
+                    log.end());
+          break;
+        }
+        default: {  // mostly sends
+          const std::size_t sender = rng() % num_senders;
+          const std::size_t rank = rng() % num_ranks;
+          const std::uint64_t payload = rng();
+          fabric.send(sender, rank, payload);
+          log.push_back(OracleSend{sender, rank, payload});
+          ++sent;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(fabric.messages_sent(), sent) << "seed " << seed;
+    for (std::size_t rank = 0; rank < num_ranks; ++rank) {
+      std::vector<std::uint64_t> got;
+      fabric.collect(rank, got);
+      EXPECT_EQ(got, oracle_collect(log, rank, num_senders))
+          << "seed " << seed << " final rank " << rank;
+    }
+  }
+}
+
+TEST(DistFuzz, FaultyFabricIsDeterministicUnderReplay) {
+  for (const std::uint64_t seed : {3ull, 42ull, 31337ull}) {
+    std::mt19937_64 plan_rng(seed);
+    FaultPlan plan;
+    plan.seed = plan_rng();
+    plan.drop_permille = plan_rng() % 400;
+    plan.dup_permille = plan_rng() % 400;
+    plan.reorder = (plan_rng() % 2) == 1;
+    const std::size_t num_ranks = 1 + plan_rng() % 4;
+    const std::size_t num_senders = 1 + plan_rng() % 6;
+
+    // Replay the SAME op script on two independent fabrics; every
+    // observable (deliveries, counters) must match byte for byte.
+    auto replay = [&](CommFabric<std::uint64_t>& fabric) {
+      fabric.set_fault_plan(plan);
+      std::mt19937_64 rng(seed * 2 + 1);
+      std::vector<std::vector<std::uint64_t>> observations;
+      for (std::size_t op = 0; op < kOpsPerScript; ++op) {
+        switch (rng() % 8) {
+          case 0: {
+            std::vector<std::uint64_t> got;
+            fabric.collect(rng() % num_ranks, got);
+            observations.push_back(std::move(got));
+            break;
+          }
+          case 1:
+            fabric.clear_inbox(rng() % num_ranks);
+            break;
+          default:
+            fabric.send(rng() % num_senders, rng() % num_ranks, rng());
+            break;
+        }
+      }
+      observations.push_back({fabric.messages_sent()});
+      return observations;
+    };
+    CommFabric<std::uint64_t> a(num_ranks, num_senders);
+    CommFabric<std::uint64_t> b(num_ranks, num_senders);
+    EXPECT_EQ(replay(a), replay(b)) << "seed " << seed;
+  }
+}
+
+TEST(DistFuzz, RandomAllReduceRoundsAgreeTreeVsLinearVsOracle) {
+  const auto concat = [](std::vector<std::uint64_t> x,
+                         const std::vector<std::uint64_t>& y) {
+    x.insert(x.end(), y.begin(), y.end());
+    return x;
+  };
+  for (const std::uint64_t seed : {5ull, 99ull, 4096ull}) {
+    std::mt19937_64 rng(seed);
+    const std::size_t num_ranks = 1 + rng() % 9;
+    AllReduce<std::uint64_t> ar(num_ranks);
+    for (std::size_t round = 0; round < 200; ++round) {
+      std::vector<std::uint64_t> expected;
+      for (std::size_t r = 0; r < num_ranks; ++r) {
+        std::vector<std::uint64_t> contribution(rng() % 7);
+        for (std::uint64_t& v : contribution) v = rng();
+        expected.insert(expected.end(), contribution.begin(),
+                        contribution.end());
+        ar.contribute(r, std::move(contribution));
+      }
+      ASSERT_EQ(ar.reduce(concat), expected)
+          << "seed " << seed << " round " << round;
+      ASSERT_EQ(ar.reduce_linear(concat), expected)
+          << "seed " << seed << " round " << round;
+      ar.reset();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tlp::dist

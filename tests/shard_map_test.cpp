@@ -1,0 +1,101 @@
+// Boundary tests for the sharded-bitmap index arithmetic. ShardMap was
+// factored out of ResidualState precisely because the old inline math
+// assumed one contiguous allocation; these tests pin the word 63/64
+// boundary, shard-boundary ownership, empty shards (S > num_items) and
+// the bijectivity of (owner, local_index).
+#include "core/shard_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace tlp {
+namespace {
+
+TEST(ShardMap, SingleShardDegeneratesToContiguousLayout) {
+  const ShardMap map(200, 1);
+  for (std::size_t id = 0; id < 200; ++id) {
+    EXPECT_EQ(map.owner(id), 0u);
+    EXPECT_EQ(map.local_index(id), id);
+  }
+  EXPECT_EQ(map.shard_size(0), 200u);
+  EXPECT_EQ(map.shard_words(0), 4u);  // ceil(200 / 64)
+}
+
+TEST(ShardMap, WordBoundaryAt63And64) {
+  // local 63 is the last bit of word 0; local 64 starts word 1.
+  EXPECT_EQ(ShardMap::word_index(63), 0u);
+  EXPECT_EQ(ShardMap::bit_offset(63), 63u);
+  EXPECT_EQ(ShardMap::bit_mask(63), std::uint64_t{1} << 63);
+  EXPECT_EQ(ShardMap::word_index(64), 1u);
+  EXPECT_EQ(ShardMap::bit_offset(64), 0u);
+  EXPECT_EQ(ShardMap::bit_mask(64), std::uint64_t{1});
+  // Exactly 64 items need one word, 65 need two.
+  EXPECT_EQ(ShardMap(64, 1).shard_words(0), 1u);
+  EXPECT_EQ(ShardMap(65, 1).shard_words(0), 2u);
+}
+
+TEST(ShardMap, OwnershipAndLocalIndexFollowModuloLayout) {
+  const ShardMap map(100, 7);
+  for (std::size_t id = 0; id < 100; ++id) {
+    EXPECT_EQ(map.owner(id), id % 7);
+    EXPECT_EQ(map.local_index(id), id / 7);
+    EXPECT_LT(map.local_index(id), map.shard_size(map.owner(id)));
+  }
+}
+
+TEST(ShardMap, ShardSizesPartitionTheItems) {
+  for (const std::uint32_t num_shards : {1u, 2u, 3u, 7u, 64u}) {
+    for (const std::size_t num_items : {0u, 1u, 63u, 64u, 65u, 100u, 1000u}) {
+      const ShardMap map(num_items, num_shards);
+      std::size_t total = 0;
+      for (std::uint32_t s = 0; s < num_shards; ++s) {
+        total += map.shard_size(s);
+      }
+      EXPECT_EQ(total, num_items)
+          << num_items << " items, " << num_shards << " shards";
+    }
+  }
+}
+
+TEST(ShardMap, MoreShardsThanItemsLeavesTrailingShardsEmpty) {
+  const ShardMap map(5, 64);
+  for (std::uint32_t s = 0; s < 64; ++s) {
+    EXPECT_EQ(map.shard_size(s), s < 5 ? 1u : 0u);
+    EXPECT_EQ(map.shard_words(s), s < 5 ? 1u : 0u);
+  }
+  for (std::size_t id = 0; id < 5; ++id) {
+    EXPECT_EQ(map.owner(id), id);
+    EXPECT_EQ(map.local_index(id), 0u);
+  }
+}
+
+TEST(ShardMap, OwnerLocalPairsAreDistinct) {
+  // (owner, local_index) must be a bijection onto the per-shard slots, or
+  // two edges would share a claim bit.
+  const ShardMap map(257, 7);  // 257 = deliberately not a multiple of 7
+  std::set<std::pair<std::uint32_t, std::size_t>> slots;
+  for (std::size_t id = 0; id < 257; ++id) {
+    EXPECT_TRUE(slots.emplace(map.owner(id), map.local_index(id)).second)
+        << "slot collision at id " << id;
+  }
+}
+
+TEST(ShardMap, ShardBoundaryNeighborsLandInDifferentShards) {
+  const ShardMap map(128, 4);
+  // Consecutive ids always hit cyclically consecutive shards...
+  for (std::size_t id = 0; id + 1 < 128; ++id) {
+    EXPECT_EQ((map.owner(id) + 1) % 4, map.owner(id + 1));
+  }
+  // ...and the last id of one cycle / first of the next share a local
+  // index bump only on the wrap.
+  EXPECT_EQ(map.local_index(3), 0u);
+  EXPECT_EQ(map.local_index(4), 1u);
+}
+
+}  // namespace
+}  // namespace tlp

@@ -74,6 +74,47 @@ TEST(ThreadPool, RunIndexedRethrowsSmallestFailingIndex) {
   }
 }
 
+TEST(ThreadPool, RunStridedCoversEveryTaskOnItsStaticWorker) {
+  ThreadPool pool(3);
+  constexpr std::size_t kTasks = 20;
+  std::vector<std::atomic<int>> hits(kTasks);
+  std::vector<std::atomic<std::size_t>> worker_of(kTasks);
+  pool.run_strided(kTasks, [&](std::size_t w, std::size_t t) {
+    ++hits[t];
+    worker_of[t] = w;
+  });
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(hits[t].load(), 1);
+    EXPECT_EQ(worker_of[t].load(), t % 3);  // static t % min(size, tasks)
+  }
+}
+
+TEST(ThreadPool, RunStridedClampsStrideToTaskCount) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<std::size_t>> worker_of(3);
+  pool.run_strided(3, [&](std::size_t w, std::size_t t) { worker_of[t] = w; });
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(worker_of[t].load(), t);  // stride = min(8, 3) = 3
+  }
+}
+
+TEST(ThreadPool, RunStridedZeroTasksIsANoOp) {
+  ThreadPool pool(2);
+  pool.run_strided(0, [](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, RunStridedRethrowsSmallestFailingWorker) {
+  ThreadPool pool(4);
+  try {
+    pool.run_strided(12, [](std::size_t, std::size_t t) {
+      if (t % 2 == 1) throw t;  // workers 1 and 3 fail
+    });
+    FAIL() << "expected run_strided to throw";
+  } catch (const std::size_t& t) {
+    EXPECT_EQ(t, 1u);  // worker 1's first failing task
+  }
+}
+
 TEST(ThreadPool, StopBreaksQueuedPromisesAndRejectsSubmit) {
   ThreadPool pool(1);
   // Park the single worker so everything behind it stays queued; wait for

@@ -38,6 +38,13 @@ run_suite() {
 # Tier-1: the roadmap's verify command.
 run_suite build
 
+# Shard-invariance smoke (~seconds): the sharded message-passing claim path
+# must reproduce the shared-memory bytes on the smallest fixture, S in
+# {1, 4}. The full differential sweep runs inside the tier-1 multi_tlp
+# suite; this explicit rerun keeps the contract visible in the fast leg.
+echo "== shard-invariance smoke (MultiTlpShard.SmokeInvariance) =="
+(cd build && ctest --output-on-failure -R 'MultiTlpShard.SmokeInvariance')
+
 if [ "${1:-}" = "--fast" ]; then
   echo "check.sh: tier-1 OK (sanitizers skipped)"
   exit 0
@@ -51,16 +58,19 @@ run_suite build-ubsan -DTLP_SANITIZE=undefined \
 
 # TSan: only the suites that actually spin up threads. The multi_tlp suite
 # includes cross-thread-count runs (2 and 8 workers) with stealing both on
-# and off, and the steal_queue suite hammers one deque from four thieves,
-# so claim/commit protocol races and steal-schedule races surface here.
+# and off plus the sharded claim protocol (per-partition mailbox lanes,
+# per-shard resolution fan-out, fault-injected fabrics), the dist_comm
+# suite posts to one fabric from concurrent senders, and the steal_queue
+# suite hammers one deque from four thieves — so claim/commit protocol
+# races, mailbox lane races and steal-schedule races all surface here.
 echo "== configure build-tsan (-DTLP_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DTLP_SANITIZE=thread \
   -DTLP_BUILD_BENCH=OFF -DTLP_BUILD_EXAMPLES=OFF > /dev/null
 cmake --build build-tsan -j "$JOBS" \
-  --target thread_pool_test multi_tlp_test steal_queue_test
-echo "== ctest build-tsan (MultiTlp|ThreadPool|StealQueue|StealSource) =="
+  --target thread_pool_test multi_tlp_test steal_queue_test dist_comm_test
+echo "== ctest build-tsan (MultiTlp|ThreadPool|StealQueue|StealSource|dist) =="
 (cd build-tsan && ctest --output-on-failure \
-  -R 'MultiTlp|ThreadPool|StealQueue|StealSource')
+  -R 'MultiTlp|ThreadPool|StealQueue|StealSource|Mailbox|CommFabric|AllReduce|DistClaim')
 
 # Perf smoke: -O2 hot-path microbench on a small fixture. Exits nonzero if
 # the flat structures diverge from the embedded legacy baseline or the warm
