@@ -28,20 +28,27 @@ int main() {
   std::cout << "== Dataset stand-in audit (clustering vs SNAP-published "
                "values) ==\n\n";
   Table table({"Graph", "n", "m", "max deg", "alpha", "avg CC (ours)",
-               "avg CC (real)", "degeneracy"});
+               "avg CC (real)", "degeneracy", "resident MB", "mapped MB"});
   const double scale = bench_scale();
   for (const std::string& id : bench_graph_ids()) {
     const Graph g = make_dataset(id, default_scale(id) * scale);
     const GraphStats stats = compute_stats(g);
     const double cc = average_clustering(g);
     const auto it = published_cc.find(id);
+    // CSR footprint on the active storage tier (TLP_BENCH_STORAGE): how much
+    // lives in heap vectors vs stays behind the file mapping.
+    const MemoryFootprint fp = g.memory_footprint();
+    const auto mb = [](std::size_t bytes) {
+      return fmt_double(static_cast<double>(bytes) / (1024.0 * 1024.0), 1);
+    };
     table.add_row({id, std::to_string(stats.num_vertices),
                    std::to_string(stats.num_edges),
                    std::to_string(stats.max_degree),
                    fmt_double(stats.power_law_alpha, 2), fmt_double(cc, 4),
                    it == published_cc.end() ? "n/a"
                                             : fmt_double(it->second, 4),
-                   std::to_string(degeneracy(g))});
+                   std::to_string(degeneracy(g)), mb(fp.resident_bytes),
+                   mb(fp.mapped_bytes)});
     std::cout.flush();
   }
   table.print(std::cout);

@@ -7,8 +7,10 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "bench_common/options.hpp"
 #include "gen/generators.hpp"
 #include "graph/builder.hpp"
+#include "graph/io.hpp"
 
 namespace tlp::bench {
 namespace {
@@ -152,7 +154,10 @@ double default_scale(const std::string& id) {
 Graph make_dataset(const std::string& id, double scale) {
   const DatasetSpec& spec = find_spec(id);
   const double s = scale > 0.0 ? scale : default_scale(id);
-  return spec.make(s);
+  // TLP_BENCH_STORAGE re-tiers every bench graph here, so each bench binary
+  // runs on the requested tier without its own plumbing. In-memory (the
+  // default) is a no-op inside with_tier.
+  return io::with_tier(spec.make(s), bench_storage());
 }
 
 }  // namespace tlp::bench

@@ -53,6 +53,16 @@ std::vector<PartitionId> bench_partition_counts() {
   return ps;
 }
 
+StorageOptions bench_storage() {
+  const char* env = std::getenv("TLP_BENCH_STORAGE");
+  if (env == nullptr) return {};
+  try {
+    return StorageOptions::parse(env);
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("TLP_BENCH_STORAGE: ") + e.what());
+  }
+}
+
 std::vector<std::size_t> bench_thread_counts() {
   const char* env = std::getenv("TLP_BENCH_THREADS");
   if (env == nullptr) return {1, 2, 4, 8};

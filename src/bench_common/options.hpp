@@ -6,6 +6,9 @@
 //   TLP_BENCH_PS      comma-separated partition counts (default: 10,15,20)
 //   TLP_BENCH_THREADS comma-separated worker counts for the thread-scaling
 //                     sweeps, e.g. "1,2,4,8" (default: 1,2,4,8)
+//   TLP_BENCH_STORAGE storage tier for every bench graph:
+//                     in_memory | mmap | hybrid[:tau[:pinned_bytes]]
+//                     (default: in_memory; applied by make_dataset)
 //   TLP_FULL_SCALE    if set, G9 is built at its full 7M-edge size
 #pragma once
 
@@ -13,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/storage.hpp"
 #include "graph/types.hpp"
 
 namespace tlp::bench {
@@ -28,5 +32,10 @@ namespace tlp::bench {
 
 /// Worker-thread counts from TLP_BENCH_THREADS (default {1, 2, 4, 8}).
 [[nodiscard]] std::vector<std::size_t> bench_thread_counts();
+
+/// Storage tier from TLP_BENCH_STORAGE (default in-memory). make_dataset
+/// re-tiers every built graph through io::with_tier with these options, so
+/// all bench binaries honour the knob without per-bench plumbing.
+[[nodiscard]] StorageOptions bench_storage();
 
 }  // namespace tlp::bench

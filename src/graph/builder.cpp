@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "graph/io.hpp"
+
 namespace tlp {
 
 void GraphBuilder::add_edge(VertexId u, VertexId v) {
@@ -24,24 +26,34 @@ Graph GraphBuilder::build(BuildReport* report) {
   local.input_edges = edges_.size();
   local.relabeled = relabel_;
 
-  EdgeList clean;
-  clean.reserve(edges_.size());
+  // Clean in place — canonicalize and drop self-loops with a compaction
+  // pass, then sort + unique the same buffer. No `clean` copy: the old
+  // sort-into-a-second-vector approach held two full edge lists alive,
+  // putting the build peak at ~2× the final footprint, which is exactly
+  // the wrong property for the out-of-core storage tiers. Peak is now the
+  // input list plus the final CSR (from_edges recognizes the sorted input
+  // and skips the per-vertex adjacency sort too).
+  std::size_t out = 0;
   for (const Edge& e : edges_) {
     if (e.is_self_loop()) {
       ++local.self_loops;
     } else {
-      clean.push_back(e.canonical());
+      edges_[out++] = e.canonical();
     }
   }
-  std::sort(clean.begin(), clean.end());
-  const auto last = std::unique(clean.begin(), clean.end());
+  edges_.resize(out);
+  std::sort(edges_.begin(), edges_.end());
+  const auto last = std::unique(edges_.begin(), edges_.end());
   local.duplicate_edges =
-      static_cast<std::size_t>(std::distance(last, clean.end()));
-  clean.erase(last, clean.end());
-  local.kept_edges = clean.size();
+      static_cast<std::size_t>(std::distance(last, edges_.end()));
+  edges_.erase(last, edges_.end());
+  local.kept_edges = edges_.size();
 
   const VertexId n = relabel_ ? next_id_ : max_id_plus_one_;
-  Graph g = Graph::from_edges(n, std::move(clean));
+  Graph g = Graph::from_edges(n, std::move(edges_));
+  if (storage_.tier != StorageTier::kInMemory) {
+    g = io::with_tier(g, storage_);
+  }
 
   edges_.clear();
   relabel_map_.clear();

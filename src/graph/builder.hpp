@@ -8,10 +8,12 @@
 #include <cstddef>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/edge.hpp"
 #include "graph/graph.hpp"
+#include "graph/storage.hpp"
 
 namespace tlp {
 
@@ -39,12 +41,20 @@ class GraphBuilder {
   /// Number of edges offered so far (before dedup).
   [[nodiscard]] std::size_t size() const { return edges_.size(); }
 
+  /// Selects the storage tier of the built graph. Non-default tiers spill
+  /// the CSR through io::with_tier after the in-memory build.
+  void set_storage(StorageOptions options) { storage_ = std::move(options); }
+
   /// Produces the cleaned graph; the builder is left empty afterwards.
-  /// If `report` is non-null it receives the cleaning statistics.
+  /// If `report` is non-null it receives the cleaning statistics. Cleaning
+  /// happens in place (canonicalize/compact, then sort + unique the same
+  /// buffer), so the build peak is the input list plus the final CSR — not
+  /// the old 2× intermediate copy.
   [[nodiscard]] Graph build(BuildReport* report = nullptr);
 
  private:
   bool relabel_;
+  StorageOptions storage_;
   EdgeList edges_;
   std::unordered_map<VertexId, VertexId> relabel_map_;
   VertexId next_id_ = 0;

@@ -1,0 +1,225 @@
+// Versioned binary CSR file layout ("TLPC"), shared by the writer in
+// graph/io and the tier readers in graph/storage.
+//
+// The file is the Graph's CSR arrays verbatim, so a reader can mmap it and
+// serve spans straight from the mapping:
+//
+//   header (104 bytes)
+//     magic            4 × char   'T' 'L' 'P' 'C'
+//     version          u32        1
+//     endian guard     u32        0x01020304 (byte order probe)
+//     reserved         u32        0
+//     num_vertices     u64        n (must fit VertexId)
+//     num_edges        u64        m
+//     4 sections       (u64 offset, u64 bytes) each, in order:
+//       offsets        (n+1) × u64     CSR offsets
+//       adjacency      2m × Neighbor   {u32 vertex, u32 pad=0, u64 edge}
+//       adjacency ids  2m × u32        vertex-only mirror
+//       edges          m × Edge        canonical (u <= v), id = index
+//     file_bytes       u64        total file size (truncation guard)
+//
+// Sections start at 64-byte-aligned offsets (mapped base is page-aligned,
+// so section pointers are alignment-safe for their element types, and a
+// section never shares a cache line with the previous one). All integers
+// little-endian on the writing host; the endian guard rejects a
+// cross-endian read instead of serving garbage.
+//
+// Layout stability is asserted against the in-memory types below: the
+// adjacency section is reinterpreted as Neighbor[] when mapped, so the
+// ABI layout is part of the format. The writer zero-fills the 4 padding
+// bytes explicitly, keeping files byte-deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "graph/edge.hpp"
+#include "graph/storage.hpp"
+#include "graph/types.hpp"
+
+namespace tlp::io::csr {
+
+inline constexpr char kMagic[4] = {'T', 'L', 'P', 'C'};
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kEndianGuard = 0x01020304;
+inline constexpr std::size_t kSectionAlign = 64;
+inline constexpr std::size_t kHeaderBytes = 104;
+
+static_assert(sizeof(Neighbor) == 16 && alignof(Neighbor) == 8);
+static_assert(offsetof(Neighbor, vertex) == 0 && offsetof(Neighbor, edge) == 8);
+static_assert(sizeof(Edge) == 8 && sizeof(VertexId) == 4);
+static_assert(sizeof(std::size_t) == 8, "offsets section assumes 64-bit");
+
+struct SectionRef {
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct Header {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  SectionRef offsets;
+  SectionRef adjacency;
+  SectionRef adjacency_ids;
+  SectionRef edges;
+  std::uint64_t file_bytes = 0;
+};
+
+[[noreturn]] inline void fail_csr(const std::string& what) {
+  throw std::runtime_error("tlp::io: csr: " + what);
+}
+
+inline std::uint64_t align_up(std::uint64_t x) {
+  return (x + (kSectionAlign - 1)) & ~std::uint64_t{kSectionAlign - 1};
+}
+
+/// Canonical section layout for a graph of n vertices / m edges.
+inline Header layout_for(std::uint64_t n, std::uint64_t m) {
+  Header h;
+  h.num_vertices = n;
+  h.num_edges = m;
+  std::uint64_t cursor = align_up(kHeaderBytes);
+  const auto place = [&cursor](SectionRef& s, std::uint64_t bytes) {
+    s.offset = cursor;
+    s.bytes = bytes;
+    cursor = align_up(cursor + bytes);
+  };
+  place(h.offsets, (n + 1) * sizeof(std::uint64_t));
+  place(h.adjacency, 2 * m * sizeof(Neighbor));
+  place(h.adjacency_ids, 2 * m * sizeof(VertexId));
+  place(h.edges, m * sizeof(Edge));
+  h.file_bytes = cursor;
+  return h;
+}
+
+inline void encode_header(const Header& h, unsigned char out[kHeaderBytes]) {
+  std::size_t pos = 0;
+  const auto put = [&](const void* src, std::size_t bytes) {
+    std::memcpy(out + pos, src, bytes);
+    pos += bytes;
+  };
+  const auto put_u32 = [&](std::uint32_t v) { put(&v, sizeof v); };
+  const auto put_u64 = [&](std::uint64_t v) { put(&v, sizeof v); };
+  put(kMagic, sizeof kMagic);
+  put_u32(kVersion);
+  put_u32(kEndianGuard);
+  put_u32(0);  // reserved
+  put_u64(h.num_vertices);
+  put_u64(h.num_edges);
+  for (const SectionRef* s :
+       {&h.offsets, &h.adjacency, &h.adjacency_ids, &h.edges}) {
+    put_u64(s->offset);
+    put_u64(s->bytes);
+  }
+  put_u64(h.file_bytes);
+}
+
+/// Decodes and strictly validates a header against the actual file size:
+/// magic/version/endianness, n fits VertexId, every section lies inside the
+/// file with exactly the byte count the (n, m) layout demands. Throws
+/// std::runtime_error on any mismatch — a corrupted header must never be
+/// trusted for allocation or pointer arithmetic.
+inline Header decode_and_validate_header(const unsigned char* data,
+                                         std::uint64_t actual_file_bytes) {
+  if (actual_file_bytes < kHeaderBytes) fail_csr("file shorter than header");
+  std::size_t pos = 0;
+  const auto get_u32 = [&] {
+    std::uint32_t v;
+    std::memcpy(&v, data + pos, sizeof v);
+    pos += sizeof v;
+    return v;
+  };
+  const auto get_u64 = [&] {
+    std::uint64_t v;
+    std::memcpy(&v, data + pos, sizeof v);
+    pos += sizeof v;
+    return v;
+  };
+  if (std::memcmp(data, kMagic, sizeof kMagic) != 0) {
+    fail_csr("bad magic: not a TLPC binary CSR file");
+  }
+  pos = sizeof kMagic;
+  const std::uint32_t version = get_u32();
+  if (version != kVersion) {
+    fail_csr("unsupported version " + std::to_string(version));
+  }
+  if (get_u32() != kEndianGuard) {
+    fail_csr("endianness mismatch (file written on a foreign-endian host)");
+  }
+  get_u32();  // reserved
+  Header h;
+  h.num_vertices = get_u64();
+  h.num_edges = get_u64();
+  for (SectionRef* s : {&h.offsets, &h.adjacency, &h.adjacency_ids, &h.edges}) {
+    s->offset = get_u64();
+    s->bytes = get_u64();
+  }
+  h.file_bytes = get_u64();
+
+  if (h.num_vertices > kInvalidVertex) fail_csr("vertex count overflows VertexId");
+  if (h.file_bytes != actual_file_bytes) {
+    fail_csr("declared file size " + std::to_string(h.file_bytes) +
+             " != actual " + std::to_string(actual_file_bytes));
+  }
+  // Recompute the layout from (n, m) — sizes and offsets must match exactly,
+  // which also proves every section fits without overflow-prone arithmetic
+  // on untrusted offsets. The expected layout caps m via file_bytes first.
+  if (h.num_edges > actual_file_bytes / sizeof(Edge)) {
+    fail_csr("edge count too large for file size");
+  }
+  const Header expect = layout_for(h.num_vertices, h.num_edges);
+  const auto same = [](const SectionRef& a, const SectionRef& b) {
+    return a.offset == b.offset && a.bytes == b.bytes;
+  };
+  if (expect.file_bytes != h.file_bytes || !same(expect.offsets, h.offsets) ||
+      !same(expect.adjacency, h.adjacency) ||
+      !same(expect.adjacency_ids, h.adjacency_ids) ||
+      !same(expect.edges, h.edges)) {
+    fail_csr("section table inconsistent with (n, m) layout");
+  }
+  return h;
+}
+
+/// Full payload validation: offsets monotone from 0 to 2m; each adjacency
+/// list strictly sorted by neighbor id with in-range vertex/edge ids; the
+/// vertex-only mirror consistent; every adjacency entry cross-checked
+/// against the edge section (edges[entry.edge] must connect owner and
+/// neighbor, which together with offsets[n] == 2m forces every edge to
+/// appear exactly twice). One O(n + m) pass; throws std::runtime_error.
+inline void validate_csr_payload(std::uint64_t n, std::uint64_t m,
+                                 const std::uint64_t* offsets,
+                                 const Neighbor* adjacency,
+                                 const VertexId* adjacency_ids,
+                                 const Edge* edges) {
+  if (offsets[0] != 0) fail_csr("offsets[0] != 0");
+  if (offsets[n] != 2 * m) fail_csr("offsets[n] != 2m");
+  for (std::uint64_t e = 0; e < m; ++e) {
+    if (edges[e].u > edges[e].v) fail_csr("edge not canonical");
+    if (edges[e].v >= n) fail_csr("edge endpoint out of range");
+    if (edges[e].u == edges[e].v) fail_csr("self-loop in edge section");
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) fail_csr("offsets not monotone");
+    VertexId prev = 0;
+    for (std::uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const Neighbor& nb = adjacency[i];
+      if (nb.vertex >= n) fail_csr("adjacency vertex out of range");
+      if (i > offsets[v] && nb.vertex <= prev) {
+        fail_csr("adjacency list not strictly sorted");
+      }
+      prev = nb.vertex;
+      if (adjacency_ids[i] != nb.vertex) fail_csr("vertex mirror mismatch");
+      if (nb.edge >= m) fail_csr("adjacency edge id out of range");
+      const Edge& e = edges[nb.edge];
+      const VertexId owner = static_cast<VertexId>(v);
+      if (Edge{owner, nb.vertex}.canonical() != e) {
+        fail_csr("adjacency entry disagrees with edge section");
+      }
+    }
+  }
+}
+
+}  // namespace tlp::io::csr

@@ -3,15 +3,12 @@
 #include <algorithm>
 #include <bit>
 #include <stdexcept>
+#include <utility>
 
 namespace tlp {
 
 Graph Graph::from_edges(VertexId num_vertices, EdgeList edges) {
-  Graph g;
-  g.num_vertices_ = num_vertices;
-  g.edges_ = std::move(edges);
-
-  for (Edge& e : g.edges_) {
+  for (Edge& e : edges) {
     if (e.u >= num_vertices || e.v >= num_vertices) {
       throw std::invalid_argument("Graph::from_edges: endpoint out of range");
     }
@@ -21,43 +18,76 @@ Graph Graph::from_edges(VertexId num_vertices, EdgeList edges) {
     e = e.canonical();
   }
 
-  // Counting sort into CSR: first degrees, then prefix sums, then fill.
-  g.offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
-  for (const Edge& e : g.edges_) {
-    ++g.offsets_[e.u + 1];
-    ++g.offsets_[e.v + 1];
-  }
-  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
-    g.offsets_[i] += g.offsets_[i - 1];
-  }
-
-  g.adjacency_.resize(2 * g.edges_.size());
-  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
-  for (EdgeId id = 0; id < g.edges_.size(); ++id) {
-    const Edge& e = g.edges_[static_cast<std::size_t>(id)];
-    g.adjacency_[cursor[e.u]++] = Neighbor{e.v, id};
-    g.adjacency_[cursor[e.v]++] = Neighbor{e.u, id};
+  // A lexicographically sorted edge list (what GraphBuilder produces) lets
+  // the counting sort emit each adjacency list already ordered: for a fixed
+  // vertex w, entries from edges (u, w) with u < w arrive before entries
+  // from edges (w, v) with v > w, and within each group the neighbor ids
+  // ascend with the edge order. Duplicates are then adjacent in the input.
+  const bool sorted = std::is_sorted(edges.begin(), edges.end());
+  if (sorted) {
+    const auto dup = std::adjacent_find(edges.begin(), edges.end());
+    if (dup != edges.end()) {
+      throw std::invalid_argument("Graph::from_edges: duplicate edge");
+    }
   }
 
-  for (VertexId v = 0; v < num_vertices; ++v) {
-    auto begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
-    auto end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
-    std::sort(begin, end, [](const Neighbor& a, const Neighbor& b) {
-      return a.vertex < b.vertex;
-    });
-    // Duplicate detection is cheap once sorted; duplicates would corrupt
-    // every partitioner's bookkeeping, so fail loudly here.
-    for (auto it = begin; it != end && std::next(it) != end; ++it) {
-      if (it->vertex == std::next(it)->vertex) {
-        throw std::invalid_argument("Graph::from_edges: duplicate edge");
+  // Counting sort into CSR: degrees, prefix sums, fill. The offsets array
+  // doubles as the fill cursor (offsets[v] ends up at the old offsets[v+1])
+  // and is shifted back afterwards — no separate cursor vector, so the
+  // build peak is exactly the final footprint plus the input edge list.
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(num_vertices) + 1,
+                                   0);
+  for (const Edge& e : edges) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] += offsets[i - 1];
+  }
+
+  std::vector<Neighbor> adjacency(2 * edges.size());
+  for (EdgeId id = 0; id < edges.size(); ++id) {
+    const Edge& e = edges[static_cast<std::size_t>(id)];
+    adjacency[offsets[e.u]++] = Neighbor{e.v, id};
+    adjacency[offsets[e.v]++] = Neighbor{e.u, id};
+  }
+  for (VertexId v = num_vertices; v > 0; --v) {
+    offsets[v] = offsets[v - 1];
+  }
+  offsets[0] = 0;
+
+  if (!sorted) {
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      auto begin = adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v]);
+      auto end =
+          adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]);
+      std::sort(begin, end, [](const Neighbor& a, const Neighbor& b) {
+        return a.vertex < b.vertex;
+      });
+      // Duplicate detection is cheap once sorted; duplicates would corrupt
+      // every partitioner's bookkeeping, so fail loudly here.
+      for (auto it = begin; it != end && std::next(it) != end; ++it) {
+        if (it->vertex == std::next(it)->vertex) {
+          throw std::invalid_argument("Graph::from_edges: duplicate edge");
+        }
       }
     }
   }
 
-  g.adjacency_vertex_.resize(g.adjacency_.size());
-  for (std::size_t i = 0; i < g.adjacency_.size(); ++i) {
-    g.adjacency_vertex_[i] = g.adjacency_[i].vertex;
+  std::vector<VertexId> adjacency_ids(adjacency.size());
+  for (std::size_t i = 0; i < adjacency.size(); ++i) {
+    adjacency_ids[i] = adjacency[i].vertex;
   }
+
+  return from_storage(make_in_memory_storage(
+      num_vertices, std::move(offsets), std::move(adjacency),
+      std::move(adjacency_ids), std::move(edges)));
+}
+
+Graph Graph::from_storage(std::shared_ptr<const GraphStorage> storage) {
+  Graph g;
+  g.view_ = storage->view();
+  g.storage_ = std::move(storage);
   return g;
 }
 
@@ -138,8 +168,13 @@ std::size_t Graph::common_neighbor_count(VertexId u, VertexId v) const {
 }
 
 std::string Graph::summary() const {
-  return "Graph(n=" + std::to_string(num_vertices_) +
-         ", m=" + std::to_string(edges_.size()) + ")";
+  std::string s = "Graph(n=" + std::to_string(view_.num_vertices) +
+                  ", m=" + std::to_string(view_.num_edges);
+  if (storage_tier() != StorageTier::kInMemory) {
+    s += ", storage=";
+    s += storage_tier_name(storage_tier());
+  }
+  return s + ")";
 }
 
 }  // namespace tlp

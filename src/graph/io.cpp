@@ -2,14 +2,19 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <charconv>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <random>
 #include <sstream>
 #include <ostream>
 #include <stdexcept>
 #include <string_view>
+
+#include "graph/csr_format.hpp"
+#include "graph/storage.hpp"
 
 namespace tlp::io {
 namespace {
@@ -228,6 +233,96 @@ Graph read_binary(std::istream& in) {
 Graph read_binary_file(const std::filesystem::path& path) {
   auto in = open_input(path, /*binary=*/true);
   return read_binary(in);
+}
+
+void write_csr_file(const Graph& g, const std::filesystem::path& path) {
+  auto out = open_output(path, /*binary=*/true);
+  const csr::Header h = csr::layout_for(g.num_vertices(), g.num_edges());
+
+  std::uint64_t pos = 0;
+  const auto put = [&out, &pos](const void* src, std::size_t bytes) {
+    out.write(static_cast<const char*>(src),
+              static_cast<std::streamsize>(bytes));
+    pos += bytes;
+  };
+  const auto pad_to = [&put, &pos](std::uint64_t target) {
+    static constexpr char zeros[csr::kSectionAlign] = {};
+    while (pos < target) {
+      put(zeros, static_cast<std::size_t>(
+                     std::min<std::uint64_t>(target - pos, sizeof zeros)));
+    }
+  };
+
+  unsigned char header[csr::kHeaderBytes];
+  csr::encode_header(h, header);
+  put(header, sizeof header);
+
+  // Offsets: recomputed from degrees (the facade does not expose the raw
+  // array, and this keeps the writer tier-agnostic).
+  pad_to(h.offsets.offset);
+  std::uint64_t offset = 0;
+  put(&offset, sizeof offset);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    offset += g.degree(v);
+    put(&offset, sizeof offset);
+  }
+
+  // Adjacency: explicit per-record staging zero-fills the 4 padding bytes
+  // of Neighbor, keeping the file byte-deterministic regardless of what
+  // the in-memory padding holds.
+  pad_to(h.adjacency.offset);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const Neighbor& nb : g.neighbors(v)) {
+      unsigned char rec[sizeof(Neighbor)] = {};
+      std::memcpy(rec, &nb.vertex, sizeof nb.vertex);
+      std::memcpy(rec + offsetof(Neighbor, edge), &nb.edge, sizeof nb.edge);
+      put(rec, sizeof rec);
+    }
+  }
+
+  pad_to(h.adjacency_ids.offset);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto ids = g.neighbor_ids(v);
+    put(ids.data(), ids.size_bytes());
+  }
+
+  pad_to(h.edges.offset);
+  const auto edges = g.edges();
+  put(edges.data(), edges.size_bytes());
+  pad_to(h.file_bytes);
+
+  if (!out) fail("I/O error while writing binary CSR file");
+}
+
+Graph load_csr_file(const std::filesystem::path& path,
+                    const StorageOptions& options) {
+  return Graph::from_storage(open_csr_storage(path, options));
+}
+
+Graph with_tier(const Graph& g, const StorageOptions& options) {
+  if (options.tier == StorageTier::kInMemory) return g;
+  const std::filesystem::path dir = options.spill_dir.empty()
+                                        ? std::filesystem::temp_directory_path()
+                                        : options.spill_dir;
+  static std::atomic<unsigned> counter{0};
+  std::random_device rd;
+  const std::filesystem::path path =
+      dir / ("tlp-csr-" + std::to_string(rd()) + "-" +
+             std::to_string(counter.fetch_add(1)) + ".tlpc");
+  try {
+    write_csr_file(g, path);
+    // We wrote these bytes ourselves a moment ago, so skip the O(n + m)
+    // payload re-validation on the reopen.
+    StorageOptions reopen = options;
+    reopen.verify = false;
+    return Graph::from_storage(
+        open_csr_storage(path, reopen,
+                         /*unlink_after_open=*/!options.keep_spill));
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    throw;
+  }
 }
 
 }  // namespace tlp::io

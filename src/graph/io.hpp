@@ -46,4 +46,24 @@ void write_binary_file(const Graph& g, const std::filesystem::path& path);
 Graph read_binary(std::istream& in);
 Graph read_binary_file(const std::filesystem::path& path);
 
+/// Versioned binary CSR format ("TLPC": magic, version, endianness guard,
+/// section table — see graph/csr_format.hpp): the Graph's CSR arrays
+/// verbatim in 64-byte-aligned sections, so the mmap/hybrid storage tiers
+/// can serve adjacency spans straight from the file. Round-trips exactly
+/// (same edge ids, same adjacency order, hence byte-identical partitions).
+void write_csr_file(const Graph& g, const std::filesystem::path& path);
+
+/// Opens a TLPC file on the tier `options` selects (kInMemory streams into
+/// heap vectors; kMmap/kHybrid map the file read-only). Throws
+/// std::runtime_error on a corrupted header or (with options.verify)
+/// payload.
+Graph load_csr_file(const std::filesystem::path& path,
+                    const StorageOptions& options = {});
+
+/// Re-tiers an existing graph: spills its CSR to a TLPC file (in
+/// options.spill_dir or the system temp directory), reopens it on the
+/// requested tier, and — unless options.keep_spill — unlinks the spill so
+/// it vanishes with the storage. kInMemory is a no-op returning `g`.
+Graph with_tier(const Graph& g, const StorageOptions& options);
+
 }  // namespace tlp::io

@@ -1,0 +1,439 @@
+#include "graph/storage.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/csr_format.hpp"
+
+// File mapping is POSIX-only; elsewhere the mapped tiers fall back to
+// reading the file into heap memory (correct, but the footprint is then
+// resident — footprint() reports it honestly as such).
+#if defined(__unix__) || defined(__APPLE__)
+#define TLP_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define TLP_HAS_MMAP 0
+#endif
+
+namespace tlp {
+namespace {
+
+using io::csr::Header;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("tlp::storage: " + what);
+}
+
+template <typename T>
+std::size_t vector_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// Read-only view of a whole file: an mmap where available, a heap copy
+/// otherwise. Move-only RAII; the mapping outlives any pointers served
+/// from it because the owning storage keeps the MappedFile alive.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      heap_ = std::move(other.heap_);
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() { release(); }
+
+  static MappedFile open(const std::filesystem::path& path) {
+    MappedFile f;
+#if TLP_HAS_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) fail("cannot open '" + path.string() + "' for mapping");
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      fail("cannot stat '" + path.string() + "'");
+    }
+    f.size_ = static_cast<std::size_t>(st.st_size);
+    if (f.size_ > 0) {
+      // PROT_READ + MAP_SHARED: clean file-backed pages the kernel may
+      // reclaim at will — the property the out-of-core tiers exist for.
+      void* base = ::mmap(nullptr, f.size_, PROT_READ, MAP_SHARED, fd, 0);
+      if (base == MAP_FAILED) {
+        ::close(fd);
+        fail("mmap of '" + path.string() + "' failed");
+      }
+      f.data_ = static_cast<const unsigned char*>(base);
+    }
+    ::close(fd);  // the mapping keeps the file alive
+#else
+    std::ifstream in(path, std::ios::binary);
+    if (!in) fail("cannot open '" + path.string() + "' for reading");
+    in.seekg(0, std::ios::end);
+    f.size_ = static_cast<std::size_t>(in.tellg());
+    in.seekg(0);
+    f.heap_.resize(f.size_);
+    in.read(reinterpret_cast<char*>(f.heap_.data()),
+            static_cast<std::streamsize>(f.size_));
+    if (!in) fail("short read of '" + path.string() + "'");
+    f.data_ = f.heap_.data();
+#endif
+    return f;
+  }
+
+  [[nodiscard]] const unsigned char* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool file_backed() const { return heap_.empty(); }
+
+ private:
+  void release() {
+#if TLP_HAS_MMAP
+    if (data_ != nullptr && heap_.empty()) {
+      ::munmap(const_cast<unsigned char*>(data_), size_);
+    }
+#endif
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::vector<unsigned char> heap_;  // non-mmap fallback only
+};
+
+template <typename T>
+const T* section_ptr(const MappedFile& file, const io::csr::SectionRef& s) {
+  return reinterpret_cast<const T*>(file.data() + s.offset);
+}
+
+/// Heap vectors; the zero-overhead default tier. Both pointer sets alias
+/// the same arrays and both degree thresholds sit at SIZE_MAX, so the
+/// facade's residency test is always-true and the codegen matches the
+/// pre-seam concrete class.
+class InMemoryStorage final : public GraphStorage {
+ public:
+  InMemoryStorage(VertexId num_vertices, std::vector<std::size_t> offsets,
+                  std::vector<Neighbor> adjacency,
+                  std::vector<VertexId> adjacency_ids, EdgeList edges)
+      : offsets_(std::move(offsets)),
+        adjacency_(std::move(adjacency)),
+        adjacency_ids_(std::move(adjacency_ids)),
+        edges_(std::move(edges)) {
+    view_.num_vertices = num_vertices;
+    view_.num_edges = static_cast<EdgeId>(edges_.size());
+    view_.offsets = offsets_.data();
+    view_.resident_pos = offsets_.data();
+    view_.resident_adj = adjacency_.data();
+    view_.resident_ids = adjacency_ids_.data();
+    view_.mapped_adj = adjacency_.data();
+    view_.mapped_ids = adjacency_ids_.data();
+    view_.edges = edges_.data();
+  }
+
+  [[nodiscard]] StorageTier tier() const override {
+    return StorageTier::kInMemory;
+  }
+  [[nodiscard]] const StorageView& view() const override { return view_; }
+  [[nodiscard]] MemoryFootprint footprint() const override {
+    MemoryFootprint fp;
+    fp.resident_bytes = vector_bytes(offsets_) + vector_bytes(adjacency_) +
+                        vector_bytes(adjacency_ids_) + vector_bytes(edges_);
+    return fp;
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::vector<Neighbor> adjacency_;
+  std::vector<VertexId> adjacency_ids_;
+  EdgeList edges_;
+  StorageView view_;
+};
+
+/// Everything served from the mapped file; zero resident CSR bytes. The
+/// section table is 64-byte aligned on a page-aligned base, so the typed
+/// section pointers are alignment-correct.
+class MmapStorage final : public GraphStorage {
+ public:
+  MmapStorage(MappedFile file, const Header& h) : file_(std::move(file)) {
+    view_.num_vertices = static_cast<VertexId>(h.num_vertices);
+    view_.num_edges = h.num_edges;
+    view_.offsets = section_ptr<std::size_t>(file_, h.offsets);
+    view_.resident_pos = view_.offsets;
+    view_.resident_adj = section_ptr<Neighbor>(file_, h.adjacency);
+    view_.resident_ids = section_ptr<VertexId>(file_, h.adjacency_ids);
+    view_.mapped_adj = view_.resident_adj;
+    view_.mapped_ids = view_.resident_ids;
+    view_.edges = section_ptr<Edge>(file_, h.edges);
+  }
+
+  [[nodiscard]] StorageTier tier() const override { return StorageTier::kMmap; }
+  [[nodiscard]] const StorageView& view() const override { return view_; }
+  [[nodiscard]] MemoryFootprint footprint() const override {
+    MemoryFootprint fp;
+    (file_.file_backed() ? fp.mapped_bytes : fp.resident_bytes) = file_.size();
+    return fp;
+  }
+
+ private:
+  MappedFile file_;
+  StorageView view_;
+};
+
+/// Degree split: adjacency of vertices with degree <= tau is copied into
+/// packed resident arrays; high-degree adjacency is served from the mapped
+/// file, except the highest-degree hubs, which are pinned back into the
+/// resident arrays under `pinned_cache_bytes`. The pin set is degree-pure
+/// (whole degree classes), so residency stays a function of the degree:
+///
+///     resident(v)  <=>  deg(v) <= tau  ||  deg(v) >= pinned_min_degree
+///
+/// which is exactly the test the Graph facade evaluates per access — no
+/// per-vertex side lookup, and byte-identical adjacency content either way.
+class HybridStorage final : public GraphStorage {
+ public:
+  HybridStorage(MappedFile file, const Header& h, const StorageOptions& opts)
+      : file_(std::move(file)) {
+    const auto n = static_cast<std::size_t>(h.num_vertices);
+    const std::size_t tau = opts.degree_threshold;
+    const std::uint64_t* moff = section_ptr<std::uint64_t>(file_, h.offsets);
+    const Neighbor* madj = section_ptr<Neighbor>(file_, h.adjacency);
+    const VertexId* mids = section_ptr<VertexId>(file_, h.adjacency_ids);
+
+    // Offsets stay resident: every accessor reads them, and at 8 bytes per
+    // vertex they are a rounding error next to the adjacency itself.
+    offsets_.assign(moff, moff + n + 1);
+
+    // Pin budget: walk degree classes from the top, admitting a whole class
+    // only if its packed copy (Neighbor + mirror entry per slot) fits.
+    std::map<std::size_t, std::uint64_t> class_entries;  // degree -> slots
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::size_t deg = offsets_[v + 1] - offsets_[v];
+      if (deg > tau) class_entries[deg] += deg;
+    }
+    constexpr std::size_t kBytesPerSlot = sizeof(Neighbor) + sizeof(VertexId);
+    std::size_t budget = opts.pinned_cache_bytes;
+    for (auto it = class_entries.rbegin(); it != class_entries.rend(); ++it) {
+      const std::uint64_t cost = it->second * kBytesPerSlot;
+      if (cost > budget) break;
+      budget -= static_cast<std::size_t>(cost);
+      pinned_min_degree_ = it->first;
+    }
+
+    // Packed resident layout. resident_pos_ entries for mapped vertices are
+    // never read (the facade's degree test routes them to the mapped base).
+    resident_pos_.assign(n, 0);
+    std::size_t cursor = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::size_t deg = offsets_[v + 1] - offsets_[v];
+      if (deg <= tau || deg >= pinned_min_degree_) {
+        resident_pos_[v] = cursor;
+        cursor += deg;
+      }
+    }
+    resident_adj_.resize(cursor);
+    resident_ids_.resize(cursor);
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::size_t deg = offsets_[v + 1] - offsets_[v];
+      if (deg == 0 || (deg > tau && deg < pinned_min_degree_)) continue;
+      std::memcpy(resident_adj_.data() + resident_pos_[v],
+                  madj + offsets_[v], deg * sizeof(Neighbor));
+      std::memcpy(resident_ids_.data() + resident_pos_[v],
+                  mids + offsets_[v], deg * sizeof(VertexId));
+    }
+
+    view_.num_vertices = static_cast<VertexId>(h.num_vertices);
+    view_.num_edges = h.num_edges;
+    view_.offsets = offsets_.data();
+    view_.resident_pos = resident_pos_.data();
+    view_.resident_adj = resident_adj_.data();
+    view_.resident_ids = resident_ids_.data();
+    view_.mapped_adj = madj;
+    view_.mapped_ids = mids;
+    view_.edges = section_ptr<Edge>(file_, h.edges);
+    view_.resident_degree_cap = tau;
+    view_.pinned_min_degree = pinned_min_degree_;
+  }
+
+  [[nodiscard]] StorageTier tier() const override {
+    return StorageTier::kHybrid;
+  }
+  [[nodiscard]] const StorageView& view() const override { return view_; }
+  [[nodiscard]] MemoryFootprint footprint() const override {
+    MemoryFootprint fp;
+    fp.resident_bytes = vector_bytes(offsets_) + vector_bytes(resident_pos_) +
+                        vector_bytes(resident_adj_) +
+                        vector_bytes(resident_ids_);
+    (file_.file_backed() ? fp.mapped_bytes : fp.resident_bytes) +=
+        file_.size();
+    return fp;
+  }
+
+ private:
+  MappedFile file_;
+  std::vector<std::size_t> offsets_;
+  std::vector<std::size_t> resident_pos_;
+  std::vector<Neighbor> resident_adj_;
+  std::vector<VertexId> resident_ids_;
+  std::size_t pinned_min_degree_ = std::numeric_limits<std::size_t>::max();
+  StorageView view_;
+};
+
+std::size_t parse_size(std::string_view token, std::string_view spec) {
+  if (token == "inf" || token == "max") {
+    return std::numeric_limits<std::size_t>::max();
+  }
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    throw std::invalid_argument("tlp: bad storage spec '" + std::string(spec) +
+                                "': '" + std::string(token) +
+                                "' is not a size");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string_view storage_tier_name(StorageTier tier) {
+  switch (tier) {
+    case StorageTier::kInMemory:
+      return "in_memory";
+    case StorageTier::kMmap:
+      return "mmap";
+    case StorageTier::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+StorageOptions StorageOptions::parse(std::string_view spec) {
+  std::vector<std::string_view> tokens;
+  for (std::string_view rest = spec;;) {
+    const std::size_t colon = rest.find(':');
+    tokens.push_back(rest.substr(0, colon));
+    if (tokens.back().empty()) {
+      throw std::invalid_argument("tlp: bad storage spec '" +
+                                  std::string(spec) + "': empty field");
+    }
+    if (colon == std::string_view::npos) break;
+    rest = rest.substr(colon + 1);
+  }
+  StorageOptions o;
+  const std::string_view tier = tokens.front();
+  if (tier == "in_memory" || tier == "memory") {
+    o.tier = StorageTier::kInMemory;
+  } else if (tier == "mmap") {
+    o.tier = StorageTier::kMmap;
+  } else if (tier == "hybrid") {
+    o.tier = StorageTier::kHybrid;
+  } else {
+    throw std::invalid_argument(
+        "tlp: bad storage spec '" + std::string(spec) +
+        "': expected in_memory | mmap | hybrid[:tau[:pinned_bytes]]");
+  }
+  // tau/pinned_bytes only mean something on the hybrid tier.
+  const std::size_t max_fields = o.tier == StorageTier::kHybrid ? 3 : 1;
+  if (tokens.size() > max_fields) {
+    throw std::invalid_argument("tlp: bad storage spec '" + std::string(spec) +
+                                "': trailing fields");
+  }
+  if (tokens.size() > 1) o.degree_threshold = parse_size(tokens[1], spec);
+  if (tokens.size() > 2) o.pinned_cache_bytes = parse_size(tokens[2], spec);
+  return o;
+}
+
+std::shared_ptr<const GraphStorage> make_in_memory_storage(
+    VertexId num_vertices, std::vector<std::size_t> offsets,
+    std::vector<Neighbor> adjacency, std::vector<VertexId> adjacency_ids,
+    EdgeList edges) {
+  return std::make_shared<InMemoryStorage>(
+      num_vertices, std::move(offsets), std::move(adjacency),
+      std::move(adjacency_ids), std::move(edges));
+}
+
+std::shared_ptr<const GraphStorage> open_csr_storage(
+    const std::filesystem::path& path, const StorageOptions& options,
+    bool unlink_after_open) {
+  std::shared_ptr<const GraphStorage> storage;
+  if (options.tier == StorageTier::kInMemory) {
+    // Stream the sections into heap vectors — deliberately no mapping, so
+    // an in-memory control run under a memory cap charges every CSR byte
+    // against the cap (the out-of-core smoke relies on this asymmetry).
+    std::ifstream in(path, std::ios::binary);
+    if (!in) fail("cannot open '" + path.string() + "' for reading");
+    in.seekg(0, std::ios::end);
+    const auto file_bytes = static_cast<std::uint64_t>(in.tellg());
+    unsigned char raw[io::csr::kHeaderBytes] = {};
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(raw),
+            static_cast<std::streamsize>(
+                std::min<std::uint64_t>(file_bytes, sizeof raw)));
+    if (!in) fail("cannot read header of '" + path.string() + "'");
+    const Header h = io::csr::decode_and_validate_header(raw, file_bytes);
+
+    const auto read_section = [&in, &path](const io::csr::SectionRef& s,
+                                           void* dst) {
+      in.seekg(static_cast<std::streamoff>(s.offset));
+      in.read(static_cast<char*>(dst), static_cast<std::streamsize>(s.bytes));
+      if (!in) fail("short read in '" + path.string() + "'");
+    };
+    const auto n = static_cast<std::size_t>(h.num_vertices);
+    const auto m = static_cast<std::size_t>(h.num_edges);
+    std::vector<std::size_t> offsets(n + 1);
+    std::vector<Neighbor> adjacency(2 * m);
+    std::vector<VertexId> adjacency_ids(2 * m);
+    EdgeList edges(m);
+    read_section(h.offsets, offsets.data());
+    read_section(h.adjacency, adjacency.data());
+    read_section(h.adjacency_ids, adjacency_ids.data());
+    read_section(h.edges, edges.data());
+    if (options.verify) {
+      io::csr::validate_csr_payload(h.num_vertices, h.num_edges,
+                                    offsets.data(), adjacency.data(),
+                                    adjacency_ids.data(), edges.data());
+    }
+    storage = make_in_memory_storage(static_cast<VertexId>(h.num_vertices),
+                                     std::move(offsets), std::move(adjacency),
+                                     std::move(adjacency_ids),
+                                     std::move(edges));
+  } else {
+    MappedFile file = MappedFile::open(path);
+    const Header h =
+        io::csr::decode_and_validate_header(file.data(), file.size());
+    if (options.verify) {
+      io::csr::validate_csr_payload(
+          h.num_vertices, h.num_edges, section_ptr<std::uint64_t>(file, h.offsets),
+          section_ptr<Neighbor>(file, h.adjacency),
+          section_ptr<VertexId>(file, h.adjacency_ids),
+          section_ptr<Edge>(file, h.edges));
+    }
+    if (options.tier == StorageTier::kMmap) {
+      storage = std::make_shared<MmapStorage>(std::move(file), h);
+    } else {
+      storage = std::make_shared<HybridStorage>(std::move(file), h, options);
+    }
+  }
+  if (unlink_after_open) {
+    // POSIX keeps the mapped data reachable until the last mapping goes
+    // away; removing the directory entry makes spill files self-cleaning.
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+  return storage;
+}
+
+}  // namespace tlp

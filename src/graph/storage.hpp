@@ -1,0 +1,172 @@
+// Storage policy behind Graph: where the CSR arrays live.
+//
+// Graph is a thin facade over a GraphStorage, which owns the four CSR
+// arrays (offsets, Neighbor adjacency, the vertex-only mirror, the
+// canonical edge list) and says where each byte resides:
+//
+//   * in_memory — everything in heap vectors (the zero-overhead default;
+//     exactly the layout Graph owned before the seam existed).
+//   * mmap     — everything served read-only from a versioned binary CSR
+//     file (io::write_csr_file / io::load_csr_file); the page cache is the
+//     working set, so cold graphs cost no resident memory until touched.
+//   * hybrid   — HEP-style degree split: adjacency of vertices with
+//     degree <= tau stays resident (packed copies), high-degree adjacency
+//     is served from the mapped file, and the highest-degree hubs are
+//     pinned back into resident memory under a byte budget (they are the
+//     most frequently re-scanned lists, so pinning them bounds repeated
+//     page-fault cost).
+//
+// The seam is pointer-shaped, not virtual-call-shaped: GraphStorage
+// publishes a StorageView of raw pointers once, Graph caches it by value,
+// and the hot accessors (neighbors / neighbor_ids / degree / edge) compile
+// to the same loads as the pre-seam concrete class. Tier selection inside
+// an accessor is a pure function of the vertex degree, so it never needs a
+// per-vertex side table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/edge.hpp"
+#include "graph/types.hpp"
+
+namespace tlp {
+
+/// One adjacency entry: the neighbor and the id of the connecting edge.
+struct Neighbor {
+  VertexId vertex;
+  EdgeId edge;
+};
+
+/// Where a Graph's CSR bytes live. Values are stable (telemetry encodes
+/// them as numbers).
+enum class StorageTier : std::uint8_t {
+  kInMemory = 0,  ///< heap vectors (default)
+  kMmap = 1,      ///< everything read-only from a mapped CSR file
+  kHybrid = 2,    ///< degree <= tau resident, hubs pinned, rest mapped
+};
+
+/// Short stable name ("in_memory", "mmap", "hybrid").
+[[nodiscard]] std::string_view storage_tier_name(StorageTier tier);
+
+/// Knobs for choosing and tuning a storage tier. Threaded through
+/// GraphBuilder, graph/io loading, PartitionConfig, and the bench layer
+/// (TLP_BENCH_STORAGE) so any workload can run on any tier.
+struct StorageOptions {
+  StorageTier tier = StorageTier::kInMemory;
+
+  /// Hybrid only: vertices with degree <= degree_threshold keep their
+  /// adjacency resident. 0 = only isolated vertices (and pinned hubs);
+  /// SIZE_MAX = everything resident (hybrid degenerates to in-memory
+  /// copies served through the hybrid machinery).
+  std::size_t degree_threshold = 64;
+
+  /// Hybrid only: byte budget for pinning the highest-degree vertices'
+  /// adjacency back into resident memory. The pin set is degree-pure
+  /// (all vertices of a degree class or none), so tier selection stays a
+  /// function of the degree alone. 0 disables pinning.
+  std::size_t pinned_cache_bytes = std::size_t{1} << 20;
+
+  /// io::with_tier: where the spill CSR file is written. Empty = the
+  /// system temp directory.
+  std::filesystem::path spill_dir;
+
+  /// io::with_tier: keep the spill file on disk after mapping it (default
+  /// false: the file is unlinked once mapped; the kernel keeps the pages
+  /// alive until the storage is destroyed).
+  bool keep_spill = false;
+
+  /// Payload validation on load (offsets monotone, adjacency sorted and
+  /// cross-consistent with the edge section). One sequential O(n + m)
+  /// pass at open; disable only for trusted files on the hot open path.
+  bool verify = true;
+
+  /// Parses "in_memory" | "mmap" | "hybrid[:tau[:pinned_bytes]]", e.g.
+  /// "hybrid:16:1048576". Throws std::invalid_argument on anything else.
+  [[nodiscard]] static StorageOptions parse(std::string_view spec);
+};
+
+/// Resident vs file-backed byte accounting for one Graph.
+struct MemoryFootprint {
+  /// Heap/anonymous bytes the graph keeps resident (vectors, pinned
+  /// copies). This is what an out-of-core memory budget must cover.
+  std::size_t resident_bytes = 0;
+  /// File-backed mapped bytes: address space, but reclaimable clean pages
+  /// that cost resident memory only while touched.
+  std::size_t mapped_bytes = 0;
+
+  [[nodiscard]] std::size_t total_bytes() const {
+    return resident_bytes + mapped_bytes;
+  }
+};
+
+/// The raw-pointer view Graph caches by value. A vertex v's adjacency is
+/// served from the resident arrays iff
+///
+///     degree(v) <= resident_degree_cap  ||  degree(v) >= pinned_min_degree
+///
+/// and from the mapped arrays otherwise. Single-tier storages set both
+/// thresholds to SIZE_MAX and alias the mapped pointers to the resident
+/// ones, so the rule degenerates to "always the one array" and the
+/// branch predicts perfectly.
+struct StorageView {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+
+  /// Global CSR offsets, n+1 entries: degree(v) = offsets[v+1]-offsets[v].
+  const std::size_t* offsets = nullptr;
+  /// Packed resident positions, n entries: vertex v's resident adjacency
+  /// starts at resident_pos[v]. Single-tier storages alias this to
+  /// `offsets` (global position == resident position).
+  const std::size_t* resident_pos = nullptr;
+
+  const Neighbor* resident_adj = nullptr;
+  const VertexId* resident_ids = nullptr;
+  const Neighbor* mapped_adj = nullptr;
+  const VertexId* mapped_ids = nullptr;
+
+  /// Canonical edge list, num_edges entries.
+  const Edge* edges = nullptr;
+
+  std::size_t resident_degree_cap = std::numeric_limits<std::size_t>::max();
+  std::size_t pinned_min_degree = std::numeric_limits<std::size_t>::max();
+};
+
+/// Owns the CSR arrays and publishes the pointer view. Implementations are
+/// immutable after construction and safe to share across threads; Graph
+/// holds one via shared_ptr, so copying a Graph shares storage.
+class GraphStorage {
+ public:
+  virtual ~GraphStorage() = default;
+
+  [[nodiscard]] virtual StorageTier tier() const = 0;
+  [[nodiscard]] virtual const StorageView& view() const = 0;
+  [[nodiscard]] virtual MemoryFootprint footprint() const = 0;
+};
+
+/// Wraps already-built CSR arrays (the zero-overhead default tier).
+/// Preconditions (checked by assert only; Graph::from_edges builds them
+/// correctly): offsets.size() == n+1, adjacency/ids sized offsets[n],
+/// ids mirrors adjacency[i].vertex.
+[[nodiscard]] std::shared_ptr<const GraphStorage> make_in_memory_storage(
+    VertexId num_vertices, std::vector<std::size_t> offsets,
+    std::vector<Neighbor> adjacency, std::vector<VertexId> adjacency_ids,
+    EdgeList edges);
+
+/// Opens a versioned binary CSR file (io::write_csr_file) on the tier the
+/// options select. kInMemory streams the sections into heap vectors;
+/// kMmap/kHybrid map the file read-only. Throws std::runtime_error on a
+/// malformed or corrupted file. `unlink_after_open` removes the directory
+/// entry once the file is safely open/mapped (POSIX keeps the data alive
+/// until unmapped) — used by io::with_tier spill files.
+[[nodiscard]] std::shared_ptr<const GraphStorage> open_csr_storage(
+    const std::filesystem::path& path, const StorageOptions& options = {},
+    bool unlink_after_open = false);
+
+}  // namespace tlp

@@ -14,6 +14,15 @@ EdgePartition Partitioner::partition(const Graph& g,
   config.validate();
   ctx.begin_run(name());
   ctx.check_cancelled();
+  // Storage-tier gauges: which tier the graph actually arrived on, and its
+  // resident/mapped split. set() (not add) — they describe the input, and
+  // repeat runs against the same graph must not accumulate.
+  const MemoryFootprint fp = g.memory_footprint();
+  ctx.telemetry().set("storage_tier", static_cast<double>(g.storage_tier()));
+  ctx.telemetry().set("graph_resident_bytes",
+                      static_cast<double>(fp.resident_bytes));
+  ctx.telemetry().set("graph_mapped_bytes",
+                      static_cast<double>(fp.mapped_bytes));
   const auto timer = ctx.telemetry().time("total_s");
   return do_partition(g, config, ctx);
 }

@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "graph/storage.hpp"
 #include "partition/edge_partition.hpp"
 #include "partition/run_context.hpp"
 
@@ -33,6 +34,15 @@ struct PartitionConfig {
 
   /// RNG seed; every partitioner is deterministic given (graph, config).
   std::uint64_t seed = 42;
+
+  /// Storage tier the caller intends the graph to run on. The partitioners
+  /// themselves are tier-agnostic (they only see the Graph facade); this
+  /// knob is for the entry points that own graph loading — bench_common,
+  /// tlp_cli, tools — which apply it via io::with_tier / io::load_csr_file
+  /// before partitioning. Partitioner::partition() records the tier the
+  /// graph actually arrived on in telemetry (storage_tier,
+  /// graph_resident_bytes, graph_mapped_bytes), so mismatches are visible.
+  StorageOptions storage;
 
   /// Throws std::invalid_argument if the config is unusable. Called by
   /// Partitioner::partition() on every run, so implementations do not need

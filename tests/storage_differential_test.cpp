@@ -1,0 +1,171 @@
+// Differential contract of the storage-policy seam: every partitioner
+// must produce byte-identical assignments whether the CSR lives in heap
+// vectors, in a read-only mapped file, or split across both — the tier is
+// invisible to the algorithms by construction, and this suite pins that.
+//
+// Sweep: {tlp, tlp_r0.5, multi_tlp at threads {1,2,8} x shards {1,4}}
+// x {in_memory, mmap, hybrid at tau in {0, median-degree, inf}}, plus a
+// registry-wide single-config pass over every registered algorithm.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common/runner.hpp"
+#include "core/multi_tlp.hpp"
+#include "core/tlp.hpp"
+#include "gen/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/storage.hpp"
+#include "partition/registry.hpp"
+
+namespace tlp {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+
+std::size_t median_degree(const Graph& g) {
+  std::vector<std::size_t> degrees(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) degrees[v] = g.degree(v);
+  if (degrees.empty()) return 0;
+  std::nth_element(degrees.begin(), degrees.begin() + degrees.size() / 2,
+                   degrees.end());
+  return degrees[degrees.size() / 2];
+}
+
+/// The tier sweep the issue pins: in-memory reference plus mmap and hybrid
+/// at tau in {0, median-degree, inf} (pinning on and off at tau=0 to
+/// exercise the pinned-hub path).
+std::vector<std::pair<std::string, StorageOptions>> tier_sweep(
+    const Graph& reference) {
+  const std::size_t median = median_degree(reference);
+  std::vector<std::pair<std::string, StorageOptions>> tiers;
+  tiers.emplace_back("in_memory", StorageOptions::parse("in_memory"));
+  tiers.emplace_back("mmap", StorageOptions::parse("mmap"));
+  for (const std::size_t tau : {std::size_t{0}, median, kMax}) {
+    StorageOptions o;
+    o.tier = StorageTier::kHybrid;
+    o.degree_threshold = tau;
+    tiers.emplace_back("hybrid:" + std::to_string(tau), o);
+  }
+  StorageOptions unpinned;
+  unpinned.tier = StorageTier::kHybrid;
+  unpinned.degree_threshold = 0;
+  unpinned.pinned_cache_bytes = 0;
+  tiers.emplace_back("hybrid:0:unpinned", unpinned);
+  return tiers;
+}
+
+class StorageDifferential : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bench::register_builtin_partitioners();
+    graph_ = new Graph(gen::chung_lu_power_law(3000, 12000, 2.1, 42));
+    csr_path_ = new fs::path(fs::temp_directory_path() /
+                             "tlp_storage_differential.tlpc");
+    io::write_csr_file(*graph_, *csr_path_);
+  }
+  static void TearDownTestSuite() {
+    fs::remove(*csr_path_);
+    delete csr_path_;
+    csr_path_ = nullptr;
+    delete graph_;
+    graph_ = nullptr;
+  }
+
+  static const Graph& reference() { return *graph_; }
+  static const fs::path& csr_path() { return *csr_path_; }
+
+  static Graph* graph_;
+  static fs::path* csr_path_;
+};
+
+Graph* StorageDifferential::graph_ = nullptr;
+fs::path* StorageDifferential::csr_path_ = nullptr;
+
+TEST_F(StorageDifferential, TlpAndResidualAcrossTiers) {
+  PartitionConfig config;
+  config.num_partitions = 10;
+  const std::vector<TlpPartitioner> algos = {TlpPartitioner{},
+                                             make_tlp_r(0.5)};
+  for (const TlpPartitioner& partitioner : algos) {
+    const EdgePartition expected =
+        partitioner.partition(reference(), config);
+    for (const auto& [label, options] : tier_sweep(reference())) {
+      SCOPED_TRACE(partitioner.name() + " on " + label);
+      const Graph tiered = io::load_csr_file(csr_path(), options);
+      const EdgePartition actual = partitioner.partition(tiered, config);
+      EXPECT_EQ(actual.raw(), expected.raw());
+    }
+  }
+}
+
+TEST_F(StorageDifferential, MultiTlpThreadsShardsAcrossTiers) {
+  PartitionConfig config;
+  config.num_partitions = 8;
+  // Reference: shared-memory single thread on the in-memory graph.
+  const EdgePartition expected =
+      MultiTlpPartitioner{}.partition(reference(), config);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    for (const std::uint32_t shards : {0u, 4u}) {
+      MultiTlpOptions mo;
+      mo.num_threads = threads;
+      mo.num_shards = shards;
+      const MultiTlpPartitioner partitioner{mo};
+      for (const auto& [label, options] : tier_sweep(reference())) {
+        SCOPED_TRACE("threads=" + std::to_string(threads) +
+                     " shards=" + std::to_string(shards) + " on " + label);
+        const Graph tiered = io::load_csr_file(csr_path(), options);
+        const EdgePartition actual = partitioner.partition(tiered, config);
+        EXPECT_EQ(actual.raw(), expected.raw());
+      }
+    }
+  }
+}
+
+TEST_F(StorageDifferential, EveryRegisteredPartitionerTierInvariant) {
+  // Broad, shallow sweep: each registered algorithm once, in-memory vs
+  // mmap vs one hybrid split, on a smaller graph (some baselines are
+  // superlinear). Catches any algorithm that sneaks around the facade.
+  const Graph small = gen::chung_lu_power_law(400, 1600, 2.1, 7);
+  const fs::path path =
+      fs::temp_directory_path() / "tlp_storage_registry.tlpc";
+  io::write_csr_file(small, path);
+  PartitionConfig config;
+  config.num_partitions = 4;
+  for (const std::string& name : registered_partitioners()) {
+    const PartitionerPtr partitioner = make_partitioner(name);
+    const EdgePartition expected = partitioner->partition(small, config);
+    for (const char* spec : {"mmap", "hybrid:2"}) {
+      SCOPED_TRACE(name + " on " + spec);
+      const Graph tiered =
+          io::load_csr_file(path, StorageOptions::parse(spec));
+      const EdgePartition actual = partitioner->partition(tiered, config);
+      EXPECT_EQ(actual.raw(), expected.raw());
+    }
+  }
+  fs::remove(path);
+}
+
+TEST_F(StorageDifferential, WindowTlpAcrossTiers) {
+  // window_tlp consumes the graph through an edge stream; the stream reads
+  // edges() off the facade, so it must be tier-invariant too.
+  PartitionConfig config;
+  config.num_partitions = 6;
+  const PartitionerPtr partitioner = make_partitioner("window_tlp");
+  const EdgePartition expected = partitioner->partition(reference(), config);
+  for (const auto& [label, options] : tier_sweep(reference())) {
+    SCOPED_TRACE("window_tlp on " + label);
+    const Graph tiered = io::load_csr_file(csr_path(), options);
+    EXPECT_EQ(partitioner->partition(tiered, config).raw(), expected.raw());
+  }
+}
+
+}  // namespace
+}  // namespace tlp

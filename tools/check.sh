@@ -15,7 +15,10 @@
 # perf-smoke leg builds the hot-path microbench at -O2 and runs its small
 # fixture: bit-identity of the flat growth structures against the embedded
 # pre-change baseline plus the zero-steady-state-allocation check, with
-# BENCH_hotpath.json left behind as the artifact.
+# BENCH_hotpath.json left behind as the artifact. The out-of-core leg caps
+# the heap with `ulimit -d` below the CSR size and requires the hybrid
+# storage tier to reproduce the uncapped reference partition byte-for-byte
+# while the in-memory control run dies on the same cap.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -81,4 +84,24 @@ cmake --build build-release -j "$JOBS" --target hotpath_micro
 echo "== perf smoke (hotpath_micro --smoke) =="
 (cd build-release/bench && ./hotpath_micro --smoke)
 
-echo "check.sh: tier-1 + ASan + UBSan + TSan + perf smoke all green"
+# Out-of-core smoke: a graph whose CSR exceeds the heap cap must still
+# partition byte-identically on the hybrid tier, and the same cap must kill
+# the in-memory control run (otherwise the cap proves nothing). The cap is
+# `ulimit -d` (RLIMIT_DATA: heap + private anonymous mmap), NOT `ulimit -v`
+# (RLIMIT_AS): RLIMIT_AS counts read-only file mappings too, which would
+# kill the mapped tiers along with the heap they are designed to avoid.
+echo "== out-of-core smoke (oocore_smoke, hybrid under ulimit -d) =="
+cmake --build build-release -j "$JOBS" --target oocore_smoke
+OOC_DIR="build-release/oocore-smoke"
+CAP_KB="$(build-release/tools/oocore_smoke --prepare "$OOC_DIR" \
+  | sed -n 's/^cap_kb=//p')"
+echo "-- heap cap: ${CAP_KB}KB (below the in-memory CSR)"
+sh -c "ulimit -d $CAP_KB; build-release/tools/oocore_smoke --run $OOC_DIR hybrid:8"
+if sh -c "ulimit -d $CAP_KB; build-release/tools/oocore_smoke --run $OOC_DIR in_memory" \
+    2> /dev/null; then
+  echo "oocore smoke: FAIL — in-memory control survived the cap (cap too big)"
+  exit 1
+fi
+echo "-- in-memory control failed under the cap, as required"
+
+echo "check.sh: tier-1 + ASan + UBSan + TSan + perf + out-of-core smoke green"

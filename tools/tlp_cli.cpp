@@ -5,6 +5,13 @@
 //   tlp_cli partition <graph.txt> <algo> <p> [seed] [out.parts]
 //   tlp_cli evaluate <graph.txt> <parts-file>         re-score a .parts file
 //   tlp_cli convert <in> <out>                        text <-> binary (by extension)
+//
+// A global --storage=<spec> flag (or the TLP_STORAGE environment variable)
+// selects the storage tier every loaded graph runs on:
+//   --storage=in_memory | mmap | hybrid[:tau[:pinned_bytes]]
+// .tlpc inputs open directly on that tier; other formats are loaded and
+// re-tiered through a spill file. The .tlpc extension selects the binary
+// CSR format on output (generate/convert).
 //   tlp_cli compare <graph.txt> <p>                   all algorithms, one table
 //   tlp_cli pagerank <graph.txt> <algo> <p> [iters]   GAS engine simulation
 //   tlp_cli algorithms                                list registered algorithms
@@ -42,30 +49,41 @@ using namespace tlp;
 
 int usage() {
   std::cerr <<
-      "usage: tlp_cli <command> [args]\n"
+      "usage: tlp_cli [--storage=<tier>] <command> [args]\n"
       "  generate <model> <out.txt> [args]  er|ba|rmat|cl|sbm|dcsbm|ws\n"
       "  stats <graph.txt>\n"
       "  partition <graph.txt> <algo> <p> [seed] [out.parts]\n"
       "  evaluate <graph.txt> <parts-file>\n"
-      "  convert <in> <out>                 (.bin selects the binary format)\n"
+      "  convert <in> <out>                 (.bin edge-list / .tlpc CSR binary)\n"
       "  compare <graph.txt> <p>\n"
       "  pagerank <graph.txt> <algo> <p> [iters]\n"
-      "  algorithms\n";
+      "  algorithms\n"
+      "  --storage: in_memory | mmap | hybrid[:tau[:pinned_bytes]]\n"
+      "             (or the TLP_STORAGE environment variable)\n";
   return 2;
 }
 
+// Tier selection for every graph the CLI loads (see the header comment).
+StorageOptions g_storage;
+
 Graph load(const std::string& path) {
+  if (path.ends_with(".tlpc")) {
+    Graph g = io::load_csr_file(path, g_storage);
+    std::cerr << "loaded " << path << ": " << g.summary() << '\n';
+    return g;
+  }
   if (path.ends_with(".bin")) {
-    return io::read_binary_file(path);
+    return io::with_tier(io::read_binary_file(path), g_storage);
   }
   if (path.ends_with(".mtx")) {
     BuildReport report;
-    Graph g = io::read_matrix_market_file(path, &report);
+    Graph g = io::with_tier(io::read_matrix_market_file(path, &report),
+                            g_storage);
     std::cerr << "loaded " << path << ": " << g.summary() << '\n';
     return g;
   }
   BuildReport report;
-  Graph g = io::read_edge_list_file(path, &report);
+  Graph g = io::with_tier(io::read_edge_list_file(path, &report), g_storage);
   std::cerr << "loaded " << path << ": " << g.summary() << " (dropped "
             << report.self_loops << " loops, " << report.duplicate_edges
             << " dups)\n";
@@ -114,7 +132,9 @@ int cmd_generate(const std::vector<std::string>& args) {
     std::cerr << "unknown model '" << model << "'\n";
     return 2;
   }
-  if (out.ends_with(".bin")) {
+  if (out.ends_with(".tlpc")) {
+    io::write_csr_file(g, out);
+  } else if (out.ends_with(".bin")) {
     io::write_binary_file(g, out);
   } else {
     io::write_edge_list_file(g, out);
@@ -209,7 +229,9 @@ int cmd_evaluate(const std::vector<std::string>& args) {
 int cmd_convert(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
   const Graph g = load(args[0]);
-  if (args[1].ends_with(".bin")) {
+  if (args[1].ends_with(".tlpc")) {
+    io::write_csr_file(g, args[1]);
+  } else if (args[1].ends_with(".bin")) {
     io::write_binary_file(g, args[1]);
   } else if (args[1].ends_with(".mtx")) {
     io::write_matrix_market_file(g, args[1]);
@@ -258,11 +280,23 @@ int cmd_pagerank(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
   bench::register_builtin_partitioners();
-  const std::string command = argv[1];
-  const std::vector<std::string> args(argv + 2, argv + argc);
+  std::vector<std::string> all(argv + 1, argv + argc);
   try {
+    if (const char* env = std::getenv("TLP_STORAGE")) {
+      g_storage = StorageOptions::parse(env);
+    }
+    for (auto it = all.begin(); it != all.end();) {
+      if (it->starts_with("--storage=")) {
+        g_storage = StorageOptions::parse(it->substr(10));
+        it = all.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (all.empty()) return usage();
+    const std::string command = all[0];
+    const std::vector<std::string> args(all.begin() + 1, all.end());
     if (command == "generate") return cmd_generate(args);
     if (command == "stats") return cmd_stats(args);
     if (command == "partition") return cmd_partition(args);
