@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "util/simd.hpp"
+
 namespace tlp {
 namespace {
 
@@ -89,6 +91,12 @@ VertexId Frontier::select_stage2(EdgeId e_in, EdgeId e_out) {
   std::uint32_t best_c = 0;
   std::uint32_t best_r = 0;
   for (std::uint32_t c = 1; c <= hwm_c_; ++c) {
+    // Pull the NEXT rung's heap head into cache while this rung is
+    // scanned: the ladder walk touches one cold cache line per rung, and
+    // the rungs are independent arena buffers with no hardware-prefetch
+    // pattern between them. prefetch_read never faults (empty buckets may
+    // hand it a null data pointer — still fine).
+    if (c < hwm_c_) simd::prefetch_read(ladder_[c]->data());
     auto& bucket = *ladder_[c - 1];
     // Drop entries superseded by a newer (c, rdeg) state or removed
     // candidates.

@@ -19,12 +19,18 @@
 #include "dist/all_reduce.hpp"
 #include "dist/claim_protocol.hpp"
 #include "dist/comm_fabric.hpp"
+#include "graph/intersect_kernels.hpp"
 #include "partition/replica_set.hpp"
 #include "partition/spill.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tlp {
 namespace {
+
+/// Write-prefetch lookahead for the two-hop counting pass (same rationale
+/// as the sequential run in core/tlp.cpp).
+constexpr std::size_t kCountPrefetchDistance = 8;
 
 class MultiRun {
  public:
@@ -68,6 +74,8 @@ class MultiRun {
           &child,
           arena.acquire<std::uint32_t>(n, 0),  // count
           arena.acquire<VertexId>(0),          // count_touched
+          arena.acquire<VertexId>(0),          // batch_ids
+          arena.acquire<double>(0),            // batch_terms
           arena.acquire<std::uint32_t>(n, 0),  // refreshed
           arena.acquire<std::uint32_t>(n, 0),  // cmark
           arena.acquire<std::uint32_t>(n, 0),  // rmark
@@ -165,6 +173,8 @@ class MultiRun {
     RunContext* ctx;
     ScratchArena::Lease<std::uint32_t> count;  ///< two-hop counting pass
     ScratchArena::Lease<VertexId> count_touched;
+    ScratchArena::Lease<VertexId> batch_ids;    ///< eligible candidates
+    ScratchArena::Lease<double> batch_terms;    ///< batched Eq. 7 terms
     ScratchArena::Lease<std::uint32_t> refreshed;  ///< full-refresh marks
     ScratchArena::Lease<std::uint32_t> cmark;      ///< c_dirty dedup marks
     ScratchArena::Lease<std::uint32_t> rmark;      ///< rdeg_dirty dedup marks
@@ -661,28 +671,10 @@ class MultiRun {
     }
     if (!any) return;
     const bool use_counting = two_hop_cost < merge_cost;
-    if (use_counting) {
-      for (const VertexId w : g_.neighbor_ids(v)) {
-        for (const VertexId u : g_.neighbor_ids(w)) {
-          if (worker.count[u]++ == 0) {
-            worker.count_touched->push_back(u);
-          }
-        }
-      }
-    }
     const double dv =
         static_cast<double>(std::max<std::size_t>(1, g_.degree(v)));
-    for (const Neighbor& nb : g_.neighbors(v)) {
-      if (nb.vertex == v || residual_.is_assigned(nb.edge)) continue;
-      const VertexId u = nb.vertex;
-      if (member_[u].contains(k)) continue;
-      if (worker.refreshed[u] == mark) continue;  // refresh already counted v
-      const double term =
-          (use_counting
-               ? static_cast<double>(worker.count[u])
-               : static_cast<double>(g_.common_neighbor_count(u, v))) /
-          dv;
-      auto& frontier = part.frontier;
+    auto& frontier = part.frontier;
+    const auto connect = [&](VertexId u, double term) {
       if (frontier.contains(u)) {
         const auto& cand = frontier.at(u);
         frontier.upsert(u, cand.c + 1, residual_.residual_degree(u),
@@ -691,10 +683,54 @@ class MultiRun {
         frontier.upsert(u, 1, residual_.residual_degree(u), term);
         worker.touched_out->push_back(u);
       }
-    }
+    };
     if (use_counting) {
+      // Two-hop counting pass with the sequential run's prefetch pair:
+      // next one-hop list head, plus the count cells a few iterations
+      // ahead (random-access increments over an O(n) array).
+      const auto hops = g_.neighbor_ids(v);
+      for (std::size_t i = 0; i < hops.size(); ++i) {
+        if (i + 1 < hops.size()) g_.prefetch_neighbor_ids(hops[i + 1]);
+        const auto ids = g_.neighbor_ids(hops[i]);
+        for (std::size_t j = 0; j < ids.size(); ++j) {
+          if (j + kCountPrefetchDistance < ids.size()) {
+            simd::prefetch_write(
+                &worker.count[ids[j + kCountPrefetchDistance]]);
+          }
+          const VertexId u = ids[j];
+          if (worker.count[u]++ == 0) worker.count_touched->push_back(u);
+        }
+      }
+      // Batched Eq. 7 divides through the active kernel. Candidates are
+      // collected in adjacency order, so the upserts happen in exactly the
+      // order the per-pair path produces — and every kernel performs the
+      // same correctly-rounded IEEE division, keeping the result
+      // worker-count- AND kernel-invariant.
+      worker.batch_ids->clear();
+      for (const Neighbor& nb : g_.neighbors(v)) {
+        if (nb.vertex == v || residual_.is_assigned(nb.edge)) continue;
+        if (member_[nb.vertex].contains(k)) continue;
+        if (worker.refreshed[nb.vertex] == mark) continue;
+        worker.batch_ids->push_back(nb.vertex);
+      }
+      const std::size_t n = worker.batch_ids->size();
+      worker.batch_terms->resize(n);
+      intersect::active().stage1_terms(worker.count->data(),
+                                       worker.batch_ids->data(), n, dv,
+                                       worker.batch_terms->data());
+      for (std::size_t i = 0; i < n; ++i) {
+        connect((*worker.batch_ids)[i], (*worker.batch_terms)[i]);
+      }
       for (const VertexId x : *worker.count_touched) worker.count[x] = 0;
       worker.count_touched->clear();
+    } else {
+      for (const Neighbor& nb : g_.neighbors(v)) {
+        if (nb.vertex == v || residual_.is_assigned(nb.edge)) continue;
+        const VertexId u = nb.vertex;
+        if (member_[u].contains(k)) continue;
+        if (worker.refreshed[u] == mark) continue;  // refresh counted v already
+        connect(u, static_cast<double>(g_.common_neighbor_count(u, v)) / dv);
+      }
     }
   }
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "graph/intersect_kernels.hpp"
+
 namespace tlp {
 
 Graph Graph::from_edges(VertexId num_vertices, EdgeList edges) {
@@ -100,71 +102,30 @@ std::size_t Graph::intersection_cost(std::size_t deg_a, std::size_t deg_b) {
   const std::size_t small = std::min(deg_a, deg_b);
   const std::size_t big = std::max(deg_a, deg_b);
   if (small == 0) return 1;
-  if (big >= kGallopSkew * small) {
+  if (intersect::chooses_gallop(small, big)) {
     // Galloping path: each of the `small` probes costs ~2·log2 of its jump
     // distance; the jump distances sum to `big`, so log2(big/small) + 2 per
-    // probe bounds the total.
+    // probe bounds the total. The vectorized landing window only shaves a
+    // constant off the final binary search, so the model stays scalar.
     return small * (static_cast<std::size_t>(std::bit_width(big / small)) + 2);
   }
-  return small + big;
+  const std::size_t lanes = intersect::active().lane_width;
+  if (lanes <= 1) return small + big;
+  // Vectorized merge: the block staircase retires one lane-width block of
+  // either list per step, so ~(small + big) / lanes steps, each costing
+  // roughly two scalar units (load + compare tree + advance). Quantized to
+  // whole lanes so tiny lists don't round to zero.
+  return 2 * ((small + big + lanes - 1) / lanes);
 }
 
 std::size_t Graph::common_neighbor_count(VertexId u, VertexId v) const {
-  auto a = neighbor_ids(u);
-  auto b = neighbor_ids(v);
-  if (a.size() > b.size()) std::swap(a, b);
-  if (a.empty()) return 0;
-  if (b.size() >= kGallopSkew * a.size()) {
-    // Galloping intersection: both lists are sorted, so for each element of
-    // the short list, exponential-search forward in the long list from the
-    // previous match position. Total O(|a| · log(|b| / |a|)) — the win over
-    // the merge grows with the skew (hub vertices in power-law graphs).
-    std::size_t count = 0;
-    std::size_t pos = 0;  // cursor into b; only ever advances
-    for (const VertexId target : a) {
-      std::size_t lo = pos;
-      std::size_t hi = pos;
-      std::size_t step = 1;
-      while (hi < b.size() && b[hi] < target) {
-        lo = hi + 1;
-        hi += step;
-        step <<= 1;
-      }
-      hi = std::min(hi, b.size());
-      // Invariant: b[lo - 1] < target (or lo == pos) and b[hi] >= target
-      // (or hi == |b|); binary-search the gap.
-      while (lo < hi) {
-        const std::size_t mid = lo + (hi - lo) / 2;
-        if (b[mid] < target) {
-          lo = mid + 1;
-        } else {
-          hi = mid;
-        }
-      }
-      pos = lo;
-      if (pos == b.size()) break;  // everything left in a is larger too
-      if (b[pos] == target) {
-        ++count;
-        ++pos;
-      }
-    }
-    return count;
-  }
-  std::size_t count = 0;
-  std::size_t i = 0;
-  std::size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
+  const auto a = neighbor_ids(u);
+  const auto b = neighbor_ids(v);
+  // The active intersect kernel handles the swap/empty preconditions and
+  // the merge-vs-gallop dispatch (shared with intersection_cost via
+  // intersect::chooses_gallop). Operates on neighbor_ids spans, so it is
+  // storage-tier-agnostic by construction.
+  return intersect::count(a.data(), a.size(), b.data(), b.size());
 }
 
 std::string Graph::summary() const {

@@ -23,8 +23,10 @@
 #include <vector>
 
 #include "graph/edge.hpp"
+#include "graph/intersect_kernels.hpp"
 #include "graph/storage.hpp"
 #include "graph/types.hpp"
+#include "util/simd.hpp"
 
 namespace tlp {
 
@@ -107,21 +109,43 @@ class Graph {
   /// Degree skew ratio at or above which common_neighbor_count abandons the
   /// linear merge for a galloping (exponential-search) scan of the longer
   /// list: O(d_min · log(d_max / d_min)) instead of O(d_min + d_max).
-  static constexpr std::size_t kGallopSkew = 16;
+  /// Aliases intersect::kGallopSkew — the kernel layer and the cost model
+  /// share one gallop predicate (intersect::chooses_gallop).
+  static constexpr std::size_t kGallopSkew = intersect::kGallopSkew;
 
-  /// Number of common neighbors |N(u) ∩ N(v)|: a linear merge of the sorted
-  /// adjacency lists, or a galloping intersection when the degrees are
-  /// skewed by ≥ kGallopSkew× (hub vertices in power-law graphs). Operates
-  /// on neighbor_ids spans, so it is tier-agnostic by construction.
+  /// Number of common neighbors |N(u) ∩ N(v)|, through the active
+  /// intersect kernel (graph/intersect_kernels.hpp): a lane-parallel block
+  /// merge of the sorted adjacency lists, or a galloping intersection when
+  /// the degrees are skewed by ≥ kGallopSkew× (hub vertices in power-law
+  /// graphs). Every kernel returns the exact count, so results are
+  /// kernel-invariant; operates on neighbor_ids spans, so it is
+  /// tier-agnostic by construction.
   [[nodiscard]] std::size_t common_neighbor_count(VertexId u, VertexId v) const;
 
   /// Cost model mirror of common_neighbor_count's dispatch, for callers
   /// that budget intersections before running them (the TLP join loop
   /// chooses between per-pair intersections and one shared counting pass
   /// over the joiner's two-hop neighborhood). Deterministic in the degrees
-  /// alone.
+  /// alone for a fixed active kernel: the merge cost is quantized to the
+  /// kernel's lane width, and the gallop/merge branch is the kernel's own
+  /// predicate (intersect::chooses_gallop), so model and execution can
+  /// never disagree on the path taken.
   [[nodiscard]] static std::size_t intersection_cost(std::size_t deg_a,
                                                      std::size_t deg_b);
+
+  /// Issues a software prefetch for the head of v's vertex-only adjacency
+  /// mirror (the array common_neighbor_count and the two-hop counting pass
+  /// walk). Never faults — safe for any v < num_vertices on any storage
+  /// tier, including unmapped pages of an mmap-tier CSR.
+  void prefetch_neighbor_ids(VertexId v) const {
+    assert(v < view_.num_vertices);
+    const std::size_t begin = view_.offsets[v];
+    const std::size_t deg = view_.offsets[v + 1] - begin;
+    const VertexId* base = is_resident(deg)
+                               ? view_.resident_ids + view_.resident_pos[v]
+                               : view_.mapped_ids + begin;
+    simd::prefetch_read(base);
+  }
 
   /// Which tier the CSR bytes live on (kInMemory for default-constructed
   /// and from_edges graphs).

@@ -1,0 +1,135 @@
+#include "util/numa.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <system_error>
+
+namespace tlp::numa {
+namespace {
+
+/// Parses the integer prefix of `s`; returns false on no digits.
+bool parse_int(std::string_view s, int& out) {
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last && out >= 0;
+}
+
+}  // namespace
+
+std::vector<int> parse_cpulist(std::string_view list) {
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string_view::npos) comma = list.size();
+    std::string_view chunk = list.substr(pos, comma - pos);
+    pos = comma + 1;
+    // Trim whitespace (the sysfs file ends in '\n').
+    while (!chunk.empty() && std::isspace(static_cast<unsigned char>(
+                                 chunk.front()))) {
+      chunk.remove_prefix(1);
+    }
+    while (!chunk.empty() &&
+           std::isspace(static_cast<unsigned char>(chunk.back()))) {
+      chunk.remove_suffix(1);
+    }
+    if (chunk.empty()) continue;
+    const std::size_t dash = chunk.find('-');
+    int lo = 0;
+    int hi = 0;
+    if (dash == std::string_view::npos) {
+      if (!parse_int(chunk, lo)) continue;
+      hi = lo;
+    } else {
+      if (!parse_int(chunk.substr(0, dash), lo) ||
+          !parse_int(chunk.substr(dash + 1), hi) || hi < lo) {
+        continue;
+      }
+    }
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+Topology detect(const std::filesystem::path& root) {
+  Topology topo;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(root, ec) || ec) return topo;
+
+  // Collect (node id, cpus) pairs, then sort by node id: directory
+  // iteration order is unspecified, and worker placement must be
+  // deterministic for a given machine.
+  std::vector<std::pair<int, std::vector<int>>> nodes;
+  for (const auto& entry : std::filesystem::directory_iterator(root, ec)) {
+    if (ec) return Topology{};
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 5 || name.compare(0, 4, "node") != 0) continue;
+    int id = 0;
+    if (!parse_int(std::string_view(name).substr(4), id)) continue;
+    std::ifstream in(entry.path() / "cpulist");
+    if (!in) continue;
+    std::string line;
+    std::getline(in, line);
+    auto cpus = parse_cpulist(line);
+    // Memory-only nodes (CXL expanders, ballooned guests) have an empty
+    // cpulist; there is nothing to pin to them, so they don't count.
+    if (cpus.empty()) continue;
+    nodes.emplace_back(id, std::move(cpus));
+  }
+  std::sort(nodes.begin(), nodes.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  topo.node_cpus.reserve(nodes.size());
+  for (auto& [id, cpus] : nodes) topo.node_cpus.push_back(std::move(cpus));
+  return topo;
+}
+
+bool disabled_by_env() {
+  const char* env = std::getenv("TLP_NUMA");
+  if (env == nullptr) return false;
+  const std::string_view v(env);
+  return v == "off" || v == "OFF" || v == "0" || v == "false" || v == "FALSE";
+}
+
+const Topology& system_topology() {
+  static const Topology topo = detect();
+  return topo;
+}
+
+bool placement_enabled() {
+  return system_topology().multi_node() && !disabled_by_env();
+}
+
+std::vector<std::vector<std::uint32_t>> steal_victim_orders(
+    const std::vector<std::size_t>& worker_node) {
+  const std::size_t n = worker_node.size();
+  std::vector<std::vector<std::uint32_t>> orders(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    auto& order = orders[w];
+    order.reserve(n - 1);
+    // Two modular passes from w+1: same-node victims, then remote ones.
+    // Within each group the order matches the unbiased sweep, so with one
+    // node this degenerates to exactly the default schedule.
+    for (std::size_t offset = 1; offset < n; ++offset) {
+      const std::size_t v = (w + offset) % n;
+      if (worker_node[v] == worker_node[w]) {
+        order.push_back(static_cast<std::uint32_t>(v));
+      }
+    }
+    for (std::size_t offset = 1; offset < n; ++offset) {
+      const std::size_t v = (w + offset) % n;
+      if (worker_node[v] != worker_node[w]) {
+        order.push_back(static_cast<std::uint32_t>(v));
+      }
+    }
+  }
+  return orders;
+}
+
+}  // namespace tlp::numa

@@ -99,19 +99,40 @@ struct StealStats {
 
 /// Worker w's view of the whole queue array: next() yields tasks until the
 /// fixed task set is exhausted — own queue from the head first, then a
-/// round-robin sweep of the other queues' tails (never its own; offset
-/// starts at 1). The canonical worker body is
+/// sweep of the other queues' tails. The sweep is round-robin from w+1 by
+/// default; a caller may pass an explicit victim order instead (ThreadPool
+/// supplies one biasing same-NUMA-node victims first — see
+/// docs/THREADING.md, "NUMA placement"). Only the schedule changes: which
+/// victim a task is stolen from never affects the task's result, so any
+/// victim order preserves bit-identical phase output. The canonical worker
+/// body is
 ///   while (src.next(t)) run(t);
 class StealSource {
  public:
-  StealSource(std::vector<StealQueue>& queues, std::size_t worker)
-      : queues_(&queues), worker_(worker) {}
+  /// `victim_order`, when non-null, lists the worker indices to probe (in
+  /// order) once w's own queue is empty; entries equal to `worker` or out
+  /// of range for `queues` are skipped. Must outlive the source. Null
+  /// selects the unbiased modular sweep.
+  StealSource(std::vector<StealQueue>& queues, std::size_t worker,
+              const std::vector<std::uint32_t>* victim_order = nullptr)
+      : queues_(&queues), worker_(worker), victim_order_(victim_order) {}
 
   /// Pops the next task for this worker. Returns false when every queue is
   /// empty — final, because the task set is fixed per phase.
   bool next(std::uint32_t& task) {
     if ((*queues_)[worker_].pop_front(task)) return true;
     const std::size_t n = queues_->size();
+    if (victim_order_ != nullptr) {
+      for (const std::uint32_t v : *victim_order_) {
+        if (v == worker_ || v >= n) continue;
+        if ((*queues_)[v].steal_back(task)) {
+          ++stats_.steals;
+          return true;
+        }
+        ++stats_.steal_failures;
+      }
+      return false;
+    }
     for (std::size_t offset = 1; offset < n; ++offset) {
       StealQueue& victim = (*queues_)[(worker_ + offset) % n];
       if (victim.steal_back(task)) {
@@ -128,6 +149,7 @@ class StealSource {
  private:
   std::vector<StealQueue>* queues_;
   std::size_t worker_;
+  const std::vector<std::uint32_t>* victim_order_;
   StealStats stats_;
 };
 

@@ -14,6 +14,15 @@
 // (their futures report std::future_errc::broken_promise) and later
 // submissions are rejected; already-running tasks finish. The destructor
 // stops and joins.
+//
+// NUMA placement (docs/THREADING.md, "NUMA placement"): on multi-node
+// machines — unless TLP_NUMA=off — workers are pinned round-robin across
+// the nodes sysfs reports (util/numa.hpp, no libnuma), and run_stealable's
+// steal sweep probes same-node victims before remote ones. On a
+// single-node machine (or with placement disabled) the pool makes ZERO
+// affinity syscalls and the steal sweep is the classic modular order —
+// graceful degradation, not a special case. Placement moves threads, never
+// results: every phase stays bit-identical pinned or not.
 #pragma once
 
 #include <condition_variable>
@@ -102,6 +111,19 @@ class ThreadPool {
   /// rejects later submits, and wakes idle workers. Running tasks finish.
   void stop();
 
+  /// True iff workers were pinned across NUMA nodes at construction
+  /// (multi-node machine and TLP_NUMA not off). Single-node machines and
+  /// disabled placement report false — and made no affinity syscalls.
+  [[nodiscard]] bool numa_pinning_active() const {
+    return !worker_node_.empty();
+  }
+
+  /// NUMA node worker `w` was pinned to; 0 whenever pinning is inactive
+  /// (the whole machine is then "node 0" as far as placement cares).
+  [[nodiscard]] std::size_t worker_node(std::size_t w) const {
+    return worker_node_.empty() ? 0 : worker_node_[w];
+  }
+
  private:
   void worker_loop();
 
@@ -110,6 +132,12 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   bool stopped_ = false;
+
+  /// Node assignment per worker; empty when placement is inactive.
+  std::vector<std::size_t> worker_node_;
+  /// Same-node-first steal sweeps (numa::steal_victim_orders); empty when
+  /// placement is inactive — run_stealable then uses the modular default.
+  std::vector<std::vector<std::uint32_t>> victim_orders_;
 };
 
 }  // namespace tlp

@@ -138,6 +138,41 @@ TEST(StealQueue, ConcurrentStealCoversEveryTaskExactlyOnce) {
   for (StealQueue& queue : queues) EXPECT_EQ(queue.pending(), 0u);
 }
 
+// An explicit victim order (the NUMA same-node-first bias) changes only
+// which queue a thief probes first — the drained task set is identical.
+TEST(StealQueue, ExplicitVictimOrderDrainsEverythingInOrderGiven) {
+  std::vector<StealQueue> queues(4);
+  queues[1].push(10);
+  queues[2].push(20);
+  queues[3].push(30);
+  // Worker 0, biased order: probe 3 first, then 1, then 2.
+  const std::vector<std::uint32_t> order{3, 1, 2};
+  StealSource source(queues, 0, &order);
+  std::uint32_t task = 0;
+  ASSERT_TRUE(source.next(task));
+  EXPECT_EQ(task, 30u);  // queue 3 probed first per the explicit order
+  ASSERT_TRUE(source.next(task));
+  EXPECT_EQ(task, 10u);
+  ASSERT_TRUE(source.next(task));
+  EXPECT_EQ(task, 20u);
+  EXPECT_FALSE(source.next(task));
+  EXPECT_EQ(source.stats().steals, 3u);
+}
+
+// Out-of-range and self entries in a victim order are skipped, so a
+// pool-sized order works for phases that use fewer queues than workers.
+TEST(StealQueue, VictimOrderSkipsSelfAndOutOfRangeEntries) {
+  std::vector<StealQueue> queues(2);
+  queues[1].push(7);
+  const std::vector<std::uint32_t> order{0, 5, 1};  // self, oob, real
+  StealSource source(queues, 0, &order);
+  std::uint32_t task = 0;
+  ASSERT_TRUE(source.next(task));
+  EXPECT_EQ(task, 7u);
+  EXPECT_FALSE(source.next(task));
+  EXPECT_EQ(source.stats().steals, 1u);
+}
+
 // The imbalance mechanism itself, deterministically: 8 sleep-tasks all
 // owned by worker 0 must end up split with worker 1 once stealing is on.
 // Sleeps overlap even on a single core, so this holds on any host.
