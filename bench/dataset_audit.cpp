@@ -11,6 +11,7 @@
 #include "bench_common/options.hpp"
 #include "bench_common/table.hpp"
 #include "graph/algorithms.hpp"
+#include "graph/builder.hpp"
 #include "graph/stats.hpp"
 
 int main() {
@@ -28,7 +29,8 @@ int main() {
   std::cout << "== Dataset stand-in audit (clustering vs SNAP-published "
                "values) ==\n\n";
   Table table({"Graph", "n", "m", "max deg", "alpha", "avg CC (ours)",
-               "avg CC (real)", "degeneracy", "resident MB", "mapped MB"});
+               "avg CC (real)", "degeneracy", "resident MB", "mapped MB",
+               "build peak MB", "spill runs"});
   const double scale = bench_scale();
   for (const std::string& id : bench_graph_ids()) {
     const Graph g = make_dataset(id, default_scale(id) * scale);
@@ -38,6 +40,17 @@ int main() {
     // CSR footprint on the active storage tier (TLP_BENCH_STORAGE): how much
     // lives in heap vectors vs stays behind the file mapping.
     const MemoryFootprint fp = g.memory_footprint();
+    // Ingest audit: replay the edges through a fresh GraphBuilder (which
+    // honours TLP_BUILD_BUDGET) and report the build-side peak and how many
+    // sorted runs it spilled — the memory story of getting this dataset ON
+    // DISK, as opposed to the partition-time footprint to its left.
+    GraphBuilder rebuild(/*relabel=*/false);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge& edge = g.edge(e);
+      rebuild.add_edge(edge.u, edge.v);
+    }
+    BuildReport build_report;
+    (void)rebuild.build(&build_report);
     const auto mb = [](std::size_t bytes) {
       return fmt_double(static_cast<double>(bytes) / (1024.0 * 1024.0), 1);
     };
@@ -48,7 +61,8 @@ int main() {
                    it == published_cc.end() ? "n/a"
                                             : fmt_double(it->second, 4),
                    std::to_string(degeneracy(g)), mb(fp.resident_bytes),
-                   mb(fp.mapped_bytes)});
+                   mb(fp.mapped_bytes), mb(build_report.build_peak_bytes),
+                   std::to_string(build_report.spill_runs)});
     std::cout.flush();
   }
   table.print(std::cout);

@@ -13,7 +13,7 @@ EdgePartition GreedyPartitioner::do_partition(const Graph& g,
   const PartitionId p = config.num_partitions;
   EdgePartition result(p, g.num_edges());
   ScratchArena& arena = ctx.arena();
-  auto replicas = arena.acquire<ReplicaSet>(g.num_vertices(), ReplicaSet(p));
+  ReplicaSetPool replicas(arena, g.num_vertices(), p);
   auto load = arena.acquire<EdgeId>(p, 0);
   auto remaining = arena.acquire<std::size_t>(g.num_vertices(), 0);
   for (VertexId v = 0; v < g.num_vertices(); ++v) remaining[v] = g.degree(v);
@@ -46,26 +46,29 @@ EdgePartition GreedyPartitioner::do_partition(const Graph& g,
 
   for (const EdgeId e : *order) {
     const Edge& edge = g.edge(e);
-    const ReplicaSet& au = replicas[edge.u];
-    const ReplicaSet& av = replicas[edge.v];
+    const bool u_placed = !replicas.empty(edge.u);
+    const bool v_placed = !replicas.empty(edge.v);
     PartitionId target;
-    if (au.intersects(av)) {
+    if (replicas.intersects(edge.u, edge.v)) {
       // Case 1: shared partition exists; pick the least loaded of them.
-      target = least_loaded(
-          [&](PartitionId k) { return au.contains(k) && av.contains(k); });
+      target = least_loaded([&](PartitionId k) {
+        return replicas.contains(edge.u, k) && replicas.contains(edge.v, k);
+      });
       ++case_shared;
-    } else if (!au.empty() && !av.empty()) {
+    } else if (u_placed && v_placed) {
       // Case 2: both placed, disjoint; replicate the endpoint with fewer
       // remaining edges into a partition of the other (more-remaining)
       // endpoint (PowerGraph rule).
-      const ReplicaSet& anchor =
-          remaining[edge.u] >= remaining[edge.v] ? au : av;
-      target = least_loaded([&](PartitionId k) { return anchor.contains(k); });
+      const VertexId anchor =
+          remaining[edge.u] >= remaining[edge.v] ? edge.u : edge.v;
+      target = least_loaded(
+          [&](PartitionId k) { return replicas.contains(anchor, k); });
       ++case_disjoint;
-    } else if (!au.empty() || !av.empty()) {
+    } else if (u_placed || v_placed) {
       // Case 3: only one endpoint placed; join it.
-      const ReplicaSet& anchor = au.empty() ? av : au;
-      target = least_loaded([&](PartitionId k) { return anchor.contains(k); });
+      const VertexId anchor = u_placed ? edge.u : edge.v;
+      target = least_loaded(
+          [&](PartitionId k) { return replicas.contains(anchor, k); });
       ++case_single;
     } else {
       // Case 4: fresh edge; least-loaded partition overall.
@@ -73,8 +76,8 @@ EdgePartition GreedyPartitioner::do_partition(const Graph& g,
       ++case_fresh;
     }
     result.assign(e, target);
-    replicas[edge.u].insert(target);
-    replicas[edge.v].insert(target);
+    replicas.insert(edge.u, target);
+    replicas.insert(edge.v, target);
     ++load[target];
     --remaining[edge.u];
     --remaining[edge.v];

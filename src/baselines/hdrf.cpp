@@ -13,7 +13,7 @@ EdgePartition HdrfPartitioner::do_partition(const Graph& g,
   const PartitionId p = config.num_partitions;
   EdgePartition result(p, g.num_edges());
   ScratchArena& arena = ctx.arena();
-  auto replicas = arena.acquire<ReplicaSet>(g.num_vertices(), ReplicaSet(p));
+  ReplicaSetPool replicas(arena, g.num_vertices(), p);
   auto load = arena.acquire<EdgeId>(p, 0);
 
   auto order = arena.acquire<EdgeId>(static_cast<std::size_t>(g.num_edges()));
@@ -43,8 +43,8 @@ EdgePartition HdrfPartitioner::do_partition(const Graph& g,
       // preferring to replicate the higher-degree endpoint elsewhere
       // ("highest degree replicated first").
       double c_rep = 0.0;
-      if (replicas[edge.u].contains(k)) c_rep += 1.0 + (1.0 - theta_u);
-      if (replicas[edge.v].contains(k)) c_rep += 1.0 + (1.0 - theta_v);
+      if (replicas.contains(edge.u, k)) c_rep += 1.0 + (1.0 - theta_u);
+      if (replicas.contains(edge.v, k)) c_rep += 1.0 + (1.0 - theta_v);
       const double c_bal =
           static_cast<double>(max_load - load[k]) /
           (kEps + static_cast<double>(max_load - min_load));
@@ -55,8 +55,8 @@ EdgePartition HdrfPartitioner::do_partition(const Graph& g,
       }
     }
     result.assign(e, best);
-    replicas[edge.u].insert(best);
-    replicas[edge.v].insert(best);
+    replicas.insert(edge.u, best);
+    replicas.insert(edge.v, best);
     ++load[best];
   }
   ctx.telemetry().add("edges_assigned", static_cast<double>(g.num_edges()));

@@ -87,7 +87,7 @@ EdgePartition TwoPhaseStreamingPartitioner::do_partition(
 
   // ---- Phase 2: cluster-aware edge assignment ----------------------------
   auto assign_timer = t.time("assign_s");
-  auto replicas = arena.acquire<ReplicaSet>(g.num_vertices(), ReplicaSet(p));
+  ReplicaSetPool replicas(arena, g.num_vertices(), p);
   auto load = arena.acquire<EdgeId>(p, 0);
   const EdgeId cap = config.capacity(g.num_edges()) +
                      config.capacity(g.num_edges()) / 10 + 1;
@@ -115,8 +115,8 @@ EdgePartition TwoPhaseStreamingPartitioner::do_partition(
       }
     }
     result.assign(e, target);
-    replicas[edge.u].insert(target);
-    replicas[edge.v].insert(target);
+    replicas.insert(edge.u, target);
+    replicas.insert(edge.v, target);
     ++load[target];
   }
   assign_timer.stop();

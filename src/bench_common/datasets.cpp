@@ -50,7 +50,7 @@ Graph make_genealogy(VertexId n, EdgeId m, std::uint64_t seed) {
     builder.add_edge(pick(rng), i);
   }
   // Power-law overlay (marriage/cross-clan links) up to m total.
-  const EdgeId forest_edges = builder.size();
+  const EdgeId forest_edges = builder.edges_offered();
   if (m > forest_edges) {
     std::vector<double> weights(n);
     for (VertexId i = 0; i < n; ++i) {

@@ -46,8 +46,7 @@ class MultiRun {
         residual_(g, ctx.arena(),
                   std::max<std::uint32_t>(1, options.num_shards)),
         partition_(config.num_partitions, g.num_edges()),
-        member_(ctx.arena().acquire<ReplicaSet>(
-            g.num_vertices(), ReplicaSet(config.num_partitions))),
+        member_(ctx.arena(), g.num_vertices(), config.num_partitions),
         touched_(ctx.arena().acquire<std::uint8_t>(g.num_vertices(), 0)),
         epoch_(ctx.arena().acquire<std::uint32_t>(g.num_edges(), 0)),
         commit_mark_(ctx.arena().acquire<std::uint32_t>(g.num_edges(), 0)),
@@ -319,7 +318,7 @@ class MultiRun {
   /// a partition joins at most one vertex per step, so only joined_[k]
   /// differs.
   [[nodiscard]] bool member_pre(VertexId x, PartitionId k) const {
-    return member_[x].contains(k) && x != joined_[k];
+    return member_.contains(x, k) && x != joined_[k];
   }
 
   /// Exact μs1 of candidate v for partition k: max over members of k that v
@@ -327,7 +326,7 @@ class MultiRun {
   [[nodiscard]] double mu_s1(VertexId v, PartitionId k) const {
     double best = 0.0;
     for (const Neighbor& nb : g_.neighbors(v)) {
-      if (residual_.is_assigned(nb.edge) || !member_[nb.vertex].contains(k)) {
+      if (residual_.is_assigned(nb.edge) || !member_.contains(nb.vertex, k)) {
         continue;
       }
       const std::size_t dm = g_.degree(nb.vertex);
@@ -360,7 +359,7 @@ class MultiRun {
       const VertexId v = (*seed_order_)[part.seed_cursor];
       // Skipping is permanent only for conditions that never un-happen:
       // exhausted residual degree or prior membership of k.
-      if (residual_.residual_degree(v) == 0 || member_[v].contains(k)) {
+      if (residual_.residual_degree(v) == 0 || member_.contains(v, k)) {
         ++part.seed_cursor;
         continue;
       }
@@ -408,7 +407,7 @@ class MultiRun {
     for (const Neighbor& nb : g_.neighbors(v)) {
       // The far endpoint is a pre-step member of k — or v itself for a
       // self-loop, which becomes internal the moment v joins.
-      if (nb.vertex != v && !member_[nb.vertex].contains(k)) continue;
+      if (nb.vertex != v && !member_.contains(nb.vertex, k)) continue;
       if (dist_) {
         // Sharded mode: no shared word to CAS — ask the owning shard.
         // Partition k is the sender, so the lane is sender-serial no
@@ -577,8 +576,8 @@ class MultiRun {
       const Edge& edge = g_.edge(e);
       if (edge.u == edge.v) continue;  // self-loops are never external
       for (PartitionId q = 0; q < p; ++q) {
-        const bool mu = member_[edge.u].contains(q);
-        const bool mv = member_[edge.v].contains(q);
+        const bool mu = member_.contains(edge.u, q);
+        const bool mv = member_.contains(edge.v, q);
         assert(!(mu && mv));  // co-members' edges can never still be residual
         if (mu != mv) {
           assert(parts_[q].e_out > 0);
@@ -594,7 +593,7 @@ class MultiRun {
       if (part.proposal == kInvalidVertex) continue;
       const VertexId v = part.proposal;
       joined_[k] = v;
-      member_[v].insert(k);
+      member_.insert(v, k);
       touched_[v] = 1;
       ++part.joins;
       if (part.proposal_is_seed) {
@@ -618,7 +617,7 @@ class MultiRun {
       if (v == kInvalidVertex) continue;
       for (const Neighbor& nb : g_.neighbors(v)) {
         if (nb.vertex == v || residual_.is_assigned(nb.edge)) continue;
-        if (member_[nb.vertex].contains(k)) continue;
+        if (member_.contains(nb.vertex, k)) continue;
         ++parts_[k].e_out;
       }
     }
@@ -631,10 +630,10 @@ class MultiRun {
   void refresh_candidate(Worker& worker, VertexId u, PartitionId k,
                          std::uint32_t mark) {
     Part& part = parts_[k];
-    if (member_[u].contains(k)) return;  // it is this step's join itself
+    if (member_.contains(u, k)) return;  // it is this step's join itself
     std::uint32_t c = 0;
     for (const Neighbor& nb : g_.neighbors(u)) {
-      if (!residual_.is_assigned(nb.edge) && member_[nb.vertex].contains(k)) {
+      if (!residual_.is_assigned(nb.edge) && member_.contains(nb.vertex, k)) {
         ++c;
       }
     }
@@ -663,7 +662,7 @@ class MultiRun {
     for (const Neighbor& nb : g_.neighbors(v)) {
       two_hop_cost += g_.degree(nb.vertex);
       if (nb.vertex == v || residual_.is_assigned(nb.edge)) continue;
-      if (member_[nb.vertex].contains(k)) continue;
+      if (member_.contains(nb.vertex, k)) continue;
       if (worker.refreshed[nb.vertex] == mark) continue;
       any = true;
       merge_cost += Graph::intersection_cost(g_.degree(nb.vertex),
@@ -690,7 +689,12 @@ class MultiRun {
       // ahead (random-access increments over an O(n) array).
       const auto hops = g_.neighbor_ids(v);
       for (std::size_t i = 0; i < hops.size(); ++i) {
-        if (i + 1 < hops.size()) g_.prefetch_neighbor_ids(hops[i + 1]);
+        if (i + 1 < hops.size()) {
+          // Same rung-ahead pair as the sequential run, plus the mapped
+          // tiers' MADV_WILLNEED staging of the next adjacency span.
+          g_.prefetch_neighbor_ids(hops[i + 1]);
+          g_.prefetch_adjacency(hops[i + 1]);
+        }
         const auto ids = g_.neighbor_ids(hops[i]);
         for (std::size_t j = 0; j < ids.size(); ++j) {
           if (j + kCountPrefetchDistance < ids.size()) {
@@ -709,7 +713,7 @@ class MultiRun {
       worker.batch_ids->clear();
       for (const Neighbor& nb : g_.neighbors(v)) {
         if (nb.vertex == v || residual_.is_assigned(nb.edge)) continue;
-        if (member_[nb.vertex].contains(k)) continue;
+        if (member_.contains(nb.vertex, k)) continue;
         if (worker.refreshed[nb.vertex] == mark) continue;
         worker.batch_ids->push_back(nb.vertex);
       }
@@ -727,7 +731,7 @@ class MultiRun {
       for (const Neighbor& nb : g_.neighbors(v)) {
         if (nb.vertex == v || residual_.is_assigned(nb.edge)) continue;
         const VertexId u = nb.vertex;
-        if (member_[u].contains(k)) continue;
+        if (member_.contains(u, k)) continue;
         if (worker.refreshed[u] == mark) continue;  // refresh counted v already
         connect(u, static_cast<double>(g_.common_neighbor_count(u, v)) / dv);
       }
@@ -875,7 +879,7 @@ class MultiRun {
 
   ResidualState residual_;
   EdgePartition partition_;
-  ScratchArena::Lease<ReplicaSet> member_;
+  ReplicaSetPool member_;
   ScratchArena::Lease<std::uint8_t> touched_;
   /// Super-step in which each edge's claim CAS was won (0 = never).
   ScratchArena::Lease<std::uint32_t> epoch_;

@@ -1,19 +1,30 @@
 #include "core/residual.hpp"
 
 namespace tlp {
+namespace {
+
+std::size_t max_degree_of(const Graph& g) {
+  std::size_t max_d = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) > max_d) max_d = g.degree(v);
+  }
+  return max_d;
+}
+
+}  // namespace
 
 ResidualState::ResidualState(const Graph& g, ScratchArena& arena,
                              std::uint32_t num_shards)
     : graph_(&g),
       map_(static_cast<std::size_t>(g.num_edges()), num_shards),
-      residual_degree_(arena.acquire<std::uint32_t>(g.num_vertices(), 0)),
+      residual_degree_(arena, g.num_vertices(), max_degree_of(g)),
       unassigned_(g.num_edges()) {
   shards_.reserve(map_.num_shards());
   for (std::uint32_t s = 0; s < map_.num_shards(); ++s) {
     shards_.push_back(arena.acquire<std::uint64_t>(map_.shard_words(s), 0));
   }
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    residual_degree_[v] = static_cast<std::uint32_t>(g.degree(v));
+    residual_degree_.set(v, static_cast<std::uint32_t>(g.degree(v)));
   }
 }
 
@@ -29,9 +40,10 @@ void ResidualState::mark_assigned(EdgeId e) {
 void ResidualState::commit_claim(EdgeId e) {
   assert(is_assigned(e));
   const Edge& edge = graph_->edge(e);
-  assert(residual_degree_[edge.u] > 0 && residual_degree_[edge.v] > 0);
-  --residual_degree_[edge.u];
-  --residual_degree_[edge.v];
+  assert(residual_degree_.get(edge.u) > 0 &&
+         residual_degree_.get(edge.v) > 0);
+  residual_degree_.decrement(edge.u);
+  residual_degree_.decrement(edge.v);
   --unassigned_;
 }
 

@@ -23,6 +23,84 @@
 
 namespace tlp {
 
+/// Per-vertex residual degrees packed to the narrowest unsigned width that
+/// can hold the graph's maximum degree (u8/u16/u32). Most graphs — even
+/// billion-edge ones — have max degree under 64k, so the table shrinks from
+/// 4n bytes to n or 2n; on a memory-budgeted ingest-then-partition pipeline
+/// that is the difference between the O(n) state fitting in cache or not.
+/// The width is fixed at construction, so the switch below is perfectly
+/// predicted on the hot path.
+class PackedDegreeArray {
+ public:
+  PackedDegreeArray(ScratchArena& arena, std::size_t n,
+                    std::size_t max_value)
+      : width_(max_value <= 0xFF ? 1 : max_value <= 0xFFFF ? 2 : 4) {
+    switch (width_) {
+      case 1:
+        d8_ = arena.acquire<std::uint8_t>(n, 0);
+        break;
+      case 2:
+        d16_ = arena.acquire<std::uint16_t>(n, 0);
+        break;
+      default:
+        d32_ = arena.acquire<std::uint32_t>(n, 0);
+        break;
+    }
+  }
+
+  [[nodiscard]] std::uint32_t get(std::size_t i) const {
+    switch (width_) {
+      case 1:
+        return d8_[i];
+      case 2:
+        return d16_[i];
+      default:
+        return d32_[i];
+    }
+  }
+
+  /// Precondition: v fits the construction-time width.
+  void set(std::size_t i, std::uint32_t v) {
+    switch (width_) {
+      case 1:
+        assert(v <= 0xFF);
+        d8_[i] = static_cast<std::uint8_t>(v);
+        break;
+      case 2:
+        assert(v <= 0xFFFF);
+        d16_[i] = static_cast<std::uint16_t>(v);
+        break;
+      default:
+        d32_[i] = v;
+        break;
+    }
+  }
+
+  /// Precondition: get(i) > 0.
+  void decrement(std::size_t i) {
+    switch (width_) {
+      case 1:
+        --d8_[i];
+        break;
+      case 2:
+        --d16_[i];
+        break;
+      default:
+        --d32_[i];
+        break;
+    }
+  }
+
+  /// Bytes per entry actually chosen (1, 2, or 4).
+  [[nodiscard]] unsigned width() const { return width_; }
+
+ private:
+  unsigned width_;
+  ScratchArena::Lease<std::uint8_t> d8_;
+  ScratchArena::Lease<std::uint16_t> d16_;
+  ScratchArena::Lease<std::uint32_t> d32_;
+};
+
 class ResidualState {
  public:
   ResidualState(const Graph& g, ScratchArena& arena,
@@ -42,7 +120,12 @@ class ResidualState {
 
   /// Number of unassigned edges incident to v.
   [[nodiscard]] std::uint32_t residual_degree(VertexId v) const {
-    return residual_degree_[v];
+    return residual_degree_.get(v);
+  }
+
+  /// Bytes per residual-degree entry (1/2/4, chosen from max degree).
+  [[nodiscard]] unsigned residual_degree_width() const {
+    return residual_degree_.width();
   }
 
   [[nodiscard]] EdgeId unassigned_count() const { return unassigned_; }
@@ -96,7 +179,7 @@ class ResidualState {
   /// One bit per edge, one allocation per shard (shards_[s][w] holds local
   /// indices [64w, 64w+63] of shard s).
   std::vector<ScratchArena::Lease<std::uint64_t>> shards_;
-  ScratchArena::Lease<std::uint32_t> residual_degree_;
+  PackedDegreeArray residual_degree_;
   EdgeId unassigned_ = 0;
 };
 

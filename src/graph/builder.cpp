@@ -1,10 +1,118 @@
 #include "graph/builder.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <queue>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
 
+#include "graph/csr_format.hpp"
 #include "graph/io.hpp"
 
 namespace tlp {
+namespace {
+
+/// Smallest chunk the external regime will work with: below this the run
+/// count explodes and the merge heap dominates, defeating the budget.
+constexpr std::size_t kMinChunkEdges = 256;
+
+/// Reverse-run file: magic, u64 count, then {owner, nb, edge} records in
+/// strictly ascending (owner, nb) order. Internal to the builder (the edge
+/// runs are the public, fuzzed surface; this one never outlives a build).
+constexpr std::array<char, 4> kReverseRunMagic = {'T', 'L', 'R', 'R'};
+constexpr std::size_t kReverseBufferRecords = std::size_t{1} << 10;
+
+[[noreturn]] void fail_build(const std::string& what) {
+  throw std::runtime_error("tlp::GraphBuilder: " + what);
+}
+
+std::filesystem::path make_temp_path(const std::filesystem::path& dir,
+                                     const char* stem, const char* ext) {
+  static std::atomic<unsigned> counter{0};
+  std::random_device rd;
+  return dir / (std::string(stem) + "-" + std::to_string(rd()) + "-" +
+                std::to_string(counter.fetch_add(1)) + ext);
+}
+
+std::size_t parse_budget_env() {
+  const char* env = std::getenv("TLP_BUILD_BUDGET");
+  if (env == nullptr || *env == '\0') return 0;
+  std::string_view s(env);
+  if (s == "off" || s == "0") return 0;
+  std::size_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{}) {
+    throw std::invalid_argument(
+        "tlp: bad TLP_BUILD_BUDGET '" + std::string(s) + "'");
+  }
+  std::string_view suffix(ptr, s.data() + s.size() - ptr);
+  if (suffix == "k" || suffix == "K") {
+    value <<= 10;
+  } else if (suffix == "m" || suffix == "M") {
+    value <<= 20;
+  } else if (suffix == "g" || suffix == "G") {
+    value <<= 30;
+  } else if (!suffix.empty()) {
+    throw std::invalid_argument(
+        "tlp: bad TLP_BUILD_BUDGET suffix '" + std::string(suffix) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+GraphBuilder::GraphBuilder(bool relabel)
+    : relabel_(relabel), budget_(parse_budget_env()) {}
+
+GraphBuilder::~GraphBuilder() { remove_runs(); }
+
+void GraphBuilder::set_memory_budget(std::size_t bytes) {
+  if (offered_ != 0) {
+    fail_build("set_memory_budget must precede the first add_edge");
+  }
+  budget_ = bytes;
+}
+
+std::size_t GraphBuilder::chunk_capacity() const {
+  // Half the budget for the chunk itself; the other half stays free for
+  // the merge/reverse structures that follow (and for vector bookkeeping).
+  return std::max(budget_ / (2 * sizeof(Edge)), kMinChunkEdges);
+}
+
+void GraphBuilder::note_live_bytes(std::size_t bytes) {
+  live_bytes_ = bytes;
+  peak_bytes_ = std::max(peak_bytes_, bytes);
+}
+
+void GraphBuilder::remove_runs() {
+  for (const auto& path : runs_) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+  runs_.clear();
+}
+
+void GraphBuilder::reset() {
+  edges_.clear();
+  edges_.shrink_to_fit();
+  remove_runs();
+  relabel_map_.clear();
+  next_id_ = 0;
+  max_id_plus_one_ = 0;
+  offered_ = 0;
+  dropped_self_loops_ = 0;
+  live_bytes_ = 0;
+  peak_bytes_ = 0;
+}
 
 void GraphBuilder::add_edge(VertexId u, VertexId v) {
   if (relabel_) {
@@ -18,12 +126,105 @@ void GraphBuilder::add_edge(VertexId u, VertexId v) {
   } else {
     max_id_plus_one_ = std::max({max_id_plus_one_, u + 1, v + 1});
   }
-  edges_.push_back(Edge{u, v});
+  ++offered_;
+  if (!external()) {
+    edges_.push_back(Edge{u, v});
+    return;
+  }
+  // External regime: canonicalize now (ids are final after interning) so
+  // runs hold exactly what the merge wants; self-loops never reach a run.
+  // Interning/max-tracking above still ran, so self-loop-only vertices
+  // exist in the final graph exactly as in the in-memory regime.
+  if (u == v) {
+    ++dropped_self_loops_;
+    return;
+  }
+  if (edges_.capacity() == 0) edges_.reserve(chunk_capacity());
+  edges_.push_back(Edge{u, v}.canonical());
+  note_live_bytes(edges_.capacity() * sizeof(Edge));
+  if (edges_.size() >= chunk_capacity()) spill_chunk();
+}
+
+void GraphBuilder::spill_chunk() {
+  if (edges_.empty()) return;
+  std::sort(edges_.begin(), edges_.end());
+  const auto last = std::unique(edges_.begin(), edges_.end());
+  edges_.erase(last, edges_.end());
+  const std::filesystem::path dir =
+      storage_.spill_dir.empty() ? std::filesystem::temp_directory_path()
+                                 : storage_.spill_dir;
+  const auto path = make_temp_path(dir, "tlp-run", ".tlpr");
+  io::write_edge_run(path, edges_.data(), edges_.size());
+  runs_.push_back(path);
+  edges_.clear();
+}
+
+template <typename Fn>
+void GraphBuilder::for_each_merged_edge(Fn&& fn) const {
+  // Resident chunk is always empty here in the external regime (the final
+  // chunk is spilled before the merge), so the k-way heap covers it all;
+  // the budget==0 path merges the single sorted resident vector trivially.
+  if (runs_.empty()) {
+    Edge prev{};
+    bool first = true;
+    for (const Edge& e : edges_) {
+      if (!first && e == prev) continue;
+      fn(e);
+      prev = e;
+      first = false;
+    }
+    return;
+  }
+  std::vector<io::EdgeRunReader> readers;
+  readers.reserve(runs_.size());
+  for (const auto& path : runs_) readers.emplace_back(path);
+
+  using HeapItem = std::pair<Edge, std::size_t>;  // (edge, run index)
+  const auto later = [](const HeapItem& a, const HeapItem& b) {
+    return a.first > b.first || (a.first == b.first && a.second > b.second);
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(later)> heap(
+      later);
+  Edge e{};
+  for (std::size_t i = 0; i < readers.size(); ++i) {
+    if (readers[i].next(e)) heap.push({e, i});
+  }
+  Edge prev{};
+  bool first = true;
+  while (!heap.empty()) {
+    const auto [top, run] = heap.top();
+    heap.pop();
+    if (first || top != prev) {  // cross-run duplicates collapse here
+      fn(top);
+      prev = top;
+      first = false;
+    }
+    if (readers[run].next(e)) heap.push({e, run});
+  }
 }
 
 Graph GraphBuilder::build(BuildReport* report) {
+  if (external()) {
+    const std::filesystem::path dir =
+        storage_.spill_dir.empty() ? std::filesystem::temp_directory_path()
+                                   : storage_.spill_dir;
+    const auto path = make_temp_path(dir, "tlp-build", ".tlpc");
+    try {
+      build_to_file(path, report);
+      // We wrote these bytes ourselves a moment ago; skip re-validation.
+      StorageOptions reopen = storage_;
+      reopen.verify = false;
+      return Graph::from_storage(
+          open_csr_storage(path, reopen, /*unlink_after_open=*/true));
+    } catch (...) {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+      throw;
+    }
+  }
+
   BuildReport local;
-  local.input_edges = edges_.size();
+  local.input_edges = offered_;
   local.relabeled = relabel_;
 
   // Clean in place — canonicalize and drop self-loops with a compaction
@@ -50,18 +251,253 @@ Graph GraphBuilder::build(BuildReport* report) {
   local.kept_edges = edges_.size();
 
   const VertexId n = relabel_ ? next_id_ : max_id_plus_one_;
+  const std::size_t m = edges_.size();
+  // Input list + the CSR arrays from_edges builds while the list is alive.
+  local.build_peak_bytes =
+      edges_.capacity() * sizeof(Edge) + (n + 1) * sizeof(std::size_t) +
+      2 * m * (sizeof(Neighbor) + sizeof(VertexId)) + m * sizeof(Edge);
   Graph g = Graph::from_edges(n, std::move(edges_));
   if (storage_.tier != StorageTier::kInMemory) {
     g = io::with_tier(g, storage_);
   }
 
-  edges_.clear();
-  relabel_map_.clear();
-  next_id_ = 0;
-  max_id_plus_one_ = 0;
+  reset();
 
   if (report != nullptr) *report = local;
   return g;
+}
+
+void GraphBuilder::build_to_file(const std::filesystem::path& path,
+                                 BuildReport* report) {
+  BuildReport local;
+  local.input_edges = offered_;
+  local.relabeled = relabel_;
+
+  if (!external()) {
+    // Unbounded: clean the single resident list in place, then stream it
+    // through the same writer passes the external regime uses.
+    std::size_t out = 0;
+    for (const Edge& e : edges_) {
+      if (e.is_self_loop()) {
+        ++local.self_loops;
+      } else {
+        edges_[out++] = e.canonical();
+      }
+    }
+    edges_.resize(out);
+    std::sort(edges_.begin(), edges_.end());
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+    note_live_bytes(edges_.capacity() * sizeof(Edge));
+  } else {
+    local.self_loops = dropped_self_loops_;
+    spill_chunk();  // final partial chunk
+    edges_.clear();
+    edges_.shrink_to_fit();
+  }
+  local.spill_runs = runs_.size();
+
+  const VertexId n = relabel_ ? next_id_ : max_id_plus_one_;
+  const std::size_t run_buffers =
+      runs_.size() * (std::size_t{1} << 14);  // EdgeRunReader staging
+
+  // Pass 1 — count: one merged scan establishes m and every degree, which
+  // is all the offset section needs. The degree array is the only O(n)
+  // allocation of the whole build (the relabel map aside).
+  std::vector<std::uint64_t> degree(static_cast<std::size_t>(n) + 1, 0);
+  std::uint64_t m = 0;
+  for_each_merged_edge([&](const Edge& e) {
+    ++m;
+    ++degree[e.u];
+    ++degree[e.v];
+  });
+  note_live_bytes(degree.capacity() * sizeof(std::uint64_t) + run_buffers +
+                  edges_.capacity() * sizeof(Edge));
+  local.kept_edges = static_cast<std::size_t>(m);
+  // Self-loops were counted at add_edge (external) or in the cleaning pass
+  // above (unbounded); everything else that went missing was a duplicate:
+  // offered == self_loops + duplicates + kept.
+  local.duplicate_edges =
+      local.input_edges - local.self_loops - local.kept_edges;
+
+  io::CsrFileWriter writer(path, n, static_cast<EdgeId>(m));
+  std::uint64_t prefix = 0;
+  writer.append_offset(0);
+  for (VertexId v = 0; v < n; ++v) {
+    prefix += degree[v];
+    writer.append_offset(prefix);
+  }
+  degree.clear();
+  degree.shrink_to_fit();
+
+  // Pass 2 — edge section + reverse spill: the merged stream is already
+  // the edge section in id order (ids are positions in the sorted stream),
+  // and it is simultaneously the *forward* adjacency stream (grouped by
+  // the smaller endpoint, ascending). The *reverse* direction (owner = the
+  // larger endpoint) arrives out of order, so it externally sorts through
+  // bounded (owner, nb, edge) runs.
+  std::vector<std::filesystem::path> reverse_runs;
+  const std::size_t reverse_capacity =
+      external()
+          ? std::max(budget_ / (2 * sizeof(ReverseEntry)), kMinChunkEdges)
+          : std::numeric_limits<std::size_t>::max();
+  std::vector<ReverseEntry> reverse;
+  if (reverse_capacity != std::numeric_limits<std::size_t>::max()) {
+    reverse.reserve(reverse_capacity);
+  }
+  const std::filesystem::path run_dir =
+      storage_.spill_dir.empty() ? std::filesystem::temp_directory_path()
+                                 : storage_.spill_dir;
+  const auto spill_reverse = [&] {
+    std::sort(reverse.begin(), reverse.end());
+    const auto rpath = make_temp_path(run_dir, "tlp-rev", ".tlpr");
+    std::ofstream out(rpath, std::ios::binary | std::ios::trunc);
+    if (!out) fail_build("cannot open reverse run '" + rpath.string() + "'");
+    out.write(kReverseRunMagic.data(), kReverseRunMagic.size());
+    const std::uint64_t count = reverse.size();
+    out.write(reinterpret_cast<const char*>(&count), sizeof count);
+    out.write(reinterpret_cast<const char*>(reverse.data()),
+              static_cast<std::streamsize>(count * sizeof(ReverseEntry)));
+    out.flush();
+    if (!out) fail_build("I/O error on reverse run '" + rpath.string() + "'");
+    reverse_runs.push_back(rpath);
+    reverse.clear();
+  };
+
+  try {
+    std::uint64_t edge_id = 0;
+    for_each_merged_edge([&](const Edge& e) {
+      writer.append_edge(e);
+      reverse.push_back(ReverseEntry{e.v, e.u, edge_id});
+      ++edge_id;
+      if (reverse.size() >= reverse_capacity) spill_reverse();
+    });
+    if (!reverse_runs.empty() && !reverse.empty()) spill_reverse();
+    if (!reverse_runs.empty()) {
+      reverse.shrink_to_fit();
+    } else {
+      std::sort(reverse.begin(), reverse.end());
+    }
+    local.spill_runs += reverse_runs.size();
+    note_live_bytes(reverse.capacity() * sizeof(ReverseEntry) + run_buffers +
+                    reverse_runs.size() * kReverseBufferRecords *
+                        sizeof(ReverseEntry));
+
+    // Pass 3 — adjacency: merge the reverse runs (owner ascending) against
+    // a fresh forward merge of the edge runs (also owner ascending, with
+    // the same deterministic ids). For any owner x every reverse neighbor
+    // is < x and every forward neighbor is > x, so an (owner, nb) merge
+    // interleaves both directions into exactly the CSR adjacency order.
+    struct ReverseSource {
+      std::ifstream in;
+      std::uint64_t remaining = 0;
+      std::vector<ReverseEntry> buf;
+      std::size_t pos = 0;
+      ReverseEntry prev{};
+      bool any = false;
+      std::filesystem::path path;
+
+      bool next(ReverseEntry& out_entry) {
+        if (pos == buf.size()) {
+          if (remaining == 0) return false;
+          const auto want = static_cast<std::size_t>(std::min<std::uint64_t>(
+              remaining, kReverseBufferRecords));
+          buf.resize(want);
+          pos = 0;
+          in.read(reinterpret_cast<char*>(buf.data()),
+                  static_cast<std::streamsize>(want * sizeof(ReverseEntry)));
+          if (!in) {
+            fail_build("truncated reverse run '" + path.string() + "'");
+          }
+          remaining -= want;
+        }
+        out_entry = buf[pos++];
+        if (any && !(prev < out_entry)) {
+          fail_build("reverse run '" + path.string() + "' out of order");
+        }
+        prev = out_entry;
+        any = true;
+        return true;
+      }
+    };
+
+    std::vector<ReverseSource> rev_sources(reverse_runs.size());
+    for (std::size_t i = 0; i < reverse_runs.size(); ++i) {
+      auto& src = rev_sources[i];
+      src.path = reverse_runs[i];
+      src.in.open(reverse_runs[i], std::ios::binary);
+      std::array<char, 4> magic{};
+      src.in.read(magic.data(), magic.size());
+      std::uint64_t count = 0;
+      src.in.read(reinterpret_cast<char*>(&count), sizeof count);
+      if (!src.in || magic != kReverseRunMagic) {
+        fail_build("corrupt reverse run '" + reverse_runs[i].string() + "'");
+      }
+      src.remaining = count;
+    }
+
+    using RevItem = std::pair<ReverseEntry, std::size_t>;
+    const auto rev_later = [](const RevItem& a, const RevItem& b) {
+      return b.first < a.first;
+    };
+    std::priority_queue<RevItem, std::vector<RevItem>, decltype(rev_later)>
+        rev_heap(rev_later);
+    ReverseEntry re{};
+    for (std::size_t i = 0; i < rev_sources.size(); ++i) {
+      if (rev_sources[i].next(re)) rev_heap.push({re, i});
+    }
+    std::size_t resident_pos = 0;  // cursor over the in-RAM reverse vector
+
+    const auto next_reverse = [&](ReverseEntry& out_entry) -> bool {
+      if (!reverse_runs.empty()) {
+        if (rev_heap.empty()) return false;
+        auto [top, src] = rev_heap.top();
+        rev_heap.pop();
+        out_entry = top;
+        ReverseEntry refill{};
+        if (rev_sources[src].next(refill)) rev_heap.push({refill, src});
+        return true;
+      }
+      if (resident_pos == reverse.size()) return false;
+      out_entry = reverse[resident_pos++];
+      return true;
+    };
+
+    ReverseEntry pending_rev{};
+    bool have_rev = next_reverse(pending_rev);
+    std::uint64_t forward_id = 0;
+    for_each_merged_edge([&](const Edge& e) {
+      // Emit every reverse record strictly before (e.u, e.v) first: those
+      // belong to owners <= e.u (reverse nb < owner keeps them ahead of
+      // the owner's forward records, which start at nb > owner).
+      while (have_rev && (pending_rev.owner < e.u ||
+                          (pending_rev.owner == e.u && pending_rev.nb < e.v))) {
+        writer.append_adjacency(pending_rev.nb, pending_rev.edge);
+        have_rev = next_reverse(pending_rev);
+      }
+      writer.append_adjacency(e.v, forward_id);
+      ++forward_id;
+    });
+    while (have_rev) {
+      writer.append_adjacency(pending_rev.nb, pending_rev.edge);
+      have_rev = next_reverse(pending_rev);
+    }
+
+    writer.finish();
+  } catch (...) {
+    for (const auto& rpath : reverse_runs) {
+      std::error_code ec;
+      std::filesystem::remove(rpath, ec);
+    }
+    throw;
+  }
+  for (const auto& rpath : reverse_runs) {
+    std::error_code ec;
+    std::filesystem::remove(rpath, ec);
+  }
+
+  local.build_peak_bytes = peak_bytes_;
+  reset();
+  if (report != nullptr) *report = local;
 }
 
 }  // namespace tlp

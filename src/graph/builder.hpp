@@ -3,9 +3,24 @@
 // Real-world edge lists (the SNAP datasets the paper uses) contain duplicate
 // edges, both orientations of the same edge, self-loops, and sparse vertex
 // id spaces. The builder normalizes all of that and reports what it dropped.
+//
+// Two build regimes share one observable contract (byte-identical output):
+//
+//   * in-memory (default) — edges accumulate in one vector, build() cleans
+//     it in place and hands it to Graph::from_edges.
+//   * external-memory — set_memory_budget(bytes) (or the TLP_BUILD_BUDGET
+//     environment variable) bounds the builder's working set. add_edge
+//     canonicalizes immediately into a budget-sized chunk; full chunks are
+//     sorted, deduplicated, and spilled to temp run files (io::EdgeRunReader
+//     format). build_to_file() then k-way-merges the runs with global dedup
+//     straight into a streaming io::CsrFileWriter — the full edge list and
+//     the CSR never exist on the heap, so graphs far larger than RAM ingest
+//     under the cap. build() in this regime routes through a temp TLPC file
+//     and reopens it on the configured storage tier.
 #pragma once
 
 #include <cstddef>
+#include <filesystem>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -24,38 +39,96 @@ struct BuildReport {
   std::size_t duplicate_edges = 0;   ///< dropped (either orientation)
   std::size_t kept_edges = 0;        ///< edges in the final graph
   bool relabeled = false;            ///< true if vertex ids were compacted
+  std::size_t spill_runs = 0;        ///< sorted run files written (0 = none)
+  std::size_t build_peak_bytes = 0;  ///< peak heap bytes the builder owned
 };
 
-/// Accumulates edges and produces an immutable Graph.
+/// Accumulates edges and produces an immutable Graph (or a TLPC file).
 class GraphBuilder {
  public:
   /// `relabel`: if true (default), arbitrary vertex ids are compacted to a
   /// dense [0, n) range in first-seen order; if false, ids are used as-is and
-  /// num_vertices = max id + 1.
-  explicit GraphBuilder(bool relabel = true) : relabel_(relabel) {}
+  /// num_vertices = max id + 1. A TLP_BUILD_BUDGET environment variable
+  /// (bytes, optional k/m/g suffix) preloads the memory budget.
+  explicit GraphBuilder(bool relabel = true);
 
-  /// Adds one undirected edge; self-loops and duplicates are dropped at
-  /// build() time, not here (so add_edge stays O(1)).
+  GraphBuilder(const GraphBuilder&) = delete;
+  GraphBuilder& operator=(const GraphBuilder&) = delete;
+  ~GraphBuilder();
+
+  /// Adds one undirected edge. In-memory regime: self-loops and duplicates
+  /// are dropped at build() time, not here (so add_edge stays O(1)).
+  /// External regime: canonicalization and self-loop dropping happen here;
+  /// a full chunk is sorted and spilled, keeping the builder under budget.
   void add_edge(VertexId u, VertexId v);
 
-  /// Number of edges offered so far (before dedup).
-  [[nodiscard]] std::size_t size() const { return edges_.size(); }
+  /// Number of edges offered so far via add_edge — the pre-dedup count, NOT
+  /// the number the final graph will keep (self-loops and duplicates are
+  /// still to be dropped, and in the external regime offered edges may
+  /// already live in spill runs rather than in this process).
+  [[nodiscard]] std::size_t edges_offered() const { return offered_; }
+
+  /// Caps the builder's working set. 0 (default) = unbounded in-memory
+  /// build; any positive value switches to the external-memory regime with
+  /// chunk/merge buffers sized to the budget. Must be called before the
+  /// first add_edge.
+  void set_memory_budget(std::size_t bytes);
+  [[nodiscard]] std::size_t memory_budget() const { return budget_; }
 
   /// Selects the storage tier of the built graph. Non-default tiers spill
-  /// the CSR through io::with_tier after the in-memory build.
+  /// the CSR through io::with_tier after the in-memory build; the external
+  /// regime reopens its own TLPC spill on this tier directly. The
+  /// spill_dir option also hosts the external regime's run files.
   void set_storage(StorageOptions options) { storage_ = std::move(options); }
 
   /// Produces the cleaned graph; the builder is left empty afterwards.
-  /// If `report` is non-null it receives the cleaning statistics. Cleaning
-  /// happens in place (canonicalize/compact, then sort + unique the same
-  /// buffer), so the build peak is the input list plus the final CSR — not
-  /// the old 2× intermediate copy.
+  /// If `report` is non-null it receives the cleaning statistics. The
+  /// in-memory regime cleans in place (canonicalize/compact, then sort +
+  /// unique the same buffer), so the build peak is the input list plus the
+  /// final CSR — not the old 2× intermediate copy.
   [[nodiscard]] Graph build(BuildReport* report = nullptr);
 
+  /// Streams the cleaned graph straight into a TLPC CSR file at `path`
+  /// without materializing the edge list or the CSR on the heap: one merge
+  /// pass counts degrees and finishes the offset section, the next streams
+  /// the edge section (externally sorting the reverse adjacency), and the
+  /// last interleaves both adjacency directions in CSR order. Output is
+  /// byte-identical to write_csr_file(build(), path) for every budget,
+  /// including 0. The builder is left empty afterwards.
+  void build_to_file(const std::filesystem::path& path,
+                     BuildReport* report = nullptr);
+
  private:
+  struct ReverseEntry {  // one mapped adjacency record awaiting its owner
+    VertexId owner = 0;  // edge endpoint v (the larger one)
+    VertexId nb = 0;     // edge endpoint u
+    EdgeId edge = 0;
+    friend constexpr auto operator<=>(const ReverseEntry&,
+                                      const ReverseEntry&) = default;
+  };
+
+  [[nodiscard]] bool external() const { return budget_ > 0; }
+  [[nodiscard]] std::size_t chunk_capacity() const;
+  void spill_chunk();
+  void note_live_bytes(std::size_t bytes);
+  void reset();
+  void remove_runs();
+
+  /// Calls fn(edge) for every distinct canonical edge, ascending, merging
+  /// the resident chunk with all spilled runs. Deterministic: every
+  /// invocation yields the identical stream.
+  template <typename Fn>
+  void for_each_merged_edge(Fn&& fn) const;
+
   bool relabel_;
   StorageOptions storage_;
-  EdgeList edges_;
+  std::size_t budget_ = 0;
+  EdgeList edges_;  // in-memory: raw offered edges; external: current chunk
+  std::vector<std::filesystem::path> runs_;
+  std::size_t offered_ = 0;
+  std::size_t dropped_self_loops_ = 0;  // external regime: dropped at add
+  std::size_t live_bytes_ = 0;
+  std::size_t peak_bytes_ = 0;
   std::unordered_map<VertexId, VertexId> relabel_map_;
   VertexId next_id_ = 0;
   VertexId max_id_plus_one_ = 0;

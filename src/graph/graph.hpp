@@ -147,6 +147,28 @@ class Graph {
     simd::prefetch_read(base);
   }
 
+  /// Hints the kernel that v's adjacency (both the Neighbor records and
+  /// the vertex-only mirror) will be walked soon: MADV_WILLNEED on the
+  /// mapped span. The growth hot paths call this one frontier rung ahead
+  /// of the two-hop counting scan. No-op for in-memory graphs (the common
+  /// case pays one predictable branch), for resident hybrid vertices, for
+  /// spans under a page, when TLP_MADVISE is off, and off Linux.
+  void prefetch_adjacency(VertexId v) const {
+    if (mapped_) storage_->prefetch_adjacency(v);
+  }
+
+  /// Releases the mapped adjacency spans back to the kernel
+  /// (MADV_DONTNEED) after a partition run commits; pages re-fault from
+  /// the page cache/file if touched again. No-op on in-memory graphs.
+  void release_cold_pages() const {
+    if (mapped_) storage_->release_cold_pages();
+  }
+
+  /// madvise syscalls the underlying storage has issued (telemetry gauge).
+  [[nodiscard]] std::uint64_t madvise_calls() const {
+    return storage_ == nullptr ? 0 : storage_->madvise_calls();
+  }
+
   /// Which tier the CSR bytes live on (kInMemory for default-constructed
   /// and from_edges graphs).
   [[nodiscard]] StorageTier storage_tier() const {
@@ -172,6 +194,7 @@ class Graph {
 
   std::shared_ptr<const GraphStorage> storage_;
   StorageView view_;  // cached by value: hot accessors never indirect
+  bool mapped_ = false;  // true iff a non-in-memory tier backs the view
 };
 
 }  // namespace tlp

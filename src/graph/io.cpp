@@ -235,68 +235,258 @@ Graph read_binary_file(const std::filesystem::path& path) {
   return read_binary(in);
 }
 
-void write_csr_file(const Graph& g, const std::filesystem::path& path) {
-  auto out = open_output(path, /*binary=*/true);
-  const csr::Header h = csr::layout_for(g.num_vertices(), g.num_edges());
+namespace {
 
-  std::uint64_t pos = 0;
-  const auto put = [&out, &pos](const void* src, std::size_t bytes) {
-    out.write(static_cast<const char*>(src),
-              static_cast<std::streamsize>(bytes));
-    pos += bytes;
-  };
-  const auto pad_to = [&put, &pos](std::uint64_t target) {
-    static constexpr char zeros[csr::kSectionAlign] = {};
-    while (pos < target) {
-      put(zeros, static_cast<std::size_t>(
-                     std::min<std::uint64_t>(target - pos, sizeof zeros)));
-    }
-  };
+/// Staging-buffer capacity per section cursor. Four buffers at ~256KiB of
+/// payload each keep the writer's footprint O(1) while still issuing
+/// large sequential writes.
+constexpr std::size_t kWriterStageRecords = std::size_t{1} << 14;
+
+}  // namespace
+
+CsrFileWriter::CsrFileWriter(const std::filesystem::path& path,
+                             VertexId num_vertices, EdgeId num_edges)
+    : path_(path),
+      out_(path, std::ios::binary | std::ios::trunc),
+      num_vertices_(num_vertices),
+      num_edges_(num_edges) {
+  if (!out_) fail("cannot open '" + path.string() + "' for writing");
+  const csr::Header h = csr::layout_for(num_vertices_, num_edges_);
+  offsets_pos_ = h.offsets.offset;
+  adjacency_pos_ = h.adjacency.offset;
+  ids_pos_ = h.adjacency_ids.offset;
+  edges_pos_ = h.edges.offset;
 
   unsigned char header[csr::kHeaderBytes];
   csr::encode_header(h, header);
-  put(header, sizeof header);
+  write_at(0, header, sizeof header);
+  // The gap between the header and the first section never sees another
+  // cursor; zero it now so no byte of the file is left to chance.
+  pad_range(csr::kHeaderBytes, h.offsets.offset);
 
-  // Offsets: recomputed from degrees (the facade does not expose the raw
-  // array, and this keeps the writer tier-agnostic).
-  pad_to(h.offsets.offset);
+  offset_buf_.reserve(kWriterStageRecords);
+  adj_buf_.reserve(kWriterStageRecords);
+  ids_buf_.reserve(kWriterStageRecords);
+  edge_buf_.reserve(kWriterStageRecords);
+}
+
+CsrFileWriter::~CsrFileWriter() = default;
+
+void CsrFileWriter::write_at(std::uint64_t pos, const void* src,
+                             std::size_t bytes) {
+  out_.seekp(static_cast<std::streamoff>(pos));
+  out_.write(static_cast<const char*>(src),
+             static_cast<std::streamsize>(bytes));
+  if (!out_) fail("I/O error while writing '" + path_.string() + "'");
+}
+
+void CsrFileWriter::pad_range(std::uint64_t begin, std::uint64_t end) {
+  static constexpr char zeros[csr::kSectionAlign] = {};
+  while (begin < end) {
+    const auto chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(end - begin, sizeof zeros));
+    write_at(begin, zeros, chunk);
+    begin += chunk;
+  }
+}
+
+void CsrFileWriter::flush_offsets() {
+  if (offset_buf_.empty()) return;
+  write_at(offsets_pos_, offset_buf_.data(),
+           offset_buf_.size() * sizeof(std::uint64_t));
+  offsets_pos_ += offset_buf_.size() * sizeof(std::uint64_t);
+  offset_buf_.clear();
+}
+
+void CsrFileWriter::flush_adjacency() {
+  if (adj_buf_.empty()) return;
+  write_at(adjacency_pos_, adj_buf_.data(),
+           adj_buf_.size() * sizeof(PackedNeighbor));
+  adjacency_pos_ += adj_buf_.size() * sizeof(PackedNeighbor);
+  write_at(ids_pos_, ids_buf_.data(), ids_buf_.size() * sizeof(VertexId));
+  ids_pos_ += ids_buf_.size() * sizeof(VertexId);
+  adj_buf_.clear();
+  ids_buf_.clear();
+}
+
+void CsrFileWriter::flush_edges() {
+  if (edge_buf_.empty()) return;
+  write_at(edges_pos_, edge_buf_.data(), edge_buf_.size() * sizeof(Edge));
+  edges_pos_ += edge_buf_.size() * sizeof(Edge);
+  edge_buf_.clear();
+}
+
+void CsrFileWriter::append_offset(std::uint64_t offset) {
+  if (offsets_written_ > 0 && offset < last_offset_) {
+    fail("CsrFileWriter: offsets not monotone");
+  }
+  if (offsets_written_ == 0 && offset != 0) {
+    fail("CsrFileWriter: offsets[0] != 0");
+  }
+  if (offsets_written_ >= num_vertices_ + 1) {
+    fail("CsrFileWriter: too many offsets");
+  }
+  last_offset_ = offset;
+  ++offsets_written_;
+  offset_buf_.push_back(offset);
+  if (offset_buf_.size() >= kWriterStageRecords) flush_offsets();
+}
+
+void CsrFileWriter::append_adjacency(VertexId vertex, EdgeId edge) {
+  if (adjacency_written_ >= 2 * num_edges_) {
+    fail("CsrFileWriter: too many adjacency records");
+  }
+  ++adjacency_written_;
+  adj_buf_.push_back(PackedNeighbor{vertex, 0, edge});
+  ids_buf_.push_back(vertex);
+  if (adj_buf_.size() >= kWriterStageRecords) flush_adjacency();
+}
+
+void CsrFileWriter::append_edge(const Edge& e) {
+  if (edges_written_ >= num_edges_) fail("CsrFileWriter: too many edges");
+  ++edges_written_;
+  edge_buf_.push_back(e);
+  if (edge_buf_.size() >= kWriterStageRecords) flush_edges();
+}
+
+void CsrFileWriter::finish() {
+  if (finished_) return;
+  if (offsets_written_ != num_vertices_ + 1) {
+    fail("CsrFileWriter: offsets section incomplete");
+  }
+  if (last_offset_ != 2 * num_edges_) {
+    fail("CsrFileWriter: offsets[n] != 2m");
+  }
+  if (adjacency_written_ != 2 * num_edges_) {
+    fail("CsrFileWriter: adjacency section incomplete");
+  }
+  if (edges_written_ != num_edges_) {
+    fail("CsrFileWriter: edge section incomplete");
+  }
+  flush_offsets();
+  flush_adjacency();
+  flush_edges();
+  // Alignment gaps between sections (and the tail) belong to no cursor;
+  // zero them explicitly instead of relying on filesystem hole semantics.
+  const csr::Header h = csr::layout_for(num_vertices_, num_edges_);
+  pad_range(offsets_pos_, h.adjacency.offset);
+  pad_range(adjacency_pos_, h.adjacency_ids.offset);
+  pad_range(ids_pos_, h.edges.offset);
+  pad_range(edges_pos_, h.file_bytes);
+  out_.flush();
+  if (!out_) fail("I/O error while finishing '" + path_.string() + "'");
+  out_.close();
+  finished_ = true;
+}
+
+void write_csr_file(const Graph& g, const std::filesystem::path& path) {
+  CsrFileWriter writer(path, g.num_vertices(), g.num_edges());
   std::uint64_t offset = 0;
-  put(&offset, sizeof offset);
+  writer.append_offset(0);
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     offset += g.degree(v);
-    put(&offset, sizeof offset);
+    writer.append_offset(offset);
   }
-
-  // Adjacency: explicit per-record staging zero-fills the 4 padding bytes
-  // of Neighbor, keeping the file byte-deterministic regardless of what
-  // the in-memory padding holds.
-  pad_to(h.adjacency.offset);
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     for (const Neighbor& nb : g.neighbors(v)) {
-      unsigned char rec[sizeof(Neighbor)] = {};
-      std::memcpy(rec, &nb.vertex, sizeof nb.vertex);
-      std::memcpy(rec + offsetof(Neighbor, edge), &nb.edge, sizeof nb.edge);
-      put(rec, sizeof rec);
+      writer.append_adjacency(nb.vertex, nb.edge);
     }
   }
-
-  pad_to(h.adjacency_ids.offset);
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    const auto ids = g.neighbor_ids(v);
-    put(ids.data(), ids.size_bytes());
+  for (const Edge& e : g.edges()) {
+    writer.append_edge(e);
   }
-
-  pad_to(h.edges.offset);
-  const auto edges = g.edges();
-  put(edges.data(), edges.size_bytes());
-  pad_to(h.file_bytes);
-
-  if (!out) fail("I/O error while writing binary CSR file");
+  writer.finish();
 }
 
 Graph load_csr_file(const std::filesystem::path& path,
                     const StorageOptions& options) {
   return Graph::from_storage(open_csr_storage(path, options));
+}
+
+namespace {
+
+constexpr std::array<char, 4> kRunMagic = {'T', 'L', 'P', 'R'};
+constexpr std::size_t kRunBufferEdges = std::size_t{1} << 11;  // 16KiB
+
+[[noreturn]] void fail_run(const std::filesystem::path& path,
+                           const std::string& what) {
+  fail("spill run '" + path.string() + "': " + what);
+}
+
+}  // namespace
+
+void write_edge_run(const std::filesystem::path& path, const Edge* edges,
+                    std::size_t count) {
+  auto out = open_output(path, /*binary=*/true);
+  out.write(kRunMagic.data(), kRunMagic.size());
+  const std::uint64_t declared = count;
+  write_pod(out, declared);
+  out.write(reinterpret_cast<const char*>(edges),
+            static_cast<std::streamsize>(count * sizeof(Edge)));
+  out.flush();
+  if (!out) fail("I/O error while writing spill run '" + path.string() + "'");
+}
+
+EdgeRunReader::EdgeRunReader(const std::filesystem::path& path)
+    : path_(path), in_(path, std::ios::binary) {
+  if (!in_) fail_run(path_, "cannot open");
+  in_.seekg(0, std::ios::end);
+  const auto file_bytes = static_cast<std::uint64_t>(in_.tellg());
+  in_.seekg(0);
+  std::array<char, 4> magic{};
+  in_.read(magic.data(), magic.size());
+  if (!in_ || magic != kRunMagic) fail_run(path_, "bad magic");
+  in_.read(reinterpret_cast<char*>(&count_), sizeof count_);
+  if (!in_) fail_run(path_, "truncated header");
+  const std::uint64_t header = kRunMagic.size() + sizeof count_;
+  if (count_ > (file_bytes - header) / sizeof(Edge) ||
+      file_bytes != header + count_ * sizeof(Edge)) {
+    fail_run(path_, "record count inconsistent with file size");
+  }
+  buf_.reserve(std::min<std::uint64_t>(count_, kRunBufferEdges));
+}
+
+bool EdgeRunReader::next(Edge& out) {
+  if (consumed_ == count_) return false;
+  if (buf_pos_ == buf_.size()) {
+    const auto want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(count_ - consumed_, kRunBufferEdges));
+    buf_.resize(want);
+    buf_pos_ = 0;
+    in_.read(reinterpret_cast<char*>(buf_.data()),
+             static_cast<std::streamsize>(want * sizeof(Edge)));
+    if (!in_) fail_run(path_, "truncated payload");
+  }
+  out = buf_[buf_pos_++];
+  if (out.u >= out.v) fail_run(path_, "non-canonical edge record");
+  if (consumed_ > 0 && !(prev_ < out)) fail_run(path_, "records out of order");
+  prev_ = out;
+  ++consumed_;
+  return true;
+}
+
+BuildReport convert_edge_list_to_csr(const std::filesystem::path& input,
+                                     const std::filesystem::path& output,
+                                     bool relabel) {
+  auto in = open_input(input, /*binary=*/false);
+  GraphBuilder builder(relabel);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const char* pos = line.data();
+    const char* end = line.data() + line.size();
+    while (pos != end && (*pos == ' ' || *pos == '\t' || *pos == '\r')) ++pos;
+    if (pos == end || *pos == '#' || *pos == '%') continue;
+    const VertexId u = parse_id(pos, end, line_no);
+    while (pos != end && (*pos == ' ' || *pos == '\t' || *pos == ',')) ++pos;
+    const VertexId v = parse_id(pos, end, line_no);
+    builder.add_edge(u, v);
+  }
+  if (in.bad()) fail("I/O error while reading edge list");
+  BuildReport report;
+  builder.build_to_file(output, &report);
+  return report;
 }
 
 Graph with_tier(const Graph& g, const StorageOptions& options) {

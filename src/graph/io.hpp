@@ -1,9 +1,12 @@
 // Graph I/O: SNAP-style text edge lists and a compact binary format.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "graph/builder.hpp"
 #include "graph/graph.hpp"
@@ -53,6 +56,73 @@ Graph read_binary_file(const std::filesystem::path& path);
 /// (same edge ids, same adjacency order, hence byte-identical partitions).
 void write_csr_file(const Graph& g, const std::filesystem::path& path);
 
+/// Streaming TLPC writer: emits a byte-identical file to write_csr_file
+/// without ever holding a CSR (or the Graph) in memory. (n, m) fix the
+/// section layout up front; each section then accepts sequential appends
+/// through its own cursor, so the offsets section can be finished from a
+/// degree-counting pass before a single adjacency record exists, and the
+/// edges section can fill while adjacency is still unknown (the external-
+/// memory GraphBuilder interleaves exactly this way). Appends are staged
+/// through fixed-size buffers — O(1) memory regardless of graph size — and
+/// every byte, including Neighbor padding and section alignment gaps, is
+/// written explicitly so files stay byte-deterministic. finish() verifies
+/// that every section received exactly its declared record count and that
+/// offsets ran monotonically from 0 to 2m; it throws std::runtime_error
+/// (as does any append, on I/O failure) and must be called before
+/// destruction for the file to be valid.
+class CsrFileWriter {
+ public:
+  CsrFileWriter(const std::filesystem::path& path, VertexId num_vertices,
+                EdgeId num_edges);
+  CsrFileWriter(const CsrFileWriter&) = delete;
+  CsrFileWriter& operator=(const CsrFileWriter&) = delete;
+  ~CsrFileWriter();
+
+  /// Next CSR offset; called n+1 times, first value 0, last value 2m.
+  void append_offset(std::uint64_t offset);
+  /// Next adjacency record (and its vertex-only mirror entry); 2m calls,
+  /// grouped by owner ascending, sorted by neighbor within each owner.
+  void append_adjacency(VertexId vertex, EdgeId edge);
+  /// Next canonical edge; m calls, in edge-id order.
+  void append_edge(const Edge& e);
+  /// Flushes staging buffers, writes the alignment padding, validates the
+  /// record counts, and closes the file.
+  void finish();
+
+ private:
+  struct PackedNeighbor {  // Neighbor with its padding bytes forced to zero
+    VertexId vertex;
+    std::uint32_t pad;
+    EdgeId edge;
+  };
+  static_assert(sizeof(PackedNeighbor) == 16);
+
+  void flush_offsets();
+  void flush_adjacency();
+  void flush_edges();
+  void write_at(std::uint64_t pos, const void* src, std::size_t bytes);
+  void pad_range(std::uint64_t begin, std::uint64_t end);
+
+  std::filesystem::path path_;
+  std::ofstream out_;
+  std::uint64_t num_vertices_ = 0;
+  std::uint64_t num_edges_ = 0;
+  // Section layout mirrors csr::layout_for; cursors advance independently.
+  std::uint64_t offsets_pos_ = 0;
+  std::uint64_t adjacency_pos_ = 0;
+  std::uint64_t ids_pos_ = 0;
+  std::uint64_t edges_pos_ = 0;
+  std::uint64_t offsets_written_ = 0;
+  std::uint64_t adjacency_written_ = 0;
+  std::uint64_t edges_written_ = 0;
+  std::uint64_t last_offset_ = 0;
+  bool finished_ = false;
+  std::vector<std::uint64_t> offset_buf_;
+  std::vector<PackedNeighbor> adj_buf_;
+  std::vector<VertexId> ids_buf_;
+  std::vector<Edge> edge_buf_;
+};
+
 /// Opens a TLPC file on the tier `options` selects (kInMemory streams into
 /// heap vectors; kMmap/kHybrid map the file read-only). Throws
 /// std::runtime_error on a corrupted header or (with options.verify)
@@ -65,5 +135,46 @@ Graph load_csr_file(const std::filesystem::path& path,
 /// requested tier, and — unless options.keep_spill — unlinks the spill so
 /// it vanishes with the storage. kInMemory is a no-op returning `g`.
 Graph with_tier(const Graph& g, const StorageOptions& options);
+
+/// Sorted spill-run file ("TLPR"): magic, u64 record count, then count
+/// canonical (u < v) Edge records in strictly ascending order. These are
+/// the intermediate files of the external-memory GraphBuilder; the format
+/// is deliberately self-checking so a truncated or corrupted run fails the
+/// merge instead of silently producing a wrong graph.
+void write_edge_run(const std::filesystem::path& path, const Edge* edges,
+                    std::size_t count);
+
+/// Buffered, validating reader over one spill run. Throws
+/// std::runtime_error on a bad magic, a record count inconsistent with the
+/// file size, a truncated payload, a non-canonical edge, or an order
+/// violation — every defect a crashed or interleaved spill could leave
+/// behind.
+class EdgeRunReader {
+ public:
+  explicit EdgeRunReader(const std::filesystem::path& path);
+
+  /// Advances to the next edge; false at the (verified) end of the run.
+  bool next(Edge& out);
+
+  /// Declared record count (validated against the file size on open).
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+ private:
+  std::filesystem::path path_;
+  std::ifstream in_;
+  std::uint64_t count_ = 0;
+  std::uint64_t consumed_ = 0;
+  std::vector<Edge> buf_;
+  std::size_t buf_pos_ = 0;
+  Edge prev_{};
+};
+
+/// Streams a text edge list straight into a TLPC CSR file through the
+/// external-memory builder — the whole conversion honours the builder's
+/// memory budget (TLP_BUILD_BUDGET / set_memory_budget) and never holds
+/// the edge list or the CSR on the heap. Returns the build report.
+BuildReport convert_edge_list_to_csr(const std::filesystem::path& input,
+                                     const std::filesystem::path& output,
+                                     bool relabel = true);
 
 }  // namespace tlp::io

@@ -1,7 +1,9 @@
 #include "graph/storage.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <charconv>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -23,8 +25,66 @@
 #define TLP_HAS_MMAP 0
 #endif
 
+// madvise tuning is Linux-only by policy (the advice constants and their
+// semantics are what we validated there); everywhere else the hint layer
+// compiles to no-ops and madvise_calls() stays 0.
+#if defined(__linux__)
+#define TLP_HAS_MADVISE 1
+#else
+#define TLP_HAS_MADVISE 0
+#endif
+
 namespace tlp {
 namespace {
+
+std::atomic<bool> g_madvise_enabled{[] {
+  const char* env = std::getenv("TLP_MADVISE");
+  if (env == nullptr) return true;
+  const std::string_view s(env);
+  return !(s == "off" || s == "0" || s == "false");
+}()};
+
+/// Advice kinds the tiers use; mapped to MADV_* on Linux.
+enum class Advice { kSequential, kNormal, kWillNeed, kDontNeed };
+
+/// Issues madvise over [addr, addr+len) rounded out to page boundaries.
+/// Returns true iff a syscall was issued (enabled, Linux, non-empty range).
+bool advise_range(const void* addr, std::size_t len, Advice advice) {
+#if TLP_HAS_MADVISE
+  if (!madvise_enabled() || addr == nullptr || len == 0) return false;
+  static const std::size_t page =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const auto raw = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uintptr_t lo = raw & ~(page - 1);
+  len += static_cast<std::size_t>(raw - lo);
+  int native = MADV_NORMAL;
+  switch (advice) {
+    case Advice::kSequential:
+      native = MADV_SEQUENTIAL;
+      break;
+    case Advice::kNormal:
+      native = MADV_NORMAL;
+      break;
+    case Advice::kWillNeed:
+      native = MADV_WILLNEED;
+      break;
+    case Advice::kDontNeed:
+      native = MADV_DONTNEED;
+      break;
+  }
+  // Failure is acceptable (advice only); issuing is what we count.
+  return ::madvise(reinterpret_cast<void*>(lo), len, native) == 0;
+#else
+  (void)addr;
+  (void)len;
+  (void)advice;
+  return false;
+#endif
+}
+
+/// A mapped-tier vertex span must clear this floor before a WILLNEED is
+/// worth its syscall: one page of adjacency payload.
+constexpr std::size_t kMinPrefetchBytes = 4096;
 
 using io::csr::Header;
 
@@ -167,7 +227,8 @@ class InMemoryStorage final : public GraphStorage {
 /// section pointers are alignment-correct.
 class MmapStorage final : public GraphStorage {
  public:
-  MmapStorage(MappedFile file, const Header& h) : file_(std::move(file)) {
+  MmapStorage(MappedFile file, const Header& h, std::uint64_t advise_calls)
+      : file_(std::move(file)), madvise_calls_(advise_calls) {
     view_.num_vertices = static_cast<VertexId>(h.num_vertices);
     view_.num_edges = h.num_edges;
     view_.offsets = section_ptr<std::size_t>(file_, h.offsets);
@@ -187,9 +248,38 @@ class MmapStorage final : public GraphStorage {
     return fp;
   }
 
+  void prefetch_adjacency(VertexId v) const override {
+    if (!file_.file_backed()) return;
+    const std::size_t begin = view_.offsets[v];
+    const std::size_t deg = view_.offsets[v + 1] - begin;
+    if (deg * sizeof(Neighbor) < kMinPrefetchBytes) return;
+    std::uint64_t issued = 0;
+    issued += advise_range(view_.mapped_adj + begin, deg * sizeof(Neighbor),
+                           Advice::kWillNeed);
+    issued += advise_range(view_.mapped_ids + begin, deg * sizeof(VertexId),
+                           Advice::kWillNeed);
+    madvise_calls_.fetch_add(issued, std::memory_order_relaxed);
+  }
+
+  void release_cold_pages() const override {
+    if (!file_.file_backed()) return;
+    const std::size_t entries = view_.offsets[view_.num_vertices];
+    std::uint64_t issued = 0;
+    issued += advise_range(view_.mapped_adj, entries * sizeof(Neighbor),
+                           Advice::kDontNeed);
+    issued += advise_range(view_.mapped_ids, entries * sizeof(VertexId),
+                           Advice::kDontNeed);
+    madvise_calls_.fetch_add(issued, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t madvise_calls() const override {
+    return madvise_calls_.load(std::memory_order_relaxed);
+  }
+
  private:
   MappedFile file_;
   StorageView view_;
+  mutable std::atomic<std::uint64_t> madvise_calls_{0};
 };
 
 /// Degree split: adjacency of vertices with degree <= tau is copied into
@@ -204,8 +294,9 @@ class MmapStorage final : public GraphStorage {
 /// per-vertex side lookup, and byte-identical adjacency content either way.
 class HybridStorage final : public GraphStorage {
  public:
-  HybridStorage(MappedFile file, const Header& h, const StorageOptions& opts)
-      : file_(std::move(file)) {
+  HybridStorage(MappedFile file, const Header& h, const StorageOptions& opts,
+                std::uint64_t advise_calls)
+      : file_(std::move(file)), madvise_calls_(advise_calls) {
     const auto n = static_cast<std::size_t>(h.num_vertices);
     const std::size_t tau = opts.degree_threshold;
     const std::uint64_t* moff = section_ptr<std::uint64_t>(file_, h.offsets);
@@ -281,6 +372,39 @@ class HybridStorage final : public GraphStorage {
     return fp;
   }
 
+  void prefetch_adjacency(VertexId v) const override {
+    if (!file_.file_backed()) return;
+    const std::size_t begin = offsets_[v];
+    const std::size_t deg = offsets_[v + 1] - begin;
+    // Resident vertices (small degree classes and pinned hubs) never fault;
+    // only the mid-band served from the mapping benefits from a WILLNEED.
+    if (deg <= view_.resident_degree_cap || deg >= view_.pinned_min_degree) {
+      return;
+    }
+    if (deg * sizeof(Neighbor) < kMinPrefetchBytes) return;
+    std::uint64_t issued = 0;
+    issued += advise_range(view_.mapped_adj + begin, deg * sizeof(Neighbor),
+                           Advice::kWillNeed);
+    issued += advise_range(view_.mapped_ids + begin, deg * sizeof(VertexId),
+                           Advice::kWillNeed);
+    madvise_calls_.fetch_add(issued, std::memory_order_relaxed);
+  }
+
+  void release_cold_pages() const override {
+    if (!file_.file_backed()) return;
+    const std::size_t entries = offsets_[view_.num_vertices];
+    std::uint64_t issued = 0;
+    issued += advise_range(view_.mapped_adj, entries * sizeof(Neighbor),
+                           Advice::kDontNeed);
+    issued += advise_range(view_.mapped_ids, entries * sizeof(VertexId),
+                           Advice::kDontNeed);
+    madvise_calls_.fetch_add(issued, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t madvise_calls() const override {
+    return madvise_calls_.load(std::memory_order_relaxed);
+  }
+
  private:
   MappedFile file_;
   std::vector<std::size_t> offsets_;
@@ -289,6 +413,7 @@ class HybridStorage final : public GraphStorage {
   std::vector<VertexId> resident_ids_;
   std::size_t pinned_min_degree_ = std::numeric_limits<std::size_t>::max();
   StorageView view_;
+  mutable std::atomic<std::uint64_t> madvise_calls_{0};
 };
 
 std::size_t parse_size(std::string_view token, std::string_view spec) {
@@ -307,6 +432,14 @@ std::size_t parse_size(std::string_view token, std::string_view spec) {
 }
 
 }  // namespace
+
+void set_madvise_enabled(bool enabled) {
+  g_madvise_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool madvise_enabled() {
+  return g_madvise_enabled.load(std::memory_order_relaxed);
+}
 
 std::string_view storage_tier_name(StorageTier tier) {
   switch (tier) {
@@ -414,17 +547,33 @@ std::shared_ptr<const GraphStorage> open_csr_storage(
     MappedFile file = MappedFile::open(path);
     const Header h =
         io::csr::decode_and_validate_header(file.data(), file.size());
+    std::uint64_t advise_calls = 0;
     if (options.verify) {
+      // The validation pass walks every section front to back once:
+      // exactly the access pattern MADV_SEQUENTIAL accelerates (aggressive
+      // readahead, early reclaim behind the scan). Partitioning access is
+      // anything but sequential, so drop back to NORMAL afterwards. Only a
+      // real mapping takes advice — never the heap fallback copy.
+      if (file.file_backed()) {
+        advise_calls += advise_range(file.data(), file.size(),
+                                     Advice::kSequential);
+      }
       io::csr::validate_csr_payload(
           h.num_vertices, h.num_edges, section_ptr<std::uint64_t>(file, h.offsets),
           section_ptr<Neighbor>(file, h.adjacency),
           section_ptr<VertexId>(file, h.adjacency_ids),
           section_ptr<Edge>(file, h.edges));
+      if (file.file_backed()) {
+        advise_calls += advise_range(file.data(), file.size(),
+                                     Advice::kNormal);
+      }
     }
     if (options.tier == StorageTier::kMmap) {
-      storage = std::make_shared<MmapStorage>(std::move(file), h);
+      storage = std::make_shared<MmapStorage>(std::move(file), h,
+                                              advise_calls);
     } else {
-      storage = std::make_shared<HybridStorage>(std::move(file), h, options);
+      storage = std::make_shared<HybridStorage>(std::move(file), h, options,
+                                                advise_calls);
     }
   }
   if (unlink_after_open) {

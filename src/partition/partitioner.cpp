@@ -23,8 +23,17 @@ EdgePartition Partitioner::partition(const Graph& g,
                       static_cast<double>(fp.resident_bytes));
   ctx.telemetry().set("graph_mapped_bytes",
                       static_cast<double>(fp.mapped_bytes));
-  const auto timer = ctx.telemetry().time("total_s");
-  return do_partition(g, config, ctx);
+  EdgePartition result = [&] {
+    const auto timer = ctx.telemetry().time("total_s");
+    return do_partition(g, config, ctx);
+  }();
+  // Partition committed: the mapped adjacency spans are cold now — hand
+  // them back to the kernel so a budgeted pipeline's next stage starts
+  // from a clean page slate. Gauge the madvise traffic (load-scan hint +
+  // prefetches + this release) so budget regressions show up per run.
+  g.release_cold_pages();
+  ctx.telemetry().set("madvise_calls", static_cast<double>(g.madvise_calls()));
+  return result;
 }
 
 }  // namespace tlp

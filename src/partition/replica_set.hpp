@@ -1,42 +1,120 @@
-// Small dynamic bitset tracking which partitions a vertex already has a
-// replica on. Sized for p <= a few hundred (the paper uses p <= 20).
+// Replica membership for every vertex at once: which partitions each
+// vertex already has a replica on, stored as one flat bitset slab of
+// n x ceil(p/64) words (HEP-style) instead of n separate heap vectors.
+// The flat layout cuts per-vertex allocator overhead (16-24 bytes of
+// vector header plus a malloc per vertex) to zero and makes the whole
+// structure one arena lease, so repeated runs reuse the slab.
+//
+// Sized for p <= a few hundred (the paper uses p <= 20), n up to the
+// graph's vertex count.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
 #include "graph/types.hpp"
+#include "partition/run_context.hpp"
 
 namespace tlp {
 
-class ReplicaSet {
+class ReplicaSetPool {
  public:
-  explicit ReplicaSet(PartitionId num_partitions)
-      : words_((num_partitions + 63) / 64, 0) {}
+  /// Empty owned pool; reset() before use (for long-lived owners that
+  /// construct before the graph is known, e.g. stream::IncrementalAssigner).
+  ReplicaSetPool() = default;
 
-  [[nodiscard]] bool contains(PartitionId p) const {
-    return (words_[p / 64] >> (p % 64)) & 1ULL;
+  /// Owned slab: the pool allocates and owns n x ceil(p/64) words.
+  ReplicaSetPool(std::size_t num_vertices, PartitionId num_partitions) {
+    reset(num_vertices, num_partitions);
   }
 
-  void insert(PartitionId p) { words_[p / 64] |= 1ULL << (p % 64); }
+  /// Arena-leased slab: one acquire() for the whole table, so a reused
+  /// RunContext hands back the same capacity on the next run.
+  ReplicaSetPool(ScratchArena& arena, std::size_t num_vertices,
+                 PartitionId num_partitions)
+      : words_per_vertex_(words_for(num_partitions)),
+        num_vertices_(num_vertices),
+        lease_(arena.acquire<std::uint64_t>(num_vertices * words_per_vertex_,
+                                            0)),
+        slab_(lease_->data()) {}
 
-  [[nodiscard]] bool empty() const {
-    for (const auto w : words_) {
-      if (w != 0) return false;
+  /// (Re)initializes an owned slab to all-empty sets. Not valid on an
+  /// arena-leased pool.
+  void reset(std::size_t num_vertices, PartitionId num_partitions) {
+    assert(slab_ == nullptr || slab_ == owned_.data());
+    words_per_vertex_ = words_for(num_partitions);
+    num_vertices_ = num_vertices;
+    owned_.assign(num_vertices * words_per_vertex_, 0);
+    slab_ = owned_.data();
+  }
+
+  /// Grows an owned slab to cover at least `num_vertices` vertices; new
+  /// sets start empty, existing sets are preserved. Owned mode only.
+  void grow_to(std::size_t num_vertices) {
+    assert(slab_ == nullptr || slab_ == owned_.data());
+    if (num_vertices <= num_vertices_) return;
+    owned_.resize(num_vertices * words_per_vertex_, 0);
+    num_vertices_ = num_vertices;
+    slab_ = owned_.data();
+  }
+
+  [[nodiscard]] bool contains(VertexId v, PartitionId p) const {
+    return (word(v)[p / 64] >> (p % 64)) & 1ULL;
+  }
+
+  void insert(VertexId v, PartitionId p) {
+    word(v)[p / 64] |= 1ULL << (p % 64);
+  }
+
+  /// True iff vertex v has no replica anywhere.
+  [[nodiscard]] bool empty(VertexId v) const {
+    const std::uint64_t* w = word(v);
+    for (std::size_t i = 0; i < words_per_vertex_; ++i) {
+      if (w[i] != 0) return false;
     }
     return true;
   }
 
-  /// True iff this and other share at least one partition.
-  [[nodiscard]] bool intersects(const ReplicaSet& other) const {
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      if ((words_[i] & other.words_[i]) != 0) return true;
+  /// True iff vertices a and b share at least one partition.
+  [[nodiscard]] bool intersects(VertexId a, VertexId b) const {
+    const std::uint64_t* wa = word(a);
+    const std::uint64_t* wb = word(b);
+    for (std::size_t i = 0; i < words_per_vertex_; ++i) {
+      if ((wa[i] & wb[i]) != 0) return true;
     }
     return false;
   }
 
+  [[nodiscard]] std::size_t num_vertices() const { return num_vertices_; }
+  [[nodiscard]] std::size_t words_per_vertex() const {
+    return words_per_vertex_;
+  }
+  /// Bytes of the flat slab (the whole structure's footprint).
+  [[nodiscard]] std::size_t slab_bytes() const {
+    return num_vertices_ * words_per_vertex_ * sizeof(std::uint64_t);
+  }
+
  private:
-  std::vector<std::uint64_t> words_;
+  static std::size_t words_for(PartitionId num_partitions) {
+    return (static_cast<std::size_t>(num_partitions) + 63) / 64;
+  }
+  [[nodiscard]] std::uint64_t* word(VertexId v) {
+    assert(v < num_vertices_);
+    return slab_ + static_cast<std::size_t>(v) * words_per_vertex_;
+  }
+  [[nodiscard]] const std::uint64_t* word(VertexId v) const {
+    assert(v < num_vertices_);
+    return slab_ + static_cast<std::size_t>(v) * words_per_vertex_;
+  }
+
+  std::size_t words_per_vertex_ = 1;
+  std::size_t num_vertices_ = 0;
+  ScratchArena::Lease<std::uint64_t> lease_;
+  std::vector<std::uint64_t> owned_;
+  /// Active slab: lease_'s buffer or owned_'s. Stable across moves (both
+  /// holders are vectors, whose heap buffer moves with them).
+  std::uint64_t* slab_ = nullptr;
 };
 
 }  // namespace tlp

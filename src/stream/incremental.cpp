@@ -17,7 +17,7 @@ IncrementalAssigner::IncrementalAssigner(const Graph& g,
     throw std::invalid_argument(
         "IncrementalAssigner: partition does not cover the graph");
   }
-  replicas_.assign(g.num_vertices(), ReplicaSet(initial.num_partitions()));
+  replicas_.reset(g.num_vertices(), initial.num_partitions());
   seen_.assign(g.num_vertices(), 0);
   replica_count_.assign(g.num_vertices(), 0);
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
@@ -41,9 +41,8 @@ EdgeId IncrementalAssigner::capacity() const {
 }
 
 void IncrementalAssigner::grow_tables(VertexId v) {
-  if (v < replicas_.size()) return;
-  const auto p = static_cast<PartitionId>(load_.size());
-  replicas_.resize(v + 1, ReplicaSet(p));
+  if (v < replicas_.num_vertices()) return;
+  replicas_.grow_to(v + 1);
   seen_.resize(v + 1, 0);
   replica_count_.resize(v + 1, 0);
 }
@@ -54,8 +53,8 @@ void IncrementalAssigner::place(VertexId v, PartitionId k) {
     seen_[v] = 1;
     ++covered_vertices_;
   }
-  if (!replicas_[v].contains(k)) {
-    replicas_[v].insert(k);
+  if (!replicas_.contains(v, k)) {
+    replicas_.insert(v, k);
     ++replica_count_[v];
     ++total_replicas_;
   }
@@ -80,16 +79,16 @@ PartitionId IncrementalAssigner::assign(const Edge& e) {
 
   PartitionId target = kNoPartition;
   if (!e.is_self_loop()) {
-    const ReplicaSet& au = replicas_[e.u];
-    const ReplicaSet& av = replicas_[e.v];
-    if (au.intersects(av)) {
+    if (replicas_.intersects(e.u, e.v)) {
       target = pick([&](PartitionId k) {
-        return au.contains(k) && av.contains(k);
+        return replicas_.contains(e.u, k) && replicas_.contains(e.v, k);
       });
     }
-    if (target == kNoPartition && (!au.empty() || !av.empty())) {
-      target = pick(
-          [&](PartitionId k) { return au.contains(k) || av.contains(k); });
+    if (target == kNoPartition &&
+        (!replicas_.empty(e.u) || !replicas_.empty(e.v))) {
+      target = pick([&](PartitionId k) {
+        return replicas_.contains(e.u, k) || replicas_.contains(e.v, k);
+      });
     }
   }
   if (target == kNoPartition) {

@@ -55,7 +55,8 @@ class IncrementalAssigner {
   void place(VertexId v, PartitionId k);
 
   double balance_slack_;
-  std::vector<ReplicaSet> replicas_;
+  /// Owned-mode flat slab; grow_to() extends it as new vertex ids arrive.
+  ReplicaSetPool replicas_;
   std::vector<std::uint8_t> seen_;       ///< vertex has >= 1 incident edge
   std::vector<PartitionId> replica_count_;
   std::vector<EdgeId> load_;

@@ -1,0 +1,229 @@
+// Differential suite for the external-memory build pipeline: every budget
+// must yield a TLPC file byte-identical to the in-memory builder's, and
+// identical BuildReport accounting, across duplicate/self-loop/relabel
+// corners. Byte-identity of the file implies identical graphs (same edge
+// ids, same adjacency order), which is the conformance bar the partition
+// differential suites build on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+
+namespace tlp {
+namespace {
+
+std::filesystem::path temp_path(const std::string& name) {
+  return std::filesystem::temp_directory_path() /
+         ("tlp_builder_spill_" + std::to_string(::getpid()) + "_" + name);
+}
+
+std::string file_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+/// A messy input: duplicates in both orientations, self-loops, and (for
+/// the relabel case) sparse scattered ids.
+EdgeList messy_edges(std::size_t count, VertexId id_span, bool sparse,
+                     std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  EdgeList edges;
+  edges.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    VertexId u = static_cast<VertexId>(rng() % id_span);
+    VertexId v = static_cast<VertexId>(rng() % id_span);
+    if (rng() % 7 == 0) v = u;          // self-loop
+    if (sparse) {
+      u = u * 977 + 13;                 // scattered id space
+      v = v * 977 + 13;
+    }
+    edges.push_back(Edge{u, v});
+    if (rng() % 3 == 0) edges.push_back(Edge{v, u});  // reverse duplicate
+  }
+  return edges;
+}
+
+void feed(GraphBuilder& b, const EdgeList& edges) {
+  for (const Edge& e : edges) b.add_edge(e.u, e.v);
+}
+
+struct SpillCase {
+  const char* name;
+  std::size_t budget;
+};
+
+class BuilderSpill : public ::testing::TestWithParam<SpillCase> {};
+
+TEST_P(BuilderSpill, ByteIdenticalToInMemoryBuild) {
+  for (const bool relabel : {true, false}) {
+    const EdgeList edges =
+        messy_edges(/*count=*/5000, /*id_span=*/700, /*sparse=*/relabel, 42);
+
+    GraphBuilder reference(relabel);
+    feed(reference, edges);
+    BuildReport ref_report;
+    const Graph ref = reference.build(&ref_report);
+    const auto ref_path = temp_path("ref.tlpc");
+    io::write_csr_file(ref, ref_path);
+
+    GraphBuilder spill(relabel);
+    spill.set_memory_budget(GetParam().budget);
+    feed(spill, edges);
+    BuildReport spill_report;
+    const auto spill_path = temp_path("spill.tlpc");
+    spill.build_to_file(spill_path, &spill_report);
+
+    EXPECT_EQ(file_bytes(ref_path), file_bytes(spill_path))
+        << GetParam().name << " relabel=" << relabel;
+    EXPECT_EQ(spill_report.input_edges, ref_report.input_edges);
+    EXPECT_EQ(spill_report.self_loops, ref_report.self_loops);
+    EXPECT_EQ(spill_report.duplicate_edges, ref_report.duplicate_edges);
+    EXPECT_EQ(spill_report.kept_edges, ref_report.kept_edges);
+    if (GetParam().budget != 0) {
+      EXPECT_GT(spill_report.spill_runs, 0u) << GetParam().name;
+    }
+    EXPECT_GT(spill_report.build_peak_bytes, 0u);
+
+    std::filesystem::remove(ref_path);
+    std::filesystem::remove(spill_path);
+  }
+}
+
+TEST_P(BuilderSpill, BuildReturnsIdenticalGraph) {
+  const EdgeList edges = messy_edges(3000, 500, /*sparse=*/false, 7);
+  GraphBuilder reference(/*relabel=*/true);
+  feed(reference, edges);
+  const Graph ref = reference.build();
+
+  GraphBuilder spill(/*relabel=*/true);
+  spill.set_memory_budget(GetParam().budget);
+  feed(spill, edges);
+  const Graph got = spill.build();
+
+  ASSERT_EQ(got.num_vertices(), ref.num_vertices());
+  ASSERT_EQ(got.num_edges(), ref.num_edges());
+  for (EdgeId e = 0; e < ref.num_edges(); ++e) {
+    ASSERT_EQ(got.edge(e), ref.edge(e)) << "edge " << e;
+  }
+  for (VertexId v = 0; v < ref.num_vertices(); ++v) {
+    const auto a = ref.neighbors(v);
+    const auto b = got.neighbors(v);
+    ASSERT_EQ(a.size(), b.size()) << "vertex " << v;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].vertex, b[i].vertex);
+      ASSERT_EQ(a[i].edge, b[i].edge);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, BuilderSpill,
+    ::testing::Values(
+        SpillCase{"tiny", 1},            // floor: kMinChunkEdges per run
+        SpillCase{"small", 8 << 10},     // many runs
+        SpillCase{"boundary", 5000 * sizeof(Edge)},  // ~one chunk boundary
+        SpillCase{"unbounded_stream", 0}),           // resident streaming path
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(BuilderSpillCorners, EmptyBuild) {
+  GraphBuilder b;
+  b.set_memory_budget(1024);
+  const auto path = temp_path("empty.tlpc");
+  BuildReport report;
+  b.build_to_file(path, &report);
+  EXPECT_EQ(report.kept_edges, 0u);
+  const Graph g = io::load_csr_file(path);
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(BuilderSpillCorners, SelfLoopOnlyVerticesSurvive) {
+  // A self-loop must still intern/extend the vertex space (the Matrix
+  // Market reader depends on this), in both regimes.
+  for (const std::size_t budget : {std::size_t{0}, std::size_t{512}}) {
+    GraphBuilder b(/*relabel=*/false);
+    b.set_memory_budget(budget);
+    b.add_edge(0, 1);
+    b.add_edge(9, 9);
+    BuildReport report;
+    const Graph g = b.build(&report);
+    EXPECT_EQ(g.num_vertices(), 10u) << budget;
+    EXPECT_EQ(g.num_edges(), 1u);
+    EXPECT_EQ(report.self_loops, 1u);
+  }
+}
+
+TEST(BuilderSpillCorners, ReusableAfterSpillBuild) {
+  GraphBuilder b;
+  b.set_memory_budget(512);
+  b.add_edge(0, 1);
+  (void)b.build();
+  EXPECT_EQ(b.edges_offered(), 0u);
+  b.add_edge(5, 6);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.num_vertices(), 2u);  // relabeled afresh
+}
+
+TEST(BuilderSpillCorners, BudgetChangeAfterAddEdgeThrows) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  EXPECT_THROW(b.set_memory_budget(1024), std::runtime_error);
+}
+
+TEST(BuilderSpillCorners, ConvertEdgeListStreamsThroughBudget) {
+  const auto text = temp_path("convert.txt");
+  {
+    std::ofstream out(text);
+    out << "# comment\n";
+    std::mt19937_64 rng(11);
+    for (int i = 0; i < 4000; ++i) {
+      out << rng() % 300 << ' ' << rng() % 300 << '\n';
+    }
+  }
+  const auto ref_path = temp_path("convert_ref.tlpc");
+  const auto budget_path = temp_path("convert_budget.tlpc");
+  io::write_csr_file(io::read_edge_list_file(text), ref_path);
+
+  GraphBuilder probe;  // convert_edge_list_to_csr honours the env budget;
+  // here we exercise the API-level equivalent through a builder.
+  probe.set_memory_budget(4 << 10);
+  {
+    std::ifstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const auto space = line.find(' ');
+      probe.add_edge(
+          static_cast<VertexId>(std::stoul(line.substr(0, space))),
+          static_cast<VertexId>(std::stoul(line.substr(space + 1))));
+    }
+  }
+  probe.build_to_file(budget_path);
+  EXPECT_EQ(file_bytes(ref_path), file_bytes(budget_path));
+
+  // And the io-level streaming conversion (budget off in this process)
+  // must agree too.
+  const auto conv_path = temp_path("convert_api.tlpc");
+  const BuildReport report = io::convert_edge_list_to_csr(text, conv_path);
+  EXPECT_EQ(file_bytes(ref_path), file_bytes(conv_path));
+  EXPECT_EQ(report.kept_edges, io::load_csr_file(conv_path).num_edges());
+
+  for (const auto& p : {text, ref_path, budget_path, conv_path}) {
+    std::filesystem::remove(p);
+  }
+}
+
+}  // namespace
+}  // namespace tlp

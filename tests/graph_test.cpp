@@ -228,7 +228,7 @@ TEST(GraphBuilder, ReusableAfterBuild) {
   GraphBuilder builder;
   builder.add_edge(0, 1);
   (void)builder.build();
-  EXPECT_EQ(builder.size(), 0u);
+  EXPECT_EQ(builder.edges_offered(), 0u);
   builder.add_edge(5, 6);
   const Graph g = builder.build();
   EXPECT_EQ(g.num_edges(), 1u);

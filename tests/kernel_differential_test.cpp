@@ -8,6 +8,7 @@
 // which partitions through the CLI under each env value and byte-compares
 // the outputs).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <string>
@@ -52,8 +53,11 @@ class KernelDifferential : public ::testing::Test {
     // pass both fire, so every kernel entry point is on the partition's
     // critical path.
     graph_ = new Graph(gen::chung_lu_power_law(2000, 9000, 2.1, 97));
-    csr_path_ = new fs::path(fs::temp_directory_path() /
-                             "tlp_kernel_differential.tlpc");
+    // PID-unique: ctest -j runs each test row as its own process, and
+    // concurrent rows sharing one spill path race write/map/unlink.
+    csr_path_ = new fs::path(
+        fs::temp_directory_path() /
+        ("tlp_kernel_differential_" + std::to_string(::getpid()) + ".tlpc"));
     io::write_csr_file(*graph_, *csr_path_);
   }
   static void TearDownTestSuite() {

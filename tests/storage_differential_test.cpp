@@ -7,6 +7,7 @@
 // x {in_memory, mmap, hybrid at tau in {0, median-degree, inf}}, plus a
 // registry-wide single-config pass over every registered algorithm.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <filesystem>
@@ -18,6 +19,7 @@
 #include "core/multi_tlp.hpp"
 #include "core/tlp.hpp"
 #include "gen/generators.hpp"
+#include "graph/builder.hpp"
 #include "graph/io.hpp"
 #include "graph/storage.hpp"
 #include "partition/registry.hpp"
@@ -66,8 +68,11 @@ class StorageDifferential : public ::testing::Test {
   static void SetUpTestSuite() {
     bench::register_builtin_partitioners();
     graph_ = new Graph(gen::chung_lu_power_law(3000, 12000, 2.1, 42));
-    csr_path_ = new fs::path(fs::temp_directory_path() /
-                             "tlp_storage_differential.tlpc");
+    // PID-unique: ctest -j runs each test row as its own process, and
+    // concurrent rows sharing one spill path race write/map/unlink.
+    csr_path_ = new fs::path(
+        fs::temp_directory_path() /
+        ("tlp_storage_differential_" + std::to_string(::getpid()) + ".tlpc"));
     io::write_csr_file(*graph_, *csr_path_);
   }
   static void TearDownTestSuite() {
@@ -135,7 +140,8 @@ TEST_F(StorageDifferential, EveryRegisteredPartitionerTierInvariant) {
   // superlinear). Catches any algorithm that sneaks around the facade.
   const Graph small = gen::chung_lu_power_law(400, 1600, 2.1, 7);
   const fs::path path =
-      fs::temp_directory_path() / "tlp_storage_registry.tlpc";
+      fs::temp_directory_path() /
+      ("tlp_storage_registry_" + std::to_string(::getpid()) + ".tlpc");
   io::write_csr_file(small, path);
   PartitionConfig config;
   config.num_partitions = 4;
@@ -151,6 +157,61 @@ TEST_F(StorageDifferential, EveryRegisteredPartitionerTierInvariant) {
     }
   }
   fs::remove(path);
+}
+
+TEST_F(StorageDifferential, MadviseToggleIsValueInvariant) {
+  // madvise is purely advisory — paging hints must never change a single
+  // assignment, on any tier, for the algorithms that drive prefetch from
+  // their two-hop passes.
+  PartitionConfig config;
+  config.num_partitions = 8;
+  const bool saved = madvise_enabled();
+  const EdgePartition expected_tlp =
+      TlpPartitioner{}.partition(reference(), config);
+  const EdgePartition expected_multi =
+      MultiTlpPartitioner{}.partition(reference(), config);
+  for (const bool enabled : {true, false}) {
+    set_madvise_enabled(enabled);
+    for (const auto& [label, options] : tier_sweep(reference())) {
+      SCOPED_TRACE(std::string("madvise=") + (enabled ? "on" : "off") +
+                   " on " + label);
+      const Graph tiered = io::load_csr_file(csr_path(), options);
+      EXPECT_EQ(TlpPartitioner{}.partition(tiered, config).raw(),
+                expected_tlp.raw());
+      EXPECT_EQ(MultiTlpPartitioner{}.partition(tiered, config).raw(),
+                expected_multi.raw());
+    }
+  }
+  set_madvise_enabled(saved);
+}
+
+TEST_F(StorageDifferential, SpillBuiltGraphPartitionsIdentically) {
+  // The same edge stream through the in-memory builder and through the
+  // external-sort spill path (tiny budget, many runs) must yield graphs
+  // that every registered partitioner treats identically — spilling is a
+  // memory regime, never a semantic one. (The generator-built reference()
+  // is not usable as the baseline here: builders canonicalize edge-id
+  // order, generators keep insertion order.)
+  GraphBuilder in_memory(/*relabel=*/false);
+  GraphBuilder spill(/*relabel=*/false);
+  spill.set_memory_budget(1 << 10);  // forces many spill runs
+  for (EdgeId e = 0; e < reference().num_edges(); ++e) {
+    const Edge& edge = reference().edge(e);
+    in_memory.add_edge(edge.u, edge.v);
+    spill.add_edge(edge.u, edge.v);
+  }
+  const Graph baseline = in_memory.build();
+  BuildReport report;
+  const Graph rebuilt = spill.build(&report);
+  EXPECT_GT(report.spill_runs, 0u);
+  PartitionConfig config;
+  config.num_partitions = 6;
+  for (const std::string& name : registered_partitioners()) {
+    SCOPED_TRACE(name + " on spill-built graph");
+    const PartitionerPtr partitioner = make_partitioner(name);
+    const EdgePartition expected = partitioner->partition(baseline, config);
+    EXPECT_EQ(partitioner->partition(rebuilt, config).raw(), expected.raw());
+  }
 }
 
 TEST_F(StorageDifferential, WindowTlpAcrossTiers) {

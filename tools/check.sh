@@ -108,6 +108,27 @@ if sh -c "ulimit -d $CAP_KB; build-release/tools/oocore_smoke --run $OOC_DIR in_
 fi
 echo "-- in-memory control failed under the cap, as required"
 
+# Bounded-memory ingest: the external-sort spill convert must survive a
+# heap cap below the raw canonical edge array AND byte-match the uncapped
+# in-memory reference; the fully in-memory control build must die under the
+# same cap (same RLIMIT_DATA rationale as the oocore leg above).
+echo "== bounded-memory ingest smoke (spill convert under ulimit -d) =="
+cmake --build build-release -j "$JOBS" --target ingest_smoke
+ING_DIR="build-release/ingest-smoke"
+ING_CAP_KB="$(build-release/tools/ingest_smoke --prepare "$ING_DIR" \
+  | sed -n 's/^cap_kb=//p')"
+echo "-- heap cap: ${ING_CAP_KB}KB (below the raw edge array)"
+sh -c "ulimit -d $ING_CAP_KB; \
+  TLP_BUILD_BUDGET=4m build-release/tools/ingest_smoke --convert $ING_DIR"
+cmp "$ING_DIR/ingest.ref.tlpc" "$ING_DIR/ingest.spill.tlpc"
+echo "-- spill convert byte-identical to uncapped reference"
+if sh -c "ulimit -d $ING_CAP_KB; \
+    build-release/tools/ingest_smoke --control $ING_DIR" 2> /dev/null; then
+  echo "ingest smoke: FAIL — in-memory control survived the cap (cap too big)"
+  exit 1
+fi
+echo "-- in-memory control build failed under the cap, as required"
+
 # Kernel matrix: the SIMD dispatch layer must be value-invisible. Probe 1
 # reruns the kernel differential suites end-to-end through the TLP_KERNEL
 # env path — once pinned to scalar, once requesting avx2 (which degrades to

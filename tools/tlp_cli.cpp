@@ -228,6 +228,19 @@ int cmd_evaluate(const std::vector<std::string>& args) {
 
 int cmd_convert(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
+  const bool text_input = !args[0].ends_with(".tlpc") &&
+                          !args[0].ends_with(".bin") &&
+                          !args[0].ends_with(".mtx");
+  if (text_input && args[1].ends_with(".tlpc")) {
+    // Stream text straight to CSR through the external-memory builder: the
+    // edge list and the CSR never exist on the heap, so a TLP_BUILD_BUDGET
+    // cap holds for arbitrarily large inputs.
+    const BuildReport report =
+        io::convert_edge_list_to_csr(args[0], args[1]);
+    std::cerr << "wrote " << args[1] << " (" << report.kept_edges
+              << " edges, " << report.spill_runs << " spill runs)\n";
+    return 0;
+  }
   const Graph g = load(args[0]);
   if (args[1].ends_with(".tlpc")) {
     io::write_csr_file(g, args[1]);
