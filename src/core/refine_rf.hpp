@@ -1,73 +1,120 @@
 // Replication-factor refinement: a post-pass that improves ANY edge
-// partition by greedily migrating edges between partitions when doing so
-// removes more vertex replicas than it creates, under a balance constraint.
+// partition by migrating edges between partitions when doing so removes
+// more vertex replicas than it creates, under a hard balance constraint.
 //
 // The paper's TLP has no refinement stage (partitions are frozen once
-// grown); this extension quantifies how much a cheap local-search pass can
-// still recover — an ablation DESIGN.md calls out, run by
-// bench/refinement.
+// grown); this extension quantifies how much a local-search pass can still
+// recover. Three engines share the gain model and balance ceiling
+// (src/refine/move_state.hpp, docs/REFINEMENT.md):
+//
+//   kGainHeap  — the default: KL/FM-style gain-heap hill-climbing with
+//                bounded negative-gain escape moves and rollback-to-best
+//                (refine/engine.hpp).
+//   kParallel  — the BSP mover: concurrent positive-gain moves in
+//                super-steps, bit-identical across worker counts
+//                (refine/parallel_mover.hpp).
+//   kGreedy    — the original ascending-edge-order sweep, kept as the
+//                differential ORACLE: same gain function and cap, no
+//                ordering, no escapes (refine_replication below).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
 
 #include "partition/edge_partition.hpp"
 #include "partition/partitioner.hpp"
 
 namespace tlp {
 
+enum class RefineEngine {
+  kGainHeap,  ///< serial gain-heap engine with escapes (the default)
+  kGreedy,    ///< ascending-edge-order sweep (the differential oracle)
+  kParallel,  ///< BSP parallel mover (positive-gain moves only)
+};
+
 struct RefineOptions {
-  /// Maximum sweeps over the edge set (each sweep is O(m * p)).
+  RefineEngine engine = RefineEngine::kGainHeap;
+  /// Maximum passes. For kGreedy/kGainHeap a pass is one full sweep /
+  /// reindex; kParallel instead runs rebuild rounds to quiescence and
+  /// ignores this knob.
   int max_passes = 4;
   /// Load ceiling as a multiple of m/p; moves never push a partition above
   /// it (and never move INTO a partition already above it).
   double balance_slack = 1.05;
+  /// kGainHeap only: max CONSECUTIVE non-positive-gain moves per pass
+  /// (0 = pure hill-climbing). See refine/engine.hpp.
+  std::uint32_t escape_budget = 32;
+  /// kParallel only: worker threads (1 = inline, 0 = hardware), work
+  /// stealing, claim transport, heap shards, proposals per barrier. All
+  /// schedule knobs are bit-identity-preserving; heap_shards and
+  /// proposals_per_shard are part of the algorithm. See
+  /// refine/parallel_mover.hpp.
+  std::size_t num_threads = 1;
+  bool steal = true;
+  std::uint32_t num_shards = 0;
+  std::uint32_t heap_shards = 8;
+  std::uint32_t proposals_per_shard = 4;
 };
 
 struct RefineResult {
-  std::size_t moves = 0;          ///< edges migrated
+  std::size_t moves = 0;             ///< edges migrated (surviving rollback)
   std::size_t replicas_removed = 0;  ///< net replica reduction (>= 0)
-  int passes = 0;
+  int passes = 0;                    ///< sweeps / passes / rebuild rounds
+  /// kGainHeap: applied escape moves and rollback events (0 elsewhere).
+  std::size_t escape_moves = 0;
+  std::size_t rollbacks = 0;
+  /// kGainHeap/kParallel: full reindexes + heap compactions (0 for greedy).
+  std::size_t heap_rebuilds = 0;
+  /// kParallel only: BSP super-steps, barrier conflicts, claim messages.
+  std::size_t super_steps = 0;
+  std::size_t conflicts = 0;
+  std::uint64_t messages_sent = 0;
 };
 
-/// Refines `partition` in place; returns what changed. The result is always
-/// complete/in-range if the input was (only assignments move).
+/// The greedy oracle: ascending-edge-order sweeps applying every strictly
+/// positive-gain admissible move until a sweep moves nothing or max_passes
+/// is hit. Ignores every option except max_passes / balance_slack.
+/// Refines `partition` in place; the result is complete/in-range if the
+/// input was (only assignments move).
 RefineResult refine_replication(const Graph& g, EdgePartition& partition,
                                 const RefineOptions& options = {});
 
+/// Dispatches to the engine selected in `options`; scratch comes from ctx
+/// for kGainHeap/kParallel (kGreedy owns its own).
+RefineResult refine_partition(const Graph& g, EdgePartition& partition,
+                              const RefineOptions& options, RunContext& ctx);
+
 /// Wrapper combining any partitioner with the refinement pass, usable
-/// anywhere a Partitioner is (e.g. "tlp+refine" rows in benches). The base
-/// partitioner runs against the same RunContext; the refinement pass adds
-/// counters refine_moves / refine_replicas_removed / refine_passes and the
-/// refine_s phase timer.
+/// anywhere a Partitioner is (the registry's "tlp+refine", bench rows).
+/// The base partitioner runs against the same RunContext; the refinement
+/// pass adds the refine_s phase timer and the full refine_* counter set
+/// (docs/API.md) — every key is always present, 0 where the selected
+/// engine has nothing to report.
 class RefinedPartitioner : public Partitioner {
  public:
-  RefinedPartitioner(PartitionerPtr base, RefineOptions options = {})
-      : base_(std::move(base)), options_(options) {}
+  /// `name_override` replaces the default "<base>+refine" display name
+  /// when the combination is presented under a branding of its own.
+  explicit RefinedPartitioner(PartitionerPtr base, RefineOptions options = {},
+                              std::string name_override = {})
+      : base_(std::move(base)),
+        options_(options),
+        name_(std::move(name_override)) {}
 
   [[nodiscard]] std::string name() const override {
-    return base_->name() + "+refine";
+    return name_.empty() ? base_->name() + "+refine" : name_;
   }
 
  protected:
   [[nodiscard]] EdgePartition do_partition(const Graph& g,
                                            const PartitionConfig& config,
-                                           RunContext& ctx) const override {
-    EdgePartition result = base_->partition(g, config, ctx);
-    const RefineResult refined = [&] {
-      const auto timer = ctx.telemetry().time("refine_s");
-      return refine_replication(g, result, options_);
-    }();
-    ctx.telemetry().add("refine_moves", static_cast<double>(refined.moves));
-    ctx.telemetry().add("refine_replicas_removed",
-                        static_cast<double>(refined.replicas_removed));
-    ctx.telemetry().add("refine_passes",
-                        static_cast<double>(refined.passes));
-    return result;
-  }
+                                           RunContext& ctx) const override;
 
  private:
   PartitionerPtr base_;
   RefineOptions options_;
+  std::string name_;
 };
 
 }  // namespace tlp

@@ -67,6 +67,22 @@ class ReplicaSetPool {
     word(v)[p / 64] |= 1ULL << (p % 64);
   }
 
+  /// Clears v's replica bit for p (no-op if absent). Growth never needs
+  /// this — memberships are monotone — but the refinement engines do: an
+  /// edge migration can remove an endpoint's LAST incident edge on the
+  /// source partition (src/refine/move_state.hpp).
+  void erase(VertexId v, PartitionId p) {
+    word(v)[p / 64] &= ~(1ULL << (p % 64));
+  }
+
+  /// Read-only view of v's packed membership words (words_per_vertex() of
+  /// them, partition k at word k/64 bit k%64). Lets callers scan set unions
+  /// with bit tricks instead of p contains() calls — the refinement
+  /// engines' candidate scan walks word(u) | word(v).
+  [[nodiscard]] const std::uint64_t* words(VertexId v) const {
+    return word(v);
+  }
+
   /// True iff vertex v has no replica anywhere.
   [[nodiscard]] bool empty(VertexId v) const {
     const std::uint64_t* w = word(v);

@@ -1,0 +1,400 @@
+#include "refine/parallel_mover.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "dist/all_reduce.hpp"
+#include "dist/claim_protocol.hpp"
+#include "dist/comm_fabric.hpp"
+#include "refine/gain_heap.hpp"
+#include "refine/move_state.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tlp::refine {
+namespace {
+
+/// An admissible positive-gain move a shard brings to the barrier,
+/// validated against the frozen pre-step state.
+struct Proposal {
+  EdgeId edge;
+  PartitionId from;
+  PartitionId to;
+  int gain;
+};
+
+class ParallelRun {
+ public:
+  ParallelRun(const Graph& g, EdgePartition& partition,
+              const ParallelOptions& options, RunContext& ctx,
+              ThreadPool* pool, std::size_t num_workers,
+              std::uint32_t num_heap_shards)
+      : g_(g),
+        partition_(partition),
+        options_(options),
+        ctx_(ctx),
+        pool_(pool),
+        num_workers_(num_workers),
+        h_(num_heap_shards),
+        cap_(MoveState::cap_for(g.num_edges(), partition.num_partitions(),
+                                options.balance_slack)),
+        state_(g, partition, ctx.arena()),
+        award_(ctx.arena().acquire<std::uint32_t>(g.num_vertices(), 0)),
+        award_epoch_(ctx.arena().acquire<std::uint32_t>(g.num_vertices(), 0)),
+        consumed_epoch_(
+            ctx.arena().acquire<std::uint32_t>(g.num_vertices(), 0)),
+        touched_mark_(ctx.arena().acquire<std::uint32_t>(g.num_vertices(), 0)),
+        touched_(ctx.arena().acquire<VertexId>(0)) {
+    // Per-SHARD state lives in per-shard child arenas (multi_tlp's rule:
+    // with work stealing a shard's task can run on any worker, but it runs
+    // exactly once per phase, so an arena only its own shard touches is
+    // race-free no matter which thread executes it).
+    shards_.reserve(h_);
+    for (std::uint32_t h = 0; h < h_; ++h) {
+      ScratchArena& arena = ctx.child(h).arena();
+      shards_.emplace_back(arena, local_count(h));
+    }
+    if (options.num_shards > 0) {
+      dist_.emplace(options.num_shards, h_);
+    }
+    if (steal_active()) queues_.resize(num_workers_);
+  }
+
+  ParallelStats run() {
+    ParallelStats stats;
+    if (partition_.num_partitions() < 2 || g_.num_edges() == 0) return stats;
+    for (;;) {
+      ++stats.rounds;
+      ++stats.heap_rebuilds;
+      if (!rebuild_heaps()) break;  // quiescent: no positive move anywhere
+      for (;;) {
+        ctx_.check_cancelled();
+        ++step_;
+        run_phase([&](std::uint32_t h) { propose(h); });
+        std::size_t proposed = 0;
+        for (const Shard& shard : shards_) proposed += shard.proposals->size();
+        if (proposed == 0) break;
+        ++stats.super_steps;
+        barrier_commit(stats);
+        run_phase([&](std::uint32_t h) { reindex(h); });
+      }
+    }
+    for (const Shard& shard : shards_) {
+      stats.heap_rebuilds += shard.heap.rebuilds();
+    }
+    if (dist_) {
+      stats.messages_sent = dist_->fabric.messages_sent() +
+                            dist_->allreduce_messages;
+    }
+    return stats;
+  }
+
+ private:
+  /// Gain-heap shard state: edge e lives in shard e % H at local index
+  /// e / H (the ShardMap arithmetic).
+  struct Shard {
+    Shard(ScratchArena& arena, std::size_t capacity)
+        : heap(arena, capacity),
+          proposals(arena.acquire<Proposal>(0)),
+          retry(arena.acquire<EdgeId>(0)) {}
+
+    GainHeap heap;
+    ScratchArena::Lease<Proposal> proposals;
+    /// Proposals bounced at the barrier, re-evaluated in phase C.
+    ScratchArena::Lease<EdgeId> retry;
+  };
+
+  /// Message-passing claim state (num_shards >= 1): fabric ranks are the S
+  /// vertex-claim shards, senders are the H gain-heap shards. Requests
+  /// carry VERTEX ids in the edge field and the proposing heap-shard id as
+  /// the claimant; resolution (min over requesters) is exactly the serial
+  /// scan's first-writer-in-ascending-shard-order award.
+  struct DistState {
+    DistState(std::uint32_t num_claim_shards, std::uint32_t num_heap_shards)
+        : fabric(num_claim_shards, num_heap_shards),
+          all_reduce(num_claim_shards),
+          requests(num_claim_shards),
+          wins(num_claim_shards) {}
+
+    dist::CommFabric<dist::ClaimRequest> fabric;
+    dist::AllReduce<dist::ClaimWin> all_reduce;
+    std::vector<std::vector<dist::ClaimRequest>> requests;
+    std::vector<std::vector<dist::ClaimWin>> wins;
+    std::vector<dist::ClaimWin> combined;
+    std::uint64_t allreduce_messages = 0;
+  };
+
+  [[nodiscard]] std::size_t local_count(std::uint32_t h) const {
+    const EdgeId m = g_.num_edges();
+    return m > h ? static_cast<std::size_t>((m - 1 - h) / h_ + 1) : 0;
+  }
+  [[nodiscard]] EdgeId to_global(std::uint32_t h, std::uint64_t local) const {
+    return static_cast<EdgeId>(local) * h_ + h;
+  }
+  [[nodiscard]] std::uint64_t to_local(EdgeId e) const { return e / h_; }
+
+  [[nodiscard]] bool steal_active() const {
+    return pool_ != nullptr && options_.steal;
+  }
+
+  /// Fans task(h) out over the H shards — inline, statically strided, or
+  /// work-stealing, exactly like multi_tlp's phases: the schedule moves
+  /// wall-clock time, never a task's effect, because every shard-task
+  /// reads only frozen shared state and writes only its own shard.
+  void run_phase(const std::function<void(std::uint32_t)>& task) {
+    if (pool_ == nullptr) {
+      for (std::uint32_t h = 0; h < h_; ++h) task(h);
+      return;
+    }
+    if (!steal_active()) {
+      pool_->run_indexed(num_workers_, [&](std::size_t w) {
+        for (std::uint32_t h = static_cast<std::uint32_t>(w); h < h_;
+             h += static_cast<std::uint32_t>(num_workers_)) {
+          task(h);
+        }
+      });
+      return;
+    }
+    for (std::size_t w = 0; w < num_workers_; ++w) {
+      queues_[w].reset();
+      for (std::uint32_t h = static_cast<std::uint32_t>(w); h < h_;
+           h += static_cast<std::uint32_t>(num_workers_)) {
+        queues_[w].push(h);
+      }
+    }
+    pool_->run_stealable(queues_, [&](std::size_t /*w*/, StealSource& source) {
+      std::uint32_t h = 0;
+      while (source.next(h)) task(h);
+    });
+  }
+
+  /// Full reindex of every shard's heap from the current state (parallel).
+  /// Only admissible strictly-positive moves are pushed — the mover never
+  /// walks downhill. Returns whether ANY shard found an entry.
+  bool rebuild_heaps() {
+    run_phase([&](std::uint32_t h) {
+      Shard& shard = shards_[h];
+      shard.heap.clear();
+      for (EdgeId e = h; e < g_.num_edges(); e += h_) {
+        const PartitionId from = partition_.partition_of(e);
+        if (from == kNoPartition) continue;
+        const MoveState::Candidate cand =
+            state_.best_move(g_.edge(e), from, cap_);
+        if (cand.to != kNoPartition && cand.gain > 0) {
+          shard.heap.update(to_local(e), cand.gain);
+        }
+      }
+    });
+    for (const Shard& shard : shards_) {
+      if (shard.heap.live() > 0) return true;
+    }
+    return false;
+  }
+
+  /// Super-step phase A for one shard: pop up to proposals_per_shard
+  /// moves, each revalidated against the frozen pre-step state (stale
+  /// gains are re-ranked, non-positive or inadmissible ones dropped — the
+  /// round's rebuild or a touched-reindex will resurrect them if they
+  /// come back). In sharded-claim mode every accepted proposal also sends
+  /// one ClaimRequest per distinct endpoint; partition-of-sender is the
+  /// heap shard, so each fabric lane stays sender-serial no matter which
+  /// worker runs this task.
+  void propose(std::uint32_t h) {
+    Shard& shard = shards_[h];
+    shard.proposals->clear();
+    std::uint32_t budget = options_.proposals_per_shard;
+    while (budget > 0) {
+      const GainHeap::Top top = shard.heap.pop_best();
+      if (top.id == kInvalidEdge) break;
+      const EdgeId e = to_global(h, top.id);
+      const PartitionId from = partition_.partition_of(e);
+      const Edge& edge = g_.edge(e);
+      const MoveState::Candidate cand = state_.best_move(edge, from, cap_);
+      if (cand.to == kNoPartition || cand.gain <= 0) continue;
+      if (cand.gain != top.gain) {
+        shard.heap.update(top.id, cand.gain);
+        continue;
+      }
+      shard.proposals->push_back(Proposal{e, from, cand.to, cand.gain});
+      --budget;
+      if (dist_) {
+        dist_->fabric.send(h, edge.u % options_.num_shards,
+                           dist::ClaimRequest{edge.u, h});
+        if (edge.v != edge.u) {
+          dist_->fabric.send(h, edge.v % options_.num_shards,
+                             dist::ClaimRequest{edge.v, h});
+        }
+      }
+    }
+  }
+
+  /// Computes the step's vertex-award map in sharded mode: each claim
+  /// shard resolves its inbox (min requesting heap-shard id per vertex),
+  /// the verdicts are all-reduced, and the combined vector is stamped into
+  /// award_. Identical to the serial scan below by construction.
+  void resolve_awards_dist() {
+    DistState& d = *dist_;
+    const std::uint32_t s_count = options_.num_shards;
+    for (std::uint32_t s = 0; s < s_count; ++s) {
+      d.fabric.collect(s, d.requests[s]);
+      dist::resolve_shard_claims(
+          d.requests[s], [](EdgeId) { return false; }, d.wins[s]);
+      d.all_reduce.contribute(s, d.wins[s]);
+    }
+    d.allreduce_messages += s_count;
+    d.combined = d.all_reduce.reduce(
+        [](std::vector<dist::ClaimWin> a,
+           const std::vector<dist::ClaimWin>& b) {
+          a.insert(a.end(), b.begin(), b.end());
+          return a;
+        });
+    d.all_reduce.reset();
+    d.fabric.clear_all_inboxes();
+    for (const dist::ClaimWin& win : d.combined) {
+      const auto v = static_cast<VertexId>(win.edge);
+      award_[v] = win.winner;
+      award_epoch_[v] = step_;
+    }
+  }
+
+  /// Super-step barrier (serial): award endpoints lowest-shard-id-wins,
+  /// then commit proposals in canonical order (ascending shard id,
+  /// proposal order within a shard). Awards are NOT released when their
+  /// proposal bounces — the rule must be a pure function of the request
+  /// set so both claim transports agree.
+  void barrier_commit(ParallelStats& stats) {
+    if (dist_) {
+      resolve_awards_dist();
+    } else {
+      for (std::uint32_t h = 0; h < h_; ++h) {
+        for (const Proposal& proposal : *shards_[h].proposals) {
+          const Edge& edge = g_.edge(proposal.edge);
+          for (const VertexId x : {edge.u, edge.v}) {
+            if (award_epoch_[x] != step_) {
+              award_epoch_[x] = step_;
+              award_[x] = h;
+            }
+            if (edge.u == edge.v) break;
+          }
+        }
+      }
+    }
+    touched_->clear();
+    for (std::uint32_t h = 0; h < h_; ++h) {
+      Shard& shard = shards_[h];
+      for (const Proposal& proposal : *shard.proposals) {
+        const Edge& edge = g_.edge(proposal.edge);
+        const bool owns_u =
+            award_epoch_[edge.u] == step_ && award_[edge.u] == h;
+        const bool owns_v =
+            award_epoch_[edge.v] == step_ && award_[edge.v] == h;
+        const bool consumed = consumed_epoch_[edge.u] == step_ ||
+                              consumed_epoch_[edge.v] == step_;
+        // Endpoints untouched this step mean the frozen gain is still the
+        // true gain; only the ceiling can have tightened under it.
+        if (!owns_u || !owns_v || consumed ||
+            state_.load(proposal.to) + 1 > cap_) {
+          ++stats.conflicts;
+          shard.retry->push_back(proposal.edge);
+          continue;
+        }
+        assert(state_.gain(edge, proposal.from, proposal.to) == proposal.gain);
+        const int applied = state_.apply(proposal.edge, proposal.to,
+                                         partition_);
+        (void)applied;
+        assert(applied == proposal.gain);
+        ++stats.moves;
+        stats.replicas_removed += static_cast<std::size_t>(proposal.gain);
+        for (const VertexId x : {edge.u, edge.v}) {
+          consumed_epoch_[x] = step_;
+          if (touched_mark_[x] != step_) {
+            touched_mark_[x] = step_;
+            touched_->push_back(x);
+          }
+          if (edge.u == edge.v) break;
+        }
+      }
+    }
+  }
+
+  /// Super-step phase C for one shard: re-evaluate the shard's bounced
+  /// proposals, then rekey the shard's edges incident to this step's moved
+  /// endpoints (the only edges whose gains can have changed — plus
+  /// ceiling-blocked ones, which the round rebuild covers). Reads the
+  /// frozen post-commit state; writes only the shard's own heap, in a
+  /// fixed order — worker-count-invariant.
+  void reindex(std::uint32_t h) {
+    Shard& shard = shards_[h];
+    const auto rekey = [&](EdgeId f) {
+      const PartitionId from = partition_.partition_of(f);
+      if (from == kNoPartition) return;
+      const MoveState::Candidate cand =
+          state_.best_move(g_.edge(f), from, cap_);
+      if (cand.to != kNoPartition && cand.gain > 0) {
+        shard.heap.update(to_local(f), cand.gain);
+      } else {
+        shard.heap.remove(to_local(f));
+      }
+    };
+    for (const EdgeId e : *shard.retry) rekey(e);
+    shard.retry->clear();
+    for (const VertexId x : *touched_) {
+      for (const Neighbor& nb : g_.neighbors(x)) {
+        if (nb.edge % h_ == h) rekey(nb.edge);
+      }
+    }
+  }
+
+  const Graph& g_;
+  EdgePartition& partition_;
+  const ParallelOptions& options_;
+  RunContext& ctx_;
+  ThreadPool* pool_;  ///< nullptr = inline single-worker execution
+  std::size_t num_workers_;
+  const std::uint32_t h_;  ///< gain-heap shard count
+  const EdgeId cap_;
+
+  MoveState state_;
+  /// Step's vertex awards: award_[v] is the winning heap shard, valid iff
+  /// award_epoch_[v] == step_.
+  ScratchArena::Lease<std::uint32_t> award_;
+  ScratchArena::Lease<std::uint32_t> award_epoch_;
+  /// Vertices consumed by a committed move this step.
+  ScratchArena::Lease<std::uint32_t> consumed_epoch_;
+  ScratchArena::Lease<std::uint32_t> touched_mark_;
+  /// This step's moved endpoints, deduped, in commit order.
+  ScratchArena::Lease<VertexId> touched_;
+
+  std::vector<Shard> shards_;
+  std::vector<StealQueue> queues_;
+  std::optional<DistState> dist_;
+  std::uint32_t step_ = 0;
+};
+
+}  // namespace
+
+ParallelStats refine_parallel(const Graph& g, EdgePartition& partition,
+                              const ParallelOptions& options,
+                              RunContext& ctx) {
+  const std::uint32_t heap_shards = std::max<std::uint32_t>(
+      1, options.heap_shards);
+  std::size_t requested = options.num_threads;
+  if (requested == 0) {
+    requested = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  const std::size_t workers = std::max<std::size_t>(
+      1, std::min<std::size_t>(requested, heap_shards));
+  if (workers == 1) {
+    ParallelRun run(g, partition, options, ctx, nullptr, 1, heap_shards);
+    return run.run();
+  }
+  ThreadPool pool(workers);
+  ParallelRun run(g, partition, options, ctx, &pool, workers, heap_shards);
+  return run.run();
+}
+
+}  // namespace tlp::refine

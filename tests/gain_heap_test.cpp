@@ -1,0 +1,135 @@
+// Unit tests for the lazy-invalidation bucket-ladder GainHeap
+// (src/refine/gain_heap.hpp): ordering, LIFO tie-breaking, lazy staleness,
+// consumption semantics, and the compaction threshold.
+#include <gtest/gtest.h>
+
+#include "refine/gain_heap.hpp"
+
+namespace tlp::refine {
+namespace {
+
+TEST(GainHeap, PopsHighestGainFirst) {
+  ScratchArena arena;
+  GainHeap heap(arena, 8);
+  heap.update(0, -1);
+  heap.update(1, 2);
+  heap.update(2, 0);
+  heap.update(3, 1);
+  const int expected[] = {2, 1, 0, -1};
+  for (const int gain : expected) {
+    const GainHeap::Top top = heap.pop_best();
+    ASSERT_NE(top.id, kInvalidEdge);
+    EXPECT_EQ(top.gain, gain);
+  }
+  EXPECT_EQ(heap.pop_best().id, kInvalidEdge);
+}
+
+TEST(GainHeap, UpdateInvalidatesOldEntryLazily) {
+  ScratchArena arena;
+  GainHeap heap(arena, 4);
+  heap.update(0, 2);
+  heap.update(0, -2);  // the +2 entry is now stale
+  heap.update(1, 1);
+  GainHeap::Top top = heap.pop_best();
+  EXPECT_EQ(top.id, 1u);  // the stale +2 must be skipped
+  EXPECT_EQ(top.gain, 1);
+  top = heap.pop_best();
+  EXPECT_EQ(top.id, 0u);
+  EXPECT_EQ(top.gain, -2);
+  EXPECT_GE(heap.stale_pops(), 1u);
+}
+
+TEST(GainHeap, RemoveDropsId) {
+  ScratchArena arena;
+  GainHeap heap(arena, 4);
+  heap.update(0, 2);
+  heap.update(1, 1);
+  EXPECT_TRUE(heap.contains(0));
+  heap.remove(0);
+  EXPECT_FALSE(heap.contains(0));
+  EXPECT_EQ(heap.live(), 1u);
+  const GainHeap::Top top = heap.pop_best();
+  EXPECT_EQ(top.id, 1u);
+  EXPECT_EQ(heap.pop_best().id, kInvalidEdge);
+  heap.remove(3);  // never inserted: no-op
+  EXPECT_EQ(heap.live(), 0u);
+}
+
+TEST(GainHeap, TieBreaksMostRecentlyPushedFirst) {
+  ScratchArena arena;
+  GainHeap heap(arena, 4);
+  heap.update(0, 1);
+  heap.update(1, 1);
+  heap.update(2, 1);
+  EXPECT_EQ(heap.pop_best().id, 2u);  // LIFO within a bucket
+  EXPECT_EQ(heap.pop_best().id, 1u);
+  EXPECT_EQ(heap.pop_best().id, 0u);
+}
+
+TEST(GainHeap, RekeyMovesIdToBackOfItsBucket) {
+  ScratchArena arena;
+  GainHeap heap(arena, 4);
+  heap.update(0, 1);
+  heap.update(1, 1);
+  heap.update(0, 1);  // rekey to the same gain: 0 is now most recent
+  EXPECT_EQ(heap.pop_best().id, 0u);
+  EXPECT_EQ(heap.pop_best().id, 1u);
+}
+
+TEST(GainHeap, PopConsumes) {
+  ScratchArena arena;
+  GainHeap heap(arena, 4);
+  heap.update(0, 2);
+  const GainHeap::Top top = heap.pop_best();
+  EXPECT_EQ(top.id, 0u);
+  EXPECT_FALSE(heap.contains(0));
+  EXPECT_EQ(heap.live(), 0u);
+  EXPECT_EQ(heap.pop_best().id, kInvalidEdge);
+  heap.update(0, 1);  // caller re-inserts explicitly
+  EXPECT_EQ(heap.pop_best().id, 0u);
+}
+
+TEST(GainHeap, GainOfReflectsLatestUpdate) {
+  ScratchArena arena;
+  GainHeap heap(arena, 4);
+  heap.update(0, 2);
+  EXPECT_EQ(heap.gain_of(0), 2);
+  heap.update(0, -1);
+  EXPECT_EQ(heap.gain_of(0), -1);
+}
+
+TEST(GainHeap, CompactsWhenStaleEntriesDominate) {
+  ScratchArena arena;
+  GainHeap heap(arena, 4);
+  // Rekey a handful of ids far past the kCompactFactor * live + kCompactMin
+  // threshold; compaction must trigger and live entries must survive it.
+  for (int i = 0; i < 1000; ++i) {
+    heap.update(0, (i % 5) - 2);
+    heap.update(1, ((i + 2) % 5) - 2);
+  }
+  EXPECT_GE(heap.rebuilds(), 1u);
+  EXPECT_LE(heap.entries(),
+            GainHeap::kCompactFactor * heap.live() + GainHeap::kCompactMin);
+  EXPECT_EQ(heap.live(), 2u);
+  EXPECT_NE(heap.pop_best().id, kInvalidEdge);
+  EXPECT_NE(heap.pop_best().id, kInvalidEdge);
+  EXPECT_EQ(heap.pop_best().id, kInvalidEdge);
+}
+
+TEST(GainHeap, ClearForgetsEverythingButStaysUsable) {
+  ScratchArena arena;
+  GainHeap heap(arena, 4);
+  heap.update(0, 2);
+  heap.update(1, -2);
+  heap.clear();
+  EXPECT_EQ(heap.live(), 0u);
+  EXPECT_EQ(heap.entries(), 0u);
+  EXPECT_EQ(heap.pop_best().id, kInvalidEdge);
+  heap.update(1, 0);  // reuse after clear: old entries must never resurface
+  const GainHeap::Top top = heap.pop_best();
+  EXPECT_EQ(top.id, 1u);
+  EXPECT_EQ(top.gain, 0);
+}
+
+}  // namespace
+}  // namespace tlp::refine

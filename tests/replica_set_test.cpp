@@ -5,6 +5,7 @@
 // must never leak into run 2).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cstdint>
 
 #include "partition/replica_set.hpp"
@@ -80,6 +81,44 @@ INSTANTIATE_TEST_SUITE_P(WordBoundaries, ReplicaSetPoolWidth,
                          ::testing::Values(PartitionId{2}, PartitionId{63},
                                            PartitionId{64}, PartitionId{65},
                                            PartitionId{130}));
+
+TEST_P(ReplicaSetPoolWidth, EraseClearsExactlyOneBit) {
+  const PartitionId p = GetParam();
+  ReplicaSetPool pool(2, p);
+  pool.insert(0, 0);
+  pool.insert(0, p - 1);
+  pool.insert(1, p - 1);
+  pool.erase(0, p - 1);
+  EXPECT_FALSE(pool.contains(0, p - 1));
+  EXPECT_TRUE(pool.contains(0, 0));      // other bits untouched
+  EXPECT_TRUE(pool.contains(1, p - 1));  // other vertices untouched
+  pool.erase(0, p - 1);  // double-erase is a no-op
+  EXPECT_FALSE(pool.contains(0, p - 1));
+  pool.erase(0, 0);
+  EXPECT_TRUE(pool.empty(0));
+}
+
+TEST_P(ReplicaSetPoolWidth, WordsExposesPackedMembership) {
+  const PartitionId p = GetParam();
+  ReplicaSetPool pool(2, p);
+  pool.insert(1, 0);
+  pool.insert(1, p - 1);
+  const std::uint64_t* words = pool.words(1);
+  // Partition k lives at word k/64, bit k%64 — the layout the refinement
+  // candidate scan walks word-parallel.
+  EXPECT_EQ((words[0] >> 0) & 1ULL, 1ULL);
+  EXPECT_EQ((words[(p - 1) / 64] >> ((p - 1) % 64)) & 1ULL, 1ULL);
+  std::size_t set_bits = 0;
+  for (std::size_t w = 0; w < pool.words_per_vertex(); ++w) {
+    set_bits += static_cast<std::size_t>(std::popcount(words[w]));
+  }
+  EXPECT_EQ(set_bits, p == 1 ? 1u : 2u);
+  // Vertex 0 inserted nothing: all of its words must be zero.
+  const std::uint64_t* empty_words = pool.words(0);
+  for (std::size_t w = 0; w < pool.words_per_vertex(); ++w) {
+    EXPECT_EQ(empty_words[w], 0ULL);
+  }
+}
 
 TEST(ReplicaSetPool, ArenaReuseAcrossRunsStartsClean) {
   ScratchArena arena;

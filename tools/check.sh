@@ -52,6 +52,14 @@ run_suite build
 echo "== shard-invariance smoke (MultiTlpShard.SmokeInvariance) =="
 (cd build && ctest --output-on-failure -R 'MultiTlpShard.SmokeInvariance')
 
+# Refinement smoke (~seconds): the gain-heap unit suite, the differential
+# suite against the greedy oracle, and the parallel mover's bit-identity
+# sweep (threads x steal x claim shards), rerun by name so the refinement
+# contract stays visible in the fast leg. The same suites run in full as
+# part of the tier-1 ctest above.
+echo "== refinement smoke (GainHeap + RefineEngine + RefineParallel) =="
+(cd build && ctest --output-on-failure -R 'GainHeap|RefineEngine|RefineParallel')
+
 if [ "${1:-}" = "--fast" ]; then
   echo "check.sh: tier-1 OK (sanitizers skipped)"
   exit 0
@@ -67,17 +75,20 @@ run_suite build-ubsan -DTLP_SANITIZE=undefined \
 # includes cross-thread-count runs (2 and 8 workers) with stealing both on
 # and off plus the sharded claim protocol (per-partition mailbox lanes,
 # per-shard resolution fan-out, fault-injected fabrics), the dist_comm
-# suite posts to one fabric from concurrent senders, and the steal_queue
-# suite hammers one deque from four thieves — so claim/commit protocol
-# races, mailbox lane races and steal-schedule races all surface here.
+# suite posts to one fabric from concurrent senders, the steal_queue
+# suite hammers one deque from four thieves, and the refine_engine suite
+# runs the parallel BSP mover across worker counts with stealing on — so
+# claim/commit protocol races, mailbox lane races, steal-schedule races,
+# and refinement phase races all surface here.
 echo "== configure build-tsan (-DTLP_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DTLP_SANITIZE=thread \
   -DTLP_BUILD_BENCH=OFF -DTLP_BUILD_EXAMPLES=OFF > /dev/null
 cmake --build build-tsan -j "$JOBS" \
-  --target thread_pool_test multi_tlp_test steal_queue_test dist_comm_test
-echo "== ctest build-tsan (MultiTlp|ThreadPool|StealQueue|StealSource|dist) =="
+  --target thread_pool_test multi_tlp_test steal_queue_test dist_comm_test \
+  refine_engine_test
+echo "== ctest build-tsan (MultiTlp|ThreadPool|StealQueue|Refine|dist) =="
 (cd build-tsan && ctest --output-on-failure \
-  -R 'MultiTlp|ThreadPool|StealQueue|StealSource|Mailbox|CommFabric|AllReduce|DistClaim')
+  -R 'MultiTlp|ThreadPool|StealQueue|StealSource|Mailbox|CommFabric|AllReduce|DistClaim|Refine')
 
 # Perf smoke: -O2 hot-path microbench on a small fixture. Exits nonzero if
 # the flat structures diverge from the embedded legacy baseline or the warm
@@ -87,6 +98,14 @@ cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build build-release -j "$JOBS" --target hotpath_micro
 echo "== perf smoke (hotpath_micro --smoke) =="
 (cd build-release/bench && ./hotpath_micro --smoke)
+
+# Refinement perf smoke: two graphs at quarter scale through the win-
+# condition table, the engine x base sweep, and the parallel bit-identity
+# spot check. Exits nonzero if tlp+refine loses an RF cell to any
+# registered baseline or the BSP mover's bytes diverge across threads.
+cmake --build build-release -j "$JOBS" --target refine_runtime
+echo "== perf smoke (refine_runtime --smoke) =="
+(cd build-release/bench && ./refine_runtime --smoke)
 
 # Out-of-core smoke: a graph whose CSR exceeds the heap cap must still
 # partition byte-identically on the hybrid tier, and the same cap must kill
