@@ -14,7 +14,11 @@
 // message-passing claim path (num_shards in {1, 4, 16}) — every row must
 // still be byte-identical to the 1-thread shared-memory baseline, and the
 // rows record the protocol's messages_sent / claim_rounds cost (all rows
-// carry the three fields; shared-memory rows report shards = 0).
+// carry the three fields; shared-memory rows report shards = 0). Finally
+// the top shard count re-runs over the socket transports (socketpair, then
+// localhost TCP; dist/transport.hpp) — still byte-identical — and the rows
+// price the wire: bytes_on_wire and barrier_wait_s (0 off the wire). See
+// docs/BENCHMARKS.md for the JSON schema.
 #include <chrono>
 #include <cstdint>
 #include <cstring>
@@ -27,6 +31,7 @@
 #include "bench_common/table.hpp"
 #include "core/multi_tlp.hpp"
 #include "core/tlp.hpp"
+#include "dist/transport.hpp"
 #include "gen/generators.hpp"
 #include "metis/multilevel.hpp"
 #include "partition/metrics.hpp"
@@ -116,6 +121,7 @@ int main(int argc, char** argv) {
     std::size_t threads;
     bool steal;
     std::uint32_t shards;
+    dist::Transport transport = dist::Transport::kInProc;
   };
   std::vector<Combo> combos;
   for (const std::size_t threads : thread_counts) {
@@ -130,10 +136,18 @@ int main(int argc, char** argv) {
   for (const std::uint32_t shards : {1u, 4u, 16u}) {
     combos.push_back(Combo{max_threads, true, shards});
   }
+  // Transport sweep at the top shard count: the same protocol over real
+  // sockets (socketpair ranks, then localhost TCP). Still byte-identical;
+  // the rows price the wire (bytes_on_wire, barrier_wait_s) against the
+  // in-process fabric row above.
+  for (const dist::Transport transport :
+       {dist::Transport::kSocket, dist::Transport::kSocketTcp}) {
+    combos.push_back(Combo{max_threads, true, 16u, transport});
+  }
 
-  Table scaling({"threads", "steal", "shards", "seconds", "speedup", "RF",
-                 "steals", "steal_fail", "imbalance", "msgs", "rounds",
-                 "identical"});
+  Table scaling({"threads", "steal", "shards", "transport", "seconds",
+                 "speedup", "RF", "steals", "steal_fail", "imbalance", "msgs",
+                 "rounds", "wire MB", "barrier s", "identical"});
   std::vector<PartitionId> baseline;
   double baseline_seconds = 0.0;
   std::string json = "{\"bench\":\"scaling\",\"graph\":{\"n\":" +
@@ -148,6 +162,7 @@ int main(int argc, char** argv) {
     options.num_threads = threads;
     options.steal = steal;
     options.num_shards = combo.shards;
+    options.transport = combo.transport;
     const MultiTlpPartitioner multi{options};
     RunContext run_ctx;
     const auto t0 = std::chrono::steady_clock::now();
@@ -169,19 +184,26 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(t.counter("messages_sent"));
     const auto claim_rounds =
         static_cast<std::uint64_t>(t.counter("claim_rounds"));
+    const auto bytes_on_wire =
+        static_cast<std::uint64_t>(t.counter("bytes_on_wire"));
+    const double barrier_wait_s = t.counter("barrier_wait_s");
+    const char* transport = dist::transport_name(combo.transport);
     scaling.add_row({std::to_string(threads), steal ? "on" : "off",
-                     std::to_string(combo.shards), fmt_double(seconds, 3),
-                     fmt_double(speedup, 2),
+                     std::to_string(combo.shards), transport,
+                     fmt_double(seconds, 3), fmt_double(speedup, 2),
                      fmt_double(replication_factor(g_large, part), 3),
                      std::to_string(steals), std::to_string(steal_failures),
                      fmt_double(imbalance, 3), std::to_string(messages_sent),
                      std::to_string(claim_rounds),
+                     fmt_double(static_cast<double>(bytes_on_wire) / 1.0e6, 2),
+                     fmt_double(barrier_wait_s, 3),
                      identical ? "yes" : "NO"});
     if (!first) json += ',';
     first = false;
     json += "{\"threads\":" + std::to_string(threads) +
             ",\"steal\":" + (steal ? "true" : "false") +
             ",\"shards\":" + std::to_string(combo.shards) +
+            ",\"transport\":\"" + transport + "\"" +
             ",\"seconds\":" + fmt_double(seconds, 6) +
             ",\"speedup\":" + fmt_double(speedup, 4) +
             ",\"steals\":" + std::to_string(steals) +
@@ -189,11 +211,14 @@ int main(int argc, char** argv) {
             ",\"imbalance\":" + fmt_double(imbalance, 4) +
             ",\"messages_sent\":" + std::to_string(messages_sent) +
             ",\"claim_rounds\":" + std::to_string(claim_rounds) +
+            ",\"bytes_on_wire\":" + std::to_string(bytes_on_wire) +
+            ",\"barrier_wait_s\":" + fmt_double(barrier_wait_s, 6) +
             ",\"identical\":" + (identical ? "true" : "false") + "}";
     if (!identical) {
       std::cerr << "FATAL: " << threads << "-thread (steal "
                 << (steal ? "on" : "off") << ", " << combo.shards
-                << " shards) result differs from 1-thread baseline\n";
+                << " shards, " << transport
+                << ") result differs from 1-thread baseline\n";
       return 1;
     }
     std::cout.flush();

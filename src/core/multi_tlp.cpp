@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <numeric>
 #include <optional>
 #include <random>
@@ -16,9 +17,9 @@
 
 #include "core/frontier.hpp"
 #include "core/residual.hpp"
-#include "dist/all_reduce.hpp"
 #include "dist/claim_protocol.hpp"
-#include "dist/comm_fabric.hpp"
+#include "dist/socket_fabric.hpp"
+#include "dist/transport.hpp"
 #include "graph/intersect_kernels.hpp"
 #include "partition/replica_set.hpp"
 #include "partition/spill.hpp"
@@ -95,9 +96,12 @@ class MultiRun {
       parts_.emplace_back(ctx.child(num_workers_ + k).arena());
     }
     if (options.num_shards > 0) {
-      dist_.emplace(options.num_shards, config.num_partitions);
+      dist_.emplace(dist::resolve_transport(options.transport),
+                    options.num_shards, config.num_partitions);
       if (options.comm_faults) {
-        dist_->fabric.set_fault_plan(options.comm_faults);
+        // Faults target the claim leg only: the win channel is the
+        // protocol's own verdict, not a lossy link under test.
+        dist_->fabric->set_fault_plan(options.comm_faults);
       }
     }
     if (steal_active()) {
@@ -206,21 +210,31 @@ class MultiRun {
   };
 
   /// Message-passing claim state (sharded mode only; docs/THREADING.md,
-  /// "Sharded claim protocol"). Ranks on the fabric are the S bitmap
-  /// shards, senders are the p partitions. Per-shard scratch
+  /// "Sharded claim protocol"). Ranks on the claim fabric are the S bitmap
+  /// shards, senders are the p partitions; the all-reduce runs over a
+  /// second single-rank fabric whose senders are the shards, so BOTH legs
+  /// of the round cross the selected transport. Per-shard scratch
   /// (requests/wins) is plain vectors: shard s's slots are touched only by
   /// the one thread resolving shard s in a round, and capacity is reused
   /// across rounds.
   struct DistState {
-    DistState(std::uint32_t num_shards, PartitionId num_partitions)
-        : fabric(num_shards, num_partitions),
-          all_reduce(num_shards),
+    DistState(dist::Transport transport_kind, std::uint32_t num_shards,
+              PartitionId num_partitions)
+        : transport(transport_kind),
+          fabric(dist::make_fabric<dist::ClaimRequest>(transport_kind,
+                                                       num_shards,
+                                                       num_partitions)),
+          win_fabric(dist::make_fabric<dist::ClaimWin>(transport_kind, 1,
+                                                       num_shards)),
           requests(num_shards),
           wins(num_shards),
           busy(num_shards, 0.0) {}
 
-    dist::CommFabric<dist::ClaimRequest> fabric;
-    dist::AllReduce<dist::ClaimWin> all_reduce;
+    dist::Transport transport;
+    std::unique_ptr<dist::Fabric<dist::ClaimRequest>> fabric;
+    /// All-reduce channel: every shard sends its winner vector to rank 0;
+    /// the ascending-sender collect sweep IS the ordered concatenation.
+    std::unique_ptr<dist::Fabric<dist::ClaimWin>> win_fabric;
     std::vector<std::vector<dist::ClaimRequest>> requests;
     std::vector<std::vector<dist::ClaimWin>> wins;
     /// The round's all-reduced global verdict.
@@ -412,8 +426,8 @@ class MultiRun {
         // Sharded mode: no shared word to CAS — ask the owning shard.
         // Partition k is the sender, so the lane is sender-serial no
         // matter which worker runs this task.
-        dist_->fabric.send(k, residual_.shard_map().owner(nb.edge),
-                           dist::ClaimRequest{nb.edge, k});
+        dist_->fabric->send(k, residual_.shard_map().owner(nb.edge),
+                            dist::ClaimRequest{nb.edge, k});
       } else if (residual_.try_claim(nb.edge)) {
         epoch_[nb.edge] = step_;
       }
@@ -434,9 +448,13 @@ class MultiRun {
     DistState& d = *dist_;
     ++d.claim_rounds;
     const std::uint32_t num_shards = residual_.shard_map().num_shards();
+    // Barrier phase 1: every sender is done (the propose phase joined), so
+    // the round ends — on the socket transport this broadcasts the ARRIVE
+    // marker that trails the round's data frames down every stream.
+    d.fabric->end_round();
     const auto resolve_one = [&](std::uint32_t s) {
       const auto start = std::chrono::steady_clock::now();
-      d.fabric.collect(s, d.requests[s]);
+      d.fabric->collect(s, d.requests[s]);
       dist::resolve_shard_claims(
           d.requests[s], [&](EdgeId e) { return residual_.is_assigned(e); },
           d.wins[s]);
@@ -459,21 +477,31 @@ class MultiRun {
         resolve_one(static_cast<std::uint32_t>(s));
       });
     }
+    // collect() never throws (it may run on pool workers, just above);
+    // wire failures are surfaced here, serially, before the verdict is
+    // trusted.
+    d.fabric->raise_pending_error();
+    // All-reduce over the win channel: shard s sends its winner vector on
+    // lane s to rank 0, serially in ascending shard order; the collect
+    // sweep (ascending sender, FIFO per lane) reproduces the ordered
+    // concatenation the tree fold used to compute, bit for bit.
     for (std::uint32_t s = 0; s < num_shards; ++s) {
-      d.all_reduce.contribute(s, d.wins[s]);
+      for (const dist::ClaimWin& win : d.wins[s]) {
+        d.win_fabric->send(s, 0, win);
+      }
     }
     d.allreduce_messages += num_shards;
-    d.combined = d.all_reduce.reduce(
-        [](std::vector<dist::ClaimWin> a, const std::vector<dist::ClaimWin>& b) {
-          a.insert(a.end(), b.begin(), b.end());
-          return a;
-        });
-    d.all_reduce.reset();
+    d.win_fabric->end_round();
+    d.win_fabric->collect(0, d.combined);
+    d.win_fabric->raise_pending_error();
+    d.win_fabric->clear_all_inboxes();
     for (const dist::ClaimWin& win : d.combined) {
       commit_mark_[win.edge] = step_;
       claimant_[win.edge] = win.winner;
     }
-    d.fabric.clear_all_inboxes();
+    // Barrier phase 2: release the round (socket: broadcast RELEASE and
+    // advance the round counter) and reset the staging inboxes.
+    d.fabric->clear_all_inboxes();
   }
 
   /// Super-step barrier (serial): seed dedup, deterministic claim
@@ -530,13 +558,13 @@ class MultiRun {
           } else {
             // Neither granted this round nor previously assigned: the
             // claim request never reached its shard (possible only under
-            // the fault-injection hook). Fail loudly rather than let the
-            // edge silently fall out of the protocol.
-            throw std::runtime_error(
-                "multi_tlp: sharded claim protocol diverged: partition " +
-                std::to_string(k) + "'s claim request for edge " +
-                std::to_string(e) +
-                " was neither granted nor stale (request lost in transit)");
+            // the fault-injection hook or a genuinely lossy link). Fail
+            // loudly — and with the lossy lane's coordinates — rather than
+            // let the edge silently fall out of the protocol.
+            const std::size_t owner = residual_.shard_map().owner(e);
+            throw dist::ClaimDivergedError(
+                "multi_tlp", k, owner, e,
+                dist_->fabric->lane_sequence(k, owner));
           }
         }
       }
@@ -858,11 +886,34 @@ class MultiRun {
           dist_ ? static_cast<double>(residual_.shard_map().num_shards())
                 : 0.0);
     t.add("messages_sent",
-          dist_ ? static_cast<double>(dist_->fabric.messages_sent() +
+          dist_ ? static_cast<double>(dist_->fabric->messages_sent() +
                                       dist_->allreduce_messages)
                 : 0.0);
     t.add("claim_rounds",
           dist_ ? static_cast<double>(dist_->claim_rounds) : 0.0);
+    // Transport gauge + wire counters (docs/THREADING.md, "Network
+    // transport"): 0 = shared-memory claim path, 1 = in-process fabric,
+    // 2 = socketpair, 3 = localhost TCP. The wire counters sum both legs
+    // of the round (claim fabric + win channel); they are identically 0
+    // off the socket transports, and — like worker_busy — barrier_wait_s
+    // is wall-clock and free to vary across runs.
+    t.set("transport",
+          dist_ ? 1.0 + static_cast<double>(dist_->transport) : 0.0);
+    dist::TransportTelemetry wire;
+    if (dist_) {
+      const dist::TransportTelemetry claim = dist_->fabric->wire_telemetry();
+      const dist::TransportTelemetry win = dist_->win_fabric->wire_telemetry();
+      wire.bytes_on_wire = claim.bytes_on_wire + win.bytes_on_wire;
+      wire.frames_sent = claim.frames_sent + win.frames_sent;
+      wire.backpressure_stalls =
+          claim.backpressure_stalls + win.backpressure_stalls;
+      wire.barrier_wait_s = claim.barrier_wait_s + win.barrier_wait_s;
+    }
+    t.add("bytes_on_wire", static_cast<double>(wire.bytes_on_wire));
+    t.add("frames_sent", static_cast<double>(wire.frames_sent));
+    t.add("backpressure_stalls",
+          static_cast<double>(wire.backpressure_stalls));
+    t.add("barrier_wait_s", wire.barrier_wait_s);
     if (dist_) {
       for (const double b : dist_->busy) t.append("shard_busy", b);
     }

@@ -76,6 +76,7 @@
 #include <string>
 
 #include "dist/fault_plan.hpp"
+#include "dist/transport.hpp"
 #include "partition/partitioner.hpp"
 
 namespace tlp {
@@ -103,6 +104,14 @@ struct MultiTlpOptions {
   /// gains `shards`, `messages_sent`, `claim_rounds`, and a per-shard
   /// `shard_busy` series.
   std::uint32_t num_shards = 0;
+  /// Transport backing the sharded claim fabric (only meaningful with
+  /// num_shards >= 1). Unset resolves through the TLP_TRANSPORT environment
+  /// knob, then defaults to the in-process mailbox fabric; kSocket /
+  /// kSocketTcp run the SAME protocol over kernel sockets with versioned
+  /// length-prefixed frames (dist/socket_fabric.hpp). The assignment is
+  /// byte-identical across transports; telemetry gains the wire counters
+  /// (bytes_on_wire, frames_sent, barrier_wait_s, backpressure_stalls).
+  std::optional<dist::Transport> transport;
   /// TEST HOOK: deterministic message faults on the claim fabric
   /// (drop/duplicate/reorder from a seed; only meaningful with
   /// num_shards >= 1). Duplicates and reorders must not change the result;

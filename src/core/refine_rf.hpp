@@ -20,9 +20,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 
+#include "dist/transport.hpp"
 #include "partition/edge_partition.hpp"
 #include "partition/partitioner.hpp"
 
@@ -56,6 +58,10 @@ struct RefineOptions {
   std::uint32_t num_shards = 0;
   std::uint32_t heap_shards = 8;
   std::uint32_t proposals_per_shard = 4;
+  /// kParallel + num_shards >= 1 only: transport backing the claim fabric.
+  /// Unset resolves through TLP_TRANSPORT, then the in-process fabric;
+  /// moves are byte-identical across transports (dist/transport.hpp).
+  std::optional<dist::Transport> transport;
 };
 
 struct RefineResult {
@@ -71,6 +77,12 @@ struct RefineResult {
   std::size_t super_steps = 0;
   std::size_t conflicts = 0;
   std::uint64_t messages_sent = 0;
+  /// kParallel on a socket transport only (0 elsewhere): wire counters
+  /// summed over both fabric legs.
+  std::uint64_t bytes_on_wire = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t backpressure_stalls = 0;
+  double barrier_wait_s = 0.0;
 };
 
 /// The greedy oracle: ascending-edge-order sweeps applying every strictly

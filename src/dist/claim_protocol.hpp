@@ -22,12 +22,54 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <tuple>
 #include <vector>
 
 #include "graph/types.hpp"
 
 namespace tlp::dist {
+
+/// The lost-request failure the commit scan detects: an attempt that is
+/// neither granted nor stale means its ClaimRequest never reached the
+/// owning rank. Carries the lossy lane as structured data (sender rank ->
+/// receiver rank plus the lane's send count) so operators of a real
+/// deployment can point at the broken link instead of grepping a string.
+class ClaimDivergedError : public std::runtime_error {
+ public:
+  ClaimDivergedError(const std::string& context, std::size_t sender_rank,
+                     std::size_t receiver_rank, std::uint64_t id,
+                     std::uint64_t lane_sequence)
+      : std::runtime_error(
+            context + ": claim protocol diverged: sender " +
+            std::to_string(sender_rank) + "'s claim request for id " +
+            std::to_string(id) + " was neither granted nor stale on lane " +
+            std::to_string(sender_rank) + " -> " +
+            std::to_string(receiver_rank) + " (lane sequence " +
+            std::to_string(lane_sequence) + "; request lost in transit)"),
+        sender_rank_(sender_rank),
+        receiver_rank_(receiver_rank),
+        id_(id),
+        lane_sequence_(lane_sequence) {}
+
+  /// The requesting sender (a partition id in multi_tlp, a gain-heap shard
+  /// id in the parallel mover).
+  [[nodiscard]] std::size_t sender_rank() const { return sender_rank_; }
+  /// The owning rank the lost request was addressed to.
+  [[nodiscard]] std::size_t receiver_rank() const { return receiver_rank_; }
+  /// The contested id (an edge id in multi_tlp, a vertex id in the mover).
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  /// Messages the sender had put on the lossy lane when the loss surfaced.
+  [[nodiscard]] std::uint64_t lane_sequence() const { return lane_sequence_; }
+
+ private:
+  std::size_t sender_rank_;
+  std::size_t receiver_rank_;
+  std::uint64_t id_;
+  std::uint64_t lane_sequence_;
+};
 
 /// Partition `partition` asks edge `edge`'s owning shard to assign it.
 struct ClaimRequest {

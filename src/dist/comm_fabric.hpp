@@ -15,9 +15,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -42,16 +44,25 @@ class CommFabric {
   [[nodiscard]] std::size_t num_senders() const { return num_senders_; }
 
   /// Posts `message` from `sender` into rank `to`'s inbox, applying the
-  /// fault plan (drop/duplicate) if one is set. Sender-serial per sender;
-  /// concurrent across senders.
+  /// fault plan (dead lane/slow peer/drop/duplicate) if one is set.
+  /// Sender-serial per sender; concurrent across senders.
   void send(std::size_t sender, std::size_t to, T message) {
     messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    // Lane sequence numbers are sender-serial state, like the lane itself;
+    // counted unconditionally so lane_sequence() (the coordinate reported
+    // by ClaimDivergedError) is meaningful with or without a fault plan.
+    const std::uint64_t seq = lane_seq_[to * num_senders_ + sender]++;
     if (!plan_) {
       inboxes_[to].post(sender, std::move(message));
       return;
     }
-    // Lane sequence numbers are sender-serial state, like the lane itself.
-    const std::uint64_t seq = lane_seq_[to * num_senders_ + sender]++;
+    if (plan_->lane_dead(sender, to)) {
+      return;  // severed lane; the send was still counted
+    }
+    if (plan_->lane_slow(to)) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(plan_->delay_micros));
+    }
     if (plan_->drop_permille > 0 &&
         fault_roll(plan_->seed, sender, to, seq, kDropSalt) % 1000 <
             plan_->drop_permille) {
@@ -110,6 +121,13 @@ class CommFabric {
     return messages_sent_.load(std::memory_order_relaxed);
   }
 
+  /// Messages handed to send() so far on lane (sender -> rank). Consumer-
+  /// side (barrier-ordered with the senders), like collect().
+  [[nodiscard]] std::uint64_t lane_sequence(std::size_t sender,
+                                            std::size_t rank) const {
+    return lane_seq_[rank * num_senders_ + sender];
+  }
+
   /// TEST HOOK — install (or clear) a deterministic fault plan. Serial
   /// only: never call while senders are running.
   void set_fault_plan(std::optional<FaultPlan> plan) {
@@ -118,10 +136,6 @@ class CommFabric {
   }
 
  private:
-  static constexpr std::uint64_t kDropSalt = 0xD609;
-  static constexpr std::uint64_t kDupSalt = 0xD0B1;
-  static constexpr std::uint64_t kReorderSalt = 0x5E0;
-
   std::size_t num_senders_;
   std::vector<Mailbox<T>> inboxes_;
   /// Per (rank × sender) lane sequence counters for fault keying;

@@ -11,6 +11,9 @@
 namespace tlp::dist {
 
 struct FaultPlan {
+  /// Sentinel for the lane selectors below: "no constraint on this axis".
+  static constexpr std::uint32_t kAnyLane = 0xFFFFFFFFu;
+
   std::uint64_t seed = 0;
   /// P(message silently lost), in 1/1000. 1000 drops everything.
   std::uint32_t drop_permille = 0;
@@ -18,7 +21,49 @@ struct FaultPlan {
   std::uint32_t dup_permille = 0;
   /// Deterministically permute each (sender → rank) lane at delivery time.
   bool reorder = false;
+  /// Partial connectivity: every message on the matching directed lane(s)
+  /// is lost. dead_sender/dead_rank each constrain one endpoint; kAnyLane
+  /// leaves that endpoint unconstrained (e.g. dead_rank = 2 alone makes
+  /// rank 2 unreachable from everyone). Both kAnyLane = fault disabled.
+  std::uint32_t dead_sender = kAnyLane;
+  std::uint32_t dead_rank = kAnyLane;
+  /// Slow peer: delay every delivery on the matching lane(s) by this many
+  /// microseconds (timing only — results must stay byte-identical).
+  std::uint32_t delay_micros = 0;
+  /// Rank whose incoming lanes are slowed; kAnyLane slows every lane.
+  std::uint32_t slow_rank = kAnyLane;
+  /// SOCKET TRANSPORT ONLY — P(data frame payload corrupted on the wire),
+  /// in 1/1000; the receiver's checksum trips and the round errors out
+  /// cleanly. Ignored by the in-process fabric (it has no wire).
+  std::uint32_t garble_permille = 0;
+  /// SOCKET TRANSPORT ONLY — P(data frame payload truncated on the wire),
+  /// in 1/1000; the typed decoder rejects the short payload. Frame
+  /// boundaries stay intact, so the stream never desynchronizes.
+  std::uint32_t truncate_permille = 0;
+
+  /// Whether the directed lane (sender → rank) is severed.
+  [[nodiscard]] constexpr bool lane_dead(std::uint64_t sender,
+                                         std::uint64_t rank) const {
+    if (dead_sender == kAnyLane && dead_rank == kAnyLane) return false;
+    return (dead_sender == kAnyLane || sender == dead_sender) &&
+           (dead_rank == kAnyLane || rank == dead_rank);
+  }
+
+  /// Whether deliveries into `rank` carry the slow-peer delay.
+  [[nodiscard]] constexpr bool lane_slow(std::uint64_t rank) const {
+    return delay_micros > 0 &&
+           (slow_rank == kAnyLane || rank == slow_rank);
+  }
 };
+
+/// Salts separating the independent fault-decision streams. Shared by the
+/// in-process and socket fabrics — identical keying is what makes a plan
+/// hit the SAME messages on both transports (the byte-identity contract).
+inline constexpr std::uint64_t kDropSalt = 0xD609;
+inline constexpr std::uint64_t kDupSalt = 0xD0B1;
+inline constexpr std::uint64_t kReorderSalt = 0x5E0;
+inline constexpr std::uint64_t kGarbleSalt = 0x6A4B;
+inline constexpr std::uint64_t kTruncateSalt = 0x7124;
 
 /// SplitMix64 finalizer: the standard cheap 64-bit mixer. Good enough to
 /// decorrelate fault rolls; not a cryptographic primitive.

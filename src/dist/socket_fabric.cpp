@@ -1,0 +1,485 @@
+// The untyped half of the socket transport (see socket_fabric.hpp):
+// connection lifecycle (socketpair or listen/connect + HELLO/WELCOME),
+// non-blocking framed I/O with backpressure and sender self-drain, the
+// two-phase barrier control frames, and orderly BYE shutdown.
+#include "dist/socket_fabric.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace tlp::dist::socket_detail {
+namespace {
+
+[[nodiscard]] std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw wire::WireError(errno_string("socket fabric: fcntl(O_NONBLOCK)"));
+  }
+}
+
+/// Blocking write of the whole buffer (handshake only — runtime sends go
+/// through the non-blocking backpressure path).
+void write_all_blocking(int fd, const unsigned char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t w = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    throw wire::WireError(errno_string("socket fabric: handshake send"));
+  }
+}
+
+/// Blocking read of exactly `size` bytes (handshake only).
+void read_exact_blocking(int fd, unsigned char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t r = ::recv(fd, data + off, size - off, 0);
+    if (r > 0) {
+      off += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r == 0) {
+      throw wire::WireError(
+          "socket fabric: peer closed the stream mid-handshake");
+    }
+    throw wire::WireError(errno_string("socket fabric: handshake recv"));
+  }
+}
+
+/// Blocking read of one complete frame (handshake only).
+wire::FrameView read_frame_blocking(int fd, std::vector<unsigned char>& buf) {
+  buf.resize(wire::kHeaderSize);
+  read_exact_blocking(fd, buf.data(), wire::kHeaderSize);
+  const std::uint32_t payload_len = wire::get_u32(buf.data());
+  if (payload_len > wire::kMaxFramePayload) {
+    throw wire::WireError("socket fabric: oversized handshake frame");
+  }
+  buf.resize(wire::kHeaderSize + payload_len);
+  read_exact_blocking(fd, buf.data() + wire::kHeaderSize, payload_len);
+  std::size_t offset = 0;
+  wire::FrameView view;
+  if (!wire::try_parse_frame(buf, offset, view)) {
+    throw wire::WireError("socket fabric: short handshake frame");
+  }
+  return view;
+}
+
+}  // namespace
+
+int connect_with_backoff(std::uint16_t port, int max_attempts,
+                         std::chrono::milliseconds initial_backoff) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  std::chrono::milliseconds backoff = initial_backoff;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw wire::WireError(errno_string("socket fabric: socket()"));
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(100));
+  }
+  throw wire::WireError("socket fabric: connect to 127.0.0.1:" +
+                        std::to_string(port) + " failed after " +
+                        std::to_string(max_attempts) +
+                        " backoff attempts (no listener)");
+}
+
+SocketTransportCore::SocketTransportCore(Transport transport,
+                                         std::size_t num_ranks,
+                                         std::size_t num_senders,
+                                         const SocketFabricConfig& config,
+                                         FrameSink& sink)
+    : transport_(transport),
+      num_ranks_(num_ranks),
+      num_senders_(num_senders),
+      config_(config),
+      sink_(sink) {
+  ranks_.reserve(num_ranks_);
+  for (std::size_t r = 0; r < num_ranks_; ++r) {
+    ranks_.push_back(std::make_unique<RankChannel>());
+  }
+  if (transport_ == Transport::kSocketTcp) {
+    open_tcp_channels();
+  } else {
+    open_socketpair_channels();
+  }
+  for (std::size_t r = 0; r < num_ranks_; ++r) {
+    handshake_channel(*ranks_[r], r);
+    set_runtime_socket_options(*ranks_[r]);
+  }
+}
+
+SocketTransportCore::~SocketTransportCore() {
+  // Orderly shutdown: BYE down every stream (best effort — errors are
+  // irrelevant now), half-close the writing ends, close everything.
+  std::vector<unsigned char> frame;
+  for (std::size_t r = 0; r < num_ranks_; ++r) {
+    RankChannel& channel = *ranks_[r];
+    if (channel.send_fd >= 0) {
+      frame.clear();
+      wire::encode_frame(frame, wire::FrameType::kBye, 0, 0, nullptr, 0);
+      (void)::send(channel.send_fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      ::shutdown(channel.send_fd, SHUT_WR);
+    }
+    if (channel.send_fd >= 0) ::close(channel.send_fd);
+    if (channel.recv_fd >= 0 && channel.recv_fd != channel.send_fd) {
+      ::close(channel.recv_fd);
+    }
+  }
+}
+
+void SocketTransportCore::open_socketpair_channels() {
+  for (std::size_t r = 0; r < num_ranks_; ++r) {
+    int fds[2] = {-1, -1};
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      throw wire::WireError(errno_string("socket fabric: socketpair"));
+    }
+    ranks_[r]->send_fd = fds[0];
+    ranks_[r]->recv_fd = fds[1];
+  }
+}
+
+void SocketTransportCore::open_tcp_channels() {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    throw wire::WireError(errno_string("socket fabric: listener socket"));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // ephemeral
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, static_cast<int>(num_ranks_)) != 0) {
+    ::close(listener);
+    throw wire::WireError(errno_string("socket fabric: bind/listen"));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    ::close(listener);
+    throw wire::WireError(errno_string("socket fabric: getsockname"));
+  }
+  const std::uint16_t port = ntohs(addr.sin_port);
+  try {
+    // Connect every rank's client end first (the backlog holds them), then
+    // accept; HELLO carries the rank id, so accept order is irrelevant.
+    for (std::size_t r = 0; r < num_ranks_; ++r) {
+      ranks_[r]->send_fd = connect_with_backoff(
+          port, config_.connect_attempts, config_.connect_backoff_initial);
+      std::vector<unsigned char> payload;
+      wire::encode_hello(payload,
+                         wire::Hello{static_cast<std::uint32_t>(r),
+                                     static_cast<std::uint32_t>(num_senders_)});
+      std::vector<unsigned char> frame;
+      wire::encode_frame(frame, wire::FrameType::kHello, 0, 0, payload.data(),
+                         static_cast<std::uint32_t>(payload.size()));
+      write_all_blocking(ranks_[r]->send_fd, frame.data(), frame.size());
+    }
+    std::vector<unsigned char> scratch;
+    for (std::size_t accepted = 0; accepted < num_ranks_; ++accepted) {
+      const int fd = ::accept(listener, nullptr, nullptr);
+      if (fd < 0) {
+        throw wire::WireError(errno_string("socket fabric: accept"));
+      }
+      const wire::FrameView view = read_frame_blocking(fd, scratch);
+      if (view.type != wire::FrameType::kHello) {
+        ::close(fd);
+        throw wire::WireError(
+            "socket fabric: expected HELLO on a fresh connection");
+      }
+      const wire::Hello hello =
+          wire::decode_hello(view.payload, view.payload_len);
+      if (hello.rank >= num_ranks_ || ranks_[hello.rank]->recv_fd >= 0) {
+        ::close(fd);
+        throw wire::WireError("socket fabric: HELLO for invalid or "
+                              "already-connected rank " +
+                              std::to_string(hello.rank));
+      }
+      if (hello.num_senders != num_senders_) {
+        ::close(fd);
+        throw wire::WireError("socket fabric: HELLO sender count " +
+                              std::to_string(hello.num_senders) +
+                              " does not match this fabric's " +
+                              std::to_string(num_senders_));
+      }
+      ranks_[hello.rank]->recv_fd = fd;
+    }
+  } catch (...) {
+    ::close(listener);
+    throw;
+  }
+  ::close(listener);
+}
+
+void SocketTransportCore::handshake_channel(RankChannel& channel,
+                                            std::size_t rank) {
+  std::vector<unsigned char> scratch;
+  if (transport_ == Transport::kSocketTcp) {
+    // HELLO already went client -> server during accept demux; finish with
+    // WELCOME server -> client, echoing the validated identity.
+    std::vector<unsigned char> payload;
+    wire::encode_hello(payload,
+                       wire::Hello{static_cast<std::uint32_t>(rank),
+                                   static_cast<std::uint32_t>(num_senders_)});
+    std::vector<unsigned char> frame;
+    wire::encode_frame(frame, wire::FrameType::kWelcome, 0, 0, payload.data(),
+                       static_cast<std::uint32_t>(payload.size()));
+    write_all_blocking(channel.recv_fd, frame.data(), frame.size());
+    const wire::FrameView view = read_frame_blocking(channel.send_fd, scratch);
+    if (view.type != wire::FrameType::kWelcome) {
+      throw wire::WireError("socket fabric: expected WELCOME after HELLO");
+    }
+    const wire::Hello echo = wire::decode_hello(view.payload,
+                                                view.payload_len);
+    if (echo.rank != rank) {
+      throw wire::WireError("socket fabric: WELCOME echoed rank " +
+                            std::to_string(echo.rank) + ", expected " +
+                            std::to_string(rank));
+    }
+    return;
+  }
+  // Socketpair flavor: run the same HELLO/WELCOME frames across the pair —
+  // one code path, one format, both directions exercised.
+  std::vector<unsigned char> payload;
+  wire::encode_hello(payload,
+                     wire::Hello{static_cast<std::uint32_t>(rank),
+                                 static_cast<std::uint32_t>(num_senders_)});
+  std::vector<unsigned char> frame;
+  wire::encode_frame(frame, wire::FrameType::kHello, 0, 0, payload.data(),
+                     static_cast<std::uint32_t>(payload.size()));
+  write_all_blocking(channel.send_fd, frame.data(), frame.size());
+  const wire::FrameView hello_view =
+      read_frame_blocking(channel.recv_fd, scratch);
+  if (hello_view.type != wire::FrameType::kHello) {
+    throw wire::WireError("socket fabric: expected HELLO on the pair");
+  }
+  const wire::Hello hello =
+      wire::decode_hello(hello_view.payload, hello_view.payload_len);
+  if (hello.rank != rank || hello.num_senders != num_senders_) {
+    throw wire::WireError("socket fabric: HELLO identity mismatch on the "
+                          "pair");
+  }
+  frame.clear();
+  wire::encode_frame(frame, wire::FrameType::kWelcome, 0, 0, payload.data(),
+                     static_cast<std::uint32_t>(payload.size()));
+  write_all_blocking(channel.recv_fd, frame.data(), frame.size());
+  const wire::FrameView welcome_view =
+      read_frame_blocking(channel.send_fd, scratch);
+  if (welcome_view.type != wire::FrameType::kWelcome) {
+    throw wire::WireError("socket fabric: expected WELCOME on the pair");
+  }
+}
+
+void SocketTransportCore::set_runtime_socket_options(RankChannel& channel) {
+  const int sndbuf = static_cast<int>(config_.send_buffer_bytes);
+  (void)::setsockopt(channel.send_fd, SOL_SOCKET, SO_SNDBUF, &sndbuf,
+                     sizeof(sndbuf));
+  if (transport_ == Transport::kSocketTcp) {
+    const int one = 1;
+    (void)::setsockopt(channel.send_fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                       sizeof(one));
+  }
+  set_nonblocking(channel.send_fd);
+  set_nonblocking(channel.recv_fd);
+}
+
+void SocketTransportCore::send_frame(std::size_t rank,
+                                     const unsigned char* data,
+                                     std::size_t size) {
+  RankChannel& channel = *ranks_[rank];
+  std::lock_guard<std::mutex> lock(channel.send_mutex);
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t w = ::send(channel.send_fd, data + off, size - off,
+                             MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Bounded buffer is full: count the stall, opportunistically drain
+      // the destination's stream ourselves (in a one-process BSP step the
+      // consumer only reads at the barrier), then wait for writability.
+      backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
+      try_self_drain(rank);
+      pollfd pfd{channel.send_fd, POLLOUT, 0};
+      (void)::poll(&pfd, 1, 10);
+      continue;
+    }
+    record_error(errno_string("socket fabric: send_frame"));
+    return;
+  }
+  bytes_on_wire_.fetch_add(size, std::memory_order_relaxed);
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SocketTransportCore::broadcast_control(wire::FrameType type,
+                                            std::uint64_t round) {
+  std::vector<unsigned char> frame;
+  for (std::size_t r = 0; r < num_ranks_; ++r) {
+    frame.clear();
+    wire::encode_frame(frame, type, 0, round, nullptr, 0);
+    send_frame(r, frame.data(), frame.size());
+  }
+}
+
+bool SocketTransportCore::read_available(RankChannel& channel,
+                                         std::size_t rank) {
+  unsigned char chunk[65536];
+  for (;;) {
+    const ssize_t r = ::recv(channel.recv_fd, chunk, sizeof(chunk), 0);
+    if (r > 0) {
+      channel.buf.insert(channel.buf.end(), chunk,
+                         chunk + static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (r == 0) {
+      channel.eof = true;
+      if (!channel.peer_bye) {
+        record_error("socket fabric: rank " + std::to_string(rank) +
+                     "'s stream closed mid-round (no BYE)");
+      }
+      return false;
+    }
+    record_error(errno_string("socket fabric: recv"));
+    return false;
+  }
+}
+
+void SocketTransportCore::parse_frames(std::size_t rank,
+                                       RankChannel& channel) {
+  if (channel.poisoned) return;
+  wire::FrameView view;
+  try {
+    while (wire::try_parse_frame(channel.buf, channel.offset, view)) {
+      switch (view.type) {
+        case wire::FrameType::kData:
+          sink_.on_data(rank, channel.releases_seen, view.sender, view.seq,
+                        view.payload, view.payload_len);
+          break;
+        case wire::FrameType::kBarrierArrive:
+          if (view.seq != channel.arrives_seen) {
+            throw wire::WireError(
+                "socket fabric: ARRIVE for round " +
+                std::to_string(view.seq) + " but rank " +
+                std::to_string(rank) + " expected round " +
+                std::to_string(channel.arrives_seen));
+          }
+          ++channel.arrives_seen;
+          break;
+        case wire::FrameType::kBarrierRelease:
+          if (view.seq != channel.releases_seen) {
+            throw wire::WireError(
+                "socket fabric: RELEASE for round " +
+                std::to_string(view.seq) + " but rank " +
+                std::to_string(rank) + " expected round " +
+                std::to_string(channel.releases_seen));
+          }
+          ++channel.releases_seen;
+          break;
+        case wire::FrameType::kBye:
+          channel.peer_bye = true;
+          break;
+        case wire::FrameType::kHello:
+        case wire::FrameType::kWelcome:
+          throw wire::WireError(
+              "socket fabric: handshake frame after handshake completed");
+      }
+    }
+  } catch (const wire::WireError& e) {
+    // Parse state is no longer trustworthy: stop interpreting this stream
+    // (bytes keep being read so senders never wedge) and surface the error
+    // at the next serial raise_pending_error().
+    channel.poisoned = true;
+    record_error(e.what());
+  }
+  // Compact consumed bytes once they dominate the buffer.
+  if (channel.offset > 4096 && channel.offset > channel.buf.size() / 2) {
+    channel.buf.erase(channel.buf.begin(),
+                      channel.buf.begin() +
+                          static_cast<std::ptrdiff_t>(channel.offset));
+    channel.offset = 0;
+  }
+}
+
+void SocketTransportCore::try_self_drain(std::size_t rank) {
+  RankChannel& channel = *ranks_[rank];
+  if (!channel.recv_mutex.try_lock()) return;  // a consumer is draining
+  std::lock_guard<std::mutex> lock(channel.recv_mutex, std::adopt_lock);
+  (void)read_available(channel, rank);
+  parse_frames(rank, channel);
+}
+
+void SocketTransportCore::drain_until_arrive(std::size_t rank,
+                                             std::uint64_t round) {
+  RankChannel& channel = *ranks_[rank];
+  const auto start = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(channel.recv_mutex);
+  while (channel.arrives_seen <= round && !channel.poisoned &&
+         !channel.eof) {
+    parse_frames(rank, channel);
+    if (channel.arrives_seen > round || channel.poisoned) break;
+    if (!read_available(channel, rank)) break;
+    parse_frames(rank, channel);
+    if (channel.arrives_seen > round || channel.poisoned) break;
+    if (std::chrono::steady_clock::now() - start > config_.barrier_timeout) {
+      record_error("socket fabric: barrier timeout waiting for rank " +
+                   std::to_string(rank) + "'s ARRIVE of round " +
+                   std::to_string(round));
+      break;
+    }
+    pollfd pfd{channel.recv_fd, POLLIN, 0};
+    (void)::poll(&pfd, 1, 50);
+  }
+  barrier_wait_ns_.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()),
+      std::memory_order_relaxed);
+}
+
+void SocketTransportCore::record_error(const std::string& message) {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  if (first_error_.empty()) first_error_ = message;
+}
+
+std::string SocketTransportCore::first_error() const {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  return first_error_;
+}
+
+}  // namespace tlp::dist::socket_detail

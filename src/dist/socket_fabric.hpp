@@ -1,0 +1,401 @@
+// SocketFabric<T>: the CommFabric contract over real sockets. Ranks are
+// backed by AF_UNIX socketpairs (Transport::kSocket) or localhost TCP
+// streams with a listen/connect + HELLO/WELCOME handshake
+// (Transport::kSocketTcp); either way every message crosses a kernel
+// socket as a versioned length-prefixed frame (dist/wire_format.hpp), so
+// swapping in remote peers is a connection-setup change, not a protocol
+// change.
+//
+// Structure: the non-template SocketTransportCore (socket_fabric.cpp) owns
+// the fds, the framing, the two-phase barrier plumbing, backpressure, and
+// the wire counters; the SocketFabric<T> template adds the typed codec,
+// the per-rank staging mailboxes, and fault-plan keying identical to
+// CommFabric's (same salts, same per-lane sequence counters — a plan
+// perturbs the same messages on both transports).
+//
+// Concurrency: one stream per rank. Senders share the rank's writing end
+// under a per-rank send mutex (sends stay concurrent ACROSS ranks and the
+// per-sender lane order is each sender's own program order, which the
+// mutex serializes onto the stream). The receiving end is drained under a
+// per-rank receive mutex by whoever needs the bytes: collect() (the
+// consumer) or a backpressured sender (see below).
+//
+// Two-phase barrier: end_round() broadcasts an ARRIVE frame down every
+// rank's stream — stream FIFO guarantees ARRIVE trails every data frame
+// of the round, so a collect() that has consumed ARRIVE(n) has provably
+// seen all of round n (phase 1; the wait is accounted in barrier_wait_s).
+// clear_all_inboxes() broadcasts RELEASE and advances the round (phase 2);
+// receivers validate the ARRIVE/RELEASE interleave and drop data frames
+// from rounds nobody collected.
+//
+// Backpressure: send buffers are bounded (SO_SNDBUF, configurable) and
+// writes are non-blocking. A sender that fills a rank's buffer counts a
+// backpressure_stall and — because in a single-process BSP step nobody
+// reads until the barrier — SELF-DRAINS the destination rank's stream into
+// its staging mailbox (try-lock; skipped if the consumer is already
+// draining), then polls for writability. A slow peer therefore stalls
+// senders in bounded memory instead of growing queues without limit.
+//
+// Failure contract: send()/collect() never throw (they may run on pool
+// workers); EOF, garbled or truncated frames, handshake violations and
+// barrier timeouts are recorded and rethrown serially by
+// raise_pending_error() as wire::WireError. Destruction sends BYE and
+// shuts the streams down in order.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dist/fault_plan.hpp"
+#include "dist/mailbox.hpp"
+#include "dist/transport.hpp"
+#include "dist/wire_format.hpp"
+
+namespace tlp::dist {
+
+struct SocketFabricConfig {
+  /// SO_SNDBUF request per rank stream; the kernel may round it. Small
+  /// values make backpressure_stalls observable (tests); the default keeps
+  /// a whole typical round in flight.
+  std::size_t send_buffer_bytes = 128 * 1024;
+  /// Reconnect-with-backoff budget for the TCP connect (the listener may
+  /// not be accepting yet): attempts × exponential backoff from
+  /// `connect_backoff_initial`, capped at 100ms per wait.
+  int connect_attempts = 50;
+  std::chrono::milliseconds connect_backoff_initial{1};
+  /// A collect() that waits longer than this for the round's ARRIVE marker
+  /// records a barrier-timeout error instead of hanging forever.
+  std::chrono::milliseconds barrier_timeout{30000};
+};
+
+namespace socket_detail {
+
+/// TCP connect to 127.0.0.1:port with exponential backoff while the
+/// listener comes up. Returns the connected fd; throws wire::WireError
+/// when the budget is exhausted. Exposed for the conformance suite.
+int connect_with_backoff(std::uint16_t port, int max_attempts,
+                         std::chrono::milliseconds initial_backoff);
+
+/// Where the transport core delivers parsed DATA frames (under the rank's
+/// receive lock). `receiver_round` is the round the frame belongs to on
+/// the receiving side (RELEASE frames consumed so far); implementations
+/// must not throw — decode failures are record_error()'d.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual void on_data(std::size_t rank, std::uint64_t receiver_round,
+                       std::uint16_t sender, std::uint64_t seq,
+                       const unsigned char* payload,
+                       std::uint32_t len) noexcept = 0;
+};
+
+/// The untyped half of the socket transport: fds, framing, handshake,
+/// barrier control frames, backpressure, counters. One instance per
+/// SocketFabric.
+class SocketTransportCore {
+ public:
+  SocketTransportCore(Transport transport, std::size_t num_ranks,
+                      std::size_t num_senders,
+                      const SocketFabricConfig& config, FrameSink& sink);
+  ~SocketTransportCore();
+  SocketTransportCore(const SocketTransportCore&) = delete;
+  SocketTransportCore& operator=(const SocketTransportCore&) = delete;
+
+  /// Writes one already-encoded frame to rank's stream. Thread-safe across
+  /// ranks and senders (per-rank send mutex); applies backpressure. Never
+  /// throws — stream failures are recorded.
+  void send_frame(std::size_t rank, const unsigned char* data,
+                  std::size_t size);
+
+  /// Serial: one control frame (ARRIVE/RELEASE/BYE, seq = round) per rank.
+  void broadcast_control(wire::FrameType type, std::uint64_t round);
+
+  /// Consumer-side: drains rank's stream until the ARRIVE for `round` has
+  /// been consumed (or an error/timeout is recorded). Safe concurrently
+  /// for distinct ranks; accumulates the wait into barrier_wait.
+  void drain_until_arrive(std::size_t rank, std::uint64_t round);
+
+  /// Records the first failure (later ones are dropped); never throws.
+  void record_error(const std::string& message);
+  /// The first recorded failure, empty if none. Serial use.
+  [[nodiscard]] std::string first_error() const;
+
+  [[nodiscard]] std::uint64_t bytes_on_wire() const {
+    return bytes_on_wire_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t frames_sent() const {
+    return frames_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t backpressure_stalls() const {
+    return backpressure_stalls_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double barrier_wait_s() const {
+    return static_cast<double>(
+               barrier_wait_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
+ private:
+  /// One rank's stream endpoints plus receive-side parse state. The
+  /// receive fields (buf/offset/counters) are guarded by recv_mutex.
+  struct RankChannel {
+    int send_fd = -1;
+    int recv_fd = -1;
+    std::mutex send_mutex;
+    std::mutex recv_mutex;
+    std::vector<unsigned char> buf;
+    std::size_t offset = 0;
+    std::uint64_t arrives_seen = 0;
+    std::uint64_t releases_seen = 0;
+    bool poisoned = false;  ///< parse desync: stop interpreting bytes
+    bool eof = false;
+    bool peer_bye = false;
+  };
+
+  void open_socketpair_channels();
+  void open_tcp_channels();
+  /// HELLO/WELCOME exchange over an established channel (both flavors run
+  /// the same frames; TCP additionally uses HELLO's rank field to demux
+  /// accepted connections).
+  void handshake_channel(RankChannel& channel, std::size_t rank);
+  void set_runtime_socket_options(RankChannel& channel);
+
+  /// Non-blocking read of whatever the kernel has, appended to
+  /// channel.buf. Caller holds recv_mutex. Returns false on EOF/error.
+  bool read_available(RankChannel& channel, std::size_t rank);
+  /// Parses complete frames out of channel.buf and dispatches them.
+  /// Caller holds recv_mutex.
+  void parse_frames(std::size_t rank, RankChannel& channel);
+  /// Backpressured sender's escape hatch: opportunistically drain `rank`
+  /// (try-lock) so the consumer's side of the stream empties.
+  void try_self_drain(std::size_t rank);
+
+  Transport transport_;
+  std::size_t num_ranks_;
+  std::size_t num_senders_;
+  SocketFabricConfig config_;
+  FrameSink& sink_;
+  std::vector<std::unique_ptr<RankChannel>> ranks_;
+
+  std::atomic<std::uint64_t> bytes_on_wire_{0};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> backpressure_stalls_{0};
+  std::atomic<std::uint64_t> barrier_wait_ns_{0};
+
+  mutable std::mutex error_mutex_;
+  std::string first_error_;
+};
+
+}  // namespace socket_detail
+
+template <class T>
+class SocketFabric final : public Fabric<T>, private socket_detail::FrameSink {
+ public:
+  SocketFabric(Transport transport, std::size_t num_ranks,
+               std::size_t num_senders, SocketFabricConfig config = {})
+      : num_senders_(num_senders),
+        lane_seq_(num_ranks * num_senders, 0),
+        drained_round_(num_ranks, kNeverDrained),
+        encode_buf_(num_senders),
+        payload_buf_(num_senders),
+        core_(transport, num_ranks, num_senders, config, *this) {
+    staging_.reserve(num_ranks);
+    for (std::size_t r = 0; r < num_ranks; ++r) {
+      staging_.emplace_back(num_senders);
+    }
+  }
+
+  [[nodiscard]] std::size_t num_ranks() const override {
+    return staging_.size();
+  }
+  [[nodiscard]] std::size_t num_senders() const override {
+    return num_senders_;
+  }
+
+  void send(std::size_t sender, std::size_t to, T message) override {
+    messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t seq = lane_seq_[to * num_senders_ + sender]++;
+    if (plan_) {
+      if (plan_->lane_dead(sender, to)) return;  // counted, never framed
+      if (plan_->lane_slow(to)) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(plan_->delay_micros));
+      }
+      if (plan_->drop_permille > 0 &&
+          fault_roll(plan_->seed, sender, to, seq, kDropSalt) % 1000 <
+              plan_->drop_permille) {
+        return;
+      }
+      const bool dup =
+          plan_->dup_permille > 0 &&
+          fault_roll(plan_->seed, sender, to, seq, kDupSalt) % 1000 <
+              plan_->dup_permille;
+      if (dup) {
+        messages_sent_.fetch_add(1, std::memory_order_relaxed);
+        encode_and_send(sender, to, seq, message);
+      }
+    }
+    encode_and_send(sender, to, seq, message);
+  }
+
+  void end_round() override {
+    core_.broadcast_control(wire::FrameType::kBarrierArrive, round_);
+  }
+
+  void collect(std::size_t rank, std::vector<T>& out) override {
+    if (drained_round_[rank] != round_) {
+      core_.drain_until_arrive(rank, round_);
+      drained_round_[rank] = round_;
+    }
+    // Canonical sweep over the staged lanes — the same code shape (and the
+    // same reorder-fault keying) as CommFabric::collect, which is what
+    // keeps the two transports byte-identical under one plan.
+    out.clear();
+    const Mailbox<T>& box = staging_[rank];
+    for (std::size_t sender = 0; sender < box.num_senders(); ++sender) {
+      const std::vector<T>& lane = box.lane(sender);
+      const std::size_t first = out.size();
+      out.insert(out.end(), lane.begin(), lane.end());
+      if (plan_ && plan_->reorder && lane.size() > 1) {
+        for (std::size_t i = lane.size() - 1; i > 0; --i) {
+          const std::size_t j =
+              fault_roll(plan_->seed, sender, rank, i, kReorderSalt) % (i + 1);
+          std::swap(out[first + i], out[first + j]);
+        }
+      }
+    }
+  }
+
+  void raise_pending_error() override {
+    const std::string error = core_.first_error();
+    if (!error.empty()) throw wire::WireError(error);
+  }
+
+  void clear_inbox(std::size_t rank) override { staging_[rank].clear(); }
+
+  void clear_all_inboxes() override {
+    core_.broadcast_control(wire::FrameType::kBarrierRelease, round_);
+    ++round_;
+    for (Mailbox<T>& box : staging_) box.clear();
+  }
+
+  [[nodiscard]] std::uint64_t messages_sent() const override {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t lane_sequence(std::size_t sender,
+                                            std::size_t rank) const override {
+    return lane_seq_[rank * num_senders_ + sender];
+  }
+
+  [[nodiscard]] TransportTelemetry wire_telemetry() const override {
+    TransportTelemetry telemetry;
+    telemetry.bytes_on_wire = core_.bytes_on_wire();
+    telemetry.frames_sent = core_.frames_sent();
+    telemetry.backpressure_stalls = core_.backpressure_stalls();
+    telemetry.barrier_wait_s = core_.barrier_wait_s();
+    return telemetry;
+  }
+
+  void set_fault_plan(std::optional<FaultPlan> plan) override {
+    plan_ = plan;
+    std::fill(lane_seq_.begin(), lane_seq_.end(), 0);
+  }
+
+ private:
+  static constexpr std::uint64_t kNeverDrained = ~std::uint64_t{0};
+
+  /// Frames one delivery attempt. Sender-serial (reuses the sender's
+  /// encode buffers). The garble/truncate wire faults are applied here —
+  /// after the fault plan decided the message IS delivered — so the bytes
+  /// on the wire are corrupt but the keying stream stays aligned with the
+  /// in-process fabric's.
+  void encode_and_send(std::size_t sender, std::size_t to, std::uint64_t seq,
+                       const T& message) {
+    std::vector<unsigned char>& payload = payload_buf_[sender];
+    payload.clear();
+    wire::WireCodec<T>::encode(payload, message);
+    std::size_t payload_len = payload.size();
+    const bool truncate =
+        plan_ && plan_->truncate_permille > 0 && payload_len > 0 &&
+        fault_roll(plan_->seed, sender, to, seq, kTruncateSalt) % 1000 <
+            plan_->truncate_permille;
+    if (truncate) --payload_len;  // short payload; frame framing stays valid
+    std::vector<unsigned char>& frame = encode_buf_[sender];
+    frame.clear();
+    wire::encode_frame(frame, wire::FrameType::kData,
+                       static_cast<std::uint16_t>(sender), seq,
+                       payload.data(),
+                       static_cast<std::uint32_t>(payload_len));
+    const bool garble =
+        plan_ && plan_->garble_permille > 0 && payload_len > 0 &&
+        fault_roll(plan_->seed, sender, to, seq, kGarbleSalt) % 1000 <
+            plan_->garble_permille;
+    if (garble) {
+      // Flip one payload byte AFTER the checksum was computed: the
+      // receiver's checksum trips.
+      frame[wire::kHeaderSize] ^= 0x20;
+    }
+    core_.send_frame(to, frame.data(), frame.size());
+  }
+
+  void on_data(std::size_t rank, std::uint64_t receiver_round,
+               std::uint16_t sender, std::uint64_t /*seq*/,
+               const unsigned char* payload,
+               std::uint32_t len) noexcept override {
+    if (receiver_round != round_) return;  // uncollected stale round
+    if (sender >= num_senders_) {
+      core_.record_error("socket fabric: data frame from out-of-range "
+                         "sender " +
+                         std::to_string(sender));
+      return;
+    }
+    try {
+      staging_[rank].post(sender, wire::WireCodec<T>::decode(payload, len));
+    } catch (const std::exception& e) {
+      core_.record_error(e.what());
+    }
+  }
+
+  std::size_t num_senders_;
+  /// Per (rank × sender) lane counters, sender-serial (CommFabric's rule).
+  std::vector<std::uint64_t> lane_seq_;
+  std::optional<FaultPlan> plan_;
+  std::atomic<std::uint64_t> messages_sent_{0};
+  /// Typed staging the wire demuxes into; guarded by the core's per-rank
+  /// receive lock while frames are in flight, swept lock-free by collect()
+  /// after the round's ARRIVE.
+  std::vector<Mailbox<T>> staging_;
+  std::uint64_t round_ = 0;
+  std::vector<std::uint64_t> drained_round_;
+  std::vector<std::vector<unsigned char>> encode_buf_;
+  std::vector<std::vector<unsigned char>> payload_buf_;
+  /// Last member: destroyed first, so no frame callback can outlive the
+  /// staging it posts into.
+  socket_detail::SocketTransportCore core_;
+};
+
+/// The transport factory: the one place that maps the Transport knob to a
+/// fabric implementation.
+template <class T>
+[[nodiscard]] std::unique_ptr<Fabric<T>> make_fabric(
+    Transport transport, std::size_t num_ranks, std::size_t num_senders,
+    SocketFabricConfig config = {}) {
+  if (transport == Transport::kInProc) {
+    return std::make_unique<InProcFabric<T>>(num_ranks, num_senders);
+  }
+  return std::make_unique<SocketFabric<T>>(transport, num_ranks, num_senders,
+                                           config);
+}
+
+}  // namespace tlp::dist

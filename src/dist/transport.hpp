@@ -1,0 +1,180 @@
+// The transport seam for the sharded claim protocol: an abstract Fabric<T>
+// that both the in-process CommFabric and the socket-backed SocketFabric
+// implement, selected per run via MultiTlpOptions/RefineOptions or the
+// TLP_TRANSPORT environment knob. Callers (multi_tlp, parallel_mover, the
+// conformance suite) speak ONLY this interface; the two implementations
+// are required to be byte-identical for every shards × threads × steal
+// combination (tests/transport_conformance_test.cpp).
+//
+// Round protocol (one claim round == one BSP super-step):
+//
+//   send* (concurrent, sender-serial per sender id)
+//   end_round()            barrier phase 1 — every sender's round is done;
+//                          the socket transport broadcasts ARRIVE frames
+//   collect* (per rank, possibly fanned out over a pool) — the socket
+//                          transport drains each rank's stream up to the
+//                          round's ARRIVE marker (this wait is the real
+//                          barrier, accounted in barrier_wait_s)
+//   raise_pending_error()  (serial) rethrow any wire fault the drains hit
+//   clear_all_inboxes()    barrier phase 2 — the socket transport
+//                          broadcasts RELEASE frames and advances the round
+//
+// collect() never throws (it may run on pool workers); wire faults are
+// recorded and surfaced serially by raise_pending_error().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dist/comm_fabric.hpp"
+#include "dist/fault_plan.hpp"
+
+namespace tlp::dist {
+
+enum class Transport {
+  kInProc,     ///< mailbox arrays in this process (the PR-5 fabric)
+  kSocket,     ///< socketpair-backed ranks (AF_UNIX, same byte protocol)
+  kSocketTcp,  ///< localhost TCP with listen/connect + HELLO handshake
+};
+
+[[nodiscard]] constexpr const char* transport_name(Transport transport) {
+  switch (transport) {
+    case Transport::kInProc:
+      return "inproc";
+    case Transport::kSocket:
+      return "socket";
+    case Transport::kSocketTcp:
+      return "tcp";
+  }
+  return "?";
+}
+
+/// Parses the TLP_TRANSPORT environment knob: unset/"" -> no override,
+/// "inproc"/"socket"/"tcp" -> the matching transport, anything else ->
+/// std::runtime_error (a typo must not silently fall back to inproc).
+[[nodiscard]] inline std::optional<Transport> transport_from_env() {
+  const char* env = std::getenv("TLP_TRANSPORT");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  const std::string value(env);
+  if (value == "inproc") return Transport::kInProc;
+  if (value == "socket") return Transport::kSocket;
+  if (value == "tcp") return Transport::kSocketTcp;
+  throw std::runtime_error("TLP_TRANSPORT='" + value +
+                           "' is not one of inproc|socket|tcp");
+}
+
+/// Resolution order: explicit option > TLP_TRANSPORT > inproc.
+[[nodiscard]] inline Transport resolve_transport(
+    std::optional<Transport> option) {
+  if (option) return *option;
+  if (const std::optional<Transport> env = transport_from_env()) return *env;
+  return Transport::kInProc;
+}
+
+/// Wire-level counters a Fabric exposes for telemetry. The in-process
+/// fabric reports all-zero (nothing crosses a wire); the keys still exist
+/// so consumers never branch on transport.
+struct TransportTelemetry {
+  std::uint64_t bytes_on_wire = 0;  ///< header + payload, data AND control
+  std::uint64_t frames_sent = 0;
+  std::uint64_t backpressure_stalls = 0;  ///< sends that hit a full buffer
+  double barrier_wait_s = 0.0;  ///< summed ARRIVE-drain wall time, all ranks
+};
+
+template <class T>
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  [[nodiscard]] virtual std::size_t num_ranks() const = 0;
+  [[nodiscard]] virtual std::size_t num_senders() const = 0;
+
+  /// Sender-serial per sender id, concurrent across senders (the Mailbox
+  /// contract). Applies the fault plan. Never throws; wire failures are
+  /// deferred to raise_pending_error().
+  virtual void send(std::size_t sender, std::size_t to, T message) = 0;
+
+  /// Barrier phase 1 (serial): declares every sender's round complete.
+  virtual void end_round() = 0;
+
+  /// Gathers rank's round into `out` (cleared first) in the canonical
+  /// order: ascending sender, FIFO per lane (reorder faults permute within
+  /// a lane, identically on both transports). Safe to call concurrently
+  /// for DISTINCT ranks; idempotent within a round. Never throws.
+  virtual void collect(std::size_t rank, std::vector<T>& out) = 0;
+
+  /// Serial: rethrows the first wire fault any drain recorded (socket
+  /// garble/truncate/peer loss). No-op on the in-process fabric.
+  virtual void raise_pending_error() = 0;
+
+  virtual void clear_inbox(std::size_t rank) = 0;
+
+  /// Barrier phase 2 (serial): consumes the round everywhere and re-arms
+  /// the fabric for the next one.
+  virtual void clear_all_inboxes() = 0;
+
+  /// Messages accepted by send() including fault-injected duplicates (and
+  /// counting dropped ones — they were sent, then lost).
+  [[nodiscard]] virtual std::uint64_t messages_sent() const = 0;
+
+  /// Messages handed to send() so far on lane (sender -> rank); the lane
+  /// coordinate reported by ClaimDivergedError.
+  [[nodiscard]] virtual std::uint64_t lane_sequence(std::size_t sender,
+                                                    std::size_t rank)
+      const = 0;
+
+  [[nodiscard]] virtual TransportTelemetry wire_telemetry() const = 0;
+
+  /// TEST HOOK — serial only, between rounds.
+  virtual void set_fault_plan(std::optional<FaultPlan> plan) = 0;
+};
+
+/// The in-process transport: a thin adapter over CommFabric. end_round()
+/// and raise_pending_error() are no-ops — the pool barrier that separates
+/// senders from collectors IS the arrive/release pair here.
+template <class T>
+class InProcFabric final : public Fabric<T> {
+ public:
+  InProcFabric(std::size_t num_ranks, std::size_t num_senders)
+      : fabric_(num_ranks, num_senders) {}
+
+  [[nodiscard]] std::size_t num_ranks() const override {
+    return fabric_.num_ranks();
+  }
+  [[nodiscard]] std::size_t num_senders() const override {
+    return fabric_.num_senders();
+  }
+  void send(std::size_t sender, std::size_t to, T message) override {
+    fabric_.send(sender, to, std::move(message));
+  }
+  void end_round() override {}
+  void collect(std::size_t rank, std::vector<T>& out) override {
+    fabric_.collect(rank, out);
+  }
+  void raise_pending_error() override {}
+  void clear_inbox(std::size_t rank) override { fabric_.clear_inbox(rank); }
+  void clear_all_inboxes() override { fabric_.clear_all_inboxes(); }
+  [[nodiscard]] std::uint64_t messages_sent() const override {
+    return fabric_.messages_sent();
+  }
+  [[nodiscard]] std::uint64_t lane_sequence(std::size_t sender,
+                                            std::size_t rank) const override {
+    return fabric_.lane_sequence(sender, rank);
+  }
+  [[nodiscard]] TransportTelemetry wire_telemetry() const override {
+    return TransportTelemetry{};
+  }
+  void set_fault_plan(std::optional<FaultPlan> plan) override {
+    fabric_.set_fault_plan(plan);
+  }
+
+ private:
+  CommFabric<T> fabric_;
+};
+
+}  // namespace tlp::dist

@@ -1,0 +1,271 @@
+// Wire serialization for the socket transport: versioned length-prefixed
+// frames with an endianness guard, mirroring the `.tlpc` header discipline
+// (graph/io.cpp). Everything here is pure byte shuffling — no sockets, no
+// threads — so the format is unit-testable and fuzzable (io_fuzz_test.cpp)
+// without a live transport.
+//
+// Frame layout (all integers little-endian on the wire):
+//
+//   u32 payload_len   bytes that follow the 24-byte header
+//   u16 type          FrameType (data / barrier / handshake / bye)
+//   u16 sender        originating sender id (lane demux key)
+//   u64 seq           per-lane sequence number (data) or round id (barrier)
+//   u64 checksum      FNV-1a over type|sender|seq|payload
+//   payload_len bytes of payload
+//
+// Handshake payloads carry a magic ("TLPW"), the format version, and a
+// fixed 64-bit endianness probe: a peer with a different byte order (or a
+// different format revision) is rejected at HELLO time, before any data
+// frame is interpreted — the same up-front guard the `.tlpc` reader
+// applies to graph files. Malformed bytes anywhere (oversized length,
+// checksum mismatch, short payload) raise WireError, never UB: every read
+// is bounds-checked.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dist/claim_protocol.hpp"
+
+namespace tlp::dist::wire {
+
+/// Any malformed-frame condition: bad magic/version/endianness, oversized
+/// or short payloads, checksum mismatches. A std::runtime_error so callers
+/// that only promise "clean error on garbage" need no dist-specific catch.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+constexpr std::uint32_t kMagic = 0x54'4C'50'57;  // "TLPW"
+constexpr std::uint16_t kVersion = 1;
+/// Decoded value must equal this after little-endian interpretation; a
+/// big-endian peer (or a corrupted handshake) decodes something else.
+constexpr std::uint64_t kEndianProbe = 0x0102030405060708ULL;
+constexpr std::size_t kHeaderSize = 24;
+/// Hard ceiling on a single frame's payload: a garbled length field must
+/// fail fast instead of asking the receiver to buffer gigabytes.
+constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+enum class FrameType : std::uint16_t {
+  kData = 1,            ///< one T, lane (sender -> rank), per-lane seq
+  kBarrierArrive = 2,   ///< two-phase barrier, phase 1: round complete
+  kBarrierRelease = 3,  ///< two-phase barrier, phase 2: round consumed
+  kHello = 4,           ///< handshake: magic, version, endian probe, rank
+  kWelcome = 5,         ///< handshake echo from the accepting side
+  kBye = 6,             ///< orderly shutdown marker
+};
+
+inline void put_u16(std::vector<unsigned char>& out, std::uint16_t v) {
+  out.push_back(static_cast<unsigned char>(v & 0xFF));
+  out.push_back(static_cast<unsigned char>(v >> 8));
+}
+
+inline void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<unsigned char>((v >> shift) & 0xFF));
+  }
+}
+
+inline void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<unsigned char>((v >> shift) & 0xFF));
+  }
+}
+
+[[nodiscard]] inline std::uint16_t get_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+[[nodiscard]] inline std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+[[nodiscard]] inline std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// FNV-1a over the header's semantic fields plus the payload. Cheap and
+/// order-sensitive — exactly what a single-bit garble test needs to trip.
+[[nodiscard]] inline std::uint64_t frame_checksum(std::uint16_t type,
+                                                  std::uint16_t sender,
+                                                  std::uint64_t seq,
+                                                  const unsigned char* payload,
+                                                  std::size_t len) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](unsigned char byte) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  };
+  for (int shift = 0; shift < 16; shift += 8) {
+    mix(static_cast<unsigned char>((type >> shift) & 0xFF));
+    mix(static_cast<unsigned char>((sender >> shift) & 0xFF));
+  }
+  for (int shift = 0; shift < 64; shift += 8) {
+    mix(static_cast<unsigned char>((seq >> shift) & 0xFF));
+  }
+  for (std::size_t i = 0; i < len; ++i) mix(payload[i]);
+  return h;
+}
+
+/// A parsed frame borrowing the receive buffer's payload bytes; valid only
+/// until the buffer is compacted.
+struct FrameView {
+  FrameType type = FrameType::kData;
+  std::uint16_t sender = 0;
+  std::uint64_t seq = 0;
+  const unsigned char* payload = nullptr;
+  std::uint32_t payload_len = 0;
+};
+
+/// Appends one complete frame (header + payload) to `out`.
+inline void encode_frame(std::vector<unsigned char>& out, FrameType type,
+                         std::uint16_t sender, std::uint64_t seq,
+                         const unsigned char* payload, std::uint32_t len) {
+  put_u32(out, len);
+  put_u16(out, static_cast<std::uint16_t>(type));
+  put_u16(out, sender);
+  put_u64(out, seq);
+  put_u64(out, frame_checksum(static_cast<std::uint16_t>(type), sender, seq,
+                              payload, len));
+  out.insert(out.end(), payload, payload + len);
+}
+
+/// Tries to parse one frame at `buf + offset`. Returns false when the
+/// buffer holds only a partial frame (read more bytes first); advances
+/// `offset` past the frame and fills `view` on success. Throws WireError
+/// on structurally invalid bytes (oversized length, checksum mismatch,
+/// unknown type) — the buffer is NOT consumed past the bad frame.
+inline bool try_parse_frame(const std::vector<unsigned char>& buf,
+                            std::size_t& offset, FrameView& view) {
+  if (buf.size() - offset < kHeaderSize) return false;
+  const unsigned char* h = buf.data() + offset;
+  const std::uint32_t payload_len = get_u32(h);
+  if (payload_len > kMaxFramePayload) {
+    throw WireError("wire: frame payload length " +
+                    std::to_string(payload_len) + " exceeds the " +
+                    std::to_string(kMaxFramePayload) + "-byte frame ceiling");
+  }
+  const std::uint16_t raw_type = get_u16(h + 4);
+  if (raw_type < static_cast<std::uint16_t>(FrameType::kData) ||
+      raw_type > static_cast<std::uint16_t>(FrameType::kBye)) {
+    throw WireError("wire: unknown frame type " + std::to_string(raw_type));
+  }
+  if (buf.size() - offset < kHeaderSize + payload_len) return false;
+  view.type = static_cast<FrameType>(raw_type);
+  view.sender = get_u16(h + 6);
+  view.seq = get_u64(h + 8);
+  const std::uint64_t stated = get_u64(h + 16);
+  view.payload = h + kHeaderSize;
+  view.payload_len = payload_len;
+  const std::uint64_t computed = frame_checksum(
+      raw_type, view.sender, view.seq, view.payload, payload_len);
+  if (stated != computed) {
+    throw WireError("wire: frame checksum mismatch on lane sender " +
+                    std::to_string(view.sender) + " seq " +
+                    std::to_string(view.seq) + " (frame garbled in transit)");
+  }
+  offset += kHeaderSize + payload_len;
+  return true;
+}
+
+/// Handshake payload: who is connecting, under which format revision, with
+/// which byte order.
+struct Hello {
+  std::uint32_t rank = 0;
+  std::uint32_t num_senders = 0;
+};
+
+inline void encode_hello(std::vector<unsigned char>& out, const Hello& hello) {
+  put_u32(out, kMagic);
+  put_u16(out, kVersion);
+  put_u64(out, kEndianProbe);
+  put_u32(out, hello.rank);
+  put_u32(out, hello.num_senders);
+}
+
+constexpr std::size_t kHelloSize = 4 + 2 + 8 + 4 + 4;
+
+[[nodiscard]] inline Hello decode_hello(const unsigned char* p,
+                                        std::size_t len) {
+  if (len != kHelloSize) {
+    throw WireError("wire: HELLO payload is " + std::to_string(len) +
+                    " bytes, expected " + std::to_string(kHelloSize));
+  }
+  if (get_u32(p) != kMagic) {
+    throw WireError("wire: HELLO magic mismatch (not a TLPW peer)");
+  }
+  const std::uint16_t version = get_u16(p + 4);
+  if (version != kVersion) {
+    throw WireError("wire: HELLO version " + std::to_string(version) +
+                    ", this build speaks " + std::to_string(kVersion));
+  }
+  if (get_u64(p + 6) != kEndianProbe) {
+    throw WireError("wire: HELLO endianness probe mismatch (peer byte order "
+                    "differs)");
+  }
+  return Hello{get_u32(p + 14), get_u32(p + 18)};
+}
+
+/// Per-type payload codec. Specialized for every T the claim protocol puts
+/// on the wire; decode length-checks before touching a byte.
+template <class T>
+struct WireCodec;
+
+template <>
+struct WireCodec<ClaimRequest> {
+  static constexpr std::size_t kSize = 12;
+  static void encode(std::vector<unsigned char>& out, const ClaimRequest& m) {
+    put_u64(out, m.edge);
+    put_u32(out, m.partition);
+  }
+  static ClaimRequest decode(const unsigned char* p, std::size_t len) {
+    if (len != kSize) {
+      throw WireError("wire: truncated ClaimRequest payload (" +
+                      std::to_string(len) + " of " + std::to_string(kSize) +
+                      " bytes)");
+    }
+    return ClaimRequest{get_u64(p), get_u32(p + 8)};
+  }
+};
+
+template <>
+struct WireCodec<ClaimWin> {
+  static constexpr std::size_t kSize = 12;
+  static void encode(std::vector<unsigned char>& out, const ClaimWin& m) {
+    put_u64(out, m.edge);
+    put_u32(out, m.winner);
+  }
+  static ClaimWin decode(const unsigned char* p, std::size_t len) {
+    if (len != kSize) {
+      throw WireError("wire: truncated ClaimWin payload (" +
+                      std::to_string(len) + " of " + std::to_string(kSize) +
+                      " bytes)");
+    }
+    return ClaimWin{get_u64(p), get_u32(p + 8)};
+  }
+};
+
+template <>
+struct WireCodec<std::uint64_t> {
+  static constexpr std::size_t kSize = 8;
+  static void encode(std::vector<unsigned char>& out, std::uint64_t m) {
+    put_u64(out, m);
+  }
+  static std::uint64_t decode(const unsigned char* p, std::size_t len) {
+    if (len != kSize) {
+      throw WireError("wire: truncated u64 payload (" + std::to_string(len) +
+                      " of 8 bytes)");
+    }
+    return get_u64(p);
+  }
+};
+
+}  // namespace tlp::dist::wire

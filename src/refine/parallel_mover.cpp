@@ -4,13 +4,14 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <thread>
 #include <vector>
 
-#include "dist/all_reduce.hpp"
 #include "dist/claim_protocol.hpp"
-#include "dist/comm_fabric.hpp"
+#include "dist/socket_fabric.hpp"
+#include "dist/transport.hpp"
 #include "refine/gain_heap.hpp"
 #include "refine/move_state.hpp"
 #include "util/thread_pool.hpp"
@@ -59,7 +60,11 @@ class ParallelRun {
       shards_.emplace_back(arena, local_count(h));
     }
     if (options.num_shards > 0) {
-      dist_.emplace(options.num_shards, h_);
+      dist_.emplace(dist::resolve_transport(options.transport),
+                    options.num_shards, h_);
+      if (options.comm_faults) {
+        dist_->fabric->set_fault_plan(options.comm_faults);
+      }
     }
     if (steal_active()) queues_.resize(num_workers_);
   }
@@ -87,8 +92,16 @@ class ParallelRun {
       stats.heap_rebuilds += shard.heap.rebuilds();
     }
     if (dist_) {
-      stats.messages_sent = dist_->fabric.messages_sent() +
+      stats.messages_sent = dist_->fabric->messages_sent() +
                             dist_->allreduce_messages;
+      const dist::TransportTelemetry claim = dist_->fabric->wire_telemetry();
+      const dist::TransportTelemetry win =
+          dist_->win_fabric->wire_telemetry();
+      stats.bytes_on_wire = claim.bytes_on_wire + win.bytes_on_wire;
+      stats.frames_sent = claim.frames_sent + win.frames_sent;
+      stats.backpressure_stalls =
+          claim.backpressure_stalls + win.backpressure_stalls;
+      stats.barrier_wait_s = claim.barrier_wait_s + win.barrier_wait_s;
     }
     return stats;
   }
@@ -114,14 +127,21 @@ class ParallelRun {
   /// the claimant; resolution (min over requesters) is exactly the serial
   /// scan's first-writer-in-ascending-shard-order award.
   struct DistState {
-    DistState(std::uint32_t num_claim_shards, std::uint32_t num_heap_shards)
-        : fabric(num_claim_shards, num_heap_shards),
-          all_reduce(num_claim_shards),
+    DistState(dist::Transport transport_kind, std::uint32_t num_claim_shards,
+              std::uint32_t num_heap_shards)
+        : fabric(dist::make_fabric<dist::ClaimRequest>(transport_kind,
+                                                       num_claim_shards,
+                                                       num_heap_shards)),
+          win_fabric(dist::make_fabric<dist::ClaimWin>(transport_kind, 1,
+                                                       num_claim_shards)),
           requests(num_claim_shards),
           wins(num_claim_shards) {}
 
-    dist::CommFabric<dist::ClaimRequest> fabric;
-    dist::AllReduce<dist::ClaimWin> all_reduce;
+    std::unique_ptr<dist::Fabric<dist::ClaimRequest>> fabric;
+    /// All-reduce channel (multi_tlp's shape): each claim shard sends its
+    /// verdict to rank 0; the ascending-sender collect IS the ordered
+    /// concatenation.
+    std::unique_ptr<dist::Fabric<dist::ClaimWin>> win_fabric;
     std::vector<std::vector<dist::ClaimRequest>> requests;
     std::vector<std::vector<dist::ClaimWin>> wins;
     std::vector<dist::ClaimWin> combined;
@@ -222,11 +242,11 @@ class ParallelRun {
       shard.proposals->push_back(Proposal{e, from, cand.to, cand.gain});
       --budget;
       if (dist_) {
-        dist_->fabric.send(h, edge.u % options_.num_shards,
-                           dist::ClaimRequest{edge.u, h});
+        dist_->fabric->send(h, edge.u % options_.num_shards,
+                            dist::ClaimRequest{edge.u, h});
         if (edge.v != edge.u) {
-          dist_->fabric.send(h, edge.v % options_.num_shards,
-                             dist::ClaimRequest{edge.v, h});
+          dist_->fabric->send(h, edge.v % options_.num_shards,
+                              dist::ClaimRequest{edge.v, h});
         }
       }
     }
@@ -239,21 +259,27 @@ class ParallelRun {
   void resolve_awards_dist() {
     DistState& d = *dist_;
     const std::uint32_t s_count = options_.num_shards;
+    // Barrier phase 1 (socket: ARRIVE markers trail the round's requests),
+    // then the per-shard resolution, the win-channel all-reduce, and the
+    // round release — the same round shape as multi_tlp's claim round.
+    d.fabric->end_round();
     for (std::uint32_t s = 0; s < s_count; ++s) {
-      d.fabric.collect(s, d.requests[s]);
+      d.fabric->collect(s, d.requests[s]);
       dist::resolve_shard_claims(
           d.requests[s], [](EdgeId) { return false; }, d.wins[s]);
-      d.all_reduce.contribute(s, d.wins[s]);
+    }
+    d.fabric->raise_pending_error();
+    for (std::uint32_t s = 0; s < s_count; ++s) {
+      for (const dist::ClaimWin& win : d.wins[s]) {
+        d.win_fabric->send(s, 0, win);
+      }
     }
     d.allreduce_messages += s_count;
-    d.combined = d.all_reduce.reduce(
-        [](std::vector<dist::ClaimWin> a,
-           const std::vector<dist::ClaimWin>& b) {
-          a.insert(a.end(), b.begin(), b.end());
-          return a;
-        });
-    d.all_reduce.reset();
-    d.fabric.clear_all_inboxes();
+    d.win_fabric->end_round();
+    d.win_fabric->collect(0, d.combined);
+    d.win_fabric->raise_pending_error();
+    d.win_fabric->clear_all_inboxes();
+    d.fabric->clear_all_inboxes();
     for (const dist::ClaimWin& win : d.combined) {
       const auto v = static_cast<VertexId>(win.edge);
       award_[v] = win.winner;
@@ -288,6 +314,23 @@ class ParallelRun {
       Shard& shard = shards_[h];
       for (const Proposal& proposal : *shard.proposals) {
         const Edge& edge = g_.edge(proposal.edge);
+        if (dist_) {
+          // Fault-free sharded operation stamps EVERY requested endpoint
+          // with this step's award epoch (the resolution awards each
+          // requested vertex to somebody), so a missing stamp means the
+          // claim request never reached its shard. Fail loudly with the
+          // lossy lane — silently re-queuing would retry a dead lane
+          // forever.
+          for (const VertexId x : {edge.u, edge.v}) {
+            if (award_epoch_[x] != step_) {
+              const std::size_t owner = x % options_.num_shards;
+              throw dist::ClaimDivergedError(
+                  "refine_parallel", h, owner, x,
+                  dist_->fabric->lane_sequence(h, owner));
+            }
+            if (edge.u == edge.v) break;
+          }
+        }
         const bool owns_u =
             award_epoch_[edge.u] == step_ && award_[edge.u] == h;
         const bool owns_v =

@@ -46,7 +46,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 
+#include "dist/fault_plan.hpp"
+#include "dist/transport.hpp"
 #include "partition/edge_partition.hpp"
 #include "partition/run_context.hpp"
 
@@ -74,6 +77,15 @@ struct ParallelOptions {
   std::uint32_t heap_shards = 8;
   /// Max admissible proposals a shard brings to one barrier.
   std::uint32_t proposals_per_shard = 4;
+  /// Transport backing the claim fabric (only meaningful with
+  /// num_shards >= 1). Unset resolves through TLP_TRANSPORT, then the
+  /// in-process mailbox fabric; the moves are byte-identical across
+  /// transports (dist/transport.hpp).
+  std::optional<dist::Transport> transport;
+  /// TEST HOOK: deterministic message faults on the claim fabric (only
+  /// meaningful with num_shards >= 1). Duplicates/reorders never change
+  /// the result; a lost award request surfaces as ClaimDivergedError.
+  std::optional<dist::FaultPlan> comm_faults;
 };
 
 struct ParallelStats {
@@ -91,6 +103,13 @@ struct ParallelStats {
   std::size_t heap_rebuilds = 0;
   /// Claim-fabric messages (sharded mode; 0 in shared-memory mode).
   std::uint64_t messages_sent = 0;
+  /// Wire counters, summed over both fabric legs (0 off the socket
+  /// transports; dist/transport.hpp).
+  std::uint64_t bytes_on_wire = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t backpressure_stalls = 0;
+  /// Wall-clock seconds spent waiting at the wire barrier (socket only).
+  double barrier_wait_s = 0.0;
 };
 
 /// Refines `partition` in place with concurrent positive-gain moves.

@@ -52,7 +52,9 @@ std::map<std::string, double, std::less<>> scheduler_invariant_counters(
   auto c = ctx.telemetry().counters();
   for (const char* key :
        {"threads", "runs", "steal", "steals", "steal_failures", "imbalance",
-        "shards", "messages_sent", "claim_rounds"}) {
+        "shards", "messages_sent", "claim_rounds", "transport",
+        "bytes_on_wire", "frames_sent", "barrier_wait_s",
+        "backpressure_stalls"}) {
     c.erase(key);
   }
   return c;

@@ -1,0 +1,609 @@
+// Transport conformance suite: every Fabric<T> implementation (in-process
+// mailboxes, socketpair streams, localhost TCP) must satisfy the same
+// contract — FIFO per sender lane with an ascending-sender collect sweep,
+// two-phase barrier round separation, all-reduce-by-concatenation over the
+// win channel, identical fault-plan keying — and the two algorithm
+// consumers (multi_tlp's sharded claim protocol, the parallel mover's
+// endpoint arbitration) must produce byte-identical partitions on every
+// transport for every shards × threads × steal combination. Wire-only
+// behaviour (telemetry counters, backpressure, garbled/truncated frames,
+// reconnect backoff) is pinned down on the socket transports alone.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+#include "core/multi_tlp.hpp"
+#include "dist/claim_protocol.hpp"
+#include "dist/fault_plan.hpp"
+#include "dist/socket_fabric.hpp"
+#include "dist/transport.hpp"
+#include "dist/wire_format.hpp"
+#include "gen/generators.hpp"
+#include "partition/run_context.hpp"
+#include "partition/validator.hpp"
+#include "refine/parallel_mover.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tlp {
+namespace {
+
+using dist::Transport;
+
+PartitionConfig config_for(PartitionId p, std::uint64_t seed) {
+  PartitionConfig config;
+  config.num_partitions = p;
+  config.seed = seed;
+  return config;
+}
+
+/// Drives one full round on a fabric already loaded with sends: barrier
+/// phase 1, collect every rank, surface wire faults.
+template <class T>
+std::vector<std::vector<T>> collect_round(dist::Fabric<T>& fabric) {
+  fabric.end_round();
+  std::vector<std::vector<T>> out(fabric.num_ranks());
+  for (std::size_t r = 0; r < fabric.num_ranks(); ++r) {
+    fabric.collect(r, out[r]);
+  }
+  fabric.raise_pending_error();
+  return out;
+}
+
+class TransportConformance : public ::testing::TestWithParam<Transport> {
+ protected:
+  [[nodiscard]] bool on_wire() const {
+    return GetParam() != Transport::kInProc;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllTransports, TransportConformance,
+                         ::testing::Values(Transport::kInProc,
+                                           Transport::kSocket,
+                                           Transport::kSocketTcp),
+                         [](const auto& info) {
+                           return std::string(
+                               dist::transport_name(info.param));
+                         });
+
+// --------------------------------------------------------------------
+// Mailbox-contract conformance: delivery order, counting, rounds.
+
+TEST_P(TransportConformance, FifoPerLaneAscendingSenderSweep) {
+  const auto fabric =
+      dist::make_fabric<std::uint64_t>(GetParam(), /*ranks=*/3,
+                                       /*senders=*/2);
+  fabric->send(1, 2, 20);
+  fabric->send(0, 2, 1);
+  fabric->send(1, 2, 21);
+  fabric->send(0, 0, 9);
+  fabric->send(0, 2, 2);
+  const auto rounds = collect_round(*fabric);
+  EXPECT_EQ(rounds[0], (std::vector<std::uint64_t>{9}));
+  EXPECT_TRUE(rounds[1].empty());
+  // Ascending sender, FIFO within each lane.
+  EXPECT_EQ(rounds[2], (std::vector<std::uint64_t>{1, 2, 20, 21}));
+  // collect() is idempotent within a round.
+  std::vector<std::uint64_t> again;
+  fabric->collect(2, again);
+  EXPECT_EQ(again, rounds[2]);
+  EXPECT_EQ(fabric->messages_sent(), 5u);
+  EXPECT_EQ(fabric->lane_sequence(0, 2), 2u);
+  EXPECT_EQ(fabric->lane_sequence(1, 2), 2u);
+  EXPECT_EQ(fabric->lane_sequence(0, 0), 1u);
+  EXPECT_EQ(fabric->lane_sequence(1, 0), 0u);
+}
+
+TEST_P(TransportConformance, TypedClaimMessagesSurviveTheTrip) {
+  const auto fabric =
+      dist::make_fabric<dist::ClaimRequest>(GetParam(), 2, 3);
+  const dist::ClaimRequest a{EdgeId{0xDEADBEEFCAFEull}, PartitionId{7}};
+  const dist::ClaimRequest b{EdgeId{1}, PartitionId{0}};
+  fabric->send(2, 1, a);
+  fabric->send(0, 1, b);
+  const auto rounds = collect_round(*fabric);
+  EXPECT_EQ(rounds[1], (std::vector<dist::ClaimRequest>{b, a}));
+}
+
+TEST_P(TransportConformance, BarrierSeparatesRounds) {
+  const auto fabric = dist::make_fabric<std::uint64_t>(GetParam(), 2, 1);
+  fabric->send(0, 0, 100);
+  fabric->send(0, 1, 101);
+  const auto first = collect_round(*fabric);
+  EXPECT_EQ(first[0], (std::vector<std::uint64_t>{100}));
+  EXPECT_EQ(first[1], (std::vector<std::uint64_t>{101}));
+  fabric->clear_all_inboxes();  // barrier phase 2: round consumed
+  fabric->send(0, 0, 200);
+  const auto second = collect_round(*fabric);
+  // Only the new round's messages — nothing left over from round one.
+  EXPECT_EQ(second[0], (std::vector<std::uint64_t>{200}));
+  EXPECT_TRUE(second[1].empty());
+  fabric->clear_all_inboxes();
+}
+
+TEST_P(TransportConformance, UncollectedRoundNeverLeaksIntoTheNext) {
+  const auto fabric = dist::make_fabric<std::uint64_t>(GetParam(), 1, 1);
+  fabric->send(0, 0, 1);
+  fabric->end_round();
+  fabric->clear_all_inboxes();  // round 0 ends without ever collecting
+  fabric->send(0, 0, 2);
+  const auto round = collect_round(*fabric);
+  EXPECT_EQ(round[0], (std::vector<std::uint64_t>{2}));
+}
+
+TEST_P(TransportConformance, ConcurrentSendersStaySenderSerial) {
+  constexpr std::size_t kSenders = 4;
+  constexpr std::size_t kRanks = 3;
+  constexpr std::uint64_t kPerLane = 200;
+  const auto fabric =
+      dist::make_fabric<std::uint64_t>(GetParam(), kRanks, kSenders);
+  ThreadPool pool(kSenders);
+  pool.run_indexed(kSenders, [&](std::size_t sender) {
+    for (std::uint64_t i = 0; i < kPerLane; ++i) {
+      for (std::size_t r = 0; r < kRanks; ++r) {
+        fabric->send(sender, r, sender * 1000000 + i);
+      }
+    }
+  });
+  const auto rounds = collect_round(*fabric);
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    ASSERT_EQ(rounds[r].size(), kSenders * kPerLane) << "rank " << r;
+    // The sweep is ascending-sender, FIFO per lane: sender s's slice is
+    // exactly its send order.
+    for (std::size_t s = 0; s < kSenders; ++s) {
+      for (std::uint64_t i = 0; i < kPerLane; ++i) {
+        EXPECT_EQ(rounds[r][s * kPerLane + i], s * 1000000 + i)
+            << "rank " << r << ", sender " << s << ", index " << i;
+      }
+    }
+  }
+  EXPECT_EQ(fabric->messages_sent(), kSenders * kRanks * kPerLane);
+}
+
+// The all-reduce shape both algorithm consumers use: a single-rank win
+// channel whose ascending-sender collect IS the ordered concatenation the
+// old tree fold computed.
+TEST_P(TransportConformance, WinChannelCollectIsOrderedConcatenation) {
+  constexpr std::size_t kShards = 5;
+  const auto fabric =
+      dist::make_fabric<dist::ClaimWin>(GetParam(), 1, kShards);
+  std::vector<dist::ClaimWin> expected;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      const dist::ClaimWin win{EdgeId{s * 100 + i},
+                               static_cast<PartitionId>(s)};
+      fabric->send(s, 0, win);
+      expected.push_back(win);  // the linear fold, in contribution order
+    }
+  }
+  const auto rounds = collect_round(*fabric);
+  EXPECT_EQ(rounds[0], expected);
+}
+
+// --------------------------------------------------------------------
+// Wire telemetry and backpressure (socket transports only assert > 0).
+
+TEST_P(TransportConformance, WireTelemetryCountsFramesAndBytes) {
+  const auto fabric = dist::make_fabric<std::uint64_t>(GetParam(), 2, 1);
+  fabric->send(0, 0, 1);
+  fabric->send(0, 1, 2);
+  (void)collect_round(*fabric);
+  fabric->clear_all_inboxes();
+  const dist::TransportTelemetry wire = fabric->wire_telemetry();
+  if (on_wire()) {
+    // 2 data frames + 2 ARRIVE + 2 RELEASE at 24B header minimum each.
+    EXPECT_GE(wire.frames_sent, 6u);
+    EXPECT_GE(wire.bytes_on_wire,
+              wire.frames_sent * dist::wire::kHeaderSize);
+    EXPECT_GE(wire.barrier_wait_s, 0.0);
+  } else {
+    EXPECT_EQ(wire.frames_sent, 0u);
+    EXPECT_EQ(wire.bytes_on_wire, 0u);
+    EXPECT_EQ(wire.backpressure_stalls, 0u);
+    EXPECT_EQ(wire.barrier_wait_s, 0.0);
+  }
+}
+
+TEST_P(TransportConformance, BackpressureStallsAreCountedAndLossless) {
+  constexpr std::uint64_t kFlood = 40000;  // ~1.3MB of frames, one lane
+  dist::SocketFabricConfig config;
+  config.send_buffer_bytes = 4096;  // the kernel clamps upward; still tiny
+  const auto fabric =
+      dist::make_fabric<std::uint64_t>(GetParam(), 1, 1, config);
+  for (std::uint64_t i = 0; i < kFlood; ++i) fabric->send(0, 0, i);
+  const auto rounds = collect_round(*fabric);
+  ASSERT_EQ(rounds[0].size(), kFlood);
+  for (std::uint64_t i = 0; i < kFlood; ++i) {
+    ASSERT_EQ(rounds[0][i], i) << "index " << i;
+  }
+  if (on_wire()) {
+    // The flood dwarfs any send buffer: the sender must have stalled and
+    // self-drained, and no message may be lost doing so.
+    EXPECT_GT(fabric->wire_telemetry().backpressure_stalls, 0u);
+  }
+}
+
+// --------------------------------------------------------------------
+// Fault-plan conformance: one plan, same keying, both transports.
+
+TEST_P(TransportConformance, FaultPlanMatchesInProcKeying) {
+  dist::FaultPlan plan;
+  plan.seed = 91;
+  plan.drop_permille = 250;
+  plan.dup_permille = 250;
+  plan.reorder = true;
+  const auto run = [&](Transport transport) {
+    const auto fabric = dist::make_fabric<std::uint64_t>(transport, 3, 2);
+    fabric->set_fault_plan(plan);
+    for (std::uint64_t i = 0; i < 60; ++i) {
+      fabric->send(i % 2, i % 3, i);
+    }
+    return collect_round(*fabric);
+  };
+  // The plan is keyed on (seed, sender, rank, lane sequence) — transport-
+  // independent coordinates — so it must hit the SAME messages here as on
+  // the in-process fabric.
+  EXPECT_EQ(run(GetParam()), run(Transport::kInProc));
+}
+
+TEST_P(TransportConformance, DeadLaneSeversExactlyThatLane) {
+  dist::FaultPlan plan;
+  plan.dead_sender = 1;
+  plan.dead_rank = 0;
+  const auto fabric = dist::make_fabric<std::uint64_t>(GetParam(), 2, 2);
+  fabric->set_fault_plan(plan);
+  fabric->send(0, 0, 1);
+  fabric->send(1, 0, 2);  // severed
+  fabric->send(1, 1, 3);  // same sender, different rank: alive
+  const auto rounds = collect_round(*fabric);
+  EXPECT_EQ(rounds[0], (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(rounds[1], (std::vector<std::uint64_t>{3}));
+  // The severed send still advanced the lane sequence (the coordinate
+  // ClaimDivergedError reports).
+  EXPECT_EQ(fabric->lane_sequence(1, 0), 1u);
+  EXPECT_EQ(fabric->messages_sent(), 3u);
+}
+
+TEST_P(TransportConformance, SlowPeerDelaysButDeliversIdentically) {
+  dist::FaultPlan plan;
+  plan.delay_micros = 200;
+  plan.slow_rank = 1;
+  const auto fabric = dist::make_fabric<std::uint64_t>(GetParam(), 2, 1);
+  fabric->set_fault_plan(plan);
+  for (std::uint64_t i = 0; i < 20; ++i) fabric->send(0, i % 2, i);
+  const auto rounds = collect_round(*fabric);
+  EXPECT_EQ(rounds[0].size(), 10u);
+  EXPECT_EQ(rounds[1].size(), 10u);  // slowed, never lost
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(rounds[0][i], 2 * i);
+    EXPECT_EQ(rounds[1][i], 2 * i + 1);
+  }
+}
+
+TEST_P(TransportConformance, GarbledFrameRaisesChecksumErrorCleanly) {
+  if (!on_wire()) GTEST_SKIP() << "wire fault: no wire on inproc";
+  dist::FaultPlan plan;
+  plan.garble_permille = 1000;
+  const auto fabric = dist::make_fabric<std::uint64_t>(GetParam(), 1, 1);
+  fabric->set_fault_plan(plan);
+  fabric->send(0, 0, 42);
+  fabric->end_round();
+  std::vector<std::uint64_t> out;
+  fabric->collect(0, out);  // must NOT throw (pool-worker contract)
+  try {
+    fabric->raise_pending_error();
+    FAIL() << "garbled frame did not surface an error";
+  } catch (const dist::wire::WireError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_P(TransportConformance, TruncatedPayloadRaisesDecodeErrorCleanly) {
+  if (!on_wire()) GTEST_SKIP() << "wire fault: no wire on inproc";
+  dist::FaultPlan plan;
+  plan.truncate_permille = 1000;
+  const auto fabric = dist::make_fabric<std::uint64_t>(GetParam(), 1, 1);
+  fabric->set_fault_plan(plan);
+  fabric->send(0, 0, 42);
+  fabric->end_round();
+  std::vector<std::uint64_t> out;
+  fabric->collect(0, out);
+  try {
+    fabric->raise_pending_error();
+    FAIL() << "truncated payload did not surface an error";
+  } catch (const dist::wire::WireError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --------------------------------------------------------------------
+// Algorithm byte-identity: the acceptance matrix. The shared-memory path
+// (num_shards = 0) is the baseline; every transport must reproduce its
+// bytes for every shards × threads × steal combination.
+
+TEST_P(TransportConformance, MultiTlpByteIdenticalAcrossShardsThreadsSteal) {
+  const Graph g = gen::sbm(300, 1900, 6, 0.85, 61);
+  const auto config = config_for(6, 37);
+  const EdgePartition base = MultiTlpPartitioner{}.partition(g, config);
+  // TCP pays a listen/connect handshake per fabric; trim its matrix to
+  // keep the suite fast — kSocket runs the full acceptance grid.
+  const bool full = GetParam() != Transport::kSocketTcp;
+  const std::vector<std::uint32_t> shard_counts =
+      full ? std::vector<std::uint32_t>{1, 4, 64}
+           : std::vector<std::uint32_t>{4, 64};
+  const std::vector<std::size_t> thread_counts =
+      full ? std::vector<std::size_t>{1, 2, 8, 0}  // 0 = hardware
+           : std::vector<std::size_t>{1, 8};
+  for (const std::uint32_t shards : shard_counts) {
+    for (const std::size_t threads : thread_counts) {
+      for (const bool steal : {false, true}) {
+        if (!full && !steal) continue;
+        MultiTlpOptions o;
+        o.num_shards = shards;
+        o.num_threads = threads;
+        o.steal = steal;
+        o.transport = GetParam();
+        const EdgePartition part =
+            MultiTlpPartitioner{o}.partition(g, config);
+        EXPECT_EQ(part.raw(), base.raw())
+            << dist::transport_name(GetParam()) << ": " << shards
+            << " shards, " << threads << " threads, steal " << steal;
+      }
+    }
+  }
+}
+
+TEST_P(TransportConformance, RefineParallelByteIdenticalAcrossTransports) {
+  const Graph g = gen::chung_lu_power_law(400, 2200, 2.2, 71);
+  PartitionConfig config = config_for(6, 71);
+  const EdgePartition start =
+      baselines::RandomPartitioner{}.partition(g, config);
+  const auto run = [&](std::uint32_t shards, std::size_t threads,
+                       std::optional<Transport> transport) {
+    EdgePartition part = start;
+    refine::ParallelOptions o;
+    o.num_shards = shards;
+    o.num_threads = threads;
+    o.transport = transport;
+    RunContext ctx;
+    const refine::ParallelStats stats =
+        refine::refine_parallel(g, part, o, ctx);
+    EXPECT_GT(stats.moves, 0u);
+    return part.raw();
+  };
+  const std::vector<PartitionId> base = run(0, 1, std::nullopt);
+  const bool full = GetParam() != Transport::kSocketTcp;
+  const std::vector<std::uint32_t> shard_counts =
+      full ? std::vector<std::uint32_t>{1, 4, 64}
+           : std::vector<std::uint32_t>{4};
+  for (const std::uint32_t shards : shard_counts) {
+    for (const std::size_t threads :
+         full ? std::vector<std::size_t>{1, 2, 8}
+              : std::vector<std::size_t>{8}) {
+      EXPECT_EQ(run(shards, threads, GetParam()), base)
+          << dist::transport_name(GetParam()) << ": " << shards
+          << " claim shards, " << threads << " threads";
+    }
+  }
+}
+
+// Duplicates and reorders on the claim fabric never change the bytes —
+// on ANY transport (resolution is a pure function of the request set).
+TEST_P(TransportConformance, MultiTlpDupReorderFaultsKeepBytesIdentical) {
+  const Graph g = gen::sbm(240, 1400, 5, 0.85, 83);
+  const auto config = config_for(5, 41);
+  const EdgePartition base = MultiTlpPartitioner{}.partition(g, config);
+  MultiTlpOptions o;
+  o.num_shards = 7;
+  o.transport = GetParam();
+  o.comm_faults = dist::FaultPlan{};
+  o.comm_faults->seed = 7;
+  o.comm_faults->dup_permille = 300;
+  o.comm_faults->reorder = true;
+  const EdgePartition part = MultiTlpPartitioner{o}.partition(g, config);
+  EXPECT_EQ(part.raw(), base.raw());
+}
+
+// Every injected fault ends one of exactly two ways: a clean error or the
+// baseline bytes. A severed directed lane loses real claim requests, so
+// multi_tlp must raise ClaimDivergedError — with the lossy lane attached.
+TEST_P(TransportConformance, DeadLaneFailsLoudlyOrStaysIdentical) {
+  const Graph g = gen::erdos_renyi(140, 600, 89);
+  const auto config = config_for(4, 43);
+  const EdgePartition base = MultiTlpPartitioner{}.partition(g, config);
+  MultiTlpOptions o;
+  o.num_shards = 4;
+  o.transport = GetParam();
+  o.comm_faults = dist::FaultPlan{};
+  o.comm_faults->dead_sender = 2;  // partition 2 cannot reach shard 1
+  o.comm_faults->dead_rank = 1;
+  try {
+    const EdgePartition part = MultiTlpPartitioner{o}.partition(g, config);
+    EXPECT_EQ(part.raw(), base.raw());
+  } catch (const dist::ClaimDivergedError& e) {
+    EXPECT_EQ(e.sender_rank(), 2u);
+    EXPECT_EQ(e.receiver_rank(), 1u);
+    EXPECT_GT(e.lane_sequence(), 0u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("claim protocol diverged"), std::string::npos);
+    EXPECT_NE(what.find("lane 2 -> 1"), std::string::npos) << what;
+  }
+}
+
+TEST_P(TransportConformance, SlowPeerKeepsMultiTlpBytesIdentical) {
+  const Graph g = gen::caveman_graph(4, 6);
+  const auto config = config_for(3, 47);
+  const EdgePartition base = MultiTlpPartitioner{}.partition(g, config);
+  MultiTlpOptions o;
+  o.num_shards = 4;
+  o.transport = GetParam();
+  o.comm_faults = dist::FaultPlan{};
+  o.comm_faults->delay_micros = 100;
+  o.comm_faults->slow_rank = 2;
+  const EdgePartition part = MultiTlpPartitioner{o}.partition(g, config);
+  EXPECT_EQ(part.raw(), base.raw());
+}
+
+// Wire corruption mid-protocol must abort the run cleanly (never a bad
+// partition): the receiver's checksum or typed decoder trips and the
+// barrier rethrows.
+TEST_P(TransportConformance, WireFaultsAbortMultiTlpCleanly) {
+  if (!on_wire()) GTEST_SKIP() << "wire fault: no wire on inproc";
+  const Graph g = gen::erdos_renyi(100, 420, 97);
+  const auto config = config_for(3, 53);
+  for (const bool garble : {true, false}) {
+    MultiTlpOptions o;
+    o.num_shards = 3;
+    o.transport = GetParam();
+    o.comm_faults = dist::FaultPlan{};
+    o.comm_faults->seed = 5;
+    if (garble) {
+      o.comm_faults->garble_permille = 1000;
+    } else {
+      o.comm_faults->truncate_permille = 1000;
+    }
+    EXPECT_THROW((void)MultiTlpPartitioner{o}.partition(g, config),
+                 dist::wire::WireError)
+        << (garble ? "garble" : "truncate");
+  }
+}
+
+// --------------------------------------------------------------------
+// ClaimDivergedError payload (transport-independent, run once).
+
+TEST(ClaimDivergedError, CarriesLaneCoordinatesAndReadableMessage) {
+  const dist::ClaimDivergedError e("multi_tlp", 3, 9, 1234, 56);
+  EXPECT_EQ(e.sender_rank(), 3u);
+  EXPECT_EQ(e.receiver_rank(), 9u);
+  EXPECT_EQ(e.id(), 1234u);
+  EXPECT_EQ(e.lane_sequence(), 56u);
+  const std::string what = e.what();
+  EXPECT_NE(what.find("multi_tlp"), std::string::npos);
+  EXPECT_NE(what.find("claim protocol diverged"), std::string::npos);
+  EXPECT_NE(what.find("sender 3"), std::string::npos);
+  EXPECT_NE(what.find("id 1234"), std::string::npos);
+  EXPECT_NE(what.find("lane 3 -> 9"), std::string::npos);
+  EXPECT_NE(what.find("lane sequence 56"), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// Connection lifecycle: reconnect-with-backoff against a late listener.
+
+TEST(SocketTransport, ConnectBackoffWaitsForLateListener) {
+  // Bind (fixing the port) but hold off listen(): connects are refused
+  // until the listener thread wakes, so only the backoff loop can win.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  std::thread late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    ASSERT_EQ(::listen(listener, 1), 0);
+  });
+  const int fd = dist::socket_detail::connect_with_backoff(
+      port, /*max_attempts=*/200, std::chrono::milliseconds(1));
+  EXPECT_GE(fd, 0);
+  ::close(fd);
+  late.join();
+  ::close(listener);
+}
+
+TEST(SocketTransport, ConnectBackoffExhaustsBudgetAndThrows) {
+  // Grab a port, then close it so nothing listens there.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(probe);
+  try {
+    (void)dist::socket_detail::connect_with_backoff(
+        port, /*max_attempts=*/3, std::chrono::milliseconds(1));
+    FAIL() << "connect to a dead port did not throw";
+  } catch (const dist::wire::WireError& e) {
+    EXPECT_NE(std::string(e.what()).find("backoff"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --------------------------------------------------------------------
+// The TLP_TRANSPORT environment knob.
+
+class TransportEnvGuard {
+ public:
+  TransportEnvGuard() {
+    const char* old = std::getenv("TLP_TRANSPORT");
+    if (old != nullptr) saved_ = old;
+  }
+  ~TransportEnvGuard() {
+    if (saved_) {
+      ::setenv("TLP_TRANSPORT", saved_->c_str(), 1);
+    } else {
+      ::unsetenv("TLP_TRANSPORT");
+    }
+  }
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+TEST(TransportEnv, ParsesEveryKnobValueAndRejectsTypos) {
+  const TransportEnvGuard guard;
+  ::unsetenv("TLP_TRANSPORT");
+  EXPECT_EQ(dist::transport_from_env(), std::nullopt);
+  EXPECT_EQ(dist::resolve_transport(std::nullopt), Transport::kInProc);
+  ::setenv("TLP_TRANSPORT", "", 1);
+  EXPECT_EQ(dist::transport_from_env(), std::nullopt);
+  ::setenv("TLP_TRANSPORT", "inproc", 1);
+  EXPECT_EQ(dist::transport_from_env(), Transport::kInProc);
+  ::setenv("TLP_TRANSPORT", "socket", 1);
+  EXPECT_EQ(dist::transport_from_env(), Transport::kSocket);
+  EXPECT_EQ(dist::resolve_transport(std::nullopt), Transport::kSocket);
+  // The explicit option outranks the environment.
+  EXPECT_EQ(dist::resolve_transport(Transport::kInProc),
+            Transport::kInProc);
+  ::setenv("TLP_TRANSPORT", "tcp", 1);
+  EXPECT_EQ(dist::transport_from_env(), Transport::kSocketTcp);
+  ::setenv("TLP_TRANSPORT", "udp", 1);
+  try {
+    (void)dist::transport_from_env();
+    FAIL() << "typo'd TLP_TRANSPORT did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("udp"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("inproc|socket|tcp"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace tlp

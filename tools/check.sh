@@ -22,7 +22,10 @@
 # leg reruns the kernel differential suites through the TLP_KERNEL env path
 # (scalar and best vector) and byte-compares CLI partition outputs across
 # kernels; the nosimd leg builds with -DTLP_DISABLE_SIMD=ON and proves the
-# scalar-only configuration still passes the kernel and graph suites.
+# scalar-only configuration still passes the kernel and graph suites. The
+# transport legs force TLP_TRANSPORT=socket through the sharded-claim smoke
+# and byte-compare CLI partition outputs across transports (inproc vs
+# socket, with TLP_SHARDS engaging the claim fabric from the registry).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -60,6 +63,16 @@ echo "== shard-invariance smoke (MultiTlpShard.SmokeInvariance) =="
 echo "== refinement smoke (GainHeap + RefineEngine + RefineParallel) =="
 (cd build && ctest --output-on-failure -R 'GainHeap|RefineEngine|RefineParallel')
 
+# Transport smoke (~seconds): the full conformance suite already ran inside
+# the tier-1 ctest above against every transport; this leg additionally
+# reruns the sharded-claim smoke with the environment knob forcing the
+# socket transport end-to-end — the path a user who sets TLP_TRANSPORT=socket
+# actually takes — and must reproduce the shared-memory bytes.
+echo "== transport smoke (TransportConformance + MultiTlpShard over sockets) =="
+(cd build && ctest --output-on-failure -R 'TransportConformance|SocketTransport')
+(cd build && TLP_TRANSPORT=socket ctest --output-on-failure \
+  -R 'MultiTlpShard.SmokeInvariance')
+
 if [ "${1:-}" = "--fast" ]; then
   echo "check.sh: tier-1 OK (sanitizers skipped)"
   exit 0
@@ -85,10 +98,10 @@ cmake -B build-tsan -S . -DTLP_SANITIZE=thread \
   -DTLP_BUILD_BENCH=OFF -DTLP_BUILD_EXAMPLES=OFF > /dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target thread_pool_test multi_tlp_test steal_queue_test dist_comm_test \
-  refine_engine_test
-echo "== ctest build-tsan (MultiTlp|ThreadPool|StealQueue|Refine|dist) =="
+  refine_engine_test transport_conformance_test
+echo "== ctest build-tsan (MultiTlp|ThreadPool|StealQueue|Refine|dist|transport) =="
 (cd build-tsan && ctest --output-on-failure \
-  -R 'MultiTlp|ThreadPool|StealQueue|StealSource|Mailbox|CommFabric|AllReduce|DistClaim|Refine')
+  -R 'MultiTlp|ThreadPool|StealQueue|StealSource|Mailbox|CommFabric|AllReduce|DistClaim|Refine|Transport|Socket')
 
 # Perf smoke: -O2 hot-path microbench on a small fixture. Exits nonzero if
 # the flat structures diverge from the embedded legacy baseline or the warm
@@ -177,6 +190,24 @@ for ALGO in tlp multi_tlp; do
   echo "-- $ALGO: scalar and vector kernel outputs byte-identical"
 done
 
+# Transport matrix: whole-binary byte-compare, same recipe as the kernel
+# matrix. Partition the same graph through the CLI with the sharded claim
+# protocol (TLP_SHARDS) over the in-process fabric and over real sockets
+# (TLP_TRANSPORT) and cmp the .parts files — the wire must be
+# value-invisible end-to-end, not just inside the unit fixtures.
+echo "== transport matrix: CLI partition byte-compare (inproc vs socket) =="
+TM_DIR="build-release/transport-matrix"
+mkdir -p "$TM_DIR"
+for TRANSPORT in inproc socket; do
+  TLP_SHARDS=4 TLP_TRANSPORT=$TRANSPORT build-release/tools/tlp_cli \
+    partition "$KM_DIR/cl.tlpc" multi_tlp 8 0 \
+    "$TM_DIR/multi_tlp.$TRANSPORT.parts" > /dev/null 2>&1
+done
+cmp "$KM_DIR/multi_tlp.scalar.parts" "$TM_DIR/multi_tlp.inproc.parts"
+cmp "$TM_DIR/multi_tlp.inproc.parts" "$TM_DIR/multi_tlp.socket.parts"
+echo "-- multi_tlp: unsharded, sharded-inproc, and sharded-socket outputs" \
+     "byte-identical"
+
 # Scalar-only configuration: -DTLP_DISABLE_SIMD=ON compiles the vector
 # kernels out entirely; dispatch must resolve to scalar (whatever
 # TLP_KERNEL says) and the kernel + graph suites must still pass.
@@ -189,4 +220,4 @@ cmake --build build-nosimd -j "$JOBS" \
   -R 'IntersectKernels|IntersectionCost|KernelDifferential|Graph')
 
 echo "check.sh: tier-1 + ASan + UBSan + TSan + perf + out-of-core +" \
-     "kernel-matrix + nosimd green"
+     "kernel-matrix + transport-matrix + nosimd green"
